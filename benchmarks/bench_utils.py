@@ -1,0 +1,12 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a figure generator exactly once under pytest-benchmark timing.
+
+    The figure runners are deterministic simulations, so a single
+    measurement round per benchmark is sufficient and keeps the whole
+    suite fast.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,33 @@
+"""Figure 12: polarization-rotation-angle estimation procedure.
+
+Runs the Sec. 3.4 three-step procedure against the simulated matched
+link and reports the estimated minimum/maximum rotation angles (the
+paper measures 4.8 and 45.1 degrees).
+"""
+
+from bench_utils import run_once
+from repro.experiments import figures
+from repro.experiments.reporting import format_table
+
+
+def test_bench_fig12_rotation_estimation(benchmark):
+    result = run_once(benchmark, figures.figure12_rotation_estimation)
+
+    print()
+    print(format_table(
+        ["quantity", "reproduced", "paper"],
+        [
+            ["reference orientation (deg)", result.reference_orientation_deg, 0.0],
+            ["minimum rotation (deg)", result.min_rotation_deg, 4.8],
+            ["maximum rotation (deg)", result.max_rotation_deg, 45.1],
+            ["power-vs-angle slope sign", result.power_slope_sign, -1.0],
+        ],
+        precision=1,
+        title="Fig. 12 - rotation-angle estimation (match setup)"))
+
+    # Shape: the estimated range is within the physically achievable
+    # rotation range and the max is tens of degrees.
+    assert 0.0 <= result.min_rotation_deg <= result.max_rotation_deg <= 60.0
+    assert result.max_rotation_deg > 25.0
+    # Fig. 12a: linear received power decreases with orientation mismatch.
+    assert result.power_slope_sign < 0.0

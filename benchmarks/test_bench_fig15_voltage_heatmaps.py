@@ -1,0 +1,43 @@
+"""Figure 15: transmissive received-power heatmaps and rotation range.
+
+Regenerates the (Vx, Vy) received-power heatmaps at each Tx-Rx distance
+(Fig. 15a-g) and the minimum/maximum rotation degree per distance
+(Fig. 15h), in the mismatched antenna configuration.
+"""
+
+from bench_utils import run_once
+from repro.experiments import figures
+from repro.experiments.reporting import format_heatmap, format_table
+
+
+def test_bench_fig15_voltage_heatmaps(benchmark):
+    result = run_once(benchmark, figures.figure15_voltage_heatmaps,
+                      distances_cm=(24, 36, 48, 60), voltage_step_v=6.0)
+
+    # Print the 42-cm-class heatmap (paper Fig. 15d analogue) plus the
+    # per-distance summary the paper reads off the full panel.
+    example = result.heatmaps[1]
+    print()
+    print(format_heatmap(example.grid_dbm, precision=1,
+                         title=f"Fig. 15 - received power (dBm) vs (Vx, Vy) "
+                               f"at {example.distance_cm:.0f} cm"))
+    rows = []
+    for heatmap in result.heatmaps:
+        vx, vy, power = heatmap.best_point
+        low, high = result.rotation_ranges_deg[heatmap.distance_cm]
+        rows.append([heatmap.distance_cm, power, vx, vy,
+                     heatmap.dynamic_range_db, low, high])
+    print()
+    print(format_table(
+        ["distance (cm)", "best power (dBm)", "best Vx", "best Vy",
+         "sweep range (dB)", "min rot (deg)", "max rot (deg)"],
+        rows, precision=1,
+        title="Fig. 15 summary (paper Fig. 15h: rotation spans ~3-45 deg)"))
+
+    # Shape assertions.
+    for heatmap in result.heatmaps:
+        assert heatmap.dynamic_range_db > 10.0
+    best_powers = [h.best_point[2] for h in result.heatmaps]
+    assert best_powers[0] > best_powers[-1]
+    for low, high in result.rotation_ranges_deg.values():
+        assert low < 10.0 and 35.0 <= high <= 60.0

@@ -1,0 +1,43 @@
+"""Figure 18: capacity vs transmit power in the absorber-covered chamber.
+
+Two panels: omni-directional (6 dBi) and directional (10 dBi) antennas.
+In the clean chamber the metasurface improves capacity at every probed
+transmit power, down to 0.002 mW.
+"""
+
+from bench_utils import run_once
+from repro.experiments import figures
+from repro.experiments.reporting import format_table
+
+TX_POWERS_MW = (0.002, 0.02, 0.2, 2.0, 20.0, 200.0, 1000.0)
+
+
+def test_bench_fig18_txpower_clean(benchmark):
+    result = run_once(benchmark, figures.figure18_19_txpower_capacity,
+                      tx_powers_mw=TX_POWERS_MW)
+
+    for key, title in (("fig18a_omni_clean", "Fig. 18a - omni antenna"),
+                       ("fig18b_directional_clean",
+                        "Fig. 18b - directional antenna")):
+        series = result[key]
+        rows = [
+            (power, with_eff, without_eff, with_eff - without_eff)
+            for power, with_eff, without_eff in zip(
+                series.tx_powers_mw, series.efficiency_with,
+                series.efficiency_without)
+        ]
+        print()
+        print(format_table(
+            ["Tx power (mW)", "with surface (bit/s/Hz)",
+             "without surface (bit/s/Hz)", "improvement"],
+            rows, precision=2,
+            title=f"{title}, absorber-covered chamber "
+                  "(paper: surface helps at every power)"))
+
+    # Shape: in the clean chamber the surface helps at every transmit power
+    # for both antenna types.
+    for key in ("fig18a_omni_clean", "fig18b_directional_clean"):
+        assert all(improvement > 1.0 for improvement in result[key].improvements)
+    # Capacity grows with transmit power.
+    clean = result["fig18b_directional_clean"]
+    assert clean.efficiency_with[-1] > clean.efficiency_with[0]

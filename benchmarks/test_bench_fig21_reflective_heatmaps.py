@@ -1,0 +1,42 @@
+"""Figure 21: reflective received-power heatmaps vs Tx-surface distance.
+
+With both endpoints on the same side of the surface, the received power
+still responds to the bias voltages, but the sensitivity is smaller than
+in the transmissive case because the reciprocal round trip cancels most
+of the rotation (paper Sec. 5.2.1).
+"""
+
+from bench_utils import run_once
+from repro.experiments import figures
+from repro.experiments.reporting import format_heatmap, format_table
+
+
+def test_bench_fig21_reflective_heatmaps(benchmark):
+    heatmaps = run_once(benchmark, figures.figure21_reflective_heatmaps,
+                        distances_cm=(24, 36, 48, 66), voltage_step_v=6.0)
+
+    example = heatmaps[1]
+    print()
+    print(format_heatmap(example.grid_dbm, precision=1,
+                         title=f"Fig. 21 - reflective received power (dBm) vs "
+                               f"(Vx, Vy) at {example.distance_cm:.0f} cm "
+                               f"Tx-surface distance"))
+    rows = []
+    for heatmap in heatmaps:
+        vx, vy, power = heatmap.best_point
+        rows.append([heatmap.distance_cm, power, vx, vy,
+                     heatmap.dynamic_range_db])
+    print()
+    print(format_table(
+        ["Tx-surface distance (cm)", "best power (dBm)", "best Vx",
+         "best Vy", "sweep range (dB)"],
+        rows, precision=1,
+        title="Fig. 21 summary (paper: voltage sensitivity present but "
+              "smaller than the transmissive case)"))
+
+    # Shape assertions: the voltage sweep still matters, and the best
+    # power falls as the surface moves away from the transceiver pair.
+    for heatmap in heatmaps:
+        assert heatmap.dynamic_range_db > 1.0
+    best_powers = [heatmap.best_point[2] for heatmap in heatmaps]
+    assert best_powers[0] > best_powers[-1]

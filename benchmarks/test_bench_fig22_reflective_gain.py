@@ -1,0 +1,38 @@
+"""Figure 22: reflective received power and capacity with/without LLAMA.
+
+The paper's headline reflective result: up to 17 dBm of power improvement
+and a 180 kbit/s/Hz capacity improvement with respect to the mismatched
+baseline (our capacity axis is Shannon spectral efficiency; see
+DESIGN.md for the unit note).
+"""
+
+from bench_utils import run_once
+from repro.experiments import figures
+from repro.experiments.reporting import format_comparison
+
+
+def test_bench_fig22_reflective_gain(benchmark):
+    result = run_once(benchmark, figures.figure22_reflective_gain,
+                      distances_cm=figures.REFLECTIVE_DISTANCES_CM)
+
+    print()
+    print(format_comparison(
+        "Fig. 22 (top) - reflective received power vs Tx-surface distance "
+        "(dBm) (paper: up to 17 dB improvement)",
+        result.distances_cm, result.power_with_dbm, result.power_without_dbm,
+        x_label="distance (cm)", precision=1))
+    print()
+    print(format_comparison(
+        "Fig. 22 (bottom) - spectral efficiency (bit/s/Hz)",
+        result.distances_cm, result.efficiency_with, result.efficiency_without,
+        x_label="distance (cm)", precision=2))
+    print(f"\nmax power improvement    : {result.max_gain_db:.1f} dB "
+          f"(paper: 17 dB)")
+    print(f"max capacity improvement : {result.max_capacity_improvement:.2f} "
+          f"bit/s/Hz")
+
+    # Shape: the surface wins at every distance and the peak improvement is
+    # in the paper's ballpark (tens of dB).
+    assert all(gain > 0.0 for gain in result.gains_db)
+    assert result.max_gain_db > 10.0
+    assert result.max_capacity_improvement > 0.5

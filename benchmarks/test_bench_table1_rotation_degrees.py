@@ -1,0 +1,42 @@
+"""Table 1: simulated polarization-rotation degrees vs (Vx, Vy).
+
+Regenerates the paper's 7x7 table of rotation angles over the 2-15 V
+bias grid and checks its structural properties: the extreme corners give
+the largest rotation (~48 degrees) and near-equal voltages give only a
+few degrees.
+"""
+
+from bench_utils import run_once
+from repro.experiments import figures
+from repro.experiments.reporting import format_table
+
+
+#: The values printed in the paper's Table 1, used here only for a
+#: side-by-side comparison in the benchmark output.
+PAPER_TABLE1_MAX_DEG = 48.7
+PAPER_TABLE1_MIN_DEG = 1.9
+
+
+def test_bench_table1_rotation_degrees(benchmark):
+    table = run_once(benchmark, figures.table1_rotation_degrees)
+
+    voltages = table.voltages_v
+    rows = []
+    for vy in voltages:
+        rows.append([vy] + [table.rotation_deg[(vx, vy)] for vx in voltages])
+    print()
+    print(format_table(
+        ["Vy \\ Vx (V)"] + [f"{vx:g}" for vx in voltages],
+        rows, precision=1,
+        title="Table 1 - simulated rotation degrees "
+              f"(paper range: {PAPER_TABLE1_MIN_DEG} - {PAPER_TABLE1_MAX_DEG} deg)"))
+    print(f"\nreproduced range: {table.minimum_deg:.1f} - "
+          f"{table.maximum_deg:.1f} deg")
+
+    # Shape assertions: the achievable range brackets the paper's and the
+    # largest rotations sit at the asymmetric-voltage corners.
+    assert table.minimum_deg < 6.0
+    assert 40.0 <= table.maximum_deg <= 62.0
+    corner = max(table.rotation_deg[(15.0, 2.0)], table.rotation_deg[(2.0, 15.0)])
+    assert corner == table.maximum_deg
+    assert table.rotation_deg[(5.0, 5.0)] < 15.0

@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Ensures the ``src`` layout is importable even when the package has not
+been installed (e.g. on offline machines where ``pip install -e .``
+cannot resolve build dependencies).  When the package *is* installed the
+inserted path is harmless.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

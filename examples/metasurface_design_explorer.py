@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Design-space exploration: substrate, layer count and cost trade-offs.
+
+LLAMA's central engineering contribution is showing that a cheap FR4
+metasurface can approach the transmission efficiency of an expensive
+Rogers 5880 design once the layer stack is simplified and thinned.  This
+example walks the design space the paper explores (Sec. 3.2, Figs. 8-10)
+and prints the efficiency/bandwidth/cost picture for each design point,
+plus the 900 MHz scaling the paper mentions for RFID.
+
+Run with::
+
+    python examples/metasurface_design_explorer.py
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.metasurface.design import (
+    design_cost_usd,
+    fr4_naive_design,
+    llama_design,
+    rogers_reference_design,
+    scaled_design,
+)
+
+
+def summarize(design, frequencies):
+    """Compute the headline metrics for one design point."""
+    surface = design.build(prototype=False)
+    center = design.design_frequency_hz
+    efficiency_center = surface.transmission_efficiency_db(center, 8.0, 8.0, "x")
+    worst_in_band = min(
+        min(surface.transmission_efficiency_db(f, 8.0, 8.0, "x"),
+            surface.transmission_efficiency_db(f, 8.0, 8.0, "y"))
+        for f in frequencies
+        if center - 50e6 <= f <= center + 50e6)
+    rotation_range = surface.rotation_range_deg(center)
+    cost_prototype = design_cost_usd(design)
+    cost_scale = design_cost_usd(design, units=3000, economies_of_scale=True)
+    return [
+        design.name,
+        design.substrate.name,
+        design.total_layer_count,
+        design.total_thickness_m * 1e3,
+        efficiency_center,
+        worst_in_band,
+        rotation_range[1],
+        cost_prototype,
+        cost_scale / 3000.0,
+    ]
+
+
+def main() -> None:
+    designs = [rogers_reference_design(), fr4_naive_design(), llama_design()]
+    frequencies = np.linspace(2.0e9, 2.8e9, 81)
+
+    rows = [summarize(design, frequencies) for design in designs]
+    print(format_table(
+        ["design", "substrate", "layers", "thickness (mm)",
+         "eff @ f0 (dB)", "worst in-band (dB)", "max rotation (deg)",
+         "prototype cost ($)", "cost/unit at 3k ($)"],
+        rows, precision=2,
+        title="Metasurface design space (paper Figs. 8-10 + Sec. 4 cost model)"))
+
+    print("\nThe naive FR4 port loses ~10 dB of transmission efficiency;")
+    print("the optimized (LLAMA) stack recovers it at FR4 prices.\n")
+
+    # Band scaling: the paper notes comparable performance at 900 MHz.
+    rfid = scaled_design(0.915e9)
+    surface = rfid.build(prototype=False)
+    print(f"Scaled design: {rfid.name}")
+    print(f"  efficiency at 915 MHz : "
+          f"{surface.transmission_efficiency_db(0.915e9, 8.0, 8.0, 'x'):.1f} dB")
+    print(f"  rotation range (2-15 V): "
+          f"{surface.rotation_range_deg(0.915e9)[0]:.1f} - "
+          f"{surface.rotation_range_deg(0.915e9)[1]:.1f} deg")
+    print(f"  unit cell side         : "
+          f"{rfid.side_length_m / rfid.unit_count ** 0.5 * 1000:.0f} mm "
+          f"(scaled by the wavelength ratio)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: fix a polarization-mismatched link with LLAMA.
+
+This example reproduces the paper's headline scenario end to end:
+
+1. build the optimized FR4 metasurface prototype,
+2. set up a transmissive link whose endpoints are cross-polarized
+   (90 degrees apart), the worst case for cheap IoT antennas,
+3. let the centralized controller run the coarse-to-fine bias-voltage
+   sweep (Algorithm 1) using receiver power reports,
+4. compare the optimized link against the no-surface baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.channel.antenna import directional_antenna
+from repro.channel.geometry import LinkGeometry
+from repro.channel.link import DeploymentMode, LinkConfiguration
+from repro.core.controller import VoltageSweepConfig
+from repro.core.llama import LlamaSystem
+from repro.metasurface.design import llama_design
+
+
+def main() -> None:
+    # 1. The metasurface prototype (480 x 480 mm, FR4, 180 units).
+    surface = llama_design().build()
+    print(f"Metasurface: {surface.name}")
+    print(f"  aperture          : {surface.side_length_m * 100:.0f} cm square,"
+          f" {surface.unit_count} units")
+    print(f"  standby power     : {surface.standby_power_w() * 1e9:.0f} nW "
+          f"(leakage {surface.leakage_current_a * 1e9:.0f} nA)")
+
+    # 2. A mismatched transmissive link: Tx horizontal, Rx vertical.
+    configuration = LinkConfiguration(
+        tx_antenna=directional_antenna(orientation_deg=0.0),
+        rx_antenna=directional_antenna(orientation_deg=90.0),
+        geometry=LinkGeometry.transmissive(0.42),
+        tx_power_dbm=0.0,
+        metasurface=surface,
+        deployment=DeploymentMode.TRANSMISSIVE,
+    )
+
+    # 3. Run the LLAMA control loop (Algorithm 1: T=5 switches, N=2 iters).
+    system = LlamaSystem(configuration,
+                         sweep_config=VoltageSweepConfig(iterations=2,
+                                                         switches_per_axis=5))
+    result = system.optimize()
+
+    # 4. Report the outcome.
+    print("\nLink optimization (mismatched endpoints, 42 cm apart):")
+    print(f"  baseline (no surface)    : {result.baseline_power_dbm:7.1f} dBm")
+    print(f"  optimized (with surface) : {result.optimized_power_dbm:7.1f} dBm")
+    print(f"  improvement              : {result.power_gain_db:7.1f} dB")
+    print(f"  chosen bias voltages     : Vx={result.best_vx:.0f} V, "
+          f"Vy={result.best_vy:.0f} V")
+    print(f"  realised rotation        : {result.rotation_angle_deg:7.1f} deg")
+    print(f"  probes used              : {result.sweep.probe_count} "
+          f"(~{result.sweep.duration_s:.1f} s at 50 Hz switching)")
+    print(f"  implied range extension  : "
+          f"{10 ** (result.power_gain_db / 20):.1f}x (Friis)")
+
+
+if __name__ == "__main__":
+    main()

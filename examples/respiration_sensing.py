@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Respiration sensing with a reflective LLAMA deployment (paper Sec. 5.2.2).
+
+At low transmit power the breathing of a person standing between the
+transceiver pair and the wall is invisible in the received-power trace.
+Deploying the metasurface in reflective mode redirects enough additional
+energy through the monitored area that the periodic chest motion becomes
+detectable again — this example reproduces that experiment and sweeps the
+transmit power to find the detection threshold with and without the
+surface.
+
+Run with::
+
+    python examples/respiration_sensing.py
+"""
+
+import math
+
+from repro.metasurface.design import llama_design
+from repro.sensing.detector import RespirationDetector
+from repro.sensing.respiration import BreathingSubject, RespirationSensingLink
+
+
+def detection_report(tx_power_mw: float, with_surface: bool,
+                     subject: BreathingSubject, surface) -> str:
+    """Run one sensing capture and summarise the detection outcome."""
+    link = RespirationSensingLink(
+        subject=subject,
+        metasurface=surface if with_surface else None,
+        tx_power_dbm=10.0 * math.log10(tx_power_mw),
+        seed=11,
+    )
+    trace = link.capture(duration_s=60.0)
+    reading = RespirationDetector().analyse(trace)
+    label = "with surface   " if with_surface else "without surface"
+    if reading.detected:
+        return (f"  {label}: DETECTED  rate={reading.estimated_rate_bpm:5.1f} bpm"
+                f"  peak/noise={reading.peak_to_noise_db:5.1f} dB")
+    return (f"  {label}: not detected  "
+            f"peak/noise={reading.peak_to_noise_db:5.1f} dB")
+
+
+def main() -> None:
+    subject = BreathingSubject(respiration_rate_hz=0.25,
+                               chest_displacement_m=0.005)
+    surface = llama_design().build()
+    print("Respiration sensing, subject breathing at "
+          f"{subject.respiration_rate_hz * 60:.0f} breaths/min")
+    print("Geometry: 70 cm Tx-Rx pair, surface 2 m away (reflective mode)\n")
+
+    # The paper's operating point: 5 mW transmit power.
+    print("Paper operating point (5 mW transmit power):")
+    print(detection_report(5.0, with_surface=False, subject=subject,
+                           surface=surface))
+    print(detection_report(5.0, with_surface=True, subject=subject,
+                           surface=surface))
+
+    # Sweep transmit power to find each configuration's detection floor.
+    print("\nTransmit-power sweep (detection yes/no):")
+    print(f"{'power (mW)':>12}  {'without surface':>16}  {'with surface':>14}")
+    detector = RespirationDetector()
+    for power_mw in (1.0, 2.0, 5.0, 10.0, 20.0, 50.0):
+        readings = []
+        for use_surface in (False, True):
+            link = RespirationSensingLink(
+                subject=subject,
+                metasurface=surface if use_surface else None,
+                tx_power_dbm=10.0 * math.log10(power_mw),
+                seed=11,
+            )
+            readings.append(detector.analyse(link.capture(duration_s=60.0)))
+        print(f"{power_mw:12.1f}  "
+              f"{'yes' if readings[0].detected else 'no':>16}  "
+              f"{'yes' if readings[1].detected else 'no':>14}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file
+exists so that editable installs keep working on offline machines whose
+tooling lacks the ``wheel`` package (``pip install -e . --no-build-isolation
+--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""Channel capacity / spectral efficiency (paper Sec. 5.1.2, 5.2.1).
+
+The paper computes "capacity according to the SNR measurement and
+channel bandwidth".  We report the Shannon spectral efficiency
+``log2(1 + SNR)`` (bit/s/Hz) and the corresponding capacity over a given
+bandwidth.  As noted in DESIGN.md the paper's absolute "Mbps/Hz" axis is
+not physically recoverable, so our benchmarks compare *relative*
+improvements (with vs without the metasurface, crossover locations).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def shannon_spectral_efficiency(snr_linear: ArrayLike) -> ArrayLike:
+    """Shannon spectral efficiency ``log2(1 + SNR)`` in bit/s/Hz.
+
+    Negative SNR values (possible only through misuse) are clamped to 0.
+    """
+    snr = np.maximum(np.asarray(snr_linear, dtype=float), 0.0)
+    value = np.log2(1.0 + snr)
+    if np.isscalar(snr_linear):
+        return float(value)
+    return value
+
+
+def shannon_capacity_bps(snr_linear: ArrayLike,
+                         bandwidth_hz: float) -> ArrayLike:
+    """Shannon capacity ``B log2(1 + SNR)`` in bit/s."""
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    return bandwidth_hz * shannon_spectral_efficiency(snr_linear)
+
+
+def spectral_efficiency_from_powers(received_power_dbm: ArrayLike,
+                                    noise_power_dbm: float) -> ArrayLike:
+    """Spectral efficiency directly from received and noise powers (dBm)."""
+    snr = np.power(10.0, (np.asarray(received_power_dbm, dtype=float) -
+                          noise_power_dbm) / 10.0)
+    value = np.log2(1.0 + snr)
+    if np.isscalar(received_power_dbm):
+        return float(value)
+    return value
+
+
+def capacity_improvement(with_surface_efficiency: ArrayLike,
+                         without_surface_efficiency: ArrayLike) -> ArrayLike:
+    """Absolute spectral-efficiency improvement (bit/s/Hz).
+
+    Positive values mean the metasurface helps; the paper's Fig. 19a
+    shows this quantity going negative for omni antennas below ~2 mW of
+    transmit power in a rich multipath environment.
+    """
+    return (np.asarray(with_surface_efficiency, dtype=float) -
+            np.asarray(without_surface_efficiency, dtype=float))
+
+
+__all__ = [
+    "shannon_spectral_efficiency",
+    "shannon_capacity_bps",
+    "spectral_efficiency_from_powers",
+    "capacity_improvement",
+]

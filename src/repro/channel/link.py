@@ -1,0 +1,338 @@
+"""End-to-end link budget with and without the metasurface.
+
+This is the work-horse of the reproduction: every figure in the paper's
+evaluation ultimately measures the power a receiver sees for some
+combination of
+
+* antenna orientations (matched / mismatched),
+* metasurface presence, placement (transmissive / reflective) and bias
+  voltages,
+* transmit power, operating frequency and distances,
+* environment (absorber-covered chamber vs multipath-rich laboratory).
+
+The model is a coherent field-summation budget:
+
+1. the *engineered* path (direct for baselines, through-surface or
+   surface-reflected when the metasurface is deployed) is computed as a
+   Jones field propagated with Friis amplitude scaling and transformed
+   by the surface's Jones matrix;
+2. environmental clutter rays (from :class:`MultipathEnvironment`) are
+   added coherently, weighted by the receive antenna pattern;
+3. the receive antenna projects the total field onto its polarization
+   (with finite cross-polar isolation) to yield received power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.antenna import Antenna
+from repro.channel.capacity import shannon_spectral_efficiency
+from repro.channel.freespace import free_space_path_loss_db
+from repro.channel.geometry import LinkGeometry
+from repro.channel.multipath import MultipathEnvironment
+from repro.channel.noise import thermal_noise_dbm
+from repro.constants import DEFAULT_CENTER_FREQUENCY_HZ, SPEED_OF_LIGHT
+from repro.core.jones import JonesVector
+from repro.metasurface.surface import Metasurface, SurfaceMode
+
+
+class DeploymentMode(Enum):
+    """How (and whether) the metasurface participates in the link."""
+
+    NONE = "none"
+    TRANSMISSIVE = "transmissive"
+    REFLECTIVE = "reflective"
+
+
+@dataclass(frozen=True)
+class LinkConfiguration:
+    """Static description of a point-to-point link under test.
+
+    Attributes
+    ----------
+    tx_antenna, rx_antenna:
+        Endpoint antennas (their ``orientation_deg`` encodes the
+        polarization alignment; orthogonal orientations reproduce the
+        paper's "mismatch" setup).
+    geometry:
+        Positions of the endpoints and the surface.
+    frequency_hz:
+        Carrier frequency.
+    tx_power_dbm:
+        Transmit power.
+    bandwidth_hz:
+        Channel bandwidth used for noise/capacity computations (the
+        paper's USRP setup uses a 500 kHz tone observed at 1 MS/s).
+    noise_figure_db:
+        Receiver noise figure.
+    environment:
+        Multipath environment (defaults to the absorber-covered chamber).
+    metasurface:
+        The deployed surface, or ``None`` for baseline measurements.
+    deployment:
+        Whether the surface acts in transmissive or reflective mode.
+    surface_obstruction_db:
+        Penetration loss of the structural element (e.g. wall) hosting
+        the surface, applied to the direct path in reflective layouts
+        where the direct path does not cross the surface (0 by default).
+    aim_at_surface:
+        When True the endpoint antennas are physically aimed at the
+        surface position rather than at each other — the paper's
+        reflective experiments are set up this way.  The flag is kept
+        when building the no-surface baseline so that "with" and
+        "without" comparisons share identical antenna aiming.
+    clutter_blocking_db:
+        Attenuation the deployed surface applies to environmental
+        clutter crossing its aperture in the transmissive layout (the
+        0.48 m panel physically sits between the endpoints and shadows
+        part of the multipath).  Applied only when a transmissive surface
+        is present; it is one of the reasons the paper observes the
+        surface *hurting* low-power omni links in rich multipath
+        (Sec. 5.1.2).
+    interference_floor_dbm:
+        Effective noise-plus-interference floor of the receiver.  The
+        2.4 GHz ISM band in an ordinary laboratory is interference
+        limited rather than thermal-noise limited; the capacity
+        experiments of Figs. 18-19 use this knob.  ``None`` keeps the
+        thermal floor.
+    """
+
+    tx_antenna: Antenna
+    rx_antenna: Antenna
+    geometry: LinkGeometry
+    frequency_hz: float = DEFAULT_CENTER_FREQUENCY_HZ
+    tx_power_dbm: float = 0.0
+    bandwidth_hz: float = 500e3
+    noise_figure_db: float = 6.0
+    environment: MultipathEnvironment = field(
+        default_factory=MultipathEnvironment.anechoic)
+    metasurface: Optional[Metasurface] = None
+    deployment: DeploymentMode = DeploymentMode.NONE
+    surface_obstruction_db: float = 0.0
+    aim_at_surface: bool = False
+    clutter_blocking_db: float = 6.0
+    interference_floor_dbm: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.bandwidth_hz <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.noise_figure_db < 0:
+            raise ValueError("noise figure must be non-negative")
+        if self.surface_obstruction_db < 0:
+            raise ValueError("surface obstruction must be non-negative")
+        if self.clutter_blocking_db < 0:
+            raise ValueError("clutter blocking must be non-negative")
+        if (self.deployment is not DeploymentMode.NONE and
+                self.metasurface is None):
+            raise ValueError(
+                "a metasurface must be provided for transmissive/reflective "
+                "deployments")
+
+    def without_surface(self) -> "LinkConfiguration":
+        """Return the matching baseline configuration (no metasurface)."""
+        return replace(self, metasurface=None, deployment=DeploymentMode.NONE)
+
+    def with_tx_power_dbm(self, tx_power_dbm: float) -> "LinkConfiguration":
+        """Return a copy at a different transmit power."""
+        return replace(self, tx_power_dbm=tx_power_dbm)
+
+    def with_frequency_hz(self, frequency_hz: float) -> "LinkConfiguration":
+        """Return a copy at a different carrier frequency."""
+        return replace(self, frequency_hz=frequency_hz)
+
+
+@dataclass(frozen=True)
+class LinkReport:
+    """Result of evaluating a link at one operating point."""
+
+    received_power_dbm: float
+    snr_db: float
+    spectral_efficiency_bps_hz: float
+    noise_power_dbm: float
+    engineered_path_power_dbm: float
+    clutter_power_dbm: float
+
+
+class WirelessLink:
+    """Evaluates :class:`LinkConfiguration` instances.
+
+    The link object is stateless apart from its configuration, so the
+    controller can probe arbitrary bias voltages cheaply and
+    reproducibly.
+    """
+
+    def __init__(self, configuration: LinkConfiguration):
+        self.configuration = configuration
+
+    # ------------------------------------------------------------------ #
+    # Field-level building blocks
+    # ------------------------------------------------------------------ #
+    def _path_amplitude(self, distance_m: float, extra_gain_db: float = 0.0) -> float:
+        """Field amplitude (relative to 1 mW into an isotropic antenna)
+        after free-space propagation over ``distance_m``."""
+        config = self.configuration
+        path_db = (config.tx_power_dbm + extra_gain_db -
+                   free_space_path_loss_db(distance_m, config.frequency_hz))
+        return 10.0 ** (path_db / 20.0)
+
+    def _phase_for_distance(self, distance_m: float) -> float:
+        """Carrier phase accumulated over a propagation distance."""
+        wavelength = SPEED_OF_LIGHT / self.configuration.frequency_hz
+        return 2.0 * math.pi * distance_m / wavelength
+
+    def _direct_field(self) -> JonesVector:
+        """Field of the direct Tx->Rx path (no surface interaction).
+
+        Antenna aiming convention: in direct/transmissive layouts the
+        endpoints face each other, so the direct path is on boresight;
+        with ``aim_at_surface`` (the paper's reflective experiments) the
+        antennas point at the surface position, so the direct path
+        suffers each antenna's pattern roll-off at the angle between its
+        peer and the surface — both with and without the surface present.
+        """
+        config = self.configuration
+        geometry = config.geometry
+        blocked_db = 0.0
+        if config.deployment is DeploymentMode.TRANSMISSIVE:
+            # In the transmissive layout the only Tx->Rx route crosses the
+            # surface; there is no separate unobstructed direct path.
+            return JonesVector(0.0, 0.0)
+        if config.deployment is DeploymentMode.NONE and config.surface_obstruction_db:
+            blocked_db = config.surface_obstruction_db
+        if config.aim_at_surface:
+            tx_gain = config.tx_antenna.gain_dbi_towards(
+                geometry.angle_at_transmitter_deg())
+            rx_gain = config.rx_antenna.gain_dbi_towards(
+                geometry.angle_at_receiver_deg())
+        else:
+            tx_gain = config.tx_antenna.gain_dbi
+            rx_gain = config.rx_antenna.gain_dbi
+        amplitude = self._path_amplitude(
+            geometry.direct_distance_m,
+            extra_gain_db=(tx_gain + rx_gain - blocked_db))
+        phase = self._phase_for_distance(geometry.direct_distance_m)
+        phasor = amplitude * complex(math.cos(phase), math.sin(phase))
+        return JonesVector(phasor * config.tx_antenna.jones.x,
+                           phasor * config.tx_antenna.jones.y)
+
+    def _surface_field(self, vx: float, vy: float) -> JonesVector:
+        """Field of the path that interacts with the metasurface."""
+        config = self.configuration
+        if config.metasurface is None or config.deployment is DeploymentMode.NONE:
+            return JonesVector(0.0, 0.0)
+        geometry = config.geometry
+        surface = config.metasurface
+        if config.deployment is DeploymentMode.TRANSMISSIVE:
+            jones = surface.jones_matrix(config.frequency_hz, vx, vy)
+        else:
+            jones = surface.reflection_jones_matrix(config.frequency_hz, vx, vy)
+        # Leg 1: transmitter to surface.
+        leg1 = geometry.tx_to_surface_m
+        leg2 = geometry.surface_to_rx_m
+        # Antenna aiming convention (see _direct_field): the surface sits
+        # on boresight both in the transmissive layout (colinear) and in
+        # the reflective layout (the endpoints are aimed at the surface),
+        # so the via-surface path gets the full antenna gains.
+        tx_gain = config.tx_antenna.gain_dbi
+        rx_gain = config.rx_antenna.gain_dbi
+        amplitude = self._path_amplitude(leg1 + leg2,
+                                         extra_gain_db=tx_gain + rx_gain)
+        phase = self._phase_for_distance(leg1 + leg2)
+        incident = JonesVector(config.tx_antenna.jones.x,
+                               config.tx_antenna.jones.y)
+        transformed = jones.apply(incident)
+        phasor = amplitude * complex(math.cos(phase), math.sin(phase))
+        return JonesVector(phasor * transformed.x, phasor * transformed.y)
+
+    def _clutter_field(self) -> JonesVector:
+        """Total clutter field weighted by the receive antenna pattern.
+
+        When a transmissive surface is deployed it physically shadows
+        part of the room, so the clutter is additionally attenuated by
+        ``clutter_blocking_db``.
+        """
+        config = self.configuration
+        geometry = config.geometry
+        blocking_db = (config.clutter_blocking_db
+                       if config.deployment is DeploymentMode.TRANSMISSIVE
+                       else 0.0)
+        reference = self._path_amplitude(
+            geometry.direct_distance_m,
+            extra_gain_db=(config.tx_antenna.gain_dbi +
+                           config.rx_antenna.gain_dbi - blocking_db))
+        total = JonesVector(0.0, 0.0)
+        for ray in config.environment.rays():
+            pattern_db = config.rx_antenna.pattern_gain_db(ray.arrival_angle_deg)
+            contribution = ray.field_contribution(
+                reference * 10.0 ** (pattern_db / 20.0))
+            total = total + contribution
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Public evaluation API
+    # ------------------------------------------------------------------ #
+    def received_field(self, vx: float = 0.0, vy: float = 0.0) -> JonesVector:
+        """Total complex field at the receive aperture."""
+        return (self._direct_field() + self._surface_field(vx, vy) +
+                self._clutter_field())
+
+    def received_power_dbm(self, vx: float = 0.0, vy: float = 0.0) -> float:
+        """Received power (dBm) after polarization projection."""
+        config = self.configuration
+        total_field = self.received_field(vx, vy)
+        coupling = config.rx_antenna.polarization_coupling(total_field)
+        power_linear_mw = total_field.intensity * coupling
+        return 10.0 * math.log10(max(power_linear_mw, 1e-20))
+
+    def noise_power_dbm(self) -> float:
+        """Receiver noise-plus-interference floor for the configured bandwidth."""
+        config = self.configuration
+        thermal = thermal_noise_dbm(config.bandwidth_hz,
+                                    noise_figure_db=config.noise_figure_db)
+        if config.interference_floor_dbm is None:
+            return thermal
+        return max(thermal, config.interference_floor_dbm)
+
+    def evaluate(self, vx: float = 0.0, vy: float = 0.0) -> LinkReport:
+        """Full link report at one (Vx, Vy) operating point."""
+        config = self.configuration
+        engineered = self._direct_field() + self._surface_field(vx, vy)
+        clutter = self._clutter_field()
+        rx_power = self.received_power_dbm(vx, vy)
+        noise = self.noise_power_dbm()
+        snr = rx_power - noise
+        efficiency = shannon_spectral_efficiency(10.0 ** (snr / 10.0))
+        engineered_power = 10.0 * math.log10(max(
+            engineered.intensity *
+            config.rx_antenna.polarization_coupling(engineered), 1e-20))
+        clutter_power = 10.0 * math.log10(max(
+            clutter.intensity *
+            config.rx_antenna.polarization_coupling(clutter), 1e-20))
+        return LinkReport(
+            received_power_dbm=rx_power,
+            snr_db=snr,
+            spectral_efficiency_bps_hz=float(efficiency),
+            noise_power_dbm=noise,
+            engineered_path_power_dbm=engineered_power,
+            clutter_power_dbm=clutter_power,
+        )
+
+    def baseline(self) -> "WirelessLink":
+        """The matching link with the metasurface removed."""
+        return WirelessLink(self.configuration.without_surface())
+
+    def power_gain_over_baseline_db(self, vx: float, vy: float) -> float:
+        """Received-power improvement over the no-surface baseline (dB)."""
+        return (self.received_power_dbm(vx, vy) -
+                self.baseline().received_power_dbm())
+
+
+__all__ = ["DeploymentMode", "LinkConfiguration", "LinkReport", "WirelessLink"]

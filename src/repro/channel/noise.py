@@ -1,0 +1,52 @@
+"""Thermal noise and SNR helpers.
+
+The paper's capacity results (Figs. 18, 19, 22) are computed "according
+to the SNR measurement and channel bandwidth"; we follow the same recipe
+with the textbook thermal-noise floor ``kTB`` plus a receiver noise
+figure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.constants import (
+    BOLTZMANN_CONSTANT,
+    REFERENCE_TEMPERATURE_K,
+)
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def thermal_noise_dbm(bandwidth_hz: float,
+                      temperature_k: float = REFERENCE_TEMPERATURE_K,
+                      noise_figure_db: float = 0.0) -> float:
+    """Noise power (dBm) in a bandwidth, including a receiver noise figure.
+
+    ``N = 10 log10(k T B / 1 mW) + NF``.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    if temperature_k <= 0:
+        raise ValueError("temperature must be positive")
+    if noise_figure_db < 0:
+        raise ValueError("noise figure must be non-negative")
+    noise_watts = BOLTZMANN_CONSTANT * temperature_k * bandwidth_hz
+    return 10.0 * math.log10(noise_watts * 1e3) + noise_figure_db
+
+
+def snr_db(received_power_dbm: ArrayLike, noise_power_dbm: float) -> ArrayLike:
+    """Signal-to-noise ratio in dB."""
+    return np.asarray(received_power_dbm, dtype=float) - noise_power_dbm
+
+
+def snr_linear(received_power_dbm: ArrayLike,
+               noise_power_dbm: float) -> ArrayLike:
+    """Signal-to-noise ratio as a linear power ratio."""
+    return np.power(10.0, snr_db(received_power_dbm, noise_power_dbm) / 10.0)
+
+
+__all__ = ["thermal_noise_dbm", "snr_db", "snr_linear"]

@@ -1,0 +1,117 @@
+"""Physical constants and band definitions used by the LLAMA reproduction.
+
+Values mirror the operating points described in the paper: the 2.4 GHz
+ISM band for Wi-Fi/BLE/Zigbee experiments and the 900 MHz band the
+authors mention scaling the rotator to for RFID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Speed of light in vacuum (m/s).
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Boltzmann constant (J/K) used for thermal noise floors.
+BOLTZMANN_CONSTANT = 1.380649e-23
+
+#: Standard reference temperature for noise calculations (Kelvin).
+REFERENCE_TEMPERATURE_K = 290.0
+
+#: Thermal noise density at the reference temperature (dBm/Hz).
+THERMAL_NOISE_DBM_PER_HZ = -173.8
+
+
+@dataclass(frozen=True)
+class FrequencyBand:
+    """A contiguous frequency band.
+
+    Attributes
+    ----------
+    name:
+        Human-readable band name.
+    low_hz, high_hz:
+        Band edges in Hz.
+    """
+
+    name: str
+    low_hz: float
+    high_hz: float
+
+    def __post_init__(self) -> None:
+        if self.low_hz <= 0 or self.high_hz <= self.low_hz:
+            raise ValueError(
+                f"invalid band edges: low={self.low_hz}, high={self.high_hz}")
+
+    @property
+    def center_hz(self) -> float:
+        """Band centre frequency in Hz."""
+        return 0.5 * (self.low_hz + self.high_hz)
+
+    @property
+    def bandwidth_hz(self) -> float:
+        """Band width in Hz."""
+        return self.high_hz - self.low_hz
+
+    def contains(self, frequency_hz: float) -> bool:
+        """Return True when ``frequency_hz`` lies within the band."""
+        return self.low_hz <= frequency_hz <= self.high_hz
+
+
+#: The 2.4 GHz ISM band LLAMA targets (< 100 MHz wide per the paper).
+ISM_2G4_BAND = FrequencyBand("ISM 2.4 GHz", 2.400e9, 2.500e9)
+
+#: The 900 MHz ISM band used by UHF RFID (paper Sec. 3.2 scaling remark).
+ISM_900M_BAND = FrequencyBand("ISM 900 MHz", 0.902e9, 0.928e9)
+
+#: Default operating frequency used by the paper's USRP experiments.
+DEFAULT_CENTER_FREQUENCY_HZ = 2.44e9
+
+#: Frequency range simulated in the paper's HFSS S21 plots (Figs. 8-11).
+SIMULATION_SWEEP_LOW_HZ = 2.0e9
+SIMULATION_SWEEP_HIGH_HZ = 2.8e9
+
+#: Bias-voltage sweep range used by the prototype (Sec. 3.3).
+BIAS_VOLTAGE_MIN_V = 0.0
+BIAS_VOLTAGE_MAX_V = 30.0
+
+#: Voltage switching rate of the programmable supply (Hz, Sec. 3.3).
+SUPPLY_SWITCH_RATE_HZ = 50.0
+
+#: Metasurface leakage current reported by the paper (Amperes).
+METASURFACE_LEAKAGE_CURRENT_A = 15e-9
+
+#: Prototype physical dimensions (Sec. 4): 480 x 480 x 5 mm, 180 units.
+PROTOTYPE_SIDE_M = 0.48
+PROTOTYPE_THICKNESS_M = 0.005
+PROTOTYPE_UNIT_COUNT = 180
+PROTOTYPE_VARACTOR_COUNT = 720
+
+#: Per-unit and total prototype cost reported by the paper (USD).
+PROTOTYPE_TOTAL_COST_USD = 900.0
+PROTOTYPE_COST_PER_UNIT_USD = 5.0
+SCALED_COST_PER_UNIT_USD = 2.0
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "BOLTZMANN_CONSTANT",
+    "REFERENCE_TEMPERATURE_K",
+    "THERMAL_NOISE_DBM_PER_HZ",
+    "FrequencyBand",
+    "ISM_2G4_BAND",
+    "ISM_900M_BAND",
+    "DEFAULT_CENTER_FREQUENCY_HZ",
+    "SIMULATION_SWEEP_LOW_HZ",
+    "SIMULATION_SWEEP_HIGH_HZ",
+    "BIAS_VOLTAGE_MIN_V",
+    "BIAS_VOLTAGE_MAX_V",
+    "SUPPLY_SWITCH_RATE_HZ",
+    "METASURFACE_LEAKAGE_CURRENT_A",
+    "PROTOTYPE_SIDE_M",
+    "PROTOTYPE_THICKNESS_M",
+    "PROTOTYPE_UNIT_COUNT",
+    "PROTOTYPE_VARACTOR_COUNT",
+    "PROTOTYPE_TOTAL_COST_USD",
+    "PROTOTYPE_COST_PER_UNIT_USD",
+    "SCALED_COST_PER_UNIT_USD",
+]

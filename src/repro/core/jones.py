@@ -1,0 +1,390 @@
+"""Jones calculus primitives (paper Section 2, Equations 1-8).
+
+The polarization state of a plane wave is a 2-component complex *Jones
+vector*; optical/RF elements that manipulate polarization are 2x2 complex
+*Jones matrices*.  LLAMA's polarization rotator is the cascade
+
+    ``P = Q(+45deg) . B(delta) . Q(-45deg)``
+
+of a tunable birefringent structure (BFS) between two quarter-wave plates
+(QWP) rotated +/-45 degrees, which rotates any incident linear
+polarization by ``delta / 2`` (Eq. 8).
+
+This module implements those primitives exactly as written in the paper,
+plus the standard algebra needed elsewhere (normalization, intensity,
+rotation of elements, cascading of multiple surfaces per Eq. 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+ComplexLike = Union[complex, float, int]
+
+
+def _require_shape(array: np.ndarray, shape: tuple, what: str) -> None:
+    if array.shape != shape:
+        raise ValueError(f"{what} must have shape {shape}, got {array.shape}")
+
+
+@dataclass(frozen=True)
+class JonesVector:
+    """A 2x1 complex Jones vector ``[Ex, Ey]`` (paper Eq. 1).
+
+    The vector describes the transverse electric field of a plane wave in
+    a fixed x-y basis.  ``x`` and ``y`` are complex amplitudes; their
+    relative phase determines linear / circular / elliptical polarization.
+    """
+
+    x: complex
+    y: complex
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_array(values: Sequence[ComplexLike]) -> "JonesVector":
+        """Build a Jones vector from a length-2 sequence."""
+        arr = np.asarray(values, dtype=complex).reshape(-1)
+        _require_shape(arr, (2,), "Jones vector")
+        return JonesVector(complex(arr[0]), complex(arr[1]))
+
+    @staticmethod
+    def linear(angle_deg: float, amplitude: float = 1.0) -> "JonesVector":
+        """Linearly polarized wave oriented ``angle_deg`` from the x axis."""
+        angle = math.radians(angle_deg)
+        return JonesVector(amplitude * math.cos(angle),
+                           amplitude * math.sin(angle))
+
+    @staticmethod
+    def horizontal(amplitude: float = 1.0) -> "JonesVector":
+        """x-polarized (horizontal) wave."""
+        return JonesVector.linear(0.0, amplitude)
+
+    @staticmethod
+    def vertical(amplitude: float = 1.0) -> "JonesVector":
+        """y-polarized (vertical) wave."""
+        return JonesVector.linear(90.0, amplitude)
+
+    @staticmethod
+    def circular(handedness: str = "right", amplitude: float = 1.0) -> "JonesVector":
+        """Circularly polarized wave.
+
+        Parameters
+        ----------
+        handedness:
+            ``"right"`` or ``"left"``.
+        """
+        if handedness not in ("right", "left"):
+            raise ValueError("handedness must be 'right' or 'left'")
+        sign = 1.0 if handedness == "right" else -1.0
+        scale = amplitude / math.sqrt(2.0)
+        return JonesVector(scale, sign * 1j * scale)
+
+    @staticmethod
+    def elliptical(a: float, b: float) -> "JonesVector":
+        """Paper Eq. 1: ``[a, b e^{j pi/2}]`` with real amplitudes a, b."""
+        return JonesVector(complex(a), b * np.exp(1j * math.pi / 2.0))
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    def as_array(self) -> np.ndarray:
+        """Return the vector as a NumPy column-compatible (2,) array."""
+        return np.array([self.x, self.y], dtype=complex)
+
+    @property
+    def intensity(self) -> float:
+        """Total power carried by the wave, ``|Ex|^2 + |Ey|^2``."""
+        return float(abs(self.x) ** 2 + abs(self.y) ** 2)
+
+    @property
+    def amplitude(self) -> float:
+        """Field amplitude, the square root of :attr:`intensity`."""
+        return math.sqrt(self.intensity)
+
+    def normalized(self) -> "JonesVector":
+        """Return a unit-intensity copy of this vector.
+
+        Raises
+        ------
+        ValueError
+            If the vector has (numerically) zero intensity.
+        """
+        amp = self.amplitude
+        if amp < 1e-15:
+            raise ValueError("cannot normalize a zero Jones vector")
+        return JonesVector(self.x / amp, self.y / amp)
+
+    @property
+    def orientation_deg(self) -> float:
+        """Orientation of the polarization ellipse's major axis in degrees.
+
+        For a purely linear state this is the usual polarization angle in
+        [0, 180).  Uses the standard ellipse-orientation formula
+        ``psi = 0.5 * atan2(2 Re(Ex conj(Ey)), |Ex|^2 - |Ey|^2)``.
+        """
+        sxx = abs(self.x) ** 2
+        syy = abs(self.y) ** 2
+        cross = 2.0 * (self.x * np.conj(self.y)).real
+        psi = 0.5 * math.atan2(cross, sxx - syy)
+        return math.degrees(psi) % 180.0
+
+    @property
+    def ellipticity(self) -> float:
+        """Ellipticity ratio in [-1, 1]; 0 is linear, +/-1 is circular."""
+        intensity = self.intensity
+        if intensity < 1e-30:
+            return 0.0
+        s3 = 2.0 * (self.x * np.conj(self.y)).imag
+        value = s3 / intensity
+        return float(np.clip(value, -1.0, 1.0))
+
+    def is_linear(self, tolerance: float = 1e-9) -> bool:
+        """True when the state is (numerically) linearly polarized."""
+        return abs(self.ellipticity) <= tolerance
+
+    def is_circular(self, tolerance: float = 1e-9) -> bool:
+        """True when the state is (numerically) circularly polarized."""
+        return abs(abs(self.ellipticity) - 1.0) <= tolerance
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def inner_product(self, other: "JonesVector") -> complex:
+        """Hermitian inner product ``<self | other>``."""
+        return complex(np.vdot(self.as_array(), other.as_array()))
+
+    def projection_power(self, analyzer: "JonesVector") -> float:
+        """Power coupled into a (normalized) analyzer polarization.
+
+        This is the physical quantity a linearly polarized receive antenna
+        measures: ``|<analyzer_hat | self>|^2``.
+        """
+        analyzer_hat = analyzer.normalized()
+        return float(abs(analyzer_hat.inner_product(self)) ** 2)
+
+    def rotated(self, angle_deg: float) -> "JonesVector":
+        """Return this vector expressed after a physical rotation by
+        ``angle_deg`` (counter-clockwise)."""
+        rotated = rotation_matrix(angle_deg).as_array() @ self.as_array()
+        return JonesVector.from_array(rotated)
+
+    def scaled(self, factor: ComplexLike) -> "JonesVector":
+        """Return a copy scaled by a complex factor."""
+        return JonesVector(self.x * factor, self.y * factor)
+
+    def __add__(self, other: "JonesVector") -> "JonesVector":
+        return JonesVector(self.x + other.x, self.y + other.y)
+
+    def almost_equals(self, other: "JonesVector", tolerance: float = 1e-9) -> bool:
+        """Element-wise comparison within an absolute tolerance."""
+        return bool(np.allclose(self.as_array(), other.as_array(),
+                                atol=tolerance, rtol=0.0))
+
+    def same_state(self, other: "JonesVector", tolerance: float = 1e-9) -> bool:
+        """True when both vectors describe the same *polarization state*
+        (identical up to a global complex phase and amplitude)."""
+        a = self.normalized().as_array()
+        b = other.normalized().as_array()
+        overlap = abs(np.vdot(a, b))
+        return bool(abs(overlap - 1.0) <= tolerance)
+
+
+@dataclass(frozen=True)
+class JonesMatrix:
+    """A 2x2 complex Jones matrix describing a polarization element."""
+
+    elements: tuple
+
+    def __init__(self, matrix: Union[np.ndarray, Sequence[Sequence[ComplexLike]]]):
+        arr = np.asarray(matrix, dtype=complex)
+        _require_shape(arr, (2, 2), "Jones matrix")
+        object.__setattr__(self, "elements",
+                           tuple(tuple(complex(v) for v in row) for row in arr))
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def identity() -> "JonesMatrix":
+        """The identity element (free-space propagation, no loss)."""
+        return JonesMatrix(np.eye(2, dtype=complex))
+
+    @staticmethod
+    def attenuator(amplitude_factor: float) -> "JonesMatrix":
+        """Isotropic amplitude attenuation (same for both axes)."""
+        if amplitude_factor < 0:
+            raise ValueError("amplitude factor must be non-negative")
+        return JonesMatrix(np.eye(2, dtype=complex) * amplitude_factor)
+
+    @staticmethod
+    def linear_polarizer(angle_deg: float) -> "JonesMatrix":
+        """Ideal linear polarizer transmitting the ``angle_deg`` component."""
+        angle = math.radians(angle_deg)
+        c, s = math.cos(angle), math.sin(angle)
+        return JonesMatrix(np.array([[c * c, c * s], [c * s, s * s]],
+                                    dtype=complex))
+
+    @staticmethod
+    def wave_plate(phase_delay_rad: float, common_phase_rad: float = 0.0) -> "JonesMatrix":
+        """Retarder aligned with the x-y axes (paper Eq. 3 generalised).
+
+        ``diag(1, e^{j phase_delay})`` with an overall phase factor.
+        """
+        matrix = np.array([[1.0, 0.0],
+                           [0.0, np.exp(1j * phase_delay_rad)]], dtype=complex)
+        return JonesMatrix(np.exp(1j * common_phase_rad) * matrix)
+
+    # ------------------------------------------------------------------ #
+    # Views / algebra
+    # ------------------------------------------------------------------ #
+    def as_array(self) -> np.ndarray:
+        """Return the matrix as a (2, 2) complex ndarray."""
+        return np.array(self.elements, dtype=complex)
+
+    def apply(self, vector: JonesVector) -> JonesVector:
+        """Apply this element to an incident Jones vector."""
+        return JonesVector.from_array(self.as_array() @ vector.as_array())
+
+    def compose(self, other: "JonesMatrix") -> "JonesMatrix":
+        """Return the matrix for *this element applied after* ``other``."""
+        return JonesMatrix(self.as_array() @ other.as_array())
+
+    def __matmul__(self, other: "JonesMatrix") -> "JonesMatrix":
+        return self.compose(other)
+
+    def rotated(self, angle_deg: float) -> "JonesMatrix":
+        """Rotate the element counter-clockwise by ``angle_deg``.
+
+        Implements paper Eq. 4: ``M_theta = R(theta) M R(theta)^T``.
+        """
+        rot = rotation_matrix(angle_deg).as_array()
+        return JonesMatrix(rot @ self.as_array() @ rot.T)
+
+    def transmitted_power_fraction(self, vector: JonesVector) -> float:
+        """Fraction of incident power that emerges from this element."""
+        incident = vector.intensity
+        if incident < 1e-30:
+            return 0.0
+        return self.apply(vector).intensity / incident
+
+    @property
+    def is_unitary(self) -> bool:
+        """True when the element is lossless (within numerical tolerance)."""
+        arr = self.as_array()
+        return bool(np.allclose(arr.conj().T @ arr, np.eye(2), atol=1e-9))
+
+    def almost_equals(self, other: "JonesMatrix", tolerance: float = 1e-9) -> bool:
+        """Element-wise comparison within an absolute tolerance."""
+        return bool(np.allclose(self.as_array(), other.as_array(),
+                                atol=tolerance, rtol=0.0))
+
+
+# ---------------------------------------------------------------------- #
+# Elements used by the LLAMA rotator (paper Eqs. 3-8)
+# ---------------------------------------------------------------------- #
+def rotation_matrix(angle_deg: float) -> JonesMatrix:
+    """Paper Eq. 4: the 2x2 rotation matrix ``R(theta)``."""
+    theta = math.radians(angle_deg)
+    c, s = math.cos(theta), math.sin(theta)
+    return JonesMatrix(np.array([[c, -s], [s, c]], dtype=complex))
+
+
+def quarter_wave_plate(rotation_deg: float,
+                       common_phase_rad: float = 0.0) -> JonesMatrix:
+    """A quarter-wave plate rotated by ``rotation_deg`` (paper Eqs. 5-6).
+
+    Rotation of an element follows paper Eq. 4,
+    ``M_theta = R(theta) M R(theta)^T`` with ``M = diag(1, e^{j pi/2})``.
+    With the two QWPs at +/-45 degrees around the BFS this cascade is, up
+    to a global phase, a pure rotation by half the BFS phase difference
+    (paper Eq. 8) — verified in the test suite.
+    """
+    base = JonesMatrix.wave_plate(math.pi / 2.0, common_phase_rad)
+    rot = rotation_matrix(rotation_deg).as_array()
+    return JonesMatrix(rot @ base.as_array() @ rot.T)
+
+
+def birefringent_structure(phase_difference_rad: float,
+                           common_phase_rad: float = 0.0) -> JonesMatrix:
+    """The tunable birefringent structure (paper Eq. 7).
+
+    ``B = e^{j beta} diag(1, e^{j delta})`` where ``delta`` is the
+    transmission-phase difference between the X and Y axes set by the bias
+    voltages.
+    """
+    return JonesMatrix.wave_plate(phase_difference_rad, common_phase_rad)
+
+
+def polarization_rotator(phase_difference_rad: float,
+                         qwp_common_phase_rad: float = 0.0,
+                         bfs_common_phase_rad: float = 0.0) -> JonesMatrix:
+    """The full LLAMA rotator ``P = Q(+45) B Q(-45)`` (paper Eq. 8).
+
+    The cascade is, up to a global phase, a pure rotation matrix whose
+    angle has magnitude ``|delta| / 2``: it rotates any incident
+    polarization by half the BFS phase difference.  The sense of the
+    rotation follows the sign convention of ``delta`` (a positive BFS
+    phase difference yields a clockwise rotation in our axis convention).
+    """
+    q_plus = quarter_wave_plate(+45.0, qwp_common_phase_rad)
+    q_minus = quarter_wave_plate(-45.0, qwp_common_phase_rad)
+    bfs = birefringent_structure(phase_difference_rad, bfs_common_phase_rad)
+    return q_plus @ bfs @ q_minus
+
+
+def cascade(elements: Iterable[JonesMatrix]) -> JonesMatrix:
+    """Cascade several surfaces (paper Eq. 2): ``M_N ... M_2 M_1``.
+
+    ``elements`` are given in the order the wave encounters them; the
+    returned matrix applies them in that order.
+    """
+    result = JonesMatrix.identity()
+    for element in elements:
+        result = element @ result
+    return result
+
+
+def rotation_angle_of(matrix: JonesMatrix) -> float:
+    """Extract the equivalent rotation angle (degrees) of a rotator matrix.
+
+    For a matrix of the form ``e^{j phi} R(theta)`` (possibly scaled by a
+    real attenuation factor) this recovers ``theta`` modulo 180 degrees in
+    the range (-90, 90].  The 180-degree ambiguity is inherent: a global
+    phase of pi is indistinguishable from rotating a linear polarization
+    by 180 degrees, and linear polarizations are unoriented.
+    """
+    arr = matrix.as_array()
+    det = np.linalg.det(arr)
+    magnitude = math.sqrt(abs(det)) if abs(det) > 1e-30 else 0.0
+    if magnitude < 1e-15:
+        raise ValueError("matrix is singular; not a rotator")
+    # det(a e^{j phi} R(theta)) = a^2 e^{2 j phi}; recover phi modulo pi.
+    phase = 0.5 * np.angle(det)
+    bare = arr * np.exp(-1j * phase) / magnitude
+    if not np.allclose(bare.imag, 0.0, atol=1e-6):
+        raise ValueError("matrix is not a pure rotation up to a global phase")
+    theta = math.degrees(math.atan2(bare[1, 0].real, bare[0, 0].real))
+    # Collapse the +/-180 ambiguity into (-90, 90].
+    if theta > 90.0:
+        theta -= 180.0
+    elif theta <= -90.0:
+        theta += 180.0
+    return theta
+
+
+__all__ = [
+    "JonesVector",
+    "JonesMatrix",
+    "rotation_matrix",
+    "quarter_wave_plate",
+    "birefringent_structure",
+    "polarization_rotator",
+    "cascade",
+    "rotation_angle_of",
+]

@@ -1,0 +1,192 @@
+"""Polarization states and mismatch losses (paper Section 2).
+
+The paper motivates LLAMA with the observation that a linearly polarized
+IoT antenna loses essentially all signal when it becomes orthogonal to
+the AP antenna, and ~3 dB against a circularly polarized antenna.  This
+module provides a small vocabulary of polarization states built on top of
+:mod:`repro.core.jones` and the *polarization loss factor* (PLF) used by
+the channel model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.core.jones import JonesVector
+from repro.units import linear_to_db
+
+
+class PolarizationKind(Enum):
+    """Coarse classification of a polarization state."""
+
+    LINEAR = "linear"
+    CIRCULAR = "circular"
+    ELLIPTICAL = "elliptical"
+
+
+@dataclass(frozen=True)
+class PolarizationState:
+    """A named polarization state wrapping a normalized Jones vector.
+
+    Attributes
+    ----------
+    jones:
+        Unit-intensity Jones vector describing the state.
+    label:
+        Optional human-readable label (e.g. ``"AP antenna"``).
+    """
+
+    jones: JonesVector
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        normalized = self.jones.normalized()
+        object.__setattr__(self, "jones", normalized)
+
+    @property
+    def kind(self) -> PolarizationKind:
+        """Classify the state as linear, circular or elliptical."""
+        ellipticity = abs(self.jones.ellipticity)
+        if ellipticity < 1e-6:
+            return PolarizationKind.LINEAR
+        if abs(ellipticity - 1.0) < 1e-6:
+            return PolarizationKind.CIRCULAR
+        return PolarizationKind.ELLIPTICAL
+
+    @property
+    def orientation_deg(self) -> float:
+        """Major-axis orientation of the polarization ellipse (degrees)."""
+        return self.jones.orientation_deg
+
+    @property
+    def axial_ratio_db(self) -> float:
+        """Axial ratio (major/minor axis) in dB; infinite for pure linear."""
+        ellipticity = abs(self.jones.ellipticity)
+        if ellipticity < 1e-12:
+            return float("inf")
+        # ellipticity = sin(2*chi); axial ratio = 1/tan(chi)
+        chi = 0.5 * math.asin(min(ellipticity, 1.0))
+        tan_chi = math.tan(chi)
+        if tan_chi < 1e-12:
+            return float("inf")
+        return float(20.0 * math.log10(1.0 / tan_chi))
+
+    def rotated(self, angle_deg: float) -> "PolarizationState":
+        """Return the state after a physical rotation of ``angle_deg``."""
+        return PolarizationState(self.jones.rotated(angle_deg), self.label)
+
+    def match_efficiency(self, other: "PolarizationState") -> float:
+        """Polarization loss factor against another state, in [0, 1]."""
+        return polarization_loss_factor(self, other)
+
+    def mismatch_loss_db(self, other: "PolarizationState",
+                         cross_pol_isolation_db: float = 30.0) -> float:
+        """Loss in dB against another state; see
+        :func:`polarization_mismatch_loss_db`."""
+        return polarization_mismatch_loss_db(
+            self, other, cross_pol_isolation_db=cross_pol_isolation_db)
+
+
+def linear_polarization(angle_deg: float,
+                        label: Optional[str] = None) -> PolarizationState:
+    """Linear polarization oriented ``angle_deg`` from the x (horizontal) axis."""
+    return PolarizationState(JonesVector.linear(angle_deg), label)
+
+
+def horizontal_polarization(label: Optional[str] = None) -> PolarizationState:
+    """Horizontal (x-axis) linear polarization."""
+    return linear_polarization(0.0, label)
+
+
+def vertical_polarization(label: Optional[str] = None) -> PolarizationState:
+    """Vertical (y-axis) linear polarization."""
+    return linear_polarization(90.0, label)
+
+
+def circular_polarization(handedness: str = "right",
+                          label: Optional[str] = None) -> PolarizationState:
+    """Right- or left-hand circular polarization."""
+    return PolarizationState(JonesVector.circular(handedness), label)
+
+
+def elliptical_polarization(a: float, b: float,
+                            label: Optional[str] = None) -> PolarizationState:
+    """Elliptical polarization from the paper's Eq. 1 parameterisation."""
+    if a == 0 and b == 0:
+        raise ValueError("at least one of a, b must be non-zero")
+    return PolarizationState(JonesVector.elliptical(a, b), label)
+
+
+def polarization_loss_factor(transmit: PolarizationState,
+                             receive: PolarizationState) -> float:
+    """Polarization loss factor (PLF) between two states, in [0, 1].
+
+    PLF is the fraction of incident power a receive antenna of
+    polarization ``receive`` captures from a wave of polarization
+    ``transmit``:  ``PLF = |<rx_hat | tx_hat>|^2``.
+
+    * matched linear states: 1.0
+    * orthogonal linear states: 0.0
+    * linear vs circular: 0.5 (the paper's "theoretical 3 dB degradation")
+    """
+    overlap = receive.jones.inner_product(transmit.jones)
+    return float(min(1.0, abs(overlap) ** 2))
+
+
+def polarization_mismatch_loss_db(transmit: PolarizationState,
+                                  receive: PolarizationState,
+                                  cross_pol_isolation_db: float = 30.0) -> float:
+    """Polarization mismatch loss in dB (a non-negative number).
+
+    Real antennas never achieve infinite cross-polarization rejection: a
+    nominally "orthogonal" pair still couples through the antenna's finite
+    cross-polar isolation.  ``cross_pol_isolation_db`` caps the loss
+    accordingly (default 30 dB, typical of cheap dipoles); pass
+    ``math.inf`` for the ideal textbook behaviour.
+
+    Returns
+    -------
+    float
+        Loss in dB; 0 dB when perfectly matched.
+    """
+    if cross_pol_isolation_db < 0:
+        raise ValueError("cross-pol isolation must be non-negative")
+    plf = polarization_loss_factor(transmit, receive)
+    floor = 10.0 ** (-cross_pol_isolation_db / 10.0) if math.isfinite(
+        cross_pol_isolation_db) else 0.0
+    effective = max(plf, floor)
+    if effective <= 0.0:
+        return float("inf")
+    return float(-linear_to_db(effective))
+
+
+def mismatch_loss_for_angle_db(angle_difference_deg: float,
+                               cross_pol_isolation_db: float = 30.0) -> float:
+    """Mismatch loss between two linear antennas separated by an angle.
+
+    Convenience wrapper implementing the classic ``cos^2`` law with a
+    cross-polar floor; used heavily by the channel model and benchmarks.
+    """
+    tx = linear_polarization(0.0)
+    rx = linear_polarization(angle_difference_deg)
+    return polarization_mismatch_loss_db(
+        tx, rx, cross_pol_isolation_db=cross_pol_isolation_db)
+
+
+__all__ = [
+    "PolarizationKind",
+    "PolarizationState",
+    "linear_polarization",
+    "horizontal_polarization",
+    "vertical_polarization",
+    "circular_polarization",
+    "elliptical_polarization",
+    "polarization_loss_factor",
+    "polarization_mismatch_loss_db",
+    "mismatch_loss_for_angle_db",
+]

@@ -1,0 +1,150 @@
+"""Stateful programmable-rotator abstraction.
+
+:class:`~repro.metasurface.surface.Metasurface` is a pure (stateless)
+physical model; the running system, however, has *one current* pair of
+bias voltages set by the power supply.  :class:`ProgrammableRotator`
+holds that state, applies quantisation and slew behaviour of the bias
+chain, and exposes the realised rotation/response at the current
+operating point.  It is the object the controller and the LLAMA system
+drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.constants import (
+    BIAS_VOLTAGE_MAX_V,
+    BIAS_VOLTAGE_MIN_V,
+    DEFAULT_CENTER_FREQUENCY_HZ,
+)
+from repro.core.jones import JonesMatrix
+from repro.metasurface.surface import Metasurface, SurfaceMode, SurfaceResponse
+
+
+@dataclass(frozen=True)
+class RotatorConfig:
+    """Configuration of the bias chain driving the rotator.
+
+    Attributes
+    ----------
+    voltage_resolution_v:
+        Quantisation step of the programmable supply output (the paper
+        sweeps in 1 V steps).
+    min_voltage_v, max_voltage_v:
+        Allowed bias range (paper: 0-30 V).
+    settle_time_s:
+        Time for the varactor bias network to settle after a voltage
+        change; bounded by the supply's 50 Hz switching rate.
+    default_frequency_hz:
+        Frequency used when callers do not specify one.
+    """
+
+    voltage_resolution_v: float = 1.0
+    min_voltage_v: float = BIAS_VOLTAGE_MIN_V
+    max_voltage_v: float = BIAS_VOLTAGE_MAX_V
+    settle_time_s: float = 0.02
+    default_frequency_hz: float = DEFAULT_CENTER_FREQUENCY_HZ
+
+    def __post_init__(self) -> None:
+        if self.voltage_resolution_v <= 0:
+            raise ValueError("voltage resolution must be positive")
+        if self.max_voltage_v <= self.min_voltage_v:
+            raise ValueError("max voltage must exceed min voltage")
+        if self.settle_time_s < 0:
+            raise ValueError("settle time must be non-negative")
+
+    def quantize(self, voltage_v: float) -> float:
+        """Clamp and quantise a requested bias voltage."""
+        clamped = min(max(voltage_v, self.min_voltage_v), self.max_voltage_v)
+        steps = round((clamped - self.min_voltage_v) / self.voltage_resolution_v)
+        return self.min_voltage_v + steps * self.voltage_resolution_v
+
+
+class ProgrammableRotator:
+    """The metasurface plus its current bias state.
+
+    Parameters
+    ----------
+    metasurface:
+        The physical surface model.
+    config:
+        Bias-chain configuration.
+    mode:
+        Transmissive or reflective deployment.
+    """
+
+    def __init__(self, metasurface: Metasurface,
+                 config: Optional[RotatorConfig] = None,
+                 mode: SurfaceMode = SurfaceMode.TRANSMISSIVE):
+        self.metasurface = metasurface
+        self.config = config if config is not None else RotatorConfig()
+        self.mode = mode
+        self._vx = self.config.min_voltage_v
+        self._vy = self.config.min_voltage_v
+        self._switch_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Bias state
+    # ------------------------------------------------------------------ #
+    @property
+    def bias_voltages(self) -> Tuple[float, float]:
+        """The current (Vx, Vy) bias pair."""
+        return (self._vx, self._vy)
+
+    @property
+    def switch_count(self) -> int:
+        """Number of bias changes applied so far (for sweep-cost metrics)."""
+        return self._switch_count
+
+    def set_bias_voltages(self, vx: float, vy: float) -> Tuple[float, float]:
+        """Set the bias pair (after quantisation); returns the applied pair."""
+        applied = (self.config.quantize(vx), self.config.quantize(vy))
+        if applied != (self._vx, self._vy):
+            self._switch_count += 1
+        self._vx, self._vy = applied
+        return applied
+
+    def elapsed_switching_time_s(self) -> float:
+        """Total time spent settling after bias changes."""
+        return self._switch_count * self.config.settle_time_s
+
+    # ------------------------------------------------------------------ #
+    # Physical response at the current (or a probed) operating point
+    # ------------------------------------------------------------------ #
+    def rotation_angle_deg(self, frequency_hz: Optional[float] = None) -> float:
+        """Polarization rotation realised at the current bias state."""
+        frequency = frequency_hz or self.config.default_frequency_hz
+        angle = self.metasurface.rotation_angle_deg(frequency, self._vx, self._vy)
+        if self.mode is SurfaceMode.REFLECTIVE:
+            # Round-trip polarization conversion angle (see Metasurface).
+            angle *= 2.0 * self.metasurface.reflective_conversion_fraction
+        return angle
+
+    def jones_matrix(self, frequency_hz: Optional[float] = None) -> JonesMatrix:
+        """Jones matrix applied to a wave at the current bias state."""
+        frequency = frequency_hz or self.config.default_frequency_hz
+        if self.mode is SurfaceMode.TRANSMISSIVE:
+            return self.metasurface.jones_matrix(frequency, self._vx, self._vy)
+        return self.metasurface.reflection_jones_matrix(frequency, self._vx,
+                                                        self._vy)
+
+    def response(self, frequency_hz: Optional[float] = None) -> SurfaceResponse:
+        """Full surface response at the current bias state."""
+        frequency = frequency_hz or self.config.default_frequency_hz
+        return self.metasurface.response(frequency, self._vx, self._vy,
+                                         mode=self.mode)
+
+    def probe_rotation_deg(self, vx: float, vy: float,
+                           frequency_hz: Optional[float] = None) -> float:
+        """Rotation that *would* be realised at a hypothetical bias pair.
+
+        Does not change the rotator state; used by planners/tests.
+        """
+        frequency = frequency_hz or self.config.default_frequency_hz
+        return self.metasurface.rotation_angle_deg(
+            frequency, self.config.quantize(vx), self.config.quantize(vy))
+
+
+__all__ = ["ProgrammableRotator", "RotatorConfig"]

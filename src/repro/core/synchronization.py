@@ -1,0 +1,149 @@
+"""Receiver / power-supply synchronization (paper Sec. 3.3, Eq. 13).
+
+To attribute each received power sample to the bias voltages that were
+active when it was captured, LLAMA exploits the fact that both the
+receiver sampling rate and the supply's voltage switching rate are
+constant: given the initial voltages, the per-step voltage increments,
+the switch interval and the start-time offset between receiver and
+supply, the bias state of any sample is
+
+    ``V(t) = V_0 + (VD / Ts) * (t - td)``        (paper Eq. 13)
+
+This module implements that labelling for linear ramps and for arbitrary
+pre-programmed sweep sequences, plus the inverse mapping used when the
+controller wants the samples belonging to one bias state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VoltageState:
+    """The bias pair attributed to one instant/sample."""
+
+    vx: float
+    vy: float
+    step_index: int
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """The (Vx, Vy) pair."""
+        return (self.vx, self.vy)
+
+
+@dataclass(frozen=True)
+class SampleVoltageSynchronizer:
+    """Labels received samples with the active bias voltages.
+
+    Attributes
+    ----------
+    initial_vx, initial_vy:
+        Voltages of the X and Y channels at supply time zero (``V_{x,0}``,
+        ``V_{y,0}`` in Eq. 13).
+    voltage_step_x, voltage_step_y:
+        Voltage difference between two adjacent switch steps (``VD``).
+    switch_interval_s:
+        Time per voltage switch (``Ts``); the paper's supply switches at
+        up to 50 Hz, i.e. 0.02 s.
+    start_offset_s:
+        Start-time difference between receiver and supply (``td``).
+    """
+
+    initial_vx: float
+    initial_vy: float
+    voltage_step_x: float
+    voltage_step_y: float
+    switch_interval_s: float = 0.02
+    start_offset_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.switch_interval_s <= 0:
+            raise ValueError("switch interval must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Forward mapping (Eq. 13)
+    # ------------------------------------------------------------------ #
+    def step_index_at(self, time_s: float) -> int:
+        """Index of the voltage step active at receiver time ``time_s``."""
+        elapsed = time_s - self.start_offset_s
+        if elapsed < 0:
+            return 0
+        return int(math.floor(elapsed / self.switch_interval_s))
+
+    def voltage_state_at(self, time_s: float) -> VoltageState:
+        """Bias state active at receiver time ``time_s`` (paper Eq. 13).
+
+        The paper's expression is continuous; physically the supply holds
+        each level for one switch interval, so we evaluate the ramp at the
+        step boundary the sample falls into.
+        """
+        step = self.step_index_at(time_s)
+        return VoltageState(
+            vx=self.initial_vx + self.voltage_step_x * step,
+            vy=self.initial_vy + self.voltage_step_y * step,
+            step_index=step,
+        )
+
+    def label_samples(self, sample_times_s: Sequence[float]) -> List[VoltageState]:
+        """Label a sequence of receiver timestamps with bias states."""
+        return [self.voltage_state_at(t) for t in sample_times_s]
+
+    def label_uniform_samples(self, sample_count: int,
+                              sample_rate_hz: float,
+                              start_time_s: float = 0.0) -> List[VoltageState]:
+        """Label ``sample_count`` samples captured at a fixed rate."""
+        if sample_count < 0:
+            raise ValueError("sample count must be non-negative")
+        if sample_rate_hz <= 0:
+            raise ValueError("sample rate must be positive")
+        times = start_time_s + np.arange(sample_count) / sample_rate_hz
+        return self.label_samples(times.tolist())
+
+    # ------------------------------------------------------------------ #
+    # Inverse mapping
+    # ------------------------------------------------------------------ #
+    def time_window_for_step(self, step_index: int) -> Tuple[float, float]:
+        """Receiver-time window during which a given step was active."""
+        if step_index < 0:
+            raise ValueError("step index must be non-negative")
+        start = self.start_offset_s + step_index * self.switch_interval_s
+        return (start, start + self.switch_interval_s)
+
+    def samples_for_step(self, sample_times_s: Sequence[float],
+                         step_index: int) -> List[int]:
+        """Indices of the samples captured while ``step_index`` was active."""
+        window_start, window_end = self.time_window_for_step(step_index)
+        return [i for i, t in enumerate(sample_times_s)
+                if window_start <= t < window_end]
+
+    def samples_per_step(self, sample_rate_hz: float) -> float:
+        """Expected number of receiver samples per voltage step."""
+        if sample_rate_hz <= 0:
+            raise ValueError("sample rate must be positive")
+        return sample_rate_hz * self.switch_interval_s
+
+
+def group_power_by_state(states: Sequence[VoltageState],
+                         powers_dbm: Sequence[float]) -> dict:
+    """Average the received power for each distinct (Vx, Vy) pair.
+
+    This is the aggregation the controller performs before picking the
+    strongest bias pair.
+    """
+    if len(states) != len(powers_dbm):
+        raise ValueError("states and powers must have the same length")
+    sums: dict = {}
+    counts: dict = {}
+    for state, power in zip(states, powers_dbm):
+        key = state.as_tuple()
+        sums[key] = sums.get(key, 0.0) + power
+        counts[key] = counts.get(key, 0) + 1
+    return {key: sums[key] / counts[key] for key in sums}
+
+
+__all__ = ["VoltageState", "SampleVoltageSynchronizer", "group_power_by_state"]

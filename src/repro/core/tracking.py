@@ -1,0 +1,233 @@
+"""Dynamic orientation tracking (paper Fig. 1 motivation).
+
+Wearables and handled devices change antenna orientation continuously —
+the paper's Fig. 1 shows a smartwatch swinging from aligned to orthogonal
+as the user moves.  A one-shot optimization goes stale as soon as the
+orientation drifts; this module adds the time dimension:
+
+* :class:`OrientationTrajectory` — deterministic orientation-vs-time
+  models (arm swing, slow drift, random walk);
+* :class:`TrackingController` — re-runs the bias search periodically and
+  holds the last optimum in between, accounting for the search's airtime
+  cost (Algorithm 1 takes ~1 s at the supply's 50 Hz switching rate);
+* :class:`TrackingReport` — time-averaged gain over the no-surface
+  baseline, outage statistics and the static-optimization comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.link import LinkConfiguration, WirelessLink
+from repro.core.controller import CentralizedController, VoltageSweepConfig
+
+
+@dataclass(frozen=True)
+class OrientationTrajectory:
+    """Receiver antenna orientation as a function of time.
+
+    Attributes
+    ----------
+    kind:
+        ``"swing"`` (sinusoidal arm swing), ``"drift"`` (linear rotation)
+        or ``"static"``.
+    base_orientation_deg:
+        Orientation at time zero.
+    amplitude_deg:
+        Peak deviation for the swing model.
+    period_s:
+        Swing period.
+    drift_rate_deg_per_s:
+        Rotation rate for the drift model.
+    """
+
+    kind: str = "swing"
+    base_orientation_deg: float = 45.0
+    amplitude_deg: float = 45.0
+    period_s: float = 4.0
+    drift_rate_deg_per_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("swing", "drift", "static"):
+            raise ValueError("kind must be 'swing', 'drift' or 'static'")
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+        if self.amplitude_deg < 0:
+            raise ValueError("amplitude must be non-negative")
+
+    def orientation_at(self, time_s: float) -> float:
+        """Antenna orientation (degrees) at ``time_s``."""
+        if self.kind == "static":
+            return self.base_orientation_deg
+        if self.kind == "drift":
+            return (self.base_orientation_deg +
+                    self.drift_rate_deg_per_s * time_s) % 180.0
+        swing = self.amplitude_deg * math.sin(
+            2.0 * math.pi * time_s / self.period_s)
+        return (self.base_orientation_deg + swing) % 180.0
+
+    @staticmethod
+    def arm_swing(period_s: float = 4.0) -> "OrientationTrajectory":
+        """The paper's Fig. 1 situation: a wrist swinging between aligned
+        and orthogonal."""
+        return OrientationTrajectory(kind="swing", base_orientation_deg=45.0,
+                                     amplitude_deg=45.0, period_s=period_s)
+
+
+@dataclass(frozen=True)
+class TrackingSample:
+    """One time step of a tracking run."""
+
+    time_s: float
+    orientation_deg: float
+    bias_pair: Tuple[float, float]
+    power_with_dbm: float
+    power_without_dbm: float
+    retuning: bool
+
+    @property
+    def gain_db(self) -> float:
+        """Instantaneous improvement over the no-surface baseline."""
+        return self.power_with_dbm - self.power_without_dbm
+
+
+@dataclass(frozen=True)
+class TrackingReport:
+    """Aggregate outcome of a tracking run."""
+
+    samples: Tuple[TrackingSample, ...]
+    retune_count: int
+    reoptimize_interval_s: float
+
+    @property
+    def mean_gain_db(self) -> float:
+        """Time-averaged improvement over the no-surface baseline."""
+        return float(np.mean([sample.gain_db for sample in self.samples]))
+
+    @property
+    def worst_gain_db(self) -> float:
+        """Worst instantaneous improvement (can be negative when stale)."""
+        return float(min(sample.gain_db for sample in self.samples))
+
+    def outage_fraction(self, threshold_dbm: float) -> float:
+        """Fraction of time the tracked link is below a power threshold."""
+        below = [sample.power_with_dbm < threshold_dbm
+                 for sample in self.samples]
+        return float(np.mean(below))
+
+    def baseline_outage_fraction(self, threshold_dbm: float) -> float:
+        """Outage fraction of the no-surface baseline."""
+        below = [sample.power_without_dbm < threshold_dbm
+                 for sample in self.samples]
+        return float(np.mean(below))
+
+
+class TrackingController:
+    """Periodically re-optimizes the surface as the endpoint rotates.
+
+    Parameters
+    ----------
+    configuration:
+        Link configuration whose receiver antenna follows the trajectory
+        (its ``rx_antenna.orientation_deg`` is overridden per time step).
+    trajectory:
+        Orientation-vs-time model.
+    reoptimize_interval_s:
+        How often Algorithm 1 is re-run.  The search itself occupies
+        ``search_duration_s`` during which the previous (stale) bias is
+        still applied.
+    sweep_config:
+        Controller search parameters.
+    """
+
+    def __init__(self,
+                 configuration: LinkConfiguration,
+                 trajectory: OrientationTrajectory,
+                 reoptimize_interval_s: float = 2.0,
+                 search_duration_s: float = 1.0,
+                 sweep_config: Optional[VoltageSweepConfig] = None):
+        if configuration.metasurface is None:
+            raise ValueError("tracking requires a metasurface in the link")
+        if reoptimize_interval_s <= 0:
+            raise ValueError("re-optimization interval must be positive")
+        if search_duration_s < 0:
+            raise ValueError("search duration must be non-negative")
+        self.configuration = configuration
+        self.trajectory = trajectory
+        self.reoptimize_interval_s = reoptimize_interval_s
+        self.search_duration_s = search_duration_s
+        self.controller = CentralizedController(
+            sweep_config if sweep_config is not None else
+            VoltageSweepConfig(iterations=2, switches_per_axis=5))
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _link_at(self, orientation_deg: float) -> WirelessLink:
+        rotated = self.configuration.rx_antenna.rotated(orientation_deg)
+        return WirelessLink(replace(self.configuration, rx_antenna=rotated))
+
+    def _baseline_at(self, orientation_deg: float) -> WirelessLink:
+        return WirelessLink(
+            replace(self.configuration, rx_antenna=self.configuration.
+                    rx_antenna.rotated(orientation_deg)).without_surface())
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def run(self, duration_s: float = 20.0,
+            time_step_s: float = 0.25) -> TrackingReport:
+        """Simulate the tracking loop over ``duration_s``."""
+        if duration_s <= 0 or time_step_s <= 0:
+            raise ValueError("duration and time step must be positive")
+        times = np.arange(0.0, duration_s, time_step_s)
+        bias_pair = (0.0, 0.0)
+        next_reoptimize_s = 0.0
+        retune_count = 0
+        samples: List[TrackingSample] = []
+        for time_s in times:
+            orientation = self.trajectory.orientation_at(float(time_s))
+            link = self._link_at(orientation)
+            retuning = False
+            if time_s >= next_reoptimize_s:
+                sweep = self.controller.coarse_to_fine_sweep(
+                    link.received_power_dbm)
+                bias_pair = (sweep.best_vx, sweep.best_vy)
+                next_reoptimize_s = time_s + self.reoptimize_interval_s
+                retune_count += 1
+                retuning = True
+            samples.append(TrackingSample(
+                time_s=float(time_s),
+                orientation_deg=orientation,
+                bias_pair=bias_pair,
+                power_with_dbm=link.received_power_dbm(*bias_pair),
+                power_without_dbm=self._baseline_at(
+                    orientation).received_power_dbm(),
+                retuning=retuning,
+            ))
+        return TrackingReport(samples=tuple(samples),
+                              retune_count=retune_count,
+                              reoptimize_interval_s=self.reoptimize_interval_s)
+
+    def run_static(self, duration_s: float = 20.0,
+                   time_step_s: float = 0.25) -> TrackingReport:
+        """Optimize once at t = 0 and never retune (the stale baseline)."""
+        tracker = TrackingController(
+            configuration=self.configuration,
+            trajectory=self.trajectory,
+            reoptimize_interval_s=duration_s * 10.0,
+            search_duration_s=self.search_duration_s,
+            sweep_config=self.controller.config)
+        return tracker.run(duration_s=duration_s, time_step_s=time_step_s)
+
+
+__all__ = [
+    "OrientationTrajectory",
+    "TrackingSample",
+    "TrackingReport",
+    "TrackingController",
+]

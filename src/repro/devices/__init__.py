@@ -1,0 +1,46 @@
+"""IoT endpoint device models.
+
+The paper evaluates LLAMA against commodity links: an ESP8266-based
+Arduino talking 802.11g to a Netgear AP (Figs. 2a and 20), a BLE
+wearable (MetaMotionR) talking to a Raspberry Pi 3 (Fig. 2b), and
+mentions Zigbee as another beneficiary.  These models capture what
+matters for the reproduction: the transmit power, antenna quality and
+the RSSI -> data-rate behaviour of each radio, so the benchmarks can
+translate link-power improvements into the throughput terms the paper
+discusses.
+"""
+
+from repro.devices.base import IoTDevice, RadioTechnology
+from repro.devices.wifi import (
+    WiFiAccessPoint,
+    WiFiStation,
+    esp8266_station,
+    netgear_access_point,
+    wifi_rate_for_rssi_mbps,
+)
+from repro.devices.ble import (
+    BlePeripheral,
+    BleCentral,
+    metamotion_wearable,
+    raspberry_pi_central,
+    ble_rate_for_rssi_kbps,
+)
+from repro.devices.zigbee import ZigbeeEndpoint, zigbee_sensor, zigbee_rate_for_rssi_kbps
+
+__all__ = [
+    "IoTDevice",
+    "RadioTechnology",
+    "WiFiAccessPoint",
+    "WiFiStation",
+    "esp8266_station",
+    "netgear_access_point",
+    "wifi_rate_for_rssi_mbps",
+    "BlePeripheral",
+    "BleCentral",
+    "metamotion_wearable",
+    "raspberry_pi_central",
+    "ble_rate_for_rssi_kbps",
+    "ZigbeeEndpoint",
+    "zigbee_sensor",
+    "zigbee_rate_for_rssi_kbps",
+]

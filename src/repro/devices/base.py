@@ -1,0 +1,95 @@
+"""Base IoT device model.
+
+A device is an antenna plus a radio: it has a transmit power, a receiver
+sensitivity, an operating band and a (cheap, linearly polarized) antenna
+whose orientation is whatever the end user happened to deploy — which is
+precisely the problem LLAMA addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Optional
+
+from repro.channel.antenna import Antenna, dipole_antenna
+from repro.constants import DEFAULT_CENTER_FREQUENCY_HZ
+
+
+class RadioTechnology(Enum):
+    """Radio technology of an IoT endpoint."""
+
+    WIFI_802_11G = "802.11g"
+    BLE = "Bluetooth Low Energy"
+    ZIGBEE = "Zigbee (802.15.4)"
+    SDR = "software-defined radio"
+
+
+@dataclass(frozen=True)
+class IoTDevice:
+    """A low-cost IoT endpoint.
+
+    Attributes
+    ----------
+    name:
+        Device name for reporting.
+    technology:
+        Radio technology.
+    tx_power_dbm:
+        Transmit power at the antenna port.
+    rx_sensitivity_dbm:
+        Minimum RSSI at which the radio still decodes its base rate.
+    antenna:
+        The device antenna; orientation encodes how the user deployed it.
+    frequency_hz:
+        Operating carrier frequency.
+    channel_bandwidth_hz:
+        Occupied channel bandwidth (used for noise/capacity estimates).
+    unit_cost_usd:
+        Bill-of-materials cost, for the paper's cost framing.
+    """
+
+    name: str
+    technology: RadioTechnology
+    tx_power_dbm: float
+    rx_sensitivity_dbm: float
+    antenna: Antenna
+    frequency_hz: float = DEFAULT_CENTER_FREQUENCY_HZ
+    channel_bandwidth_hz: float = 20e6
+    unit_cost_usd: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.channel_bandwidth_hz <= 0:
+            raise ValueError("channel bandwidth must be positive")
+        if self.rx_sensitivity_dbm >= 0:
+            raise ValueError("receiver sensitivity should be negative dBm")
+
+    def with_antenna_orientation(self, orientation_deg: float) -> "IoTDevice":
+        """Return a copy with the antenna rotated to a new orientation."""
+        return replace(self, antenna=self.antenna.rotated(orientation_deg))
+
+    def link_margin_db(self, received_power_dbm: float) -> float:
+        """Margin above the receiver sensitivity (negative = link down)."""
+        return received_power_dbm - self.rx_sensitivity_dbm
+
+    def can_decode(self, received_power_dbm: float) -> bool:
+        """Whether the radio can decode at the given received power."""
+        return self.link_margin_db(received_power_dbm) >= 0.0
+
+
+def generic_iot_device(name: str = "generic IoT node",
+                       orientation_deg: float = 0.0,
+                       tx_power_dbm: float = 10.0) -> IoTDevice:
+    """A generic cheap 2.4 GHz node with a single dipole antenna."""
+    return IoTDevice(
+        name=name,
+        technology=RadioTechnology.WIFI_802_11G,
+        tx_power_dbm=tx_power_dbm,
+        rx_sensitivity_dbm=-90.0,
+        antenna=dipole_antenna(orientation_deg=orientation_deg, name=name),
+    )
+
+
+__all__ = ["RadioTechnology", "IoTDevice", "generic_iot_device"]

@@ -1,0 +1,73 @@
+"""Zigbee (IEEE 802.15.4) endpoint model.
+
+The paper repeatedly names Zigbee alongside Wi-Fi and BLE as a protocol
+LLAMA can help (Secs. 5.1.2 and 5.1.3) without evaluating it directly;
+the model here lets the examples and benchmarks extend the IoT-device
+experiment to a third protocol class with representative parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.channel.antenna import dipole_antenna
+from repro.devices.base import IoTDevice, RadioTechnology
+
+ArrayLike = Union[float, np.ndarray]
+
+#: 802.15.4 effective application rate vs RSSI (dBm -> kbit/s); the PHY
+#: rate is a flat 250 kbit/s but retransmissions erode goodput as RSSI
+#: approaches the sensitivity floor.
+ZIGBEE_RATE_TABLE = (
+    (-95.0, 25.0),
+    (-92.0, 80.0),
+    (-88.0, 150.0),
+    (-84.0, 200.0),
+    (-78.0, 250.0),
+)
+
+
+@dataclass(frozen=True)
+class ZigbeeEndpoint(IoTDevice):
+    """A Zigbee sensor/actuator node."""
+
+    duty_cycle: float = 0.01
+
+
+def zigbee_sensor(orientation_deg: float = 0.0) -> ZigbeeEndpoint:
+    """A representative battery-powered Zigbee sensor node."""
+    return ZigbeeEndpoint(
+        name="Zigbee sensor node",
+        technology=RadioTechnology.ZIGBEE,
+        tx_power_dbm=3.0,
+        rx_sensitivity_dbm=-95.0,
+        antenna=dipole_antenna(orientation_deg=orientation_deg,
+                               gain_dbi=0.5, name="Zigbee whip antenna",
+                               cross_pol_isolation_db=11.0),
+        frequency_hz=2.44e9,
+        channel_bandwidth_hz=2e6,
+        unit_cost_usd=8.0,
+        duty_cycle=0.01,
+    )
+
+
+def zigbee_rate_for_rssi_kbps(rssi_dbm: ArrayLike) -> ArrayLike:
+    """Achievable Zigbee goodput (kbit/s) at a given RSSI."""
+    rssi = np.asarray(rssi_dbm, dtype=float)
+    rates = np.zeros_like(rssi)
+    for threshold_dbm, rate_kbps in ZIGBEE_RATE_TABLE:
+        rates = np.where(rssi >= threshold_dbm, rate_kbps, rates)
+    if np.isscalar(rssi_dbm):
+        return float(rates)
+    return rates
+
+
+__all__ = [
+    "ZIGBEE_RATE_TABLE",
+    "ZigbeeEndpoint",
+    "zigbee_sensor",
+    "zigbee_rate_for_rssi_kbps",
+]

@@ -1,0 +1,37 @@
+"""Evaluation harness: one runner per paper table/figure.
+
+``scenarios`` builds the canonical experimental setups of paper Sec. 4,
+``sweeps`` provides the generic parameter-sweep drivers, ``figures``
+exposes one function per table/figure of the evaluation (each returning
+a plain-data result object), and ``reporting`` renders those results as
+the text tables the benchmarks print.
+"""
+
+from repro.experiments.scenarios import (
+    TransmissiveScenario,
+    ReflectiveScenario,
+    iot_wifi_scenario,
+    iot_ble_scenario,
+)
+from repro.experiments.sweeps import (
+    distance_sweep,
+    frequency_sweep,
+    tx_power_sweep,
+    voltage_grid_sweep,
+)
+from repro.experiments import figures
+from repro.experiments.reporting import format_table, format_series
+
+__all__ = [
+    "TransmissiveScenario",
+    "ReflectiveScenario",
+    "iot_wifi_scenario",
+    "iot_ble_scenario",
+    "distance_sweep",
+    "frequency_sweep",
+    "tx_power_sweep",
+    "voltage_grid_sweep",
+    "figures",
+    "format_table",
+    "format_series",
+]

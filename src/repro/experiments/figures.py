@@ -1,0 +1,779 @@
+"""Per-figure experiment runners (paper evaluation, Sec. 5 plus design figs).
+
+Every table and figure of the paper's evaluation has one runner here
+that regenerates its rows/series from the simulation.  Runners return
+plain result dataclasses so tests, benchmarks and examples can consume
+them uniformly; the benchmark harness prints them with
+:mod:`repro.experiments.reporting`.
+
+Index (see DESIGN.md for the full mapping):
+
+* :func:`figure2_mismatch_impact`       — Fig. 2a/2b
+* :func:`figure8_to_10_material_designs`— Figs. 8, 9, 10
+* :func:`figure11_voltage_efficiency`   — Fig. 11
+* :func:`table1_rotation_degrees`       — Table 1
+* :func:`figure12_rotation_estimation`  — Fig. 12
+* :func:`figure15_voltage_heatmaps`     — Fig. 15 (a-g) + 15h
+* :func:`figure16_transmissive_gain`    — Fig. 16
+* :func:`figure17_frequency_sweep`      — Fig. 17
+* :func:`figure18_19_txpower_capacity`  — Figs. 18 and 19
+* :func:`figure20_iot_device_pdf`       — Fig. 20
+* :func:`figure21_reflective_heatmaps`  — Fig. 21
+* :func:`figure22_reflective_gain`      — Fig. 22
+* :func:`figure23_respiration_sensing`  — Fig. 23
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.capacity import spectral_efficiency_from_powers
+from repro.channel.link import WirelessLink
+from repro.channel.noise import thermal_noise_dbm
+from repro.constants import DEFAULT_CENTER_FREQUENCY_HZ
+from repro.core.controller import CentralizedController, VoltageSweepConfig
+from repro.core.llama import LlamaSystem
+from repro.core.rotation_estimation import RotationAngleEstimator
+from repro.devices.ble import ble_rate_for_rssi_kbps
+from repro.devices.wifi import wifi_rate_for_rssi_mbps
+from repro.experiments.scenarios import (
+    ReflectiveScenario,
+    TransmissiveScenario,
+    iot_ble_scenario,
+    iot_wifi_scenario,
+)
+from repro.experiments.sweeps import optimize_link, voltage_grid_sweep
+from repro.metasurface.design import (
+    MetasurfaceDesign,
+    fr4_naive_design,
+    llama_design,
+    rogers_reference_design,
+)
+from repro.radio.transceiver import SimulatedReceiver
+from repro.sensing.detector import RespirationDetector, RespirationReading
+from repro.sensing.respiration import BreathingSubject, RespirationSensingLink
+
+#: Voltage grid used for the published Table 1.
+TABLE1_VOLTAGES_V = (2.0, 3.0, 4.0, 5.0, 6.0, 10.0, 15.0)
+
+#: Tx-Rx distances (cm) used in the transmissive experiments (Fig. 15/16).
+TRANSMISSIVE_DISTANCES_CM = (24, 30, 36, 42, 48, 54, 60)
+
+#: Tx-to-surface distances (cm) used in the reflective experiments
+#: (Fig. 21/22).
+REFLECTIVE_DISTANCES_CM = (24, 30, 36, 42, 48, 54, 60, 66)
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 2 — polarization-mismatch impact on commodity IoT links
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MismatchImpactResult:
+    """RSSI distributions for matched vs mismatched commodity links."""
+
+    technology: str
+    matched_rssi_dbm: Tuple[float, ...]
+    mismatched_rssi_dbm: Tuple[float, ...]
+
+    @property
+    def matched_mean_dbm(self) -> float:
+        """Mean matched RSSI."""
+        return float(np.mean(self.matched_rssi_dbm))
+
+    @property
+    def mismatched_mean_dbm(self) -> float:
+        """Mean mismatched RSSI."""
+        return float(np.mean(self.mismatched_rssi_dbm))
+
+    @property
+    def mismatch_penalty_db(self) -> float:
+        """Mean power lost to polarization mismatch."""
+        return self.matched_mean_dbm - self.mismatched_mean_dbm
+
+
+def _rssi_samples(configuration, sample_count: int, seed: int) -> Tuple[float, ...]:
+    """Collect noisy RSSI readings from a link configuration."""
+    link = WirelessLink(configuration)
+    receiver = SimulatedReceiver(link, seed=seed)
+    return tuple(receiver.measure_power_dbm(duration_s=0.002)
+                 for _ in range(sample_count))
+
+
+def figure2_mismatch_impact(sample_count: int = 200,
+                            seed: int = 2021) -> Dict[str, MismatchImpactResult]:
+    """Fig. 2: matched vs mismatched RSSI PDFs for Wi-Fi and BLE links."""
+    results: Dict[str, MismatchImpactResult] = {}
+    wifi_matched, _, _ = iot_wifi_scenario(mismatched=False, seed=seed)
+    wifi_mismatched, _, _ = iot_wifi_scenario(mismatched=True, seed=seed)
+    results["wifi"] = MismatchImpactResult(
+        technology="802.11g (ESP8266 -> AP)",
+        matched_rssi_dbm=_rssi_samples(wifi_matched, sample_count, seed),
+        mismatched_rssi_dbm=_rssi_samples(wifi_mismatched, sample_count,
+                                          seed + 1),
+    )
+    ble_matched, _, _ = iot_ble_scenario(mismatched=False, seed=seed)
+    ble_mismatched, _, _ = iot_ble_scenario(mismatched=True, seed=seed)
+    results["ble"] = MismatchImpactResult(
+        technology="BLE (wearable -> Raspberry Pi)",
+        matched_rssi_dbm=_rssi_samples(ble_matched, sample_count, seed + 2),
+        mismatched_rssi_dbm=_rssi_samples(ble_mismatched, sample_count,
+                                          seed + 3),
+    )
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# Figs. 8-10 — S21 efficiency for the three material designs
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class EfficiencyCurve:
+    """S21 efficiency vs frequency for one design and excitation."""
+
+    design_name: str
+    frequencies_hz: Tuple[float, ...]
+    efficiency_x_db: Tuple[float, ...]
+    efficiency_y_db: Tuple[float, ...]
+
+    def in_band_minimum_db(self, low_hz: float = 2.4e9,
+                           high_hz: float = 2.5e9) -> float:
+        """Worst efficiency across the ISM band (both excitations)."""
+        values = [
+            min(x, y) for f, x, y in zip(self.frequencies_hz,
+                                         self.efficiency_x_db,
+                                         self.efficiency_y_db)
+            if low_hz <= f <= high_hz
+        ]
+        if not values:
+            raise ValueError("no sweep points inside the requested band")
+        return min(values)
+
+    def bandwidth_above_hz(self, threshold_db: float = -5.0) -> float:
+        """Contiguous bandwidth around the centre where both curves stay
+        above ``threshold_db``."""
+        frequencies = np.asarray(self.frequencies_hz)
+        both = np.minimum(np.asarray(self.efficiency_x_db),
+                          np.asarray(self.efficiency_y_db))
+        center_index = int(np.argmax(both))
+        low_index, high_index = center_index, center_index
+        while low_index > 0 and both[low_index - 1] >= threshold_db:
+            low_index -= 1
+        while (high_index < both.size - 1 and
+               both[high_index + 1] >= threshold_db):
+            high_index += 1
+        return float(frequencies[high_index] - frequencies[low_index])
+
+
+def _efficiency_curve(design: MetasurfaceDesign,
+                      frequencies_hz: Sequence[float],
+                      vx: float = 8.0, vy: float = 8.0) -> EfficiencyCurve:
+    # Figs. 8-10 are HFSS simulations of the idealised structure.
+    surface = design.build(prototype=False)
+    eff_x = tuple(surface.transmission_efficiency_db(f, vx, vy, "x")
+                  for f in frequencies_hz)
+    eff_y = tuple(surface.transmission_efficiency_db(f, vx, vy, "y")
+                  for f in frequencies_hz)
+    return EfficiencyCurve(design_name=design.name,
+                           frequencies_hz=tuple(frequencies_hz),
+                           efficiency_x_db=eff_x, efficiency_y_db=eff_y)
+
+
+def figure8_to_10_material_designs(
+        frequency_count: int = 81) -> Dict[str, EfficiencyCurve]:
+    """Figs. 8-10: S21 efficiency of the three substrate/geometry designs."""
+    frequencies = np.linspace(2.0e9, 2.8e9, frequency_count)
+    return {
+        "fig8_rogers": _efficiency_curve(rogers_reference_design(), frequencies),
+        "fig9_fr4_naive": _efficiency_curve(fr4_naive_design(), frequencies),
+        "fig10_fr4_optimized": _efficiency_curve(llama_design(), frequencies),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 11 — efficiency vs frequency under different bias voltages
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class VoltageEfficiencyResult:
+    """Efficiency-vs-frequency curves for a set of Vy values (Vx fixed)."""
+
+    vx: float
+    frequencies_hz: Tuple[float, ...]
+    curves_db: Dict[float, Tuple[float, ...]]
+
+    def worst_in_band_db(self, low_hz: float = 2.4e9,
+                         high_hz: float = 2.5e9) -> float:
+        """Worst in-band efficiency over all bias settings."""
+        worst = 0.0
+        for curve in self.curves_db.values():
+            for f, value in zip(self.frequencies_hz, curve):
+                if low_hz <= f <= high_hz:
+                    worst = min(worst, value)
+        return worst
+
+
+def figure11_voltage_efficiency(vx: float = 8.0,
+                                vy_values: Sequence[float] = (2, 3, 4, 5, 6, 10, 15),
+                                frequency_count: int = 41) -> VoltageEfficiencyResult:
+    """Fig. 11: S21 efficiency under different bias-voltage combinations."""
+    # Like Figs. 8-10 this is a simulation of the idealised structure.
+    surface = llama_design().build(prototype=False)
+    frequencies = tuple(np.linspace(2.0e9, 2.8e9, frequency_count))
+    curves: Dict[float, Tuple[float, ...]] = {}
+    for vy in vy_values:
+        curves[float(vy)] = tuple(
+            surface.transmission_efficiency_db(f, vx, float(vy), "x")
+            for f in frequencies)
+    return VoltageEfficiencyResult(vx=vx, frequencies_hz=frequencies,
+                                   curves_db=curves)
+
+
+# ---------------------------------------------------------------------- #
+# Table 1 — simulated rotation degrees
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RotationTableResult:
+    """Rotation magnitude for every (Vx, Vy) pair of the published table."""
+
+    voltages_v: Tuple[float, ...]
+    rotation_deg: Dict[Tuple[float, float], float]
+
+    @property
+    def maximum_deg(self) -> float:
+        """Largest rotation in the table."""
+        return max(self.rotation_deg.values())
+
+    @property
+    def minimum_deg(self) -> float:
+        """Smallest rotation in the table."""
+        return min(self.rotation_deg.values())
+
+    def row(self, vy: float) -> List[float]:
+        """One table row (fixed Vy, sweeping Vx) as the paper prints it."""
+        return [self.rotation_deg[(vx, vy)] for vx in self.voltages_v]
+
+
+def table1_rotation_degrees(
+        voltages_v: Sequence[float] = TABLE1_VOLTAGES_V,
+        frequency_hz: float = DEFAULT_CENTER_FREQUENCY_HZ) -> RotationTableResult:
+    """Table 1: simulated polarization rotation vs (Vx, Vy)."""
+    # Table 1 is an HFSS-style simulation of the idealised structure, so
+    # the stated voltages act directly on the varactor junctions.
+    surface = llama_design().build(prototype=False)
+    rotation: Dict[Tuple[float, float], float] = {}
+    for vx in voltages_v:
+        for vy in voltages_v:
+            rotation[(float(vx), float(vy))] = abs(
+                surface.rotation_angle_deg(frequency_hz, float(vx), float(vy)))
+    return RotationTableResult(voltages_v=tuple(float(v) for v in voltages_v),
+                               rotation_deg=rotation)
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 12 — rotation-angle estimation procedure
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RotationEstimationResult:
+    """Output of the Sec. 3.4 estimation on the matched benchmark link."""
+
+    reference_orientation_deg: float
+    min_rotation_deg: float
+    max_rotation_deg: float
+    power_slope_sign: float
+
+
+def figure12_rotation_estimation(distance_m: float = 0.42) -> RotationEstimationResult:
+    """Fig. 12: estimate the min/max rotation angle from power sweeps."""
+    scenario = TransmissiveScenario(tx_rx_distance_m=distance_m,
+                                    rx_orientation_deg=0.0)
+    system = LlamaSystem(scenario.configuration(),
+                         sweep_config=VoltageSweepConfig(iterations=2,
+                                                         switches_per_axis=5))
+    estimate = system.estimate_rotation(orientation_step_deg=3.0)
+    # Fig. 12(a): received *linear* power falls as the orientation
+    # difference grows; report the sign of that slope as a sanity check.
+    baseline = scenario.baseline_link()
+    orientations = np.arange(0.0, 91.0, 15.0)
+    powers = []
+    for angle in orientations:
+        rotated = scenario.configuration().without_surface()
+        from dataclasses import replace as _replace
+        rotated = _replace(rotated,
+                           rx_antenna=rotated.rx_antenna.rotated(angle))
+        powers.append(10.0 ** (WirelessLink(rotated).received_power_dbm() / 10.0))
+    slope = np.polyfit(orientations, powers, 1)[0]
+    return RotationEstimationResult(
+        reference_orientation_deg=estimate.reference_orientation_deg,
+        min_rotation_deg=estimate.min_rotation_deg,
+        max_rotation_deg=estimate.max_rotation_deg,
+        power_slope_sign=float(np.sign(slope)),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 15 — transmissive voltage heatmaps and rotation range vs distance
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class HeatmapResult:
+    """A received-power heatmap over the (Vx, Vy) grid at one distance."""
+
+    distance_cm: float
+    grid_dbm: Dict[Tuple[float, float], float]
+
+    @property
+    def best_point(self) -> Tuple[float, float, float]:
+        """(vx, vy, power) of the strongest grid cell."""
+        (vx, vy), power = max(self.grid_dbm.items(), key=lambda item: item[1])
+        return (vx, vy, power)
+
+    @property
+    def dynamic_range_db(self) -> float:
+        """Spread between the strongest and weakest grid cell."""
+        powers = list(self.grid_dbm.values())
+        return max(powers) - min(powers)
+
+
+@dataclass(frozen=True)
+class Figure15Result:
+    """Fig. 15: per-distance heatmaps plus the rotation range (15h)."""
+
+    heatmaps: Tuple[HeatmapResult, ...]
+    rotation_ranges_deg: Dict[float, Tuple[float, float]]
+
+    def heatmap_for(self, distance_cm: float) -> HeatmapResult:
+        """Heatmap at one of the measured distances."""
+        for heatmap in self.heatmaps:
+            if math.isclose(heatmap.distance_cm, distance_cm):
+                return heatmap
+        raise KeyError(f"no heatmap for {distance_cm} cm")
+
+
+def figure15_voltage_heatmaps(
+        distances_cm: Sequence[float] = TRANSMISSIVE_DISTANCES_CM,
+        voltage_step_v: float = 5.0) -> Figure15Result:
+    """Fig. 15: received-power heatmaps vs (Vx, Vy) at each Tx-Rx distance."""
+    heatmaps: List[HeatmapResult] = []
+    rotation_ranges: Dict[float, Tuple[float, float]] = {}
+    for distance_cm in distances_cm:
+        scenario = TransmissiveScenario(tx_rx_distance_m=distance_cm / 100.0)
+        link = scenario.link()
+        grid = voltage_grid_sweep(link, step_v=voltage_step_v)
+        heatmaps.append(HeatmapResult(distance_cm=float(distance_cm),
+                                      grid_dbm=grid))
+        # Fig. 15h reports the rotation range realised over the full
+        # 0-30 V terminal sweep of the prototype.
+        surface = scenario.metasurface
+        rotation_ranges[float(distance_cm)] = surface.rotation_range_deg(
+            scenario.frequency_hz, voltage_low_v=0.0, voltage_high_v=30.0)
+    return Figure15Result(heatmaps=tuple(heatmaps),
+                          rotation_ranges_deg=rotation_ranges)
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 16 — transmissive received power with/without the surface
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GainVsDistanceResult:
+    """Received power with/without the surface across distances."""
+
+    distances_cm: Tuple[float, ...]
+    power_with_dbm: Tuple[float, ...]
+    power_without_dbm: Tuple[float, ...]
+
+    @property
+    def gains_db(self) -> Tuple[float, ...]:
+        """Per-distance power improvement."""
+        return tuple(w - wo for w, wo in zip(self.power_with_dbm,
+                                             self.power_without_dbm))
+
+    @property
+    def max_gain_db(self) -> float:
+        """Best improvement across the sweep (paper: up to 15 dB)."""
+        return max(self.gains_db)
+
+    @property
+    def range_extension_factor(self) -> float:
+        """Friis-implied range extension at the best improvement."""
+        return 10.0 ** (self.max_gain_db / 20.0)
+
+
+def figure16_transmissive_gain(
+        distances_cm: Sequence[float] = TRANSMISSIVE_DISTANCES_CM,
+        exhaustive: bool = False) -> GainVsDistanceResult:
+    """Fig. 16: transmissive received power with/without the metasurface."""
+    with_powers: List[float] = []
+    without_powers: List[float] = []
+    for distance_cm in distances_cm:
+        scenario = TransmissiveScenario(tx_rx_distance_m=distance_cm / 100.0)
+        best_power, _vx, _vy = optimize_link(scenario.link(),
+                                             exhaustive=exhaustive)
+        with_powers.append(best_power)
+        without_powers.append(scenario.baseline_link().received_power_dbm())
+    return GainVsDistanceResult(
+        distances_cm=tuple(float(d) for d in distances_cm),
+        power_with_dbm=tuple(with_powers),
+        power_without_dbm=tuple(without_powers),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 17 — received power vs operating frequency
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FrequencySweepResult:
+    """Received power with/without the surface across the ISM band."""
+
+    frequencies_hz: Tuple[float, ...]
+    power_with_dbm: Tuple[float, ...]
+    power_without_dbm: Tuple[float, ...]
+
+    @property
+    def gains_db(self) -> Tuple[float, ...]:
+        """Per-frequency improvement."""
+        return tuple(w - wo for w, wo in zip(self.power_with_dbm,
+                                             self.power_without_dbm))
+
+    @property
+    def min_gain_db(self) -> float:
+        """Worst-case improvement across the band (paper: > 10 dB)."""
+        return min(self.gains_db)
+
+
+def figure17_frequency_sweep(
+        frequencies_hz: Optional[Sequence[float]] = None,
+        distance_m: float = 0.42) -> FrequencySweepResult:
+    """Fig. 17: power improvement across 2.40-2.50 GHz."""
+    if frequencies_hz is None:
+        frequencies_hz = np.arange(2.40e9, 2.501e9, 0.01e9)
+    with_powers: List[float] = []
+    without_powers: List[float] = []
+    for frequency in frequencies_hz:
+        scenario = TransmissiveScenario(tx_rx_distance_m=distance_m,
+                                        frequency_hz=float(frequency))
+        best_power, _vx, _vy = optimize_link(scenario.link())
+        with_powers.append(best_power)
+        without_powers.append(scenario.baseline_link().received_power_dbm())
+    return FrequencySweepResult(
+        frequencies_hz=tuple(float(f) for f in frequencies_hz),
+        power_with_dbm=tuple(with_powers),
+        power_without_dbm=tuple(without_powers),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Figs. 18 and 19 — capacity vs transmit power (clean chamber / multipath)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CapacityVsPowerResult:
+    """Spectral efficiency vs transmit power for one antenna/environment."""
+
+    antenna_kind: str
+    absorber: bool
+    tx_powers_mw: Tuple[float, ...]
+    efficiency_with: Tuple[float, ...]
+    efficiency_without: Tuple[float, ...]
+
+    @property
+    def improvements(self) -> Tuple[float, ...]:
+        """Per-power capacity improvement (bit/s/Hz)."""
+        return tuple(w - wo for w, wo in zip(self.efficiency_with,
+                                             self.efficiency_without))
+
+    def crossover_tx_power_mw(self) -> Optional[float]:
+        """Lowest transmit power at which the surface starts helping.
+
+        Returns ``None`` when the surface helps at every probed power.
+        The paper's Fig. 19a places this crossover near 2 mW for omni
+        antennas in a multipath-rich room.
+        """
+        for power_mw, improvement in zip(self.tx_powers_mw, self.improvements):
+            if improvement > 0:
+                previous_hurt = any(
+                    other <= 0 for p, other in zip(self.tx_powers_mw,
+                                                   self.improvements)
+                    if p < power_mw)
+                return power_mw if previous_hurt else None
+        return None
+
+
+#: Noise-plus-interference floor used for the capacity experiments.  An
+#: ordinary laboratory's 2.4 GHz band is interference limited (co-channel
+#: Wi-Fi, Bluetooth) whereas the absorber-covered chamber is close to the
+#: receiver's own floor.  The values are referenced to the short-range,
+#: high-gain setups of Figs. 18-19 and are what make the low-transmit-
+#: power regime measurement-noise limited, as the paper observes.
+LAB_INTERFERENCE_FLOOR_DBM = -42.0
+CHAMBER_NOISE_FLOOR_DBM = -85.0
+
+
+def _capacity_vs_power(antenna_kind: str, absorber: bool,
+                       tx_powers_mw: Sequence[float],
+                       distance_m: float = 0.42,
+                       seed: int = 5) -> CapacityVsPowerResult:
+    from dataclasses import replace as _replace
+
+    efficiency_with: List[float] = []
+    efficiency_without: List[float] = []
+    floor_dbm = (CHAMBER_NOISE_FLOOR_DBM if absorber
+                 else LAB_INTERFERENCE_FLOOR_DBM)
+    for power_mw in tx_powers_mw:
+        tx_power_dbm = 10.0 * math.log10(power_mw)
+        scenario = TransmissiveScenario(tx_rx_distance_m=distance_m,
+                                        tx_power_dbm=tx_power_dbm,
+                                        antenna_kind=antenna_kind,
+                                        absorber=absorber)
+        configuration = _replace(scenario.configuration(),
+                                 interference_floor_dbm=floor_dbm)
+        link = WirelessLink(configuration)
+        baseline_link = WirelessLink(configuration.without_surface())
+        noise = link.noise_power_dbm()
+        # The controller only sees noisy power reports; at low transmit
+        # power the sweep differences sink below the measurement floor
+        # and the chosen bias pair degrades towards random — this is the
+        # mechanism behind the paper's ~2 mW crossover for omni antennas
+        # in multipath (Fig. 19a).
+        receiver = SimulatedReceiver(link, seed=seed)
+        controller = CentralizedController(
+            VoltageSweepConfig(iterations=2, switches_per_axis=5))
+        sweep = controller.coarse_to_fine_sweep(
+            lambda vx, vy: receiver.measure_power_dbm(vx=vx, vy=vy,
+                                                      duration_s=0.0002))
+        achieved_power = link.received_power_dbm(sweep.best_vx, sweep.best_vy)
+        baseline_power = baseline_link.received_power_dbm()
+        efficiency_with.append(float(
+            spectral_efficiency_from_powers(achieved_power, noise)))
+        efficiency_without.append(float(
+            spectral_efficiency_from_powers(baseline_power, noise)))
+    return CapacityVsPowerResult(
+        antenna_kind=antenna_kind,
+        absorber=absorber,
+        tx_powers_mw=tuple(float(p) for p in tx_powers_mw),
+        efficiency_with=tuple(efficiency_with),
+        efficiency_without=tuple(efficiency_without),
+    )
+
+
+def figure18_19_txpower_capacity(
+        tx_powers_mw: Sequence[float] = (0.002, 0.02, 0.2, 2.0, 20.0, 200.0, 1000.0),
+        distance_m: float = 0.42) -> Dict[str, CapacityVsPowerResult]:
+    """Figs. 18 and 19: capacity vs transmit power.
+
+    Returns four series: omni/directional antennas in the absorber-covered
+    chamber (Fig. 18a/b) and in the multipath-rich laboratory
+    (Fig. 19a/b).
+    """
+    return {
+        "fig18a_omni_clean": _capacity_vs_power("omni", True, tx_powers_mw,
+                                                distance_m),
+        "fig18b_directional_clean": _capacity_vs_power("directional", True,
+                                                       tx_powers_mw, distance_m),
+        "fig19a_omni_multipath": _capacity_vs_power("omni", False,
+                                                    tx_powers_mw, distance_m),
+        "fig19b_directional_multipath": _capacity_vs_power(
+            "directional", False, tx_powers_mw, distance_m),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 20 — commodity Wi-Fi link with/without the surface
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class IoTDeviceResult:
+    """RSSI distributions of the ESP8266 link with/without the surface."""
+
+    with_surface_rssi_dbm: Tuple[float, ...]
+    without_surface_rssi_dbm: Tuple[float, ...]
+    optimal_bias_v: Tuple[float, float]
+
+    @property
+    def improvement_db(self) -> float:
+        """Mean RSSI improvement (paper: ~10 dB)."""
+        return (float(np.mean(self.with_surface_rssi_dbm)) -
+                float(np.mean(self.without_surface_rssi_dbm)))
+
+    @property
+    def throughput_improvement_mbps(self) -> float:
+        """802.11g PHY-rate improvement unlocked by the RSSI gain."""
+        with_rate = wifi_rate_for_rssi_mbps(
+            float(np.mean(self.with_surface_rssi_dbm)))
+        without_rate = wifi_rate_for_rssi_mbps(
+            float(np.mean(self.without_surface_rssi_dbm)))
+        return float(with_rate - without_rate)
+
+
+def figure20_iot_device_pdf(sample_count: int = 200,
+                            distance_m: float = 3.0,
+                            seed: int = 2021) -> IoTDeviceResult:
+    """Fig. 20: ESP8266 Wi-Fi link RSSI with/without the metasurface."""
+    with_config, _station, _ap = iot_wifi_scenario(
+        mismatched=True, distance_m=distance_m, with_surface=True, seed=seed)
+    without_config, _station, _ap = iot_wifi_scenario(
+        mismatched=True, distance_m=distance_m, with_surface=False, seed=seed)
+    with_link = WirelessLink(with_config)
+    best_power, best_vx, best_vy = optimize_link(with_link)
+    receiver_with = SimulatedReceiver(with_link, seed=seed)
+    receiver_without = SimulatedReceiver(WirelessLink(without_config),
+                                         seed=seed + 1)
+    with_samples = tuple(
+        receiver_with.measure_power_dbm(vx=best_vx, vy=best_vy,
+                                        duration_s=0.002)
+        for _ in range(sample_count))
+    without_samples = tuple(
+        receiver_without.measure_power_dbm(duration_s=0.002)
+        for _ in range(sample_count))
+    return IoTDeviceResult(with_surface_rssi_dbm=with_samples,
+                           without_surface_rssi_dbm=without_samples,
+                           optimal_bias_v=(best_vx, best_vy))
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 21 — reflective voltage heatmaps
+# ---------------------------------------------------------------------- #
+def figure21_reflective_heatmaps(
+        distances_cm: Sequence[float] = REFLECTIVE_DISTANCES_CM,
+        voltage_step_v: float = 5.0) -> Tuple[HeatmapResult, ...]:
+    """Fig. 21: reflective received-power heatmaps vs Tx-surface distance."""
+    heatmaps: List[HeatmapResult] = []
+    for distance_cm in distances_cm:
+        scenario = ReflectiveScenario(surface_distance_m=distance_cm / 100.0)
+        grid = voltage_grid_sweep(scenario.link(), step_v=voltage_step_v)
+        heatmaps.append(HeatmapResult(distance_cm=float(distance_cm),
+                                      grid_dbm=grid))
+    return tuple(heatmaps)
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 22 — reflective power and capacity improvement
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ReflectiveGainResult:
+    """Reflective received power and capacity with/without the surface."""
+
+    distances_cm: Tuple[float, ...]
+    power_with_dbm: Tuple[float, ...]
+    power_without_dbm: Tuple[float, ...]
+    efficiency_with: Tuple[float, ...]
+    efficiency_without: Tuple[float, ...]
+
+    @property
+    def gains_db(self) -> Tuple[float, ...]:
+        """Per-distance power improvement."""
+        return tuple(w - wo for w, wo in zip(self.power_with_dbm,
+                                             self.power_without_dbm))
+
+    @property
+    def max_gain_db(self) -> float:
+        """Best reflective power improvement (paper: up to 17 dB)."""
+        return max(self.gains_db)
+
+    @property
+    def max_capacity_improvement(self) -> float:
+        """Best spectral-efficiency improvement (bit/s/Hz)."""
+        return max(w - wo for w, wo in zip(self.efficiency_with,
+                                           self.efficiency_without))
+
+
+def figure22_reflective_gain(
+        distances_cm: Sequence[float] = REFLECTIVE_DISTANCES_CM,
+        exhaustive: bool = False) -> ReflectiveGainResult:
+    """Fig. 22: reflective power/capacity with and without the surface."""
+    power_with: List[float] = []
+    power_without: List[float] = []
+    eff_with: List[float] = []
+    eff_without: List[float] = []
+    for distance_cm in distances_cm:
+        scenario = ReflectiveScenario(surface_distance_m=distance_cm / 100.0)
+        link = scenario.link()
+        noise = link.noise_power_dbm()
+        best_power, _vx, _vy = optimize_link(link, exhaustive=exhaustive)
+        baseline_power = scenario.baseline_link().received_power_dbm()
+        power_with.append(best_power)
+        power_without.append(baseline_power)
+        eff_with.append(float(
+            spectral_efficiency_from_powers(best_power, noise)))
+        eff_without.append(float(
+            spectral_efficiency_from_powers(baseline_power, noise)))
+    return ReflectiveGainResult(
+        distances_cm=tuple(float(d) for d in distances_cm),
+        power_with_dbm=tuple(power_with),
+        power_without_dbm=tuple(power_without),
+        efficiency_with=tuple(eff_with),
+        efficiency_without=tuple(eff_without),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 23 — respiration sensing at low transmit power
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RespirationSensingResult:
+    """Detection outcome with and without the metasurface."""
+
+    true_rate_hz: float
+    reading_with: RespirationReading
+    reading_without: RespirationReading
+    trace_swing_with_db: float
+    trace_swing_without_db: float
+
+    @property
+    def surface_enables_detection(self) -> bool:
+        """True when breathing is detected only with the surface present."""
+        return self.reading_with.detected and not self.reading_without.detected
+
+
+def figure23_respiration_sensing(tx_power_mw: float = 5.0,
+                                 duration_s: float = 60.0,
+                                 seed: int = 11) -> RespirationSensingResult:
+    """Fig. 23: respiration sensing at 5 mW with/without the metasurface."""
+    subject = BreathingSubject()
+    tx_power_dbm = 10.0 * math.log10(tx_power_mw)
+    surface = llama_design().build()
+    with_link = RespirationSensingLink(subject=subject, metasurface=surface,
+                                       tx_power_dbm=tx_power_dbm, seed=seed)
+    without_link = RespirationSensingLink(subject=subject, metasurface=None,
+                                          tx_power_dbm=tx_power_dbm, seed=seed)
+    trace_with = with_link.capture(duration_s=duration_s)
+    trace_without = without_link.capture(duration_s=duration_s)
+    detector = RespirationDetector()
+    return RespirationSensingResult(
+        true_rate_hz=subject.respiration_rate_hz,
+        reading_with=detector.analyse(trace_with),
+        reading_without=detector.analyse(trace_without),
+        trace_swing_with_db=trace_with.peak_to_peak_db,
+        trace_swing_without_db=trace_without.peak_to_peak_db,
+    )
+
+
+__all__ = [
+    "TABLE1_VOLTAGES_V",
+    "TRANSMISSIVE_DISTANCES_CM",
+    "REFLECTIVE_DISTANCES_CM",
+    "MismatchImpactResult",
+    "figure2_mismatch_impact",
+    "EfficiencyCurve",
+    "figure8_to_10_material_designs",
+    "VoltageEfficiencyResult",
+    "figure11_voltage_efficiency",
+    "RotationTableResult",
+    "table1_rotation_degrees",
+    "RotationEstimationResult",
+    "figure12_rotation_estimation",
+    "HeatmapResult",
+    "Figure15Result",
+    "figure15_voltage_heatmaps",
+    "GainVsDistanceResult",
+    "figure16_transmissive_gain",
+    "FrequencySweepResult",
+    "figure17_frequency_sweep",
+    "CapacityVsPowerResult",
+    "figure18_19_txpower_capacity",
+    "IoTDeviceResult",
+    "figure20_iot_device_pdf",
+    "figure21_reflective_heatmaps",
+    "ReflectiveGainResult",
+    "figure22_reflective_gain",
+    "RespirationSensingResult",
+    "figure23_respiration_sensing",
+]

@@ -1,0 +1,102 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints, for every reproduced table and figure, the
+same rows/series the paper reports.  These helpers keep that rendering
+consistent (fixed-width columns, explicit units, no external plotting
+dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _format_cell(value, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence],
+                 precision: int = 2,
+                 title: str = "") -> str:
+    """Render a fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Iterable of row sequences; floats are formatted to ``precision``.
+    precision:
+        Decimal places for float cells.
+    title:
+        Optional title printed above the table.
+    """
+    rendered_rows: List[List[str]] = [
+        [_format_cell(cell, precision) for cell in row] for row in rows]
+    header_row = [str(h) for h in headers]
+    widths = [len(h) for h in header_row]
+    for row in rendered_rows:
+        if len(row) != len(header_row):
+            raise ValueError("row length does not match header length")
+        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header_row, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[Number], ys: Sequence[Number],
+                  x_label: str = "x", y_label: str = "y",
+                  precision: int = 2) -> str:
+    """Render an (x, y) series as a two-column table."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    return format_table([x_label, y_label], zip(xs, ys), precision=precision,
+                        title=name)
+
+
+def format_comparison(name: str, xs: Sequence[Number],
+                      with_values: Sequence[Number],
+                      without_values: Sequence[Number],
+                      x_label: str = "x",
+                      precision: int = 2) -> str:
+    """Render a with/without-metasurface comparison as a table."""
+    if not (len(xs) == len(with_values) == len(without_values)):
+        raise ValueError("series lengths differ")
+    rows = [
+        (x, w, wo, w - wo)
+        for x, w, wo in zip(xs, with_values, without_values)
+    ]
+    return format_table(
+        [x_label, "with surface", "without surface", "improvement"],
+        rows, precision=precision, title=name)
+
+
+def format_heatmap(grid: dict, precision: int = 1, title: str = "") -> str:
+    """Render a (vx, vy) -> value grid as a matrix-style table."""
+    if not grid:
+        raise ValueError("grid is empty")
+    vx_values = sorted({key[0] for key in grid})
+    vy_values = sorted({key[1] for key in grid})
+    headers = ["Vx\\Vy"] + [f"{vy:g}" for vy in vy_values]
+    rows = []
+    for vx in vx_values:
+        row = [f"{vx:g}"]
+        for vy in vy_values:
+            value = grid.get((vx, vy))
+            row.append(float("nan") if value is None else float(value))
+        rows.append(row)
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+__all__ = ["format_table", "format_series", "format_comparison",
+           "format_heatmap"]

@@ -1,0 +1,250 @@
+"""Canonical experimental scenarios (paper Sec. 4 and Fig. 14).
+
+Each scenario bundles the geometry, antennas, environment and surface of
+one of the paper's experimental setups and exposes ready-to-evaluate
+:class:`~repro.channel.link.WirelessLink` objects for the "with" and
+"without" metasurface cases.  The figure runners in
+:mod:`repro.experiments.figures` are thin sweeps over these scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.channel.antenna import Antenna, dipole_antenna, directional_antenna, omni_antenna
+from repro.channel.geometry import LinkGeometry
+from repro.channel.link import DeploymentMode, LinkConfiguration, WirelessLink
+from repro.channel.multipath import MultipathEnvironment
+from repro.constants import DEFAULT_CENTER_FREQUENCY_HZ
+from repro.devices.base import IoTDevice
+from repro.devices.ble import metamotion_wearable, raspberry_pi_central
+from repro.devices.wifi import esp8266_station, netgear_access_point
+from repro.metasurface.design import llama_design
+from repro.metasurface.surface import Metasurface
+
+
+def _default_surface() -> Metasurface:
+    """The paper's optimized FR4 prototype."""
+    return llama_design().build()
+
+
+@dataclass(frozen=True)
+class TransmissiveScenario:
+    """Through-surface setup: the surface sits between the endpoints.
+
+    Attributes mirror the knobs the paper varies: Tx-Rx distance, antenna
+    type/orientation (mismatch by default), transmit power, frequency and
+    whether the chamber is covered with absorber.
+    """
+
+    tx_rx_distance_m: float = 0.42
+    tx_orientation_deg: float = 0.0
+    rx_orientation_deg: float = 90.0
+    tx_power_dbm: float = 0.0
+    frequency_hz: float = DEFAULT_CENTER_FREQUENCY_HZ
+    antenna_kind: str = "directional"
+    absorber: bool = True
+    metasurface: Metasurface = field(default_factory=_default_surface)
+    environment_seed: int = 2021
+
+    def __post_init__(self) -> None:
+        if self.tx_rx_distance_m <= 0:
+            raise ValueError("Tx-Rx distance must be positive")
+        if self.antenna_kind not in ("directional", "omni", "dipole"):
+            raise ValueError("antenna kind must be directional, omni or dipole")
+
+    def _antenna(self, orientation_deg: float) -> Antenna:
+        if self.antenna_kind == "directional":
+            return directional_antenna(orientation_deg=orientation_deg)
+        if self.antenna_kind == "omni":
+            return omni_antenna(orientation_deg=orientation_deg)
+        return dipole_antenna(orientation_deg=orientation_deg)
+
+    def _environment(self) -> MultipathEnvironment:
+        if self.absorber:
+            return MultipathEnvironment.anechoic(seed=self.environment_seed)
+        return MultipathEnvironment.laboratory(seed=self.environment_seed)
+
+    def configuration(self) -> LinkConfiguration:
+        """Link configuration with the metasurface deployed."""
+        geometry = LinkGeometry.transmissive(self.tx_rx_distance_m)
+        return LinkConfiguration(
+            tx_antenna=self._antenna(self.tx_orientation_deg),
+            rx_antenna=self._antenna(self.rx_orientation_deg),
+            geometry=geometry,
+            frequency_hz=self.frequency_hz,
+            tx_power_dbm=self.tx_power_dbm,
+            environment=self._environment(),
+            metasurface=self.metasurface,
+            deployment=DeploymentMode.TRANSMISSIVE,
+        )
+
+    def link(self) -> WirelessLink:
+        """Link with the metasurface present."""
+        return WirelessLink(self.configuration())
+
+    def baseline_link(self) -> WirelessLink:
+        """Link with the metasurface removed."""
+        return WirelessLink(self.configuration().without_surface())
+
+    def with_distance(self, tx_rx_distance_m: float) -> "TransmissiveScenario":
+        """Copy of the scenario at a different Tx-Rx distance."""
+        return replace(self, tx_rx_distance_m=tx_rx_distance_m)
+
+    def with_frequency(self, frequency_hz: float) -> "TransmissiveScenario":
+        """Copy of the scenario at a different carrier frequency."""
+        return replace(self, frequency_hz=frequency_hz)
+
+    def with_tx_power(self, tx_power_dbm: float) -> "TransmissiveScenario":
+        """Copy of the scenario at a different transmit power."""
+        return replace(self, tx_power_dbm=tx_power_dbm)
+
+    def matched(self) -> "TransmissiveScenario":
+        """Copy with the endpoints polarization-matched."""
+        return replace(self, rx_orientation_deg=self.tx_orientation_deg)
+
+
+@dataclass(frozen=True)
+class ReflectiveScenario:
+    """Same-side setup: endpoints on one side of the surface (Fig. 14 right)."""
+
+    tx_rx_separation_m: float = 0.70
+    surface_distance_m: float = 0.42
+    tx_orientation_deg: float = 0.0
+    rx_orientation_deg: float = 90.0
+    tx_power_dbm: float = 0.0
+    frequency_hz: float = DEFAULT_CENTER_FREQUENCY_HZ
+    antenna_kind: str = "directional"
+    absorber: bool = True
+    metasurface: Metasurface = field(default_factory=_default_surface)
+    environment_seed: int = 2021
+
+    def __post_init__(self) -> None:
+        if self.tx_rx_separation_m <= 0 or self.surface_distance_m <= 0:
+            raise ValueError("geometry distances must be positive")
+        if self.antenna_kind not in ("directional", "omni", "dipole"):
+            raise ValueError("antenna kind must be directional, omni or dipole")
+
+    def _antenna(self, orientation_deg: float) -> Antenna:
+        if self.antenna_kind == "directional":
+            return directional_antenna(orientation_deg=orientation_deg)
+        if self.antenna_kind == "omni":
+            return omni_antenna(orientation_deg=orientation_deg)
+        return dipole_antenna(orientation_deg=orientation_deg)
+
+    def _environment(self) -> MultipathEnvironment:
+        if self.absorber:
+            return MultipathEnvironment.anechoic(seed=self.environment_seed)
+        return MultipathEnvironment.laboratory(seed=self.environment_seed)
+
+    def configuration(self) -> LinkConfiguration:
+        """Link configuration with the metasurface deployed."""
+        geometry = LinkGeometry.reflective(self.tx_rx_separation_m,
+                                           self.surface_distance_m)
+        return LinkConfiguration(
+            tx_antenna=self._antenna(self.tx_orientation_deg),
+            rx_antenna=self._antenna(self.rx_orientation_deg),
+            geometry=geometry,
+            frequency_hz=self.frequency_hz,
+            tx_power_dbm=self.tx_power_dbm,
+            environment=self._environment(),
+            metasurface=self.metasurface,
+            deployment=DeploymentMode.REFLECTIVE,
+            aim_at_surface=True,
+        )
+
+    def link(self) -> WirelessLink:
+        """Link with the metasurface present."""
+        return WirelessLink(self.configuration())
+
+    def baseline_link(self) -> WirelessLink:
+        """Link with the metasurface removed (same antenna aiming)."""
+        return WirelessLink(self.configuration().without_surface())
+
+    def with_surface_distance(self, surface_distance_m: float) -> "ReflectiveScenario":
+        """Copy of the scenario at a different Tx-to-surface distance."""
+        return replace(self, surface_distance_m=surface_distance_m)
+
+    def with_tx_power(self, tx_power_dbm: float) -> "ReflectiveScenario":
+        """Copy of the scenario at a different transmit power."""
+        return replace(self, tx_power_dbm=tx_power_dbm)
+
+
+def iot_wifi_scenario(mismatched: bool = True,
+                      distance_m: float = 3.0,
+                      with_surface: bool = False,
+                      metasurface: Optional[Metasurface] = None,
+                      absorber: bool = False,
+                      seed: int = 2021) -> Tuple[LinkConfiguration, IoTDevice, IoTDevice]:
+    """The commodity Wi-Fi link of Figs. 2a and 20.
+
+    Returns ``(link_configuration, transmitter_device, receiver_device)``.
+    The transmitter is the ESP8266 station, the receiver the AP (uplink
+    direction, matching the RSSI the AP-side controller would observe).
+    """
+    station = esp8266_station(orientation_deg=90.0 if mismatched else 0.0)
+    access_point = netgear_access_point(orientation_deg=0.0)
+    surface = metasurface if metasurface is not None else _default_surface()
+    geometry = LinkGeometry.transmissive(distance_m)
+    # A home/office deployment has moderate clutter (K ~ 10 dB), clearly
+    # less reflective than the paper's instrument-packed laboratory.
+    environment = (MultipathEnvironment.anechoic(seed=seed) if absorber
+                   else MultipathEnvironment(absorber_enabled=False,
+                                             rician_k_db=10.0,
+                                             ray_count=12, seed=seed))
+    configuration = LinkConfiguration(
+        tx_antenna=station.antenna,
+        rx_antenna=access_point.antenna,
+        geometry=geometry,
+        frequency_hz=station.frequency_hz,
+        tx_power_dbm=station.tx_power_dbm,
+        bandwidth_hz=station.channel_bandwidth_hz,
+        environment=environment,
+        metasurface=surface if with_surface else None,
+        deployment=(DeploymentMode.TRANSMISSIVE if with_surface
+                    else DeploymentMode.NONE),
+    )
+    return configuration, station, access_point
+
+
+def iot_ble_scenario(mismatched: bool = True,
+                     distance_m: float = 2.0,
+                     with_surface: bool = False,
+                     metasurface: Optional[Metasurface] = None,
+                     absorber: bool = False,
+                     seed: int = 2021) -> Tuple[LinkConfiguration, IoTDevice, IoTDevice]:
+    """The BLE wearable link of Fig. 2b.
+
+    Returns ``(link_configuration, transmitter_device, receiver_device)``
+    with the wearable transmitting to the Raspberry Pi.
+    """
+    wearable = metamotion_wearable(orientation_deg=90.0 if mismatched else 0.0)
+    central = raspberry_pi_central(orientation_deg=0.0)
+    surface = metasurface if metasurface is not None else _default_surface()
+    geometry = LinkGeometry.transmissive(distance_m)
+    environment = (MultipathEnvironment.anechoic(seed=seed) if absorber
+                   else MultipathEnvironment(absorber_enabled=False,
+                                             rician_k_db=10.0,
+                                             ray_count=12, seed=seed))
+    configuration = LinkConfiguration(
+        tx_antenna=wearable.antenna,
+        rx_antenna=central.antenna,
+        geometry=geometry,
+        frequency_hz=wearable.frequency_hz,
+        tx_power_dbm=wearable.tx_power_dbm,
+        bandwidth_hz=wearable.channel_bandwidth_hz,
+        environment=environment,
+        metasurface=surface if with_surface else None,
+        deployment=(DeploymentMode.TRANSMISSIVE if with_surface
+                    else DeploymentMode.NONE),
+    )
+    return configuration, wearable, central
+
+
+__all__ = [
+    "TransmissiveScenario",
+    "ReflectiveScenario",
+    "iot_wifi_scenario",
+    "iot_ble_scenario",
+]

@@ -1,0 +1,160 @@
+"""Generic parameter-sweep drivers used by the figure runners.
+
+Every evaluation figure in the paper is a sweep over one or two
+parameters with received power (or capacity) recorded with and without
+the metasurface.  These helpers implement those loops once so the
+per-figure runners stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.capacity import spectral_efficiency_from_powers
+from repro.channel.link import WirelessLink
+from repro.core.controller import CentralizedController, VoltageSweepConfig
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a with/without comparison sweep."""
+
+    parameter: float
+    power_with_dbm: float
+    power_without_dbm: float
+    best_vx: float
+    best_vy: float
+
+    @property
+    def gain_db(self) -> float:
+        """Received-power improvement the surface provides at this point."""
+        return self.power_with_dbm - self.power_without_dbm
+
+
+def optimize_link(link: WirelessLink,
+                  controller: Optional[CentralizedController] = None,
+                  exhaustive: bool = False,
+                  step_v: float = 3.0) -> Tuple[float, float, float]:
+    """Find the best (power, vx, vy) for a link via the controller.
+
+    Returns ``(best_power_dbm, best_vx, best_vy)``.
+    """
+    controller = controller or CentralizedController(
+        VoltageSweepConfig(iterations=2, switches_per_axis=5))
+    result = controller.optimize(link.received_power_dbm,
+                                 exhaustive=exhaustive, step_v=step_v)
+    return result.best_power_dbm, result.best_vx, result.best_vy
+
+
+def comparison_sweep(parameter_values: Sequence[float],
+                     link_factory: Callable[[float], WirelessLink],
+                     baseline_factory: Callable[[float], WirelessLink],
+                     controller: Optional[CentralizedController] = None,
+                     exhaustive: bool = False,
+                     step_v: float = 3.0) -> List[SweepPoint]:
+    """Sweep a parameter, optimizing the surface at every point.
+
+    ``link_factory(value)`` must return the with-surface link and
+    ``baseline_factory(value)`` the matching no-surface link.
+    """
+    points: List[SweepPoint] = []
+    for value in parameter_values:
+        with_link = link_factory(value)
+        without_link = baseline_factory(value)
+        best_power, best_vx, best_vy = optimize_link(
+            with_link, controller=controller, exhaustive=exhaustive,
+            step_v=step_v)
+        points.append(SweepPoint(
+            parameter=float(value),
+            power_with_dbm=best_power,
+            power_without_dbm=without_link.received_power_dbm(),
+            best_vx=best_vx,
+            best_vy=best_vy,
+        ))
+    return points
+
+
+def distance_sweep(distances_m: Sequence[float],
+                   scenario_factory: Callable[[float], "object"],
+                   **kwargs) -> List[SweepPoint]:
+    """Sweep the Tx-Rx (or Tx-surface) distance of a scenario.
+
+    ``scenario_factory(distance)`` must return an object exposing
+    ``link()`` and ``baseline_link()`` (the scenario classes do).
+    """
+    return comparison_sweep(
+        distances_m,
+        link_factory=lambda d: scenario_factory(d).link(),
+        baseline_factory=lambda d: scenario_factory(d).baseline_link(),
+        **kwargs)
+
+
+def frequency_sweep(frequencies_hz: Sequence[float],
+                    scenario_factory: Callable[[float], "object"],
+                    **kwargs) -> List[SweepPoint]:
+    """Sweep the operating frequency of a scenario."""
+    return comparison_sweep(
+        frequencies_hz,
+        link_factory=lambda f: scenario_factory(f).link(),
+        baseline_factory=lambda f: scenario_factory(f).baseline_link(),
+        **kwargs)
+
+
+def tx_power_sweep(tx_powers_dbm: Sequence[float],
+                   scenario_factory: Callable[[float], "object"],
+                   **kwargs) -> List[SweepPoint]:
+    """Sweep the transmit power of a scenario."""
+    return comparison_sweep(
+        tx_powers_dbm,
+        link_factory=lambda p: scenario_factory(p).link(),
+        baseline_factory=lambda p: scenario_factory(p).baseline_link(),
+        **kwargs)
+
+
+def voltage_grid_sweep(link: WirelessLink,
+                       step_v: float = 2.0,
+                       v_min: float = 0.0,
+                       v_max: float = 30.0) -> Dict[Tuple[float, float], float]:
+    """Exhaustive (Vx, Vy) grid of received power, for heatmap figures."""
+    if step_v <= 0:
+        raise ValueError("step must be positive")
+    if v_max <= v_min:
+        raise ValueError("v_max must exceed v_min")
+    grid: Dict[Tuple[float, float], float] = {}
+    levels = np.arange(v_min, v_max + 0.5 * step_v, step_v)
+    for vx in levels:
+        for vy in levels:
+            grid[(float(vx), float(vy))] = link.received_power_dbm(
+                float(vx), float(vy))
+    return grid
+
+
+def sweep_capacity(points: Sequence[SweepPoint],
+                   noise_power_dbm: float) -> List[Tuple[float, float, float]]:
+    """Convert sweep powers into spectral efficiencies.
+
+    Returns ``(parameter, efficiency_with, efficiency_without)`` tuples.
+    """
+    rows = []
+    for point in points:
+        with_eff = spectral_efficiency_from_powers(point.power_with_dbm,
+                                                   noise_power_dbm)
+        without_eff = spectral_efficiency_from_powers(point.power_without_dbm,
+                                                      noise_power_dbm)
+        rows.append((point.parameter, float(with_eff), float(without_eff)))
+    return rows
+
+
+__all__ = [
+    "SweepPoint",
+    "optimize_link",
+    "comparison_sweep",
+    "distance_sweep",
+    "frequency_sweep",
+    "tx_power_sweep",
+    "voltage_grid_sweep",
+    "sweep_capacity",
+]

@@ -1,0 +1,31 @@
+"""Laboratory-equipment simulation.
+
+The paper's prototype is driven by a Tektronix 2230G programmable DC
+supply over VISA, a remote-controlled antenna turntable, and a test
+chamber optionally covered with absorbing material.  None of that
+hardware is available to the reproduction, so this package provides
+behaviourally faithful simulations: the supply enforces channel/voltage
+limits and a finite switching rate, the VISA transport mimics the SCPI
+command surface the original Python control script used, and the
+turntable moves at a finite angular rate.
+"""
+
+from repro.hardware.visa import SimulatedVisaSession, VisaError, VisaResourceManager
+from repro.hardware.power_supply import (
+    PowerSupplyChannel,
+    ProgrammablePowerSupply,
+    SupplyLimits,
+)
+from repro.hardware.turntable import Turntable
+from repro.hardware.environment import TestChamber
+
+__all__ = [
+    "SimulatedVisaSession",
+    "VisaError",
+    "VisaResourceManager",
+    "PowerSupplyChannel",
+    "ProgrammablePowerSupply",
+    "SupplyLimits",
+    "Turntable",
+    "TestChamber",
+]

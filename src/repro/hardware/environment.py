@@ -1,0 +1,68 @@
+"""Test-chamber configuration (paper Sec. 4, "Experimental setup").
+
+The paper covers its controlled test area with RF absorbing material and
+removes it for the laboratory multipath experiments.  The
+:class:`TestChamber` bundles the environment seed, absorber state and
+chamber dimensions into one object the experiment harness can describe
+and reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.channel.multipath import MultipathEnvironment
+
+
+@dataclass(frozen=True)
+class TestChamber:
+    """A physical test area hosting the experiments.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports.
+    absorber_installed:
+        Whether the walls are covered with absorbing material.
+    length_m, width_m, height_m:
+        Chamber dimensions (bookkeeping only; the clutter level is set by
+        the multipath model's K factor).
+    clutter_k_factor_db:
+        Direct-to-clutter power ratio when the absorber is removed.
+    seed:
+        Seed for the clutter realisation.
+    """
+
+    #: Not a pytest test class despite the "Test" prefix.
+    __test__ = False
+
+    name: str = "absorber-covered test area"
+    absorber_installed: bool = True
+    length_m: float = 4.0
+    width_m: float = 3.0
+    height_m: float = 2.5
+    clutter_k_factor_db: float = 4.0
+    seed: int = 2021
+
+    def __post_init__(self) -> None:
+        if min(self.length_m, self.width_m, self.height_m) <= 0:
+            raise ValueError("chamber dimensions must be positive")
+
+    def multipath_environment(self) -> MultipathEnvironment:
+        """Build the matching :class:`MultipathEnvironment`."""
+        if self.absorber_installed:
+            return MultipathEnvironment.anechoic(seed=self.seed)
+        return MultipathEnvironment.laboratory(
+            seed=self.seed, rician_k_db=self.clutter_k_factor_db)
+
+    def without_absorber(self) -> "TestChamber":
+        """The same chamber with the absorbing material removed."""
+        return replace(self, name="laboratory (rich multipath)",
+                       absorber_installed=False)
+
+    def with_seed(self, seed: int) -> "TestChamber":
+        """The same chamber with a different clutter realisation."""
+        return replace(self, seed=seed)
+
+
+__all__ = ["TestChamber"]

@@ -1,0 +1,210 @@
+"""Simulated programmable DC power supply (Tektronix 2230G class).
+
+The LLAMA prototype biases the metasurface's X and Y phase shifters from
+two channels of a 3-channel programmable supply, controlled over VISA at
+up to 50 Hz switching (paper Secs. 3.3 and 4).  The simulation models
+
+* per-channel voltage limits and output enable,
+* a finite switching/settling interval (which is what bounds the sweep
+  time the controller must work around),
+* a virtual clock so controllers and the synchronizer (Eq. 13) can
+  reason about timing deterministically without sleeping,
+* an SCPI front-end compatible with :mod:`repro.hardware.visa`.
+
+The supply can optionally be bound to a :class:`ProgrammableRotator` so
+that setting channel voltages immediately actuates the surface model —
+this is the wiring the end-to-end :class:`~repro.core.llama.LlamaSystem`
+uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.constants import (
+    BIAS_VOLTAGE_MAX_V,
+    BIAS_VOLTAGE_MIN_V,
+    SUPPLY_SWITCH_RATE_HZ,
+)
+
+
+@dataclass(frozen=True)
+class SupplyLimits:
+    """Voltage/current limits of one supply channel."""
+
+    min_voltage_v: float = BIAS_VOLTAGE_MIN_V
+    max_voltage_v: float = BIAS_VOLTAGE_MAX_V
+    max_current_a: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_voltage_v <= self.min_voltage_v:
+            raise ValueError("max voltage must exceed min voltage")
+        if self.max_current_a <= 0:
+            raise ValueError("max current must be positive")
+
+    def clamp(self, voltage_v: float) -> float:
+        """Clamp a requested voltage to the channel limits."""
+        return min(max(voltage_v, self.min_voltage_v), self.max_voltage_v)
+
+
+@dataclass
+class PowerSupplyChannel:
+    """One output channel of the supply."""
+
+    name: str
+    limits: SupplyLimits = field(default_factory=SupplyLimits)
+    voltage_v: float = 0.0
+    output_enabled: bool = False
+    set_count: int = 0
+
+    def set_voltage(self, voltage_v: float) -> float:
+        """Program the channel voltage (clamped); returns the applied value."""
+        applied = self.limits.clamp(voltage_v)
+        if applied != self.voltage_v:
+            self.set_count += 1
+        self.voltage_v = applied
+        return applied
+
+    @property
+    def effective_voltage_v(self) -> float:
+        """Voltage actually present at the output terminals."""
+        return self.voltage_v if self.output_enabled else 0.0
+
+
+class ProgrammablePowerSupply:
+    """A two-plus-channel programmable DC supply with a virtual clock.
+
+    Parameters
+    ----------
+    switch_rate_hz:
+        Maximum voltage switching rate; each programmed change advances
+        the virtual clock by ``1 / switch_rate_hz``.
+    channel_names:
+        Names of the output channels (two are used for the metasurface's
+        X and Y axes).
+    on_voltage_change:
+        Optional callback ``(vx, vy) -> None`` invoked whenever the first
+        two channels change; used to actuate the surface model.
+    """
+
+    X_CHANNEL = "CH1"
+    Y_CHANNEL = "CH2"
+
+    def __init__(self,
+                 switch_rate_hz: float = SUPPLY_SWITCH_RATE_HZ,
+                 channel_names: Tuple[str, ...] = ("CH1", "CH2", "CH3"),
+                 on_voltage_change: Optional[Callable[[float, float], None]] = None):
+        if switch_rate_hz <= 0:
+            raise ValueError("switch rate must be positive")
+        if len(channel_names) < 2:
+            raise ValueError("the supply needs at least two channels")
+        self.switch_rate_hz = switch_rate_hz
+        self.channels: Dict[str, PowerSupplyChannel] = {
+            name: PowerSupplyChannel(name=name) for name in channel_names}
+        self.on_voltage_change = on_voltage_change
+        self._clock_s = 0.0
+        self._selected = channel_names[0]
+        self.voltage_history: List[Tuple[float, float, float]] = []
+
+    # ------------------------------------------------------------------ #
+    # Timing
+    # ------------------------------------------------------------------ #
+    @property
+    def switch_interval_s(self) -> float:
+        """Time consumed by one voltage switch."""
+        return 1.0 / self.switch_rate_hz
+
+    @property
+    def clock_s(self) -> float:
+        """Virtual time elapsed programming the supply."""
+        return self._clock_s
+
+    def advance_clock(self, seconds: float) -> None:
+        """Advance the virtual clock without programming anything."""
+        if seconds < 0:
+            raise ValueError("cannot move the clock backwards")
+        self._clock_s += seconds
+
+    # ------------------------------------------------------------------ #
+    # Programming interface
+    # ------------------------------------------------------------------ #
+    def enable_output(self, enabled: bool = True) -> None:
+        """Enable or disable all channel outputs."""
+        for channel in self.channels.values():
+            channel.output_enabled = enabled
+
+    def set_channel_voltage(self, channel_name: str, voltage_v: float) -> float:
+        """Program one channel; advances the clock by one switch interval."""
+        if channel_name not in self.channels:
+            raise KeyError(f"unknown channel {channel_name!r}")
+        applied = self.channels[channel_name].set_voltage(voltage_v)
+        self._clock_s += self.switch_interval_s
+        self._record_state()
+        return applied
+
+    def set_bias_pair(self, vx: float, vy: float) -> Tuple[float, float]:
+        """Program the X and Y bias voltages together (one switch event).
+
+        The prototype updates both channels in a single programming cycle,
+        so the pair costs one switch interval, not two.
+        """
+        applied_x = self.channels[self.X_CHANNEL].set_voltage(vx)
+        applied_y = self.channels[self.Y_CHANNEL].set_voltage(vy)
+        self._clock_s += self.switch_interval_s
+        self._record_state()
+        return applied_x, applied_y
+
+    def bias_pair(self) -> Tuple[float, float]:
+        """The currently programmed (Vx, Vy) pair at the output terminals."""
+        return (self.channels[self.X_CHANNEL].effective_voltage_v,
+                self.channels[self.Y_CHANNEL].effective_voltage_v)
+
+    def _record_state(self) -> None:
+        vx = self.channels[self.X_CHANNEL].voltage_v
+        vy = self.channels[self.Y_CHANNEL].voltage_v
+        self.voltage_history.append((self._clock_s, vx, vy))
+        if self.on_voltage_change is not None:
+            self.on_voltage_change(vx, vy)
+
+    # ------------------------------------------------------------------ #
+    # SCPI front-end (for the VISA simulation)
+    # ------------------------------------------------------------------ #
+    def scpi_handler(self, command: str) -> str:
+        """Handle a SCPI command string; returns the response (maybe empty).
+
+        Supported subset::
+
+            *IDN?
+            INST:SEL CH<n>        / INST:SEL?
+            SOUR:VOLT <value>     / SOUR:VOLT?
+            OUTP ON|OFF           / OUTP?
+        """
+        command = command.strip()
+        upper = command.upper()
+        if upper == "*IDN?":
+            return "TEKTRONIX,2230G-30-1,SIMULATED,1.0"
+        if upper.startswith("INST:SEL"):
+            if upper.endswith("?"):
+                return self._selected
+            name = command.split()[-1].upper()
+            if name not in self.channels:
+                raise ValueError(f"unknown channel {name!r}")
+            self._selected = name
+            return ""
+        if upper.startswith("SOUR:VOLT"):
+            if upper.endswith("?"):
+                return f"{self.channels[self._selected].voltage_v:.3f}"
+            value = float(command.split()[-1])
+            self.set_channel_voltage(self._selected, value)
+            return ""
+        if upper.startswith("OUTP"):
+            if upper.endswith("?"):
+                enabled = self.channels[self._selected].output_enabled
+                return "1" if enabled else "0"
+            self.enable_output(upper.split()[-1] in ("ON", "1"))
+            return ""
+        raise ValueError(f"unsupported SCPI command: {command!r}")
+
+
+__all__ = ["SupplyLimits", "PowerSupplyChannel", "ProgrammablePowerSupply"]

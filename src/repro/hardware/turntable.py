@@ -1,0 +1,74 @@
+"""Remote-controlled antenna turntable (paper Fig. 12 caption).
+
+The rotation-angle estimation procedure of Sec. 3.4 physically rotates
+the receive antenna on a turntable.  The simulation tracks the current
+angle, enforces a finite rotation speed (so experiment durations are
+meaningful) and records the motion history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class Turntable:
+    """A single-axis antenna positioner.
+
+    Attributes
+    ----------
+    angle_deg:
+        Current orientation (0-360, wrapping).
+    speed_deg_per_s:
+        Rotation speed used to account elapsed time.
+    """
+
+    angle_deg: float = 0.0
+    speed_deg_per_s: float = 30.0
+    _elapsed_s: float = 0.0
+    history: List[Tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.speed_deg_per_s <= 0:
+            raise ValueError("rotation speed must be positive")
+        self.angle_deg = self.angle_deg % 360.0
+        self.history.append((self._elapsed_s, self.angle_deg))
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total time spent rotating."""
+        return self._elapsed_s
+
+    def rotate_to(self, target_deg: float) -> float:
+        """Rotate to an absolute angle; returns the travel time consumed."""
+        target = target_deg % 360.0
+        travel = abs(target - self.angle_deg)
+        travel = min(travel, 360.0 - travel)
+        duration = travel / self.speed_deg_per_s
+        self._elapsed_s += duration
+        self.angle_deg = target
+        self.history.append((self._elapsed_s, self.angle_deg))
+        return duration
+
+    def rotate_by(self, delta_deg: float) -> float:
+        """Rotate by a relative angle; returns the travel time consumed."""
+        return self.rotate_to(self.angle_deg + delta_deg)
+
+    def sweep(self, start_deg: float, stop_deg: float,
+              step_deg: float) -> List[float]:
+        """Visit a sequence of orientations; returns the angles visited."""
+        if step_deg <= 0:
+            raise ValueError("step must be positive")
+        if stop_deg < start_deg:
+            raise ValueError("stop angle must not precede start angle")
+        angles = []
+        angle = start_deg
+        while angle <= stop_deg + 1e-9:
+            self.rotate_to(angle)
+            angles.append(self.angle_deg)
+            angle += step_deg
+        return angles
+
+
+__all__ = ["Turntable"]

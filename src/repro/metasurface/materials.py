@@ -1,0 +1,122 @@
+"""Dielectric substrate materials (paper Sec. 3.2).
+
+The paper's central cost/performance trade-off is the choice of PCB
+substrate: Rogers 5880 (loss tangent 0.0009) achieves high transmission
+efficiency but is cost-prohibitive at scale, while FR4 (loss tangent
+0.02) is cheap but lossy and requires the structural optimization LLAMA
+introduces.  This module defines the material model used by the layer
+and surface classes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import SPEED_OF_LIGHT
+
+
+@dataclass(frozen=True)
+class SubstrateMaterial:
+    """A PCB dielectric substrate.
+
+    Attributes
+    ----------
+    name:
+        Commercial material name.
+    relative_permittivity:
+        Real part of the relative dielectric constant (epsilon_r).
+    loss_tangent:
+        Dielectric loss tangent (tan delta); drives transmission loss.
+    cost_per_square_meter_usd:
+        Approximate board cost used by the design cost model.
+    """
+
+    name: str
+    relative_permittivity: float
+    loss_tangent: float
+    cost_per_square_meter_usd: float
+
+    def __post_init__(self) -> None:
+        if self.relative_permittivity < 1.0:
+            raise ValueError("relative permittivity must be >= 1")
+        if self.loss_tangent < 0.0:
+            raise ValueError("loss tangent must be non-negative")
+        if self.cost_per_square_meter_usd < 0.0:
+            raise ValueError("cost must be non-negative")
+
+    @property
+    def dielectric_quality_factor(self) -> float:
+        """Unloaded quality factor limit set by dielectric loss, ``1/tan(d)``."""
+        if self.loss_tangent == 0.0:
+            return float("inf")
+        return 1.0 / self.loss_tangent
+
+    def wavelength_in_material_m(self, frequency_hz: float) -> float:
+        """Guided wavelength inside the dielectric at ``frequency_hz``."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return SPEED_OF_LIGHT / (frequency_hz * math.sqrt(self.relative_permittivity))
+
+    def dielectric_attenuation_db_per_meter(self, frequency_hz: float) -> float:
+        """Bulk dielectric attenuation in dB/m at ``frequency_hz``.
+
+        Standard plane-wave result for a low-loss dielectric:
+        ``alpha = pi * f * sqrt(eps_r) * tan(d) / c`` nepers per metre,
+        converted to dB (1 Np = 8.686 dB).
+        """
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        alpha_np = (math.pi * frequency_hz *
+                    math.sqrt(self.relative_permittivity) *
+                    self.loss_tangent / SPEED_OF_LIGHT)
+        return 8.685889638 * alpha_np
+
+    def transmission_loss_db(self, frequency_hz: float, thickness_m: float,
+                             path_multiplier: float = 1.0) -> float:
+        """Dielectric loss for a wave crossing ``thickness_m`` of material.
+
+        ``path_multiplier`` accounts for resonant structures where the
+        effective electrical path greatly exceeds the physical thickness.
+        """
+        if thickness_m < 0:
+            raise ValueError("thickness must be non-negative")
+        if path_multiplier < 0:
+            raise ValueError("path multiplier must be non-negative")
+        return (self.dielectric_attenuation_db_per_meter(frequency_hz) *
+                thickness_m * path_multiplier)
+
+
+#: Cheap glass-epoxy laminate used by LLAMA (paper reference [13]).
+FR4 = SubstrateMaterial(
+    name="FR4",
+    relative_permittivity=4.4,
+    loss_tangent=0.02,
+    cost_per_square_meter_usd=45.0,
+)
+
+#: Low-loss PTFE laminate used by the 10 GHz reference design [36].
+ROGERS_5880 = SubstrateMaterial(
+    name="Rogers RT/duroid 5880",
+    relative_permittivity=2.2,
+    loss_tangent=0.0009,
+    cost_per_square_meter_usd=900.0,
+)
+
+#: Mid-range laminate included for design-space exploration.
+ROGERS_4350B = SubstrateMaterial(
+    name="Rogers RO4350B",
+    relative_permittivity=3.48,
+    loss_tangent=0.0037,
+    cost_per_square_meter_usd=400.0,
+)
+
+#: Idealised lossless spacer.
+AIR = SubstrateMaterial(
+    name="Air",
+    relative_permittivity=1.0,
+    loss_tangent=0.0,
+    cost_per_square_meter_usd=0.0,
+)
+
+__all__ = ["SubstrateMaterial", "FR4", "ROGERS_5880", "ROGERS_4350B", "AIR"]

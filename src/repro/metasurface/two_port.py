@@ -1,0 +1,281 @@
+"""Two-port network theory (paper Sec. 3.2, Eqs. 9-12).
+
+The paper characterises the metasurface with scattering parameters: the
+transmission efficiency criterion of Eq. 11 is built from S21 terms, and
+the phase-shifter bandwidth trade-off of Eq. 12 motivates the two-layer
+design.  This module provides a small but complete two-port toolkit:
+S-matrix and ABCD representations, conversions, cascading, and the
+bandwidth formula.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TwoPortNetwork:
+    """A linear two-port network described by its scattering matrix.
+
+    The S-matrix relates incident waves ``a`` to outgoing waves ``b`` as
+    ``[b1, b2]^T = S [a1, a2]^T`` (paper Eq. 10).  ``reference_impedance``
+    is the port impedance Z0 used for wave normalisation (paper Eq. 9).
+    """
+
+    s11: complex
+    s12: complex
+    s21: complex
+    s22: complex
+    reference_impedance: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.reference_impedance <= 0:
+            raise ValueError("reference impedance must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_s_matrix(matrix: Sequence[Sequence[complex]],
+                      reference_impedance: float = 50.0) -> "TwoPortNetwork":
+        """Build from a 2x2 S-matrix."""
+        arr = np.asarray(matrix, dtype=complex)
+        if arr.shape != (2, 2):
+            raise ValueError("S-matrix must be 2x2")
+        return TwoPortNetwork(complex(arr[0, 0]), complex(arr[0, 1]),
+                              complex(arr[1, 0]), complex(arr[1, 1]),
+                              reference_impedance)
+
+    @staticmethod
+    def identity(reference_impedance: float = 50.0) -> "TwoPortNetwork":
+        """A matched, lossless, zero-phase through connection."""
+        return TwoPortNetwork(0.0, 1.0, 1.0, 0.0, reference_impedance)
+
+    @staticmethod
+    def from_abcd(a: complex, b: complex, c: complex, d: complex,
+                  reference_impedance: float = 50.0) -> "TwoPortNetwork":
+        """Build from ABCD (transmission/chain) parameters."""
+        z0 = reference_impedance
+        denominator = a + b / z0 + c * z0 + d
+        if abs(denominator) < 1e-30:
+            raise ValueError("singular ABCD matrix")
+        s11 = (a + b / z0 - c * z0 - d) / denominator
+        s12 = 2.0 * (a * d - b * c) / denominator
+        s21 = 2.0 / denominator
+        s22 = (-a + b / z0 - c * z0 + d) / denominator
+        return TwoPortNetwork(s11, s12, s21, s22, z0)
+
+    @staticmethod
+    def series_impedance(impedance: complex,
+                         reference_impedance: float = 50.0) -> "TwoPortNetwork":
+        """A series impedance element."""
+        return TwoPortNetwork.from_abcd(1.0, impedance, 0.0, 1.0,
+                                        reference_impedance)
+
+    @staticmethod
+    def shunt_admittance(admittance: complex,
+                         reference_impedance: float = 50.0) -> "TwoPortNetwork":
+        """A shunt admittance element."""
+        return TwoPortNetwork.from_abcd(1.0, 0.0, admittance, 1.0,
+                                        reference_impedance)
+
+    @staticmethod
+    def transmission_line(electrical_length_rad: float,
+                          characteristic_impedance: float,
+                          reference_impedance: float = 50.0,
+                          attenuation_np: float = 0.0) -> "TwoPortNetwork":
+        """A (possibly lossy) transmission-line section.
+
+        Parameters
+        ----------
+        electrical_length_rad:
+            ``beta * l`` in radians.
+        characteristic_impedance:
+            Line impedance ZL.
+        attenuation_np:
+            Total line attenuation ``alpha * l`` in nepers.
+        """
+        if characteristic_impedance <= 0:
+            raise ValueError("characteristic impedance must be positive")
+        gamma_l = attenuation_np + 1j * electrical_length_rad
+        zl = characteristic_impedance
+        a = np.cosh(gamma_l)
+        b = zl * np.sinh(gamma_l)
+        c = np.sinh(gamma_l) / zl
+        d = np.cosh(gamma_l)
+        return TwoPortNetwork.from_abcd(a, b, c, d, reference_impedance)
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    def s_matrix(self) -> np.ndarray:
+        """The 2x2 S-matrix as an ndarray."""
+        return np.array([[self.s11, self.s12], [self.s21, self.s22]],
+                        dtype=complex)
+
+    def abcd_matrix(self) -> np.ndarray:
+        """Convert to ABCD (chain) parameters."""
+        z0 = self.reference_impedance
+        s11, s12, s21, s22 = self.s11, self.s12, self.s21, self.s22
+        if abs(s21) < 1e-30:
+            raise ValueError("S21 = 0; network has no through path")
+        a = ((1 + s11) * (1 - s22) + s12 * s21) / (2.0 * s21)
+        b = z0 * ((1 + s11) * (1 + s22) - s12 * s21) / (2.0 * s21)
+        c = ((1 - s11) * (1 - s22) - s12 * s21) / (2.0 * s21 * z0)
+        d = ((1 - s11) * (1 + s22) + s12 * s21) / (2.0 * s21)
+        return np.array([[a, b], [c, d]], dtype=complex)
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def insertion_loss_db(self) -> float:
+        """Insertion loss ``-20 log10 |S21|`` in dB (non-negative for passive)."""
+        magnitude = abs(self.s21)
+        if magnitude <= 1e-30:
+            return float("inf")
+        return -20.0 * math.log10(magnitude)
+
+    @property
+    def return_loss_db(self) -> float:
+        """Return loss ``-20 log10 |S11|`` in dB."""
+        magnitude = abs(self.s11)
+        if magnitude <= 1e-30:
+            return float("inf")
+        return -20.0 * math.log10(magnitude)
+
+    @property
+    def transmission_phase_rad(self) -> float:
+        """Phase of S21 in radians."""
+        return float(np.angle(self.s21))
+
+    @property
+    def transmission_efficiency(self) -> float:
+        """``|S21|^2`` — power transmission efficiency of the through path."""
+        return float(abs(self.s21) ** 2)
+
+    @property
+    def is_reciprocal(self) -> bool:
+        """True when S12 == S21 (within tolerance)."""
+        return bool(np.isclose(self.s12, self.s21, atol=1e-9))
+
+    @property
+    def is_passive(self) -> bool:
+        """True when the network cannot amplify (all eigenvalues of
+        ``I - S^H S`` are non-negative)."""
+        s = self.s_matrix()
+        gram = np.eye(2) - s.conj().T @ s
+        eigenvalues = np.linalg.eigvalsh(gram)
+        return bool(np.all(eigenvalues >= -1e-9))
+
+    @property
+    def is_lossless(self) -> bool:
+        """True when the S-matrix is unitary (within tolerance)."""
+        s = self.s_matrix()
+        return bool(np.allclose(s.conj().T @ s, np.eye(2), atol=1e-9))
+
+    def cascade_with(self, other: "TwoPortNetwork") -> "TwoPortNetwork":
+        """Cascade this network followed by ``other`` (ABCD multiplication)."""
+        if not math.isclose(self.reference_impedance,
+                            other.reference_impedance):
+            raise ValueError("cannot cascade networks with different Z0")
+        combined = self.abcd_matrix() @ other.abcd_matrix()
+        return TwoPortNetwork.from_abcd(combined[0, 0], combined[0, 1],
+                                        combined[1, 0], combined[1, 1],
+                                        self.reference_impedance)
+
+
+def cascade_networks(networks: Iterable[TwoPortNetwork]) -> TwoPortNetwork:
+    """Cascade an ordered sequence of two-port networks."""
+    iterator = iter(networks)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise ValueError("cannot cascade an empty sequence") from None
+    for network in iterator:
+        result = result.cascade_with(network)
+    return result
+
+
+def wave_amplitudes(voltage: complex, current: complex,
+                    reference_impedance: float = 50.0) -> tuple:
+    """Incident/reflected wave amplitudes at a port (paper Eq. 9).
+
+    Returns ``(a, b)`` where ``a`` is the incoming and ``b`` the outgoing
+    wave for port voltage ``V`` and current ``I`` (current flowing into
+    the port).
+    """
+    if reference_impedance <= 0:
+        raise ValueError("reference impedance must be positive")
+    z0 = reference_impedance
+    a = (voltage + z0 * current) / (2.0 * math.sqrt(z0))
+    b = (voltage - z0 * current) / (2.0 * math.sqrt(z0))
+    return a, b
+
+
+def transmission_efficiency_dual_pol(s_xx21: complex, s_yx21: complex) -> float:
+    """Paper Eq. 11: efficiency for an x-polarized excitation.
+
+    ``eff = |Sxx21|^2 + |Syx21|^2`` — the co- and cross-polarized
+    transmitted power fractions sum to the total transmitted power.
+    """
+    return float(abs(s_xx21) ** 2 + abs(s_yx21) ** 2)
+
+
+def phase_shifter_bandwidth_hz(center_frequency_hz: float,
+                               line_length_fraction: float,
+                               max_reflection_coefficient: float,
+                               input_impedance: float,
+                               load_impedance: float) -> float:
+    """Paper Eq. 12: bandwidth of a transmission-line phase shifter.
+
+    Parameters
+    ----------
+    center_frequency_hz:
+        Design centre frequency ``f0``.
+    line_length_fraction:
+        ``m`` where the line length is ``lambda / m`` (e.g. 4 for a
+        quarter-wave section).
+    max_reflection_coefficient:
+        Maximum tolerable reflection coefficient ``Gamma`` (0..1).
+    input_impedance, load_impedance:
+        ``Z0`` and ``ZL``.
+
+    Returns
+    -------
+    float
+        The usable bandwidth in Hz.  The paper uses this expression to
+        argue that fewer, shorter phase-shifter layers give a wider
+        bandwidth, motivating the two-layer optimized FR4 design.
+    """
+    if center_frequency_hz <= 0:
+        raise ValueError("center frequency must be positive")
+    if not (0.0 < max_reflection_coefficient < 1.0):
+        raise ValueError("reflection coefficient must be in (0, 1)")
+    if line_length_fraction <= 0:
+        raise ValueError("line length fraction must be positive")
+    if input_impedance <= 0 or load_impedance <= 0:
+        raise ValueError("impedances must be positive")
+    if math.isclose(input_impedance, load_impedance):
+        raise ValueError("Eq. 12 is undefined for Z0 == ZL (already matched)")
+    gamma = max_reflection_coefficient
+    argument = (gamma / math.sqrt(1.0 - gamma ** 2) *
+                2.0 * math.sqrt(input_impedance * load_impedance) /
+                abs(load_impedance - input_impedance))
+    argument = min(1.0, max(-1.0, argument))
+    bandwidth = center_frequency_hz * (
+        2.0 - (line_length_fraction / math.pi) * math.acos(argument))
+    return bandwidth
+
+
+__all__ = [
+    "TwoPortNetwork",
+    "cascade_networks",
+    "wave_amplitudes",
+    "transmission_efficiency_dual_pol",
+    "phase_shifter_bandwidth_hz",
+]

@@ -1,0 +1,43 @@
+"""Multi-link extension: dense IoT deployments sharing one metasurface.
+
+The paper's conclusion sketches the next step beyond single links: "When
+there are multiple IoT devices in different polarization orientations,
+tuning the signal polarization can lead to a new form of polarization
+reuse or access control and improve the network throughput for dense IoT
+deployments."  This package implements that extension on top of the
+single-link machinery:
+
+* :mod:`repro.network.deployment` — a dense deployment of IoT stations
+  around one access point and one shared LLAMA surface;
+* :mod:`repro.network.scheduler` — TDMA schedulers that decide which
+  bias pair serves which station in each slot (fixed-bias baseline,
+  per-station retuning, and orientation-clustered "polarization reuse");
+* :mod:`repro.network.access_control` — polarization-based access
+  control: choosing a bias pair that serves the intended station while
+  keeping an unauthorised receiver below its decoding threshold.
+"""
+
+from repro.network.deployment import DenseDeployment, StationPlacement
+from repro.network.scheduler import (
+    ScheduleResult,
+    FixedBiasScheduler,
+    PerStationScheduler,
+    PolarizationReuseScheduler,
+    jain_fairness_index,
+)
+from repro.network.access_control import (
+    AccessControlResult,
+    polarization_access_control,
+)
+
+__all__ = [
+    "DenseDeployment",
+    "StationPlacement",
+    "ScheduleResult",
+    "FixedBiasScheduler",
+    "PerStationScheduler",
+    "PolarizationReuseScheduler",
+    "jain_fairness_index",
+    "AccessControlResult",
+    "polarization_access_control",
+]

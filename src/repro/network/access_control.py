@@ -1,0 +1,106 @@
+"""Polarization-based access control (paper conclusion / future work).
+
+Because the surface controls the polarization arriving at each receiver,
+it can deliberately *mismatch* an unauthorised device while serving the
+intended one: choose the bias pair that maximizes the intended
+receiver's power subject to keeping the unauthorised receiver below its
+decoding threshold (or simply maximize the power ratio between them).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.network.deployment import DenseDeployment
+
+
+@dataclass(frozen=True)
+class AccessControlResult:
+    """Outcome of a polarization access-control optimization."""
+
+    intended_station: str
+    unauthorized_station: str
+    bias_pair: Tuple[float, float]
+    intended_rssi_dbm: float
+    unauthorized_rssi_dbm: float
+    baseline_isolation_db: float
+
+    @property
+    def isolation_db(self) -> float:
+        """Power margin of the intended over the unauthorised receiver."""
+        return self.intended_rssi_dbm - self.unauthorized_rssi_dbm
+
+    @property
+    def isolation_improvement_db(self) -> float:
+        """How much the surface improves the isolation over no-surface."""
+        return self.isolation_db - self.baseline_isolation_db
+
+
+def polarization_access_control(deployment: DenseDeployment,
+                                intended_station: str,
+                                unauthorized_station: str,
+                                step_v: float = 3.0,
+                                minimum_intended_rssi_dbm: Optional[float] = None
+                                ) -> AccessControlResult:
+    """Find the bias pair that favours one station over another.
+
+    Parameters
+    ----------
+    deployment:
+        The dense deployment both stations belong to.
+    intended_station, unauthorized_station:
+        Names of the station to serve and the station to suppress.
+    step_v:
+        Bias grid step for the search.
+    minimum_intended_rssi_dbm:
+        Optional floor on the intended station's RSSI; bias pairs that
+        drop it below this level are rejected even if they isolate the
+        unauthorised station better.
+
+    Returns
+    -------
+    AccessControlResult
+        The chosen bias pair and the achieved isolation.
+    """
+    if intended_station == unauthorized_station:
+        raise ValueError("intended and unauthorized stations must differ")
+    if step_v <= 0:
+        raise ValueError("step must be positive")
+    # Validate both names up front (raises KeyError for unknown ones).
+    deployment.station(intended_station)
+    deployment.station(unauthorized_station)
+
+    baseline_isolation = (deployment.baseline_rssi_dbm(intended_station) -
+                          deployment.baseline_rssi_dbm(unauthorized_station))
+    levels = np.arange(0.0, 30.0 + 0.5 * step_v, step_v)
+    best: Optional[Tuple[float, float, float, float]] = None
+    for vx in levels:
+        for vy in levels:
+            intended = deployment.rssi_dbm(intended_station, float(vx), float(vy))
+            if (minimum_intended_rssi_dbm is not None and
+                    intended < minimum_intended_rssi_dbm):
+                continue
+            unauthorized = deployment.rssi_dbm(unauthorized_station,
+                                               float(vx), float(vy))
+            isolation = intended - unauthorized
+            if best is None or isolation > best[0]:
+                best = (isolation, float(vx), float(vy), intended)
+    if best is None:
+        raise ValueError(
+            "no bias pair satisfies the minimum intended RSSI constraint")
+    _isolation, vx, vy, intended_rssi = best
+    return AccessControlResult(
+        intended_station=intended_station,
+        unauthorized_station=unauthorized_station,
+        bias_pair=(vx, vy),
+        intended_rssi_dbm=intended_rssi,
+        unauthorized_rssi_dbm=deployment.rssi_dbm(unauthorized_station, vx, vy),
+        baseline_isolation_db=baseline_isolation,
+    )
+
+
+__all__ = ["AccessControlResult", "polarization_access_control"]

@@ -1,0 +1,229 @@
+"""Dense IoT deployment model (paper conclusion / future work).
+
+A deployment is a set of IoT stations at different positions and —
+crucially for LLAMA — different antenna orientations, all talking to one
+access point through (or past) one shared metasurface.  The deployment
+exposes, for every station, the received power as a function of the
+surface's bias pair, which is all the schedulers in
+:mod:`repro.network.scheduler` need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.antenna import dipole_antenna
+from repro.channel.geometry import LinkGeometry
+from repro.channel.link import DeploymentMode, LinkConfiguration, WirelessLink
+from repro.channel.multipath import MultipathEnvironment
+from repro.constants import DEFAULT_CENTER_FREQUENCY_HZ
+from repro.devices.wifi import netgear_access_point, wifi_rate_for_rssi_mbps
+from repro.metasurface.design import llama_design
+from repro.metasurface.surface import Metasurface
+
+
+@dataclass(frozen=True)
+class StationPlacement:
+    """One IoT station in the deployment.
+
+    Attributes
+    ----------
+    name:
+        Station identifier.
+    distance_m:
+        Distance from the access point (the surface sits midway).
+    orientation_deg:
+        Antenna polarization orientation the user happened to deploy.
+    tx_power_dbm:
+        Uplink transmit power.
+    traffic_demand_mbps:
+        Offered load, used by the schedulers' utility metrics.
+    """
+
+    name: str
+    distance_m: float
+    orientation_deg: float
+    tx_power_dbm: float = 14.0
+    traffic_demand_mbps: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.distance_m <= 0:
+            raise ValueError("distance must be positive")
+        if self.traffic_demand_mbps <= 0:
+            raise ValueError("traffic demand must be positive")
+
+
+class DenseDeployment:
+    """A set of stations sharing one access point and one metasurface.
+
+    Parameters
+    ----------
+    stations:
+        Station placements.
+    metasurface:
+        The shared surface (the optimized FR4 prototype by default).
+    ap_orientation_deg:
+        Polarization orientation of the access-point antenna.
+    environment_seed:
+        Seed of the shared multipath environment.
+    """
+
+    def __init__(self,
+                 stations: Sequence[StationPlacement],
+                 metasurface: Optional[Metasurface] = None,
+                 ap_orientation_deg: float = 0.0,
+                 frequency_hz: float = DEFAULT_CENTER_FREQUENCY_HZ,
+                 environment_seed: int = 2021):
+        if not stations:
+            raise ValueError("a deployment needs at least one station")
+        names = [station.name for station in stations]
+        if len(set(names)) != len(names):
+            raise ValueError("station names must be unique")
+        self.stations: Tuple[StationPlacement, ...] = tuple(stations)
+        self.metasurface = (metasurface if metasurface is not None
+                            else llama_design().build())
+        self.ap_orientation_deg = ap_orientation_deg
+        self.frequency_hz = frequency_hz
+        self.environment_seed = environment_seed
+        self._links: Dict[str, WirelessLink] = {}
+        self._baselines: Dict[str, WirelessLink] = {}
+
+    # ------------------------------------------------------------------ #
+    # Link construction
+    # ------------------------------------------------------------------ #
+    def _configuration(self, station: StationPlacement,
+                       with_surface: bool) -> LinkConfiguration:
+        access_point = netgear_access_point(
+            orientation_deg=self.ap_orientation_deg)
+        configuration = LinkConfiguration(
+            tx_antenna=dipole_antenna(orientation_deg=station.orientation_deg,
+                                      name=f"{station.name} antenna"),
+            rx_antenna=access_point.antenna,
+            geometry=LinkGeometry.transmissive(station.distance_m),
+            frequency_hz=self.frequency_hz,
+            tx_power_dbm=station.tx_power_dbm,
+            bandwidth_hz=20e6,
+            environment=MultipathEnvironment(absorber_enabled=False,
+                                             rician_k_db=10.0, ray_count=12,
+                                             seed=self.environment_seed),
+            metasurface=self.metasurface if with_surface else None,
+            deployment=(DeploymentMode.TRANSMISSIVE if with_surface
+                        else DeploymentMode.NONE),
+        )
+        return configuration
+
+    def link_for(self, station_name: str) -> WirelessLink:
+        """With-surface uplink of one station (cached)."""
+        if station_name not in self._links:
+            station = self.station(station_name)
+            self._links[station_name] = WirelessLink(
+                self._configuration(station, with_surface=True))
+        return self._links[station_name]
+
+    def baseline_link_for(self, station_name: str) -> WirelessLink:
+        """No-surface uplink of one station (cached)."""
+        if station_name not in self._baselines:
+            station = self.station(station_name)
+            self._baselines[station_name] = WirelessLink(
+                self._configuration(station, with_surface=False))
+        return self._baselines[station_name]
+
+    def station(self, name: str) -> StationPlacement:
+        """Look up a station by name."""
+        for station in self.stations:
+            if station.name == name:
+                return station
+        raise KeyError(f"unknown station {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Per-station metrics
+    # ------------------------------------------------------------------ #
+    def rssi_dbm(self, station_name: str, vx: float, vy: float) -> float:
+        """Uplink RSSI of a station at a given surface bias pair."""
+        return self.link_for(station_name).received_power_dbm(vx, vy)
+
+    def baseline_rssi_dbm(self, station_name: str) -> float:
+        """Uplink RSSI of a station with no surface deployed."""
+        return self.baseline_link_for(station_name).received_power_dbm()
+
+    def rate_mbps(self, station_name: str, vx: float, vy: float) -> float:
+        """Achievable 802.11g PHY rate of a station at a bias pair."""
+        return float(wifi_rate_for_rssi_mbps(self.rssi_dbm(station_name, vx, vy)))
+
+    def baseline_rate_mbps(self, station_name: str) -> float:
+        """Achievable rate of a station with no surface deployed."""
+        return float(wifi_rate_for_rssi_mbps(self.baseline_rssi_dbm(station_name)))
+
+    def best_bias_for(self, station_name: str,
+                      step_v: float = 5.0) -> Tuple[float, float, float]:
+        """Grid-search the bias pair maximizing one station's RSSI.
+
+        Returns ``(vx, vy, rssi_dbm)``.
+        """
+        if step_v <= 0:
+            raise ValueError("step must be positive")
+        best = (-np.inf, 0.0, 0.0)
+        levels = np.arange(0.0, 30.0 + 0.5 * step_v, step_v)
+        link = self.link_for(station_name)
+        for vx in levels:
+            for vy in levels:
+                power = link.received_power_dbm(float(vx), float(vy))
+                if power > best[0]:
+                    best = (power, float(vx), float(vy))
+        return best[1], best[2], best[0]
+
+    def orientation_groups(self, tolerance_deg: float = 20.0) -> List[List[str]]:
+        """Cluster stations whose antenna orientations are similar.
+
+        Stations within ``tolerance_deg`` of a group's first member share
+        a group; this is the "polarization reuse" structure the
+        polarization-reuse scheduler exploits (one bias pair can serve a
+        whole group well).
+        """
+        if tolerance_deg <= 0:
+            raise ValueError("tolerance must be positive")
+        groups: List[List[str]] = []
+        anchors: List[float] = []
+        for station in self.stations:
+            orientation = station.orientation_deg % 180.0
+            placed = False
+            for group, anchor in zip(groups, anchors):
+                difference = abs(orientation - anchor) % 180.0
+                difference = min(difference, 180.0 - difference)
+                if difference <= tolerance_deg:
+                    group.append(station.name)
+                    placed = True
+                    break
+            if not placed:
+                groups.append([station.name])
+                anchors.append(orientation)
+        return groups
+
+    @staticmethod
+    def random_home(station_count: int = 6, seed: int = 7,
+                    metasurface: Optional[Metasurface] = None) -> "DenseDeployment":
+        """A reproducible random smart-home deployment.
+
+        Stations are scattered 2-8 m from the AP with arbitrary antenna
+        orientations, mimicking how end users actually deploy devices.
+        """
+        if station_count < 1:
+            raise ValueError("need at least one station")
+        rng = np.random.default_rng(seed)
+        stations = [
+            StationPlacement(
+                name=f"station-{index}",
+                distance_m=float(rng.uniform(2.0, 8.0)),
+                orientation_deg=float(rng.uniform(0.0, 180.0)),
+                tx_power_dbm=14.0,
+                traffic_demand_mbps=float(rng.uniform(2.0, 20.0)),
+            )
+            for index in range(station_count)
+        ]
+        return DenseDeployment(stations, metasurface=metasurface, environment_seed=seed)
+
+
+__all__ = ["StationPlacement", "DenseDeployment"]

@@ -1,0 +1,252 @@
+"""TDMA schedulers for a dense deployment sharing one metasurface.
+
+The surface has a single bias state at any instant, so serving stations
+with different antenna orientations is a scheduling problem: which bias
+pair does the controller program in each slot, and which station
+transmits?  Three strategies bracket the design space:
+
+* :class:`FixedBiasScheduler` — the surface is tuned once (or not at
+  all) and every station shares that state; the baseline for "just hang
+  the panel on the wall".
+* :class:`PerStationScheduler` — every slot retunes the surface for the
+  scheduled station; maximum per-station RSSI but pays the retuning
+  overhead (Algorithm 1 at 50 Hz switching) on every slot boundary.
+* :class:`PolarizationReuseScheduler` — stations are clustered by
+  antenna orientation and the surface is retuned only at *group*
+  boundaries; this is the paper's "polarization reuse" idea, trading a
+  little per-station optimality for far less retuning overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.deployment import DenseDeployment
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of a set of non-negative allocations."""
+    allocations = np.asarray(values, dtype=float)
+    if allocations.size == 0:
+        raise ValueError("need at least one allocation")
+    if np.any(allocations < 0):
+        raise ValueError("allocations must be non-negative")
+    total = allocations.sum()
+    if total == 0:
+        return 1.0
+    return float(total ** 2 / (allocations.size * np.sum(allocations ** 2)))
+
+
+@dataclass(frozen=True)
+class StationAllocation:
+    """Per-station outcome of one scheduling epoch."""
+
+    station: str
+    bias_pair: Tuple[float, float]
+    rssi_dbm: float
+    rate_mbps: float
+    airtime_fraction: float
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Throughput delivered to this station over the epoch."""
+        return self.rate_mbps * self.airtime_fraction
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling one epoch over a deployment."""
+
+    scheduler_name: str
+    allocations: Tuple[StationAllocation, ...]
+    retune_count: int
+    retune_overhead_fraction: float
+
+    @property
+    def total_throughput_mbps(self) -> float:
+        """Aggregate network throughput after retuning overhead."""
+        raw = sum(allocation.throughput_mbps for allocation in self.allocations)
+        return raw * (1.0 - self.retune_overhead_fraction)
+
+    @property
+    def fairness(self) -> float:
+        """Jain fairness of the per-station throughputs."""
+        return jain_fairness_index(
+            [allocation.throughput_mbps for allocation in self.allocations])
+
+    @property
+    def worst_station_rate_mbps(self) -> float:
+        """PHY rate of the worst-served station (0 if any link is down)."""
+        return min(allocation.rate_mbps for allocation in self.allocations)
+
+    def allocation_for(self, station: str) -> StationAllocation:
+        """Look up one station's allocation."""
+        for allocation in self.allocations:
+            if allocation.station == station:
+                return allocation
+        raise KeyError(f"no allocation for station {station!r}")
+
+
+class _SchedulerBase:
+    """Shared plumbing for the concrete schedulers."""
+
+    #: Time the controller needs to retune the surface (Algorithm 1 with
+    #: the paper's defaults: 50 probes at 50 Hz switching = 1 s).
+    RETUNE_TIME_S = 1.0
+
+    def __init__(self, deployment: DenseDeployment,
+                 epoch_duration_s: float = 60.0,
+                 bias_search_step_v: float = 5.0):
+        if epoch_duration_s <= 0:
+            raise ValueError("epoch duration must be positive")
+        if bias_search_step_v <= 0:
+            raise ValueError("bias search step must be positive")
+        self.deployment = deployment
+        self.epoch_duration_s = epoch_duration_s
+        self.bias_search_step_v = bias_search_step_v
+
+    def _airtime_fractions(self) -> Dict[str, float]:
+        """Equal airtime split across stations (TDMA round robin)."""
+        share = 1.0 / len(self.deployment.stations)
+        return {station.name: share for station in self.deployment.stations}
+
+    def _overhead_fraction(self, retune_count: int) -> float:
+        """Fraction of the epoch burned by surface retuning."""
+        overhead = retune_count * self.RETUNE_TIME_S / self.epoch_duration_s
+        return min(overhead, 1.0)
+
+    def _build_result(self, name: str,
+                      bias_per_station: Dict[str, Tuple[float, float]],
+                      retune_count: int) -> ScheduleResult:
+        airtime = self._airtime_fractions()
+        allocations = []
+        for station in self.deployment.stations:
+            vx, vy = bias_per_station[station.name]
+            rssi = self.deployment.rssi_dbm(station.name, vx, vy)
+            rate = self.deployment.rate_mbps(station.name, vx, vy)
+            allocations.append(StationAllocation(
+                station=station.name,
+                bias_pair=(vx, vy),
+                rssi_dbm=rssi,
+                rate_mbps=rate,
+                airtime_fraction=airtime[station.name],
+            ))
+        return ScheduleResult(
+            scheduler_name=name,
+            allocations=tuple(allocations),
+            retune_count=retune_count,
+            retune_overhead_fraction=self._overhead_fraction(retune_count),
+        )
+
+
+class FixedBiasScheduler(_SchedulerBase):
+    """One bias pair for the whole epoch (tuned for the aggregate).
+
+    The bias pair is chosen to maximize the *sum* of station RSSIs over a
+    coarse grid — i.e. the best single compromise state — and is applied
+    once at the start of the epoch.
+    """
+
+    def schedule(self) -> ScheduleResult:
+        """Pick the best compromise bias pair and serve everyone with it."""
+        levels = np.arange(0.0, 30.0 + 0.5 * self.bias_search_step_v,
+                           self.bias_search_step_v)
+        best_pair = (0.0, 0.0)
+        best_utility = -math.inf
+        for vx in levels:
+            for vy in levels:
+                utility = sum(
+                    self.deployment.rate_mbps(station.name, float(vx), float(vy))
+                    for station in self.deployment.stations)
+                if utility > best_utility:
+                    best_utility = utility
+                    best_pair = (float(vx), float(vy))
+        bias_per_station = {station.name: best_pair
+                            for station in self.deployment.stations}
+        return self._build_result("fixed-bias", bias_per_station,
+                                  retune_count=1)
+
+
+class PerStationScheduler(_SchedulerBase):
+    """Retune the surface for every station's slot."""
+
+    def schedule(self) -> ScheduleResult:
+        """Give each station its individually optimal bias pair."""
+        bias_per_station = {}
+        for station in self.deployment.stations:
+            vx, vy, _power = self.deployment.best_bias_for(
+                station.name, step_v=self.bias_search_step_v)
+            bias_per_station[station.name] = (vx, vy)
+        return self._build_result("per-station", bias_per_station,
+                                  retune_count=len(self.deployment.stations))
+
+
+class PolarizationReuseScheduler(_SchedulerBase):
+    """Retune only at orientation-group boundaries (polarization reuse).
+
+    Stations with similar antenna orientations need nearly the same
+    rotation, so one bias pair serves the whole group; the number of
+    retunes per epoch drops from the station count to the group count.
+    """
+
+    def __init__(self, deployment: DenseDeployment,
+                 epoch_duration_s: float = 60.0,
+                 bias_search_step_v: float = 5.0,
+                 orientation_tolerance_deg: float = 20.0):
+        super().__init__(deployment, epoch_duration_s, bias_search_step_v)
+        if orientation_tolerance_deg <= 0:
+            raise ValueError("orientation tolerance must be positive")
+        self.orientation_tolerance_deg = orientation_tolerance_deg
+
+    def schedule(self) -> ScheduleResult:
+        """Cluster stations by orientation and tune once per cluster."""
+        groups = self.deployment.orientation_groups(
+            self.orientation_tolerance_deg)
+        bias_per_station: Dict[str, Tuple[float, float]] = {}
+        for group in groups:
+            levels = np.arange(0.0, 30.0 + 0.5 * self.bias_search_step_v,
+                               self.bias_search_step_v)
+            best_pair = (0.0, 0.0)
+            best_utility = -math.inf
+            for vx in levels:
+                for vy in levels:
+                    utility = sum(
+                        self.deployment.rate_mbps(name, float(vx), float(vy))
+                        for name in group)
+                    if utility > best_utility:
+                        best_utility = utility
+                        best_pair = (float(vx), float(vy))
+            for name in group:
+                bias_per_station[name] = best_pair
+        return self._build_result("polarization-reuse", bias_per_station,
+                                  retune_count=len(groups))
+
+
+def baseline_without_surface(deployment: DenseDeployment) -> ScheduleResult:
+    """Round-robin TDMA with no metasurface deployed at all."""
+    share = 1.0 / len(deployment.stations)
+    allocations = []
+    for station in deployment.stations:
+        rssi = deployment.baseline_rssi_dbm(station.name)
+        rate = deployment.baseline_rate_mbps(station.name)
+        allocations.append(StationAllocation(
+            station=station.name, bias_pair=(0.0, 0.0), rssi_dbm=rssi,
+            rate_mbps=rate, airtime_fraction=share))
+    return ScheduleResult(scheduler_name="no-surface",
+                          allocations=tuple(allocations),
+                          retune_count=0, retune_overhead_fraction=0.0)
+
+
+__all__ = [
+    "jain_fairness_index",
+    "StationAllocation",
+    "ScheduleResult",
+    "FixedBiasScheduler",
+    "PerStationScheduler",
+    "PolarizationReuseScheduler",
+    "baseline_without_surface",
+]

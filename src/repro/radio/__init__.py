@@ -1,0 +1,32 @@
+"""PHY / measurement substrate.
+
+Simulates the role the USRP N210 + GNU Radio toolchain plays in the
+paper's experiments: generating a continuous tone, sampling the received
+waveform at 1 MS/s, and converting sample streams into averaged power
+measurements and RSSI distributions (the PDFs of Figs. 2 and 20).
+"""
+
+from repro.radio.signal import BasebandSignal, cosine_tone
+from repro.radio.transceiver import (
+    ReceivedCapture,
+    SimulatedReceiver,
+    SimulatedTransmitter,
+)
+from repro.radio.measurement import (
+    PowerMeasurement,
+    average_power_dbm,
+    power_trace_dbm,
+    rssi_histogram,
+)
+
+__all__ = [
+    "BasebandSignal",
+    "cosine_tone",
+    "ReceivedCapture",
+    "SimulatedReceiver",
+    "SimulatedTransmitter",
+    "PowerMeasurement",
+    "average_power_dbm",
+    "power_trace_dbm",
+    "rssi_histogram",
+]

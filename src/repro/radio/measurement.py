@@ -1,0 +1,144 @@
+"""Power-measurement utilities (RSSI traces, averages, histograms).
+
+These helpers turn raw sample streams or per-probe power readings into
+the aggregates the paper reports: 30-second averaged baselines,
+received-power time traces (Fig. 23) and RSSI probability-density
+histograms (Figs. 2 and 20).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.radio.signal import BasebandSignal
+
+
+@dataclass(frozen=True)
+class PowerMeasurement:
+    """Summary statistics of a set of power readings (dBm domain)."""
+
+    mean_dbm: float
+    median_dbm: float
+    std_db: float
+    minimum_dbm: float
+    maximum_dbm: float
+    sample_count: int
+
+    @staticmethod
+    def from_readings(readings_dbm: Sequence[float]) -> "PowerMeasurement":
+        """Build summary statistics from individual dBm readings."""
+        readings = np.asarray(readings_dbm, dtype=float)
+        if readings.size == 0:
+            raise ValueError("need at least one reading")
+        return PowerMeasurement(
+            mean_dbm=float(np.mean(readings)),
+            median_dbm=float(np.median(readings)),
+            std_db=float(np.std(readings)),
+            minimum_dbm=float(np.min(readings)),
+            maximum_dbm=float(np.max(readings)),
+            sample_count=int(readings.size),
+        )
+
+    @property
+    def spread_db(self) -> float:
+        """Max-minus-min spread of the readings."""
+        return self.maximum_dbm - self.minimum_dbm
+
+
+def average_power_dbm(readings_dbm: Sequence[float]) -> float:
+    """Average power readings in the *linear* domain, returned in dBm.
+
+    Averaging dBm values directly underestimates the mean power; the
+    paper's 30-second baselines average the received samples (linear)
+    before conversion, so we do the same.
+    """
+    readings = np.asarray(readings_dbm, dtype=float)
+    if readings.size == 0:
+        raise ValueError("need at least one reading")
+    linear = np.power(10.0, readings / 10.0)
+    return float(10.0 * math.log10(max(np.mean(linear), 1e-20)))
+
+
+def power_trace_dbm(signal: BasebandSignal,
+                    window_s: float = 0.05) -> Tuple[np.ndarray, np.ndarray]:
+    """Sliding (non-overlapping) windowed power trace of a capture.
+
+    Returns ``(timestamps_s, powers_dbm)`` — the representation used by
+    the respiration-sensing figure (Fig. 23).
+    """
+    if window_s <= 0:
+        raise ValueError("window must be positive")
+    window = max(1, int(round(window_s * signal.sample_rate_hz)))
+    sample_count = len(signal)
+    if sample_count == 0:
+        raise ValueError("signal is empty")
+    window_count = max(1, sample_count // window)
+    timestamps = []
+    powers = []
+    for index in range(window_count):
+        chunk = signal.samples[index * window:(index + 1) * window]
+        power_mw = float(np.mean(np.abs(chunk) ** 2))
+        timestamps.append((index + 0.5) * window / signal.sample_rate_hz)
+        powers.append(10.0 * math.log10(max(power_mw, 1e-20)))
+    return np.asarray(timestamps), np.asarray(powers)
+
+
+def rssi_histogram(readings_dbm: Sequence[float],
+                   bin_width_db: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+    """Probability-density histogram of RSSI readings.
+
+    Returns ``(bin_centers_dbm, probability_percent)`` matching the PDF
+    plots of Figs. 2 and 20 (probabilities are percentages summing to
+    100).
+    """
+    readings = np.asarray(readings_dbm, dtype=float)
+    if readings.size == 0:
+        raise ValueError("need at least one reading")
+    if bin_width_db <= 0:
+        raise ValueError("bin width must be positive")
+    low = math.floor(readings.min() / bin_width_db) * bin_width_db
+    high = math.ceil(readings.max() / bin_width_db) * bin_width_db
+    if high <= low:
+        high = low + bin_width_db
+    edges = np.arange(low, high + bin_width_db, bin_width_db)
+    counts, edges = np.histogram(readings, bins=edges)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    probability = 100.0 * counts / counts.sum()
+    return centers, probability
+
+
+def distribution_overlap_fraction(first_dbm: Sequence[float],
+                                  second_dbm: Sequence[float],
+                                  bin_width_db: float = 1.0) -> float:
+    """Fraction of probability mass shared by two RSSI distributions.
+
+    Used by tests/benchmarks to quantify how separated the matched and
+    mismatched (or with/without-surface) distributions are; the paper's
+    Fig. 2 distributions are nearly disjoint.
+    """
+    first = np.asarray(first_dbm, dtype=float)
+    second = np.asarray(second_dbm, dtype=float)
+    if first.size == 0 or second.size == 0:
+        raise ValueError("need readings in both sets")
+    low = min(first.min(), second.min())
+    high = max(first.max(), second.max())
+    edges = np.arange(math.floor(low), math.ceil(high) + bin_width_db,
+                      bin_width_db)
+    hist_first, _ = np.histogram(first, bins=edges, density=False)
+    hist_second, _ = np.histogram(second, bins=edges, density=False)
+    pdf_first = hist_first / max(hist_first.sum(), 1)
+    pdf_second = hist_second / max(hist_second.sum(), 1)
+    return float(np.minimum(pdf_first, pdf_second).sum())
+
+
+__all__ = [
+    "PowerMeasurement",
+    "average_power_dbm",
+    "power_trace_dbm",
+    "rssi_histogram",
+    "distribution_overlap_fraction",
+]

@@ -1,0 +1,22 @@
+"""Wireless sensing application (paper Sec. 5.2.2, Fig. 23).
+
+LLAMA's reflective mode can strengthen the signal reflected off a human
+subject enough that respiration becomes detectable at transmit powers
+where it otherwise is not.  The package provides the breathing-target
+model, the sensing-link simulation and the respiration-rate detector.
+"""
+
+from repro.sensing.respiration import (
+    BreathingSubject,
+    RespirationSensingLink,
+    SensingTrace,
+)
+from repro.sensing.detector import RespirationDetector, RespirationReading
+
+__all__ = [
+    "BreathingSubject",
+    "RespirationSensingLink",
+    "SensingTrace",
+    "RespirationDetector",
+    "RespirationReading",
+]

@@ -1,0 +1,113 @@
+"""Respiration-rate detection from received-power traces.
+
+Turns the power traces produced by
+:class:`~repro.sensing.respiration.RespirationSensingLink` into a
+breathing-rate estimate and a detectability verdict, mirroring how the
+paper judges Fig. 23 ("the target's respiration rate is detectable under
+a low transmit power configuration" only with the metasurface present).
+
+The detector is a conventional spectral-peak estimator: detrend the
+trace, take the periodogram over the physiological band (0.1-0.5 Hz) and
+compare the strongest peak against the out-of-band noise floor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sensing.respiration import SensingTrace
+
+
+@dataclass(frozen=True)
+class RespirationReading:
+    """Result of analysing one sensing trace."""
+
+    estimated_rate_hz: Optional[float]
+    peak_to_noise_db: float
+    detected: bool
+
+    @property
+    def estimated_rate_bpm(self) -> Optional[float]:
+        """Breaths per minute, if a rate was detected."""
+        if self.estimated_rate_hz is None:
+            return None
+        return self.estimated_rate_hz * 60.0
+
+
+class RespirationDetector:
+    """Spectral-peak respiration detector.
+
+    Parameters
+    ----------
+    band_hz:
+        Physiological respiration band searched for a peak.
+    detection_threshold_db:
+        Minimum in-band peak-to-out-of-band-floor ratio to declare the
+        breathing detectable.
+    """
+
+    def __init__(self, band_hz: Tuple[float, float] = (0.1, 0.5),
+                 detection_threshold_db: float = 9.0):
+        low, high = band_hz
+        if not (0.0 < low < high):
+            raise ValueError("band must satisfy 0 < low < high")
+        if detection_threshold_db <= 0:
+            raise ValueError("detection threshold must be positive")
+        self.band_hz = band_hz
+        self.detection_threshold_db = detection_threshold_db
+
+    # ------------------------------------------------------------------ #
+    # Spectral machinery
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _periodogram(trace: SensingTrace) -> Tuple[np.ndarray, np.ndarray]:
+        """One-sided periodogram of the detrended power trace."""
+        power = np.asarray(trace.power_dbm, dtype=float)
+        if power.size < 8:
+            raise ValueError("trace too short for spectral analysis")
+        timestamps = np.asarray(trace.timestamps_s, dtype=float)
+        sample_interval = float(np.median(np.diff(timestamps)))
+        if sample_interval <= 0:
+            raise ValueError("timestamps must be increasing")
+        detrended = power - np.mean(power)
+        window = np.hanning(detrended.size)
+        spectrum = np.abs(np.fft.rfft(detrended * window)) ** 2
+        frequencies = np.fft.rfftfreq(detrended.size, d=sample_interval)
+        return frequencies, spectrum
+
+    def analyse(self, trace: SensingTrace) -> RespirationReading:
+        """Estimate the respiration rate and decide detectability."""
+        frequencies, spectrum = self._periodogram(trace)
+        low, high = self.band_hz
+        in_band = (frequencies >= low) & (frequencies <= high)
+        out_band = (frequencies > high) & (frequencies <= 4.0 * high)
+        if not np.any(in_band) or not np.any(out_band):
+            return RespirationReading(estimated_rate_hz=None,
+                                      peak_to_noise_db=0.0, detected=False)
+        peak_index = int(np.argmax(np.where(in_band, spectrum, 0.0)))
+        peak_power = spectrum[peak_index]
+        noise_floor = float(np.median(spectrum[out_band]))
+        if noise_floor <= 0:
+            noise_floor = 1e-20
+        peak_to_noise_db = 10.0 * math.log10(max(peak_power, 1e-20) /
+                                             noise_floor)
+        detected = peak_to_noise_db >= self.detection_threshold_db
+        rate = float(frequencies[peak_index]) if detected else None
+        return RespirationReading(estimated_rate_hz=rate,
+                                  peak_to_noise_db=peak_to_noise_db,
+                                  detected=detected)
+
+    def rate_error_hz(self, trace: SensingTrace,
+                      true_rate_hz: float) -> Optional[float]:
+        """Absolute rate error against the ground truth, if detected."""
+        reading = self.analyse(trace)
+        if not reading.detected or reading.estimated_rate_hz is None:
+            return None
+        return abs(reading.estimated_rate_hz - true_rate_hz)
+
+
+__all__ = ["RespirationDetector", "RespirationReading"]

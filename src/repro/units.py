@@ -1,0 +1,155 @@
+"""Unit conversion helpers used throughout the LLAMA reproduction.
+
+The paper mixes logarithmic (dB, dBm, dBi) and linear (mW, W, unit-less
+power ratios) quantities freely.  Centralising the conversions here keeps
+the physics modules free of ad-hoc ``10 * log10`` expressions and gives a
+single place to handle numerical edge cases (zero or negative power,
+array inputs, floors for cross-polarization isolation, ...).
+
+All functions accept scalars or NumPy arrays and return the same shape.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, int, np.ndarray]
+
+#: Smallest linear power ratio we ever report, to keep logarithms finite.
+#: Corresponds to -200 dB, far below any physically meaningful floor.
+MIN_LINEAR_POWER = 1e-20
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    """Return ``value`` as a float ndarray (0-d for scalars)."""
+    return np.asarray(value, dtype=float)
+
+
+def db_to_linear(value_db: ArrayLike) -> ArrayLike:
+    """Convert a power ratio in dB to a linear ratio.
+
+    >>> db_to_linear(3.0103)
+    2.0000...
+    """
+    return np.power(10.0, _as_array(value_db) / 10.0)
+
+
+def linear_to_db(ratio: ArrayLike) -> ArrayLike:
+    """Convert a linear power ratio to dB.
+
+    Ratios at or below zero are clamped to :data:`MIN_LINEAR_POWER` so the
+    result stays finite (useful when a simulated receiver measures an
+    essentially zero cross-polarized component).
+    """
+    ratio = np.maximum(_as_array(ratio), MIN_LINEAR_POWER)
+    return 10.0 * np.log10(ratio)
+
+
+def dbm_to_watts(power_dbm: ArrayLike) -> ArrayLike:
+    """Convert power in dBm to Watts."""
+    return np.power(10.0, (_as_array(power_dbm) - 30.0) / 10.0)
+
+
+def watts_to_dbm(power_watts: ArrayLike) -> ArrayLike:
+    """Convert power in Watts to dBm.
+
+    Non-positive powers are clamped so the logarithm stays finite.
+    """
+    power_watts = np.maximum(_as_array(power_watts), MIN_LINEAR_POWER)
+    return 10.0 * np.log10(power_watts) + 30.0
+
+
+def dbm_to_milliwatts(power_dbm: ArrayLike) -> ArrayLike:
+    """Convert power in dBm to milliwatts."""
+    return np.power(10.0, _as_array(power_dbm) / 10.0)
+
+
+def milliwatts_to_dbm(power_mw: ArrayLike) -> ArrayLike:
+    """Convert power in milliwatts to dBm."""
+    power_mw = np.maximum(_as_array(power_mw), MIN_LINEAR_POWER)
+    return 10.0 * np.log10(power_mw)
+
+
+def amplitude_to_db(amplitude_ratio: ArrayLike) -> ArrayLike:
+    """Convert a linear field/voltage amplitude ratio to dB (20 log10)."""
+    amplitude_ratio = np.maximum(np.abs(_as_array(amplitude_ratio)),
+                                 math.sqrt(MIN_LINEAR_POWER))
+    return 20.0 * np.log10(amplitude_ratio)
+
+
+def db_to_amplitude(value_db: ArrayLike) -> ArrayLike:
+    """Convert dB to a linear field/voltage amplitude ratio."""
+    return np.power(10.0, _as_array(value_db) / 20.0)
+
+
+def degrees_to_radians(angle_deg: ArrayLike) -> ArrayLike:
+    """Convert degrees to radians."""
+    return np.deg2rad(_as_array(angle_deg))
+
+
+def radians_to_degrees(angle_rad: ArrayLike) -> ArrayLike:
+    """Convert radians to degrees."""
+    return np.rad2deg(_as_array(angle_rad))
+
+
+def wrap_angle_degrees(angle_deg: ArrayLike) -> ArrayLike:
+    """Wrap an angle to the interval [0, 360) degrees."""
+    return np.mod(_as_array(angle_deg), 360.0)
+
+
+def wrap_angle_180(angle_deg: ArrayLike) -> ArrayLike:
+    """Wrap an angle to the interval [-180, 180) degrees."""
+    return np.mod(_as_array(angle_deg) + 180.0, 360.0) - 180.0
+
+
+def polarization_angle_difference(angle_a_deg: ArrayLike,
+                                  angle_b_deg: ArrayLike) -> ArrayLike:
+    """Smallest difference between two *polarization* orientations.
+
+    Linear polarization orientations are unoriented lines, so 0° and 180°
+    describe the same state.  The result lies in [0, 90] degrees.
+    """
+    diff = np.abs(wrap_angle_180(_as_array(angle_a_deg) - _as_array(angle_b_deg)))
+    diff = np.where(diff > 90.0, 180.0 - diff, diff)
+    return diff
+
+
+def frequency_to_wavelength(frequency_hz: ArrayLike,
+                            speed_of_light: float = 299_792_458.0) -> ArrayLike:
+    """Free-space wavelength (metres) for a frequency in Hz."""
+    frequency_hz = _as_array(frequency_hz)
+    if np.any(frequency_hz <= 0):
+        raise ValueError("frequency must be positive")
+    return speed_of_light / frequency_hz
+
+
+def wavelength_to_frequency(wavelength_m: ArrayLike,
+                            speed_of_light: float = 299_792_458.0) -> ArrayLike:
+    """Frequency (Hz) for a free-space wavelength in metres."""
+    wavelength_m = _as_array(wavelength_m)
+    if np.any(wavelength_m <= 0):
+        raise ValueError("wavelength must be positive")
+    return speed_of_light / wavelength_m
+
+
+__all__ = [
+    "MIN_LINEAR_POWER",
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "dbm_to_milliwatts",
+    "milliwatts_to_dbm",
+    "amplitude_to_db",
+    "db_to_amplitude",
+    "degrees_to_radians",
+    "radians_to_degrees",
+    "wrap_angle_degrees",
+    "wrap_angle_180",
+    "polarization_angle_difference",
+    "frequency_to_wavelength",
+    "wavelength_to_frequency",
+]

@@ -1,0 +1,127 @@
+"""Tests for antenna models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.antenna import (
+    Antenna,
+    circular_antenna,
+    dipole_antenna,
+    directional_antenna,
+    omni_antenna,
+)
+from repro.core.jones import JonesVector
+from repro.core.polarization import linear_polarization
+
+
+class TestAntennaFactories:
+    def test_omni_gain_matches_paper(self):
+        """Paper: the omni antenna is 6 dBi, the directional one 10 dBi."""
+        assert omni_antenna().gain_dbi == pytest.approx(6.0)
+        assert directional_antenna().gain_dbi == pytest.approx(10.0)
+
+    def test_dipole_is_linear(self):
+        assert dipole_antenna().polarization.kind.value == "linear"
+
+    def test_circular_antenna_polarization(self):
+        assert circular_antenna().polarization.kind.value == "circular"
+
+    def test_directional_antenna_has_beamwidth(self):
+        assert directional_antenna().is_directional
+        assert not omni_antenna().is_directional
+
+
+class TestOrientation:
+    def test_rotated_changes_effective_polarization(self):
+        rotated = dipole_antenna().rotated(90.0)
+        assert rotated.effective_polarization.orientation_deg == pytest.approx(90.0)
+
+    def test_rotated_returns_new_antenna(self):
+        antenna = dipole_antenna()
+        rotated = antenna.rotated(45.0)
+        assert antenna.orientation_deg == 0.0
+        assert rotated.orientation_deg == 45.0
+
+    def test_zero_orientation_keeps_polarization(self):
+        antenna = dipole_antenna()
+        assert antenna.effective_polarization is antenna.polarization
+
+
+class TestPattern:
+    def test_omni_pattern_is_flat(self):
+        antenna = omni_antenna()
+        assert antenna.pattern_gain_db(0.0) == 0.0
+        assert antenna.pattern_gain_db(120.0) == 0.0
+
+    def test_directional_pattern_rolls_off(self):
+        antenna = directional_antenna(beamwidth_deg=60.0)
+        assert antenna.pattern_gain_db(0.0) == pytest.approx(0.0)
+        assert antenna.pattern_gain_db(60.0) == pytest.approx(-12.0)
+
+    def test_directional_pattern_floor_at_front_to_back(self):
+        antenna = directional_antenna(beamwidth_deg=60.0)
+        assert antenna.pattern_gain_db(180.0) == pytest.approx(
+            -antenna.front_to_back_ratio_db)
+
+    def test_pattern_symmetric_and_periodic(self):
+        antenna = directional_antenna()
+        assert antenna.pattern_gain_db(30.0) == pytest.approx(
+            antenna.pattern_gain_db(-30.0))
+        assert antenna.pattern_gain_db(30.0) == pytest.approx(
+            antenna.pattern_gain_db(330.0))
+
+    def test_gain_towards_includes_boresight_gain(self):
+        antenna = directional_antenna()
+        assert antenna.gain_dbi_towards(0.0) == pytest.approx(10.0)
+        assert antenna.gain_dbi_towards(60.0) < 0.0
+
+    @given(st.floats(min_value=-360.0, max_value=360.0))
+    @settings(max_examples=40)
+    def test_pattern_never_exceeds_boresight(self, angle):
+        antenna = directional_antenna()
+        assert antenna.pattern_gain_db(angle) <= 1e-12
+
+
+class TestPolarizationCoupling:
+    def test_matched_wave_fully_coupled(self):
+        antenna = dipole_antenna()
+        assert antenna.polarization_coupling(
+            JonesVector.horizontal()) == pytest.approx(1.0)
+
+    def test_orthogonal_wave_floored_by_isolation(self):
+        antenna = dipole_antenna(cross_pol_isolation_db=12.0)
+        coupling = antenna.polarization_coupling(JonesVector.vertical())
+        assert coupling == pytest.approx(10.0 ** (-1.2))
+
+    def test_zero_field_couples_nothing(self):
+        antenna = dipole_antenna()
+        assert antenna.polarization_coupling(JonesVector(0.0, 0.0)) == 0.0
+
+    def test_coupling_ignores_wave_amplitude(self):
+        antenna = dipole_antenna()
+        weak = antenna.polarization_coupling(JonesVector.linear(30.0, 0.01))
+        strong = antenna.polarization_coupling(JonesVector.linear(30.0, 100.0))
+        assert weak == pytest.approx(strong)
+
+    def test_rotated_antenna_couples_rotated_wave(self):
+        antenna = dipole_antenna().rotated(37.0)
+        assert antenna.polarization_coupling(
+            JonesVector.linear(37.0)) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=180.0))
+    @settings(max_examples=40)
+    def test_coupling_bounded(self, angle):
+        antenna = dipole_antenna()
+        coupling = antenna.polarization_coupling(JonesVector.linear(angle))
+        assert 0.0 < coupling <= 1.0
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        polarization = linear_polarization(0.0)
+        with pytest.raises(ValueError):
+            Antenna("bad", 2.0, polarization, beamwidth_deg=0.0)
+        with pytest.raises(ValueError):
+            Antenna("bad", 2.0, polarization, front_to_back_ratio_db=-1.0)
+        with pytest.raises(ValueError):
+            Antenna("bad", 2.0, polarization, cross_pol_isolation_db=-1.0)

@@ -1,0 +1,96 @@
+"""Tests for the multipath environment model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.multipath import MultipathEnvironment, Ray
+
+
+class TestRay:
+    def test_field_contribution_amplitude(self):
+        ray = Ray(relative_power_db=-10.0, phase_rad=0.0,
+                  polarization_angle_deg=0.0, arrival_angle_deg=0.0)
+        field = ray.field_contribution(reference_amplitude=1.0)
+        assert field.amplitude == pytest.approx(10.0 ** (-0.5))
+
+    def test_field_polarization_angle(self):
+        ray = Ray(relative_power_db=0.0, phase_rad=0.0,
+                  polarization_angle_deg=90.0, arrival_angle_deg=0.0)
+        field = ray.field_contribution(1.0)
+        assert abs(field.x) == pytest.approx(0.0, abs=1e-12)
+        assert abs(field.y) == pytest.approx(1.0)
+
+    def test_phase_applied(self):
+        ray = Ray(relative_power_db=0.0, phase_rad=math.pi,
+                  polarization_angle_deg=0.0, arrival_angle_deg=0.0)
+        assert ray.field_contribution(1.0).x.real == pytest.approx(-1.0)
+
+
+class TestEnvironmentFactories:
+    def test_anechoic_suppresses_clutter(self):
+        anechoic = MultipathEnvironment.anechoic()
+        laboratory = MultipathEnvironment.laboratory()
+        assert (anechoic.clutter_power_fraction() <
+                laboratory.clutter_power_fraction() / 100.0)
+
+    def test_laboratory_clutter_close_to_k_factor(self):
+        laboratory = MultipathEnvironment.laboratory(rician_k_db=4.0)
+        assert laboratory.clutter_power_fraction() == pytest.approx(
+            10.0 ** (-0.4), rel=1e-6)
+
+    def test_deterministic_given_seed(self):
+        first = MultipathEnvironment.laboratory(seed=3)
+        second = MultipathEnvironment.laboratory(seed=3)
+        assert [r.phase_rad for r in first.rays()] == [
+            r.phase_rad for r in second.rays()]
+
+    def test_different_seeds_differ(self):
+        first = MultipathEnvironment.laboratory(seed=3)
+        second = MultipathEnvironment.laboratory(seed=4)
+        assert [r.phase_rad for r in first.rays()] != [
+            r.phase_rad for r in second.rays()]
+
+    def test_with_absorber_toggle(self):
+        laboratory = MultipathEnvironment.laboratory(seed=5)
+        covered = laboratory.with_absorber(True)
+        assert covered.clutter_power_fraction() < laboratory.clutter_power_fraction()
+
+    def test_ray_count_respected(self):
+        environment = MultipathEnvironment(ray_count=5)
+        assert len(environment.rays()) == 5
+
+    def test_zero_rays_allowed(self):
+        environment = MultipathEnvironment(ray_count=0)
+        assert environment.rays() == []
+        assert environment.clutter_power_fraction() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultipathEnvironment(ray_count=-1)
+        with pytest.raises(ValueError):
+            MultipathEnvironment(absorber_attenuation_db=-1.0)
+
+
+class TestClutterField:
+    def test_clutter_field_scales_with_reference(self):
+        environment = MultipathEnvironment.laboratory(seed=9)
+        weak = environment.clutter_field(1.0).amplitude
+        strong = environment.clutter_field(10.0).amplitude
+        assert strong == pytest.approx(10.0 * weak, rel=1e-9)
+
+    def test_clutter_field_bounded_by_total_power(self):
+        environment = MultipathEnvironment.laboratory(seed=9)
+        field = environment.clutter_field(1.0)
+        # Coherent sum can exceed the incoherent total only by the ray
+        # count factor; sanity-check an upper bound.
+        assert field.intensity < environment.clutter_power_fraction() * len(
+            environment.rays())
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20)
+    def test_rays_power_profile_decays(self, seed):
+        environment = MultipathEnvironment.laboratory(seed=seed)
+        powers = [ray.relative_power_db for ray in environment.rays()]
+        assert all(a >= b for a, b in zip(powers, powers[1:]))

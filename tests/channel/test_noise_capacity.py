@@ -1,0 +1,91 @@
+"""Tests for thermal noise and Shannon capacity helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.capacity import (
+    capacity_improvement,
+    shannon_capacity_bps,
+    shannon_spectral_efficiency,
+    spectral_efficiency_from_powers,
+)
+from repro.channel.noise import snr_db, snr_linear, thermal_noise_dbm
+
+
+class TestThermalNoise:
+    def test_1hz_noise_floor(self):
+        assert thermal_noise_dbm(1.0) == pytest.approx(-174.0, abs=0.5)
+
+    def test_500khz_bandwidth(self):
+        """The paper's USRP capture bandwidth."""
+        assert thermal_noise_dbm(500e3) == pytest.approx(-117.0, abs=0.7)
+
+    def test_noise_figure_adds_directly(self):
+        assert (thermal_noise_dbm(1e6, noise_figure_db=6.0) -
+                thermal_noise_dbm(1e6)) == pytest.approx(6.0)
+
+    def test_bandwidth_scaling(self):
+        assert (thermal_noise_dbm(2e6) - thermal_noise_dbm(1e6)) == pytest.approx(
+            3.01, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            thermal_noise_dbm(0.0)
+        with pytest.raises(ValueError):
+            thermal_noise_dbm(1e6, temperature_k=-1.0)
+        with pytest.raises(ValueError):
+            thermal_noise_dbm(1e6, noise_figure_db=-1.0)
+
+
+class TestSnr:
+    def test_snr_db_is_difference(self):
+        assert snr_db(-60.0, -90.0) == pytest.approx(30.0)
+
+    def test_snr_linear(self):
+        assert snr_linear(-60.0, -90.0) == pytest.approx(1000.0)
+
+    def test_array_input(self):
+        values = snr_db(np.array([-50.0, -60.0]), -90.0)
+        assert values.shape == (2,)
+
+
+class TestShannonCapacity:
+    def test_zero_snr_zero_capacity(self):
+        assert shannon_spectral_efficiency(0.0) == 0.0
+
+    def test_snr_one_gives_one_bit(self):
+        assert shannon_spectral_efficiency(1.0) == pytest.approx(1.0)
+
+    def test_capacity_scales_with_bandwidth(self):
+        assert shannon_capacity_bps(15.0, 2e6) == pytest.approx(
+            2.0 * shannon_capacity_bps(15.0, 1e6))
+
+    def test_capacity_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            shannon_capacity_bps(10.0, 0.0)
+
+    def test_negative_snr_clamped(self):
+        assert shannon_spectral_efficiency(-0.5) == 0.0
+
+    def test_from_powers(self):
+        assert spectral_efficiency_from_powers(-60.0, -60.0) == pytest.approx(1.0)
+
+    def test_improvement_sign(self):
+        assert capacity_improvement(5.0, 3.0) == pytest.approx(2.0)
+        assert capacity_improvement(2.0, 3.0) == pytest.approx(-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    def test_efficiency_monotonic_in_snr(self, snr):
+        assert shannon_spectral_efficiency(snr + 1.0) > shannon_spectral_efficiency(snr)
+
+    @given(st.floats(min_value=-120.0, max_value=0.0),
+           st.floats(min_value=-120.0, max_value=0.0))
+    def test_stronger_signal_never_reduces_efficiency(self, power_a, power_b):
+        noise = -110.0
+        stronger = max(power_a, power_b)
+        weaker = min(power_a, power_b)
+        assert (spectral_efficiency_from_powers(stronger, noise) >=
+                spectral_efficiency_from_powers(weaker, noise))

@@ -1,0 +1,213 @@
+"""Tests for Jones calculus (paper Eqs. 1-8)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.jones import (
+    JonesMatrix,
+    JonesVector,
+    birefringent_structure,
+    cascade,
+    polarization_rotator,
+    quarter_wave_plate,
+    rotation_angle_of,
+    rotation_matrix,
+)
+
+angles = st.floats(min_value=-179.0, max_value=179.0)
+small_angles = st.floats(min_value=-85.0, max_value=85.0)
+
+
+class TestJonesVector:
+    def test_linear_horizontal(self):
+        v = JonesVector.horizontal()
+        assert v.x == pytest.approx(1.0)
+        assert v.y == pytest.approx(0.0)
+        assert v.is_linear()
+
+    def test_linear_vertical_orientation(self):
+        assert JonesVector.vertical().orientation_deg == pytest.approx(90.0)
+
+    def test_linear_at_angle_orientation(self):
+        assert JonesVector.linear(37.0).orientation_deg == pytest.approx(37.0)
+
+    def test_intensity_of_linear_is_amplitude_squared(self):
+        assert JonesVector.linear(20.0, amplitude=3.0).intensity == pytest.approx(9.0)
+
+    def test_circular_is_circular(self):
+        assert JonesVector.circular("right").is_circular()
+        assert JonesVector.circular("left").is_circular()
+
+    def test_circular_handedness_validation(self):
+        with pytest.raises(ValueError):
+            JonesVector.circular("sideways")
+
+    def test_elliptical_matches_paper_equation_one(self):
+        v = JonesVector.elliptical(2.0, 1.0)
+        assert v.x == pytest.approx(2.0)
+        assert v.y == pytest.approx(1j, abs=1e-12)
+
+    def test_normalized_has_unit_intensity(self):
+        v = JonesVector(3.0, 4.0j).normalized()
+        assert v.intensity == pytest.approx(1.0)
+
+    def test_normalize_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            JonesVector(0.0, 0.0).normalized()
+
+    def test_projection_power_matched(self):
+        wave = JonesVector.linear(30.0)
+        assert wave.projection_power(JonesVector.linear(30.0)) == pytest.approx(1.0)
+
+    def test_projection_power_orthogonal(self):
+        wave = JonesVector.linear(30.0)
+        assert wave.projection_power(JonesVector.linear(120.0)) == pytest.approx(
+            0.0, abs=1e-12)
+
+    def test_projection_power_circular_vs_linear_is_half(self):
+        wave = JonesVector.circular("right")
+        assert wave.projection_power(JonesVector.horizontal()) == pytest.approx(0.5)
+
+    def test_rotated_changes_orientation(self):
+        rotated = JonesVector.horizontal().rotated(25.0)
+        assert rotated.orientation_deg == pytest.approx(25.0)
+
+    def test_same_state_ignores_global_phase(self):
+        v = JonesVector.linear(40.0)
+        w = v.scaled(np.exp(1j * 1.1) * 2.5)
+        assert v.same_state(w)
+
+    def test_from_array_validates_shape(self):
+        with pytest.raises(ValueError):
+            JonesVector.from_array([1.0, 2.0, 3.0])
+
+    @given(small_angles)
+    def test_projection_follows_cosine_squared_law(self, angle):
+        wave = JonesVector.horizontal()
+        analyzer = JonesVector.linear(angle)
+        expected = math.cos(math.radians(angle)) ** 2
+        assert wave.projection_power(analyzer) == pytest.approx(expected, abs=1e-9)
+
+    @given(angles, st.floats(min_value=0.1, max_value=10.0))
+    def test_rotation_preserves_intensity(self, angle, amplitude):
+        vector = JonesVector.linear(33.0, amplitude)
+        assert vector.rotated(angle).intensity == pytest.approx(
+            vector.intensity, rel=1e-9)
+
+
+class TestJonesMatrix:
+    def test_identity_leaves_vector_unchanged(self):
+        v = JonesVector.linear(12.0)
+        assert JonesMatrix.identity().apply(v).almost_equals(v)
+
+    def test_attenuator_scales_power(self):
+        attenuator = JonesMatrix.attenuator(0.5)
+        assert attenuator.transmitted_power_fraction(
+            JonesVector.horizontal()) == pytest.approx(0.25)
+
+    def test_attenuator_rejects_negative(self):
+        with pytest.raises(ValueError):
+            JonesMatrix.attenuator(-0.1)
+
+    def test_linear_polarizer_blocks_orthogonal(self):
+        polarizer = JonesMatrix.linear_polarizer(0.0)
+        assert polarizer.apply(JonesVector.vertical()).intensity == pytest.approx(
+            0.0, abs=1e-12)
+
+    def test_wave_plate_is_unitary(self):
+        assert JonesMatrix.wave_plate(math.pi / 2).is_unitary
+
+    def test_rotation_matrix_is_unitary(self):
+        assert rotation_matrix(73.0).is_unitary
+
+    def test_compose_order(self):
+        # Polarizer at 0 followed by rotation by 90 should yield a vertical
+        # output from horizontal input.
+        element = rotation_matrix(90.0) @ JonesMatrix.linear_polarizer(0.0)
+        out = element.apply(JonesVector.horizontal())
+        assert abs(out.y) == pytest.approx(1.0)
+        assert abs(out.x) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rotated_element_follows_eq4(self):
+        base = JonesMatrix.wave_plate(math.pi / 2)
+        rotated = base.rotated(30.0)
+        rot = rotation_matrix(30.0).as_array()
+        expected = rot @ base.as_array() @ rot.T
+        assert np.allclose(rotated.as_array(), expected)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            JonesMatrix(np.eye(3))
+
+
+class TestRotatorConstruction:
+    """Paper Eq. 8: the QWP/BFS/QWP cascade acts as a pure rotator."""
+
+    def test_zero_delta_is_identity_up_to_phase(self):
+        rotator = polarization_rotator(0.0)
+        angle = rotation_angle_of(rotator)
+        assert angle == pytest.approx(0.0, abs=1e-9)
+
+    @given(st.floats(min_value=-170.0, max_value=170.0))
+    @settings(max_examples=50)
+    def test_rotation_angle_is_half_delta(self, delta_deg):
+        rotator = polarization_rotator(math.radians(delta_deg))
+        angle = abs(rotation_angle_of(rotator))
+        assert angle == pytest.approx(abs(delta_deg) / 2.0, abs=1e-6)
+
+    @given(st.floats(min_value=-170.0, max_value=170.0), small_angles)
+    @settings(max_examples=50)
+    def test_rotator_is_polarization_independent(self, delta_deg, input_angle):
+        """The same delta rotates any incident linear polarization equally."""
+        rotator = polarization_rotator(math.radians(delta_deg))
+        incident = JonesVector.linear(input_angle)
+        output = rotator.apply(incident)
+        difference = abs(output.orientation_deg - incident.orientation_deg) % 180.0
+        difference = min(difference, 180.0 - difference)
+        assert difference == pytest.approx(abs(delta_deg) / 2.0, abs=1e-6)
+
+    def test_rotator_is_lossless(self):
+        rotator = polarization_rotator(math.radians(75.0))
+        assert rotator.is_unitary
+
+    def test_quarter_wave_plate_is_unitary(self):
+        assert quarter_wave_plate(45.0).is_unitary
+
+    def test_birefringent_structure_phase_difference(self):
+        bfs = birefringent_structure(math.radians(60.0))
+        arr = bfs.as_array()
+        phase_difference = np.angle(arr[1, 1]) - np.angle(arr[0, 0])
+        assert math.degrees(phase_difference) == pytest.approx(60.0)
+
+    def test_cascade_matches_manual_product(self):
+        elements = [quarter_wave_plate(-45.0),
+                    birefringent_structure(math.radians(40.0)),
+                    quarter_wave_plate(45.0)]
+        combined = cascade(elements)
+        manual = elements[2] @ elements[1] @ elements[0]
+        assert combined.almost_equals(manual)
+
+    def test_cascade_empty_is_identity(self):
+        assert cascade([]).almost_equals(JonesMatrix.identity())
+
+    def test_rotation_angle_of_rejects_singular(self):
+        with pytest.raises(ValueError):
+            rotation_angle_of(JonesMatrix(np.zeros((2, 2))))
+
+    def test_rotation_angle_of_rejects_non_rotation(self):
+        with pytest.raises(ValueError):
+            rotation_angle_of(JonesMatrix.linear_polarizer(0.0))
+
+    def test_mismatch_correction_end_to_end(self):
+        """A 90-degree mismatched pair is recovered by a delta = 180 rotator."""
+        transmitter = JonesVector.horizontal()
+        receiver = JonesVector.vertical()
+        # Without the rotator the coupling is zero.
+        assert transmitter.projection_power(receiver) == pytest.approx(0.0, abs=1e-12)
+        # With delta such that the rotation is 90 degrees the coupling is full.
+        rotator = polarization_rotator(math.radians(180.0))
+        assert rotator.apply(transmitter).projection_power(receiver) == pytest.approx(
+            1.0, abs=1e-9)

@@ -1,0 +1,119 @@
+"""Tests for the end-to-end LLAMA system orchestration."""
+
+import pytest
+
+from repro.channel.antenna import directional_antenna
+from repro.channel.geometry import LinkGeometry
+from repro.channel.link import DeploymentMode, LinkConfiguration
+from repro.core.controller import VoltageSweepConfig
+from repro.core.llama import LlamaSystem
+from repro.metasurface.design import llama_design
+
+
+@pytest.fixture(scope="module")
+def surface():
+    return llama_design().build()
+
+
+def mismatched_configuration(surface, deployment=DeploymentMode.TRANSMISSIVE,
+                             distance_m=0.42):
+    if deployment is DeploymentMode.TRANSMISSIVE:
+        geometry = LinkGeometry.transmissive(distance_m)
+        aim = False
+    else:
+        geometry = LinkGeometry.reflective(0.70, distance_m)
+        aim = True
+    return LinkConfiguration(
+        tx_antenna=directional_antenna(orientation_deg=0.0),
+        rx_antenna=directional_antenna(orientation_deg=90.0),
+        geometry=geometry,
+        metasurface=surface,
+        deployment=deployment,
+        aim_at_surface=aim,
+    )
+
+
+class TestConstruction:
+    def test_requires_metasurface(self, surface):
+        config = mismatched_configuration(surface).without_surface()
+        with pytest.raises(ValueError):
+            LlamaSystem(config)
+
+    def test_requires_deployment(self, surface):
+        from dataclasses import replace
+        config = replace(mismatched_configuration(surface),
+                         deployment=DeploymentMode.NONE, metasurface=None)
+        with pytest.raises(ValueError):
+            LlamaSystem(config)
+
+
+class TestOptimization:
+    def test_transmissive_gain_matches_paper_scale(self, surface):
+        """Paper Sec. 5.1.1: up to 15 dB transmissive improvement."""
+        system = LlamaSystem(mismatched_configuration(surface),
+                             sweep_config=VoltageSweepConfig(iterations=2,
+                                                             switches_per_axis=5))
+        result = system.optimize()
+        assert 8.0 <= result.power_gain_db <= 25.0
+
+    def test_optimized_power_at_least_baseline(self, surface):
+        system = LlamaSystem(mismatched_configuration(surface))
+        result = system.optimize()
+        assert result.optimized_power_dbm >= result.baseline_power_dbm
+
+    def test_reflective_gain_positive(self, surface):
+        system = LlamaSystem(
+            mismatched_configuration(surface, DeploymentMode.REFLECTIVE))
+        result = system.optimize()
+        assert result.power_gain_db > 5.0
+
+    def test_best_voltages_within_range(self, surface):
+        system = LlamaSystem(mismatched_configuration(surface))
+        result = system.optimize()
+        assert 0.0 <= result.best_vx <= 30.0
+        assert 0.0 <= result.best_vy <= 30.0
+
+    def test_supply_and_rotator_track_controller(self, surface):
+        system = LlamaSystem(mismatched_configuration(surface))
+        result = system.optimize()
+        assert system.rotator.bias_voltages == (result.best_vx, result.best_vy)
+        assert system.supply.bias_pair() == (result.best_vx, result.best_vy)
+
+    def test_measurement_count_matches_probe_budget(self, surface):
+        config = VoltageSweepConfig(iterations=2, switches_per_axis=4)
+        system = LlamaSystem(mismatched_configuration(surface),
+                             sweep_config=config)
+        system.optimize()
+        assert system.measurement_count == config.probe_count
+
+    def test_exhaustive_at_least_as_good_as_fast(self, surface):
+        fast_system = LlamaSystem(mismatched_configuration(surface))
+        fast = fast_system.optimize()
+        exhaustive_system = LlamaSystem(mismatched_configuration(surface))
+        exhaustive = exhaustive_system.optimize(exhaustive=True, step_v=3.0)
+        assert exhaustive.optimized_power_dbm >= fast.optimized_power_dbm - 1.5
+
+
+class TestAuxiliaryOperations:
+    def test_heatmap_sweep_grid_size(self, surface):
+        system = LlamaSystem(mismatched_configuration(surface))
+        sweep = system.heatmap_sweep(step_v=10.0)
+        assert sweep.probe_count == 16  # 4 x 4 grid over 0-30 V
+
+    def test_received_power_probe(self, surface):
+        system = LlamaSystem(mismatched_configuration(surface))
+        power = system.received_power_dbm(30.0, 0.0)
+        assert power > system.baseline_power_dbm()
+
+    def test_rotation_estimation_within_physical_range(self, surface):
+        system = LlamaSystem(mismatched_configuration(surface),
+                             sweep_config=VoltageSweepConfig(iterations=1,
+                                                             switches_per_axis=4))
+        estimate = system.estimate_rotation(orientation_step_deg=6.0)
+        assert 0.0 <= estimate.min_rotation_deg <= estimate.max_rotation_deg <= 90.0
+
+    def test_synchronizer_uses_supply_timing(self, surface):
+        system = LlamaSystem(mismatched_configuration(surface))
+        synchronizer = system.synchronizer_for_sweep(0.0, 0.0, 1.0, 1.0)
+        assert synchronizer.switch_interval_s == pytest.approx(
+            system.supply.switch_interval_s)

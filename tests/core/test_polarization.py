@@ -1,0 +1,140 @@
+"""Tests for polarization states and mismatch loss."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.polarization import (
+    PolarizationKind,
+    PolarizationState,
+    circular_polarization,
+    elliptical_polarization,
+    horizontal_polarization,
+    linear_polarization,
+    mismatch_loss_for_angle_db,
+    polarization_loss_factor,
+    polarization_mismatch_loss_db,
+    vertical_polarization,
+)
+
+
+class TestStateClassification:
+    def test_linear_kind(self):
+        assert linear_polarization(30.0).kind is PolarizationKind.LINEAR
+
+    def test_circular_kind(self):
+        assert circular_polarization().kind is PolarizationKind.CIRCULAR
+
+    def test_elliptical_kind(self):
+        assert elliptical_polarization(2.0, 1.0).kind is PolarizationKind.ELLIPTICAL
+
+    def test_horizontal_and_vertical_helpers(self):
+        assert horizontal_polarization().orientation_deg == pytest.approx(0.0)
+        assert vertical_polarization().orientation_deg == pytest.approx(90.0)
+
+    def test_axial_ratio_infinite_for_linear(self):
+        assert math.isinf(linear_polarization(10.0).axial_ratio_db)
+
+    def test_axial_ratio_zero_db_for_circular(self):
+        assert circular_polarization().axial_ratio_db == pytest.approx(0.0, abs=1e-6)
+
+    def test_axial_ratio_positive_for_elliptical(self):
+        ratio = elliptical_polarization(2.0, 1.0).axial_ratio_db
+        assert 0.0 < ratio < 20.0
+
+    def test_elliptical_rejects_zero_amplitudes(self):
+        with pytest.raises(ValueError):
+            elliptical_polarization(0.0, 0.0)
+
+    def test_rotated_state_orientation(self):
+        assert linear_polarization(10.0).rotated(25.0).orientation_deg == \
+            pytest.approx(35.0)
+
+
+class TestPolarizationLossFactor:
+    def test_matched_linear_states(self):
+        assert polarization_loss_factor(linear_polarization(42.0),
+                                        linear_polarization(42.0)) == pytest.approx(1.0)
+
+    def test_orthogonal_linear_states(self):
+        assert polarization_loss_factor(
+            horizontal_polarization(), vertical_polarization()) == pytest.approx(
+            0.0, abs=1e-12)
+
+    def test_circular_to_linear_is_half(self):
+        assert polarization_loss_factor(
+            circular_polarization(), horizontal_polarization()) == pytest.approx(0.5)
+
+    def test_opposite_circular_states_are_orthogonal(self):
+        assert polarization_loss_factor(
+            circular_polarization("right"),
+            circular_polarization("left")) == pytest.approx(0.0, abs=1e-12)
+
+    @given(st.floats(min_value=0.0, max_value=180.0),
+           st.floats(min_value=0.0, max_value=180.0))
+    def test_plf_symmetry(self, a, b):
+        first = polarization_loss_factor(linear_polarization(a),
+                                         linear_polarization(b))
+        second = polarization_loss_factor(linear_polarization(b),
+                                          linear_polarization(a))
+        assert first == pytest.approx(second, abs=1e-12)
+
+    @given(st.floats(min_value=0.0, max_value=180.0),
+           st.floats(min_value=0.0, max_value=180.0))
+    def test_plf_bounded(self, a, b):
+        value = polarization_loss_factor(linear_polarization(a),
+                                         linear_polarization(b))
+        assert -1e-12 <= value <= 1.0 + 1e-12
+
+
+class TestMismatchLoss:
+    def test_matched_loss_is_zero(self):
+        assert polarization_mismatch_loss_db(
+            horizontal_polarization(), horizontal_polarization()) == pytest.approx(0.0)
+
+    def test_orthogonal_loss_capped_by_isolation(self):
+        loss = polarization_mismatch_loss_db(horizontal_polarization(),
+                                             vertical_polarization(),
+                                             cross_pol_isolation_db=25.0)
+        assert loss == pytest.approx(25.0)
+
+    def test_ideal_orthogonal_loss_is_effectively_infinite(self):
+        loss = polarization_mismatch_loss_db(horizontal_polarization(),
+                                             vertical_polarization(),
+                                             cross_pol_isolation_db=math.inf)
+        # With no cross-polar floor the loss is numerically unbounded; the
+        # implementation clamps the logarithm far below any physical level.
+        assert loss > 100.0
+
+    def test_circular_linear_loss_is_3db(self):
+        loss = polarization_mismatch_loss_db(circular_polarization(),
+                                             horizontal_polarization())
+        assert loss == pytest.approx(3.01, abs=0.05)
+
+    def test_45_degree_loss_is_3db(self):
+        assert mismatch_loss_for_angle_db(45.0) == pytest.approx(3.01, abs=0.05)
+
+    def test_rejects_negative_isolation(self):
+        with pytest.raises(ValueError):
+            polarization_mismatch_loss_db(horizontal_polarization(),
+                                          vertical_polarization(),
+                                          cross_pol_isolation_db=-1.0)
+
+    def test_paper_scale_mismatch_loss(self):
+        """The paper reports 10-15 dB of loss for real IoT antennas, which
+        corresponds to the finite cross-polar isolation of cheap dipoles."""
+        loss = mismatch_loss_for_angle_db(90.0, cross_pol_isolation_db=12.0)
+        assert loss == pytest.approx(12.0)
+
+    @given(st.floats(min_value=0.0, max_value=90.0))
+    def test_loss_monotonic_in_angle(self, angle):
+        smaller = mismatch_loss_for_angle_db(angle * 0.5)
+        larger = mismatch_loss_for_angle_db(angle)
+        assert larger >= smaller - 1e-9
+
+    def test_state_convenience_methods(self):
+        tx = linear_polarization(0.0)
+        rx = linear_polarization(60.0)
+        assert tx.match_efficiency(rx) == pytest.approx(0.25, abs=1e-9)
+        assert tx.mismatch_loss_db(rx) == pytest.approx(6.02, abs=0.05)

@@ -1,0 +1,100 @@
+"""Tests for the stateful programmable rotator."""
+
+import pytest
+
+from repro.core.rotator import ProgrammableRotator, RotatorConfig
+from repro.metasurface.design import llama_design
+from repro.metasurface.surface import SurfaceMode
+
+
+@pytest.fixture(scope="module")
+def surface():
+    return llama_design().build()
+
+
+@pytest.fixture()
+def rotator(surface):
+    return ProgrammableRotator(surface)
+
+
+class TestRotatorConfig:
+    def test_defaults_match_paper(self):
+        config = RotatorConfig()
+        assert config.voltage_resolution_v == pytest.approx(1.0)
+        assert config.min_voltage_v == 0.0
+        assert config.max_voltage_v == 30.0
+        assert config.settle_time_s == pytest.approx(0.02)
+
+    def test_quantize_rounds_to_resolution(self):
+        config = RotatorConfig(voltage_resolution_v=0.5)
+        assert config.quantize(10.26) == pytest.approx(10.5)
+
+    def test_quantize_clamps_to_range(self):
+        config = RotatorConfig()
+        assert config.quantize(45.0) == pytest.approx(30.0)
+        assert config.quantize(-3.0) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RotatorConfig(voltage_resolution_v=0.0)
+        with pytest.raises(ValueError):
+            RotatorConfig(min_voltage_v=10.0, max_voltage_v=5.0)
+        with pytest.raises(ValueError):
+            RotatorConfig(settle_time_s=-1.0)
+
+
+class TestProgrammableRotator:
+    def test_initial_state(self, rotator):
+        assert rotator.bias_voltages == (0.0, 0.0)
+        assert rotator.switch_count == 0
+
+    def test_set_bias_voltages_quantizes(self, rotator):
+        applied = rotator.set_bias_voltages(10.4, 19.7)
+        assert applied == (10.0, 20.0)
+        assert rotator.bias_voltages == (10.0, 20.0)
+
+    def test_switch_count_increments_only_on_change(self, rotator):
+        rotator.set_bias_voltages(5.0, 5.0)
+        rotator.set_bias_voltages(5.0, 5.0)
+        rotator.set_bias_voltages(6.0, 5.0)
+        assert rotator.switch_count == 2
+
+    def test_elapsed_switching_time(self, rotator):
+        rotator.set_bias_voltages(5.0, 5.0)
+        rotator.set_bias_voltages(10.0, 5.0)
+        assert rotator.elapsed_switching_time_s() == pytest.approx(0.04)
+
+    def test_rotation_changes_with_voltage(self, rotator):
+        rotator.set_bias_voltages(30.0, 0.0)
+        high = abs(rotator.rotation_angle_deg())
+        rotator.set_bias_voltages(15.0, 15.0)
+        low = abs(rotator.rotation_angle_deg())
+        assert high > low
+
+    def test_probe_rotation_does_not_change_state(self, rotator):
+        rotator.set_bias_voltages(5.0, 5.0)
+        rotator.probe_rotation_deg(30.0, 0.0)
+        assert rotator.bias_voltages == (5.0, 5.0)
+
+    def test_jones_matrix_changes_with_mode(self, surface):
+        transmissive = ProgrammableRotator(surface, mode=SurfaceMode.TRANSMISSIVE)
+        reflective = ProgrammableRotator(surface, mode=SurfaceMode.REFLECTIVE)
+        transmissive.set_bias_voltages(30.0, 0.0)
+        reflective.set_bias_voltages(30.0, 0.0)
+        assert not transmissive.jones_matrix().almost_equals(
+            reflective.jones_matrix())
+
+    def test_response_matches_mode(self, surface):
+        reflective = ProgrammableRotator(surface, mode=SurfaceMode.REFLECTIVE)
+        reflective.set_bias_voltages(30.0, 0.0)
+        response = reflective.response()
+        assert 0.0 <= response.efficiency_x <= 1.0
+
+    def test_reflective_rotation_uses_conversion_fraction(self, surface):
+        transmissive = ProgrammableRotator(surface, mode=SurfaceMode.TRANSMISSIVE)
+        reflective = ProgrammableRotator(surface, mode=SurfaceMode.REFLECTIVE)
+        transmissive.set_bias_voltages(30.0, 0.0)
+        reflective.set_bias_voltages(30.0, 0.0)
+        expected = (2.0 * surface.reflective_conversion_fraction *
+                    transmissive.rotation_angle_deg())
+        assert reflective.rotation_angle_deg() == pytest.approx(expected)

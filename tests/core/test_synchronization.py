@@ -1,0 +1,116 @@
+"""Tests for receiver/supply synchronization (paper Eq. 13)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.synchronization import (
+    SampleVoltageSynchronizer,
+    VoltageState,
+    group_power_by_state,
+)
+
+
+def make_synchronizer(**overrides):
+    defaults = dict(initial_vx=0.0, initial_vy=10.0,
+                    voltage_step_x=2.0, voltage_step_y=0.0,
+                    switch_interval_s=0.02, start_offset_s=0.0)
+    defaults.update(overrides)
+    return SampleVoltageSynchronizer(**defaults)
+
+
+class TestVoltageStateLabelling:
+    def test_initial_state_at_time_zero(self):
+        state = make_synchronizer().voltage_state_at(0.0)
+        assert state.vx == pytest.approx(0.0)
+        assert state.vy == pytest.approx(10.0)
+        assert state.step_index == 0
+
+    def test_state_after_one_switch_interval(self):
+        state = make_synchronizer().voltage_state_at(0.021)
+        assert state.step_index == 1
+        assert state.vx == pytest.approx(2.0)
+        assert state.vy == pytest.approx(10.0)
+
+    def test_equation13_linear_ramp(self):
+        """V(t) = V0 + (VD / Ts) * (t - td) evaluated at step boundaries."""
+        sync = make_synchronizer(voltage_step_x=1.5, start_offset_s=0.004)
+        time = 0.004 + 7 * 0.02 + 0.001
+        state = sync.voltage_state_at(time)
+        assert state.vx == pytest.approx(0.0 + 1.5 * 7)
+
+    def test_negative_elapsed_clamps_to_first_step(self):
+        sync = make_synchronizer(start_offset_s=0.1)
+        assert sync.voltage_state_at(0.05).step_index == 0
+
+    def test_start_offset_shifts_labels(self):
+        sync_no_offset = make_synchronizer()
+        sync_offset = make_synchronizer(start_offset_s=0.02)
+        assert sync_no_offset.voltage_state_at(0.03).step_index == 1
+        assert sync_offset.voltage_state_at(0.03).step_index == 0
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            make_synchronizer(switch_interval_s=0.0)
+
+    @given(st.floats(min_value=0.0, max_value=10.0))
+    @settings(max_examples=50)
+    def test_step_index_consistent_with_window(self, time_s):
+        sync = make_synchronizer()
+        step = sync.step_index_at(time_s)
+        window = sync.time_window_for_step(step)
+        # Allow a one-ULP slop at the window edges: times that are exact
+        # multiples of the switch interval are binned by floating-point
+        # rounding of t / Ts.
+        assert window[0] - 1e-9 <= time_s < window[1] + 1e-9
+
+
+class TestSampleLabelling:
+    def test_label_samples_length(self):
+        sync = make_synchronizer()
+        labels = sync.label_samples([0.0, 0.01, 0.02, 0.03])
+        assert len(labels) == 4
+
+    def test_uniform_samples_per_step(self):
+        sync = make_synchronizer()
+        # 1 kHz power reports at 50 Hz switching -> 20 samples per step.
+        assert sync.samples_per_step(1000.0) == pytest.approx(20.0)
+
+    def test_label_uniform_samples_grouping(self):
+        sync = make_synchronizer()
+        labels = sync.label_uniform_samples(40, 1000.0)
+        first_step = [label for label in labels if label.step_index == 0]
+        assert len(first_step) == 20
+
+    def test_label_uniform_samples_validation(self):
+        sync = make_synchronizer()
+        with pytest.raises(ValueError):
+            sync.label_uniform_samples(-1, 1000.0)
+        with pytest.raises(ValueError):
+            sync.label_uniform_samples(10, 0.0)
+
+    def test_samples_for_step_inverse_mapping(self):
+        sync = make_synchronizer()
+        times = [i / 1000.0 for i in range(60)]
+        indices = sync.samples_for_step(times, 1)
+        assert indices == list(range(20, 40))
+
+    def test_time_window_validation(self):
+        with pytest.raises(ValueError):
+            make_synchronizer().time_window_for_step(-1)
+
+
+class TestGroupPowerByState:
+    def test_averages_per_state(self):
+        states = [VoltageState(0.0, 0.0, 0), VoltageState(0.0, 0.0, 0),
+                  VoltageState(2.0, 0.0, 1)]
+        powers = [-10.0, -20.0, -5.0]
+        grouped = group_power_by_state(states, powers)
+        assert grouped[(0.0, 0.0)] == pytest.approx(-15.0)
+        assert grouped[(2.0, 0.0)] == pytest.approx(-5.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            group_power_by_state([VoltageState(0, 0, 0)], [1.0, 2.0])
+
+    def test_voltage_state_tuple_view(self):
+        assert VoltageState(3.0, 4.0, 2).as_tuple() == (3.0, 4.0)

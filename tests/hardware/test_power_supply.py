@@ -1,0 +1,172 @@
+"""Tests for the simulated programmable power supply and VISA layer."""
+
+import pytest
+
+from repro.hardware.power_supply import (
+    PowerSupplyChannel,
+    ProgrammablePowerSupply,
+    SupplyLimits,
+)
+from repro.hardware.visa import SimulatedVisaSession, VisaError, VisaResourceManager
+
+
+class TestSupplyLimits:
+    def test_clamp(self):
+        limits = SupplyLimits()
+        assert limits.clamp(35.0) == 30.0
+        assert limits.clamp(-2.0) == 0.0
+        assert limits.clamp(12.0) == 12.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupplyLimits(min_voltage_v=10.0, max_voltage_v=5.0)
+        with pytest.raises(ValueError):
+            SupplyLimits(max_current_a=0.0)
+
+
+class TestChannel:
+    def test_set_voltage_clamped(self):
+        channel = PowerSupplyChannel("CH1")
+        assert channel.set_voltage(45.0) == 30.0
+
+    def test_effective_voltage_requires_output_enable(self):
+        channel = PowerSupplyChannel("CH1")
+        channel.set_voltage(12.0)
+        assert channel.effective_voltage_v == 0.0
+        channel.output_enabled = True
+        assert channel.effective_voltage_v == 12.0
+
+    def test_set_count_only_on_change(self):
+        channel = PowerSupplyChannel("CH1")
+        channel.set_voltage(5.0)
+        channel.set_voltage(5.0)
+        channel.set_voltage(6.0)
+        assert channel.set_count == 2
+
+
+class TestProgrammableSupply:
+    def test_switch_rate_matches_paper(self):
+        supply = ProgrammablePowerSupply()
+        assert supply.switch_interval_s == pytest.approx(0.02)
+
+    def test_set_bias_pair_costs_one_interval(self):
+        supply = ProgrammablePowerSupply()
+        supply.set_bias_pair(5.0, 10.0)
+        supply.set_bias_pair(6.0, 11.0)
+        assert supply.clock_s == pytest.approx(0.04)
+
+    def test_bias_pair_readback(self):
+        supply = ProgrammablePowerSupply()
+        supply.enable_output(True)
+        supply.set_bias_pair(5.0, 10.0)
+        assert supply.bias_pair() == (5.0, 10.0)
+
+    def test_output_disabled_reads_zero(self):
+        supply = ProgrammablePowerSupply()
+        supply.set_bias_pair(5.0, 10.0)
+        assert supply.bias_pair() == (0.0, 0.0)
+
+    def test_voltage_change_callback(self):
+        observed = []
+        supply = ProgrammablePowerSupply(
+            on_voltage_change=lambda vx, vy: observed.append((vx, vy)))
+        supply.set_bias_pair(3.0, 4.0)
+        assert observed == [(3.0, 4.0)]
+
+    def test_history_records_clock_and_voltages(self):
+        supply = ProgrammablePowerSupply()
+        supply.set_bias_pair(3.0, 4.0)
+        supply.set_bias_pair(5.0, 6.0)
+        assert len(supply.voltage_history) == 2
+        assert supply.voltage_history[-1][1:] == (5.0, 6.0)
+
+    def test_unknown_channel_rejected(self):
+        supply = ProgrammablePowerSupply()
+        with pytest.raises(KeyError):
+            supply.set_channel_voltage("CH9", 5.0)
+
+    def test_advance_clock_validation(self):
+        supply = ProgrammablePowerSupply()
+        with pytest.raises(ValueError):
+            supply.advance_clock(-1.0)
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            ProgrammablePowerSupply(switch_rate_hz=0.0)
+        with pytest.raises(ValueError):
+            ProgrammablePowerSupply(channel_names=("CH1",))
+
+
+class TestScpiFrontEnd:
+    @pytest.fixture()
+    def session(self):
+        supply = ProgrammablePowerSupply()
+        manager = VisaResourceManager()
+        manager.register("SIM::INSTR", supply.scpi_handler)
+        return supply, manager.open_resource("SIM::INSTR")
+
+    def test_identification(self, session):
+        _supply, visa = session
+        assert "2230G" in visa.query("*IDN?")
+
+    def test_channel_select_and_voltage(self, session):
+        supply, visa = session
+        visa.write("INST:SEL CH2")
+        visa.write("SOUR:VOLT 17.5")
+        assert supply.channels["CH2"].voltage_v == pytest.approx(17.5)
+        assert float(visa.query("SOUR:VOLT?")) == pytest.approx(17.5)
+
+    def test_output_enable(self, session):
+        supply, visa = session
+        visa.write("OUTP ON")
+        assert supply.channels["CH1"].output_enabled
+        assert visa.query("OUTP?") == "1"
+
+    def test_unknown_command_rejected(self, session):
+        _supply, visa = session
+        with pytest.raises(ValueError):
+            visa.write("FOO:BAR 1")
+
+    def test_command_log(self, session):
+        _supply, visa = session
+        visa.write("INST:SEL CH1")
+        visa.query("*IDN?")
+        assert visa.command_log == ["INST:SEL CH1", "*IDN?"]
+
+
+class TestVisaLayer:
+    def test_unknown_resource(self):
+        manager = VisaResourceManager()
+        with pytest.raises(VisaError):
+            manager.open_resource("MISSING::INSTR")
+
+    def test_list_resources(self):
+        manager = VisaResourceManager()
+        manager.register("B::INSTR", lambda cmd: "")
+        manager.register("A::INSTR", lambda cmd: "")
+        assert manager.list_resources() == ["A::INSTR", "B::INSTR"]
+
+    def test_register_validation(self):
+        with pytest.raises(ValueError):
+            VisaResourceManager().register("", lambda cmd: "")
+
+    def test_closed_session_rejects_io(self):
+        session = SimulatedVisaSession("X::INSTR", lambda cmd: "ok")
+        session.close()
+        with pytest.raises(VisaError):
+            session.write("CMD")
+
+    def test_query_requires_question_mark(self):
+        session = SimulatedVisaSession("X::INSTR", lambda cmd: "ok")
+        with pytest.raises(VisaError):
+            session.query("NOQUERY")
+
+    def test_empty_command_rejected(self):
+        session = SimulatedVisaSession("X::INSTR", lambda cmd: "ok")
+        with pytest.raises(VisaError):
+            session.write("   ")
+
+    def test_context_manager_closes(self):
+        with SimulatedVisaSession("X::INSTR", lambda cmd: "ok") as session:
+            session.write("CMD")
+        assert not session.is_open

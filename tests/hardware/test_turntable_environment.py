@@ -1,0 +1,72 @@
+"""Tests for the turntable and test-chamber simulations."""
+
+import pytest
+
+from repro.hardware.environment import TestChamber
+from repro.hardware.turntable import Turntable
+
+
+class TestTurntable:
+    def test_rotate_to_absolute_angle(self):
+        table = Turntable()
+        table.rotate_to(90.0)
+        assert table.angle_deg == pytest.approx(90.0)
+
+    def test_rotate_by_relative_angle(self):
+        table = Turntable(angle_deg=350.0)
+        table.rotate_by(20.0)
+        assert table.angle_deg == pytest.approx(10.0)
+
+    def test_travel_time_accounts_speed(self):
+        table = Turntable(speed_deg_per_s=30.0)
+        duration = table.rotate_to(90.0)
+        assert duration == pytest.approx(3.0)
+        assert table.elapsed_s == pytest.approx(3.0)
+
+    def test_takes_shortest_path(self):
+        table = Turntable()
+        duration = table.rotate_to(350.0)
+        assert duration == pytest.approx(10.0 / 30.0)
+
+    def test_sweep_visits_all_angles(self):
+        table = Turntable()
+        angles = table.sweep(0.0, 180.0, 45.0)
+        assert angles == [0.0, 45.0, 90.0, 135.0, 180.0]
+
+    def test_sweep_validation(self):
+        table = Turntable()
+        with pytest.raises(ValueError):
+            table.sweep(0.0, 90.0, 0.0)
+        with pytest.raises(ValueError):
+            table.sweep(90.0, 0.0, 10.0)
+
+    def test_history_recorded(self):
+        table = Turntable()
+        table.rotate_to(10.0)
+        table.rotate_to(20.0)
+        assert len(table.history) == 3
+
+    def test_speed_validation(self):
+        with pytest.raises(ValueError):
+            Turntable(speed_deg_per_s=0.0)
+
+
+class TestTestChamber:
+    def test_default_chamber_is_anechoic(self):
+        chamber = TestChamber()
+        environment = chamber.multipath_environment()
+        assert environment.absorber_enabled
+
+    def test_without_absorber_builds_lab_environment(self):
+        laboratory = TestChamber().without_absorber()
+        environment = laboratory.multipath_environment()
+        assert not environment.absorber_enabled
+        assert environment.clutter_power_fraction() > 0.1
+
+    def test_seed_propagates(self):
+        chamber = TestChamber().without_absorber().with_seed(42)
+        assert chamber.multipath_environment().seed == 42
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            TestChamber(length_m=0.0)

@@ -1,0 +1,130 @@
+"""Tests for QWP and birefringent layers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metasurface.layers import BirefringentLayer, QuarterWavePlateLayer
+from repro.metasurface.materials import FR4, ROGERS_5880
+from repro.metasurface.phase_shifter import PhaseShifterLayer
+
+
+@pytest.fixture()
+def qwp():
+    return QuarterWavePlateLayer()
+
+
+@pytest.fixture()
+def bfs():
+    return BirefringentLayer.symmetric(PhaseShifterLayer(), layers_per_axis=2)
+
+
+class TestQuarterWavePlateLayer:
+    def test_insertion_loss_positive_on_fr4(self, qwp):
+        assert qwp.dielectric_insertion_loss_db > 0.0
+
+    def test_rogers_qwp_nearly_lossless(self):
+        rogers = QuarterWavePlateLayer(substrate=ROGERS_5880)
+        assert rogers.dielectric_insertion_loss_db < 0.2
+
+    def test_amplitude_factor_below_unity(self, qwp):
+        assert 0.0 < qwp.amplitude_factor(2.44e9) < 1.0
+
+    def test_jones_matrix_scaled_quarter_wave_plate(self, qwp):
+        matrix = qwp.jones_matrix(2.44e9).as_array()
+        # Determinant magnitude = amplitude^2 (pure QWP has |det| = 1).
+        amplitude = qwp.amplitude_factor(2.44e9)
+        assert abs(np.linalg.det(matrix)) == pytest.approx(amplitude ** 2, rel=1e-9)
+
+    def test_insertion_loss_frequency_validation(self, qwp):
+        with pytest.raises(ValueError):
+            qwp.insertion_loss_db(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuarterWavePlateLayer(thickness_m=0.0)
+        with pytest.raises(ValueError):
+            QuarterWavePlateLayer(loaded_q=-1.0)
+        with pytest.raises(ValueError):
+            QuarterWavePlateLayer(dielectric_fill_factor=2.0)
+        with pytest.raises(ValueError):
+            QuarterWavePlateLayer(design_frequency_hz=-1.0)
+        with pytest.raises(ValueError):
+            QuarterWavePlateLayer(substrate=FR4, loaded_q=51.0,
+                                  dielectric_fill_factor=1.0)
+
+
+class TestBirefringentLayer:
+    def test_symmetric_builder_layer_count(self, bfs):
+        assert bfs.layers_per_axis == 2
+        assert len(bfs.x_layers) == len(bfs.y_layers) == 2
+
+    def test_symmetric_builder_validation(self):
+        with pytest.raises(ValueError):
+            BirefringentLayer.symmetric(PhaseShifterLayer(), layers_per_axis=0)
+        with pytest.raises(ValueError):
+            BirefringentLayer.symmetric(PhaseShifterLayer(),
+                                        y_axis_inductance_scale=0.0)
+
+    def test_needs_layers(self):
+        with pytest.raises(ValueError):
+            BirefringentLayer(x_layers=(), y_layers=())
+
+    def test_axis_phase_sums_layers(self, bfs):
+        single = bfs.x_layers[0].transmission_phase_rad(2.44e9, 5.0)
+        assert bfs.axis_phase_rad(2.44e9, 5.0, "x") == pytest.approx(2.0 * single)
+
+    def test_axis_validation(self, bfs):
+        with pytest.raises(ValueError):
+            bfs.axis_phase_rad(2.44e9, 5.0, "z")
+        with pytest.raises(ValueError):
+            bfs.axis_amplitude(2.44e9, "z")
+
+    def test_differential_phase_zero_for_identical_axes_and_voltages(self, bfs):
+        assert bfs.differential_phase_rad(2.44e9, 8.0, 8.0) == pytest.approx(
+            0.0, abs=1e-12)
+
+    def test_differential_phase_antisymmetric(self, bfs):
+        forward = bfs.differential_phase_rad(2.44e9, 15.0, 2.0)
+        backward = bfs.differential_phase_rad(2.44e9, 2.0, 15.0)
+        assert forward == pytest.approx(-backward)
+
+    def test_asymmetric_axes_give_nonzero_diagonal(self):
+        asymmetric = BirefringentLayer.symmetric(PhaseShifterLayer(),
+                                                 y_axis_inductance_scale=1.06)
+        delta = asymmetric.differential_phase_rad(2.44e9, 5.0, 5.0)
+        assert abs(delta) > 0.0
+
+    def test_phase_difference_range_covers_table1(self, bfs):
+        """Paper Table 1: rotation up to 48.7 deg = delta/2, so |delta| must
+        reach ~95 degrees over the 2-15 V capacitance range."""
+        max_delta = bfs.phase_difference_range_rad(2.44e9, 2.0, 15.0)
+        assert math.degrees(max_delta) > 85.0
+
+    def test_jones_matrix_is_diagonal(self, bfs):
+        matrix = bfs.jones_matrix(2.44e9, 5.0, 12.0).as_array()
+        assert matrix[0, 1] == pytest.approx(0.0)
+        assert matrix[1, 0] == pytest.approx(0.0)
+
+    def test_jones_diagonal_phases_match_axis_phases(self, bfs):
+        matrix = bfs.jones_matrix(2.44e9, 5.0, 12.0).as_array()
+        assert np.angle(matrix[0, 0]) == pytest.approx(
+            bfs.axis_phase_rad(2.44e9, 5.0, "x"))
+        assert np.angle(matrix[1, 1]) == pytest.approx(
+            bfs.axis_phase_rad(2.44e9, 12.0, "y"))
+
+    def test_insertion_loss_positive(self, bfs):
+        assert bfs.insertion_loss_db(2.44e9) > 0.0
+
+    def test_axis_amplitude_below_unity(self, bfs):
+        assert 0.0 < bfs.axis_amplitude(2.44e9, "x") < 1.0
+
+    @given(st.floats(min_value=0.0, max_value=30.0),
+           st.floats(min_value=0.0, max_value=30.0))
+    @settings(max_examples=30)
+    def test_jones_matrix_never_amplifies(self, vx, vy):
+        bfs = BirefringentLayer.symmetric(PhaseShifterLayer())
+        matrix = bfs.jones_matrix(2.44e9, vx, vy).as_array()
+        assert np.all(np.abs(np.diag(matrix)) <= 1.0 + 1e-12)

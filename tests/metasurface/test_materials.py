@@ -1,0 +1,83 @@
+"""Tests for substrate materials."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metasurface.materials import AIR, FR4, ROGERS_4350B, ROGERS_5880, SubstrateMaterial
+
+
+class TestMaterialProperties:
+    def test_fr4_loss_tangent_matches_paper(self):
+        assert FR4.loss_tangent == pytest.approx(0.02)
+
+    def test_rogers_loss_tangent_matches_paper(self):
+        assert ROGERS_5880.loss_tangent == pytest.approx(0.0009)
+
+    def test_fr4_is_much_cheaper_than_rogers(self):
+        assert (ROGERS_5880.cost_per_square_meter_usd /
+                FR4.cost_per_square_meter_usd) > 10.0
+
+    def test_fr4_is_much_lossier_than_rogers(self):
+        assert FR4.loss_tangent / ROGERS_5880.loss_tangent > 20.0
+
+    def test_air_is_lossless(self):
+        assert AIR.loss_tangent == 0.0
+        assert AIR.dielectric_quality_factor == float("inf")
+
+    def test_quality_factor_inverse_of_loss_tangent(self):
+        assert FR4.dielectric_quality_factor == pytest.approx(50.0)
+        assert ROGERS_4350B.dielectric_quality_factor == pytest.approx(1.0 / 0.0037)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubstrateMaterial("bad", 0.5, 0.01, 10.0)
+        with pytest.raises(ValueError):
+            SubstrateMaterial("bad", 2.0, -0.01, 10.0)
+        with pytest.raises(ValueError):
+            SubstrateMaterial("bad", 2.0, 0.01, -10.0)
+
+
+class TestWaveProperties:
+    def test_wavelength_shortens_in_dielectric(self):
+        assert FR4.wavelength_in_material_m(2.44e9) < 0.1229
+
+    def test_wavelength_scaling_with_permittivity(self):
+        free_space = AIR.wavelength_in_material_m(2.44e9)
+        in_fr4 = FR4.wavelength_in_material_m(2.44e9)
+        assert free_space / in_fr4 == pytest.approx(FR4.relative_permittivity ** 0.5)
+
+    def test_wavelength_requires_positive_frequency(self):
+        with pytest.raises(ValueError):
+            FR4.wavelength_in_material_m(0.0)
+
+    def test_attenuation_increases_with_frequency(self):
+        assert (FR4.dielectric_attenuation_db_per_meter(5e9) >
+                FR4.dielectric_attenuation_db_per_meter(2.44e9))
+
+    def test_attenuation_proportional_to_loss_tangent(self):
+        ratio = (FR4.dielectric_attenuation_db_per_meter(2.44e9) /
+                 ROGERS_5880.dielectric_attenuation_db_per_meter(2.44e9))
+        expected = (FR4.loss_tangent * FR4.relative_permittivity ** 0.5 /
+                    (ROGERS_5880.loss_tangent *
+                     ROGERS_5880.relative_permittivity ** 0.5))
+        assert ratio == pytest.approx(expected, rel=1e-6)
+
+    def test_transmission_loss_scales_with_thickness(self):
+        thin = FR4.transmission_loss_db(2.44e9, 0.8e-3)
+        thick = FR4.transmission_loss_db(2.44e9, 1.6e-3)
+        assert thick == pytest.approx(2.0 * thin)
+
+    def test_transmission_loss_path_multiplier(self):
+        base = FR4.transmission_loss_db(2.44e9, 1e-3)
+        resonant = FR4.transmission_loss_db(2.44e9, 1e-3, path_multiplier=10.0)
+        assert resonant == pytest.approx(10.0 * base)
+
+    def test_transmission_loss_validation(self):
+        with pytest.raises(ValueError):
+            FR4.transmission_loss_db(2.44e9, -1.0)
+        with pytest.raises(ValueError):
+            FR4.transmission_loss_db(2.44e9, 1e-3, path_multiplier=-1.0)
+
+    @given(st.floats(min_value=1e8, max_value=1e10))
+    def test_attenuation_non_negative(self, frequency):
+        assert FR4.dielectric_attenuation_db_per_meter(frequency) >= 0.0

@@ -1,0 +1,116 @@
+"""Tests for the varactor-loaded phase-shifter layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metasurface.materials import FR4, ROGERS_5880
+from repro.metasurface.phase_shifter import PhaseShifterLayer
+
+
+@pytest.fixture()
+def layer():
+    return PhaseShifterLayer()
+
+
+class TestResonance:
+    def test_resonant_frequency_rises_with_voltage(self, layer):
+        assert (layer.resonant_frequency_hz(15.0) >
+                layer.resonant_frequency_hz(2.0))
+
+    def test_resonance_brackets_design_frequency(self, layer):
+        """Across the paper's 2-15 V range the tank resonance sweeps from
+        below to above the 2.44 GHz operating point, maximizing the phase
+        swing."""
+        assert layer.resonant_frequency_hz(2.0) < 2.44e9
+        assert layer.resonant_frequency_hz(15.0) > 2.44e9
+
+
+class TestPhase:
+    def test_phase_monotonic_in_voltage_at_center(self, layer):
+        voltages = [0.0, 2.0, 5.0, 10.0, 15.0, 30.0]
+        phases = [layer.transmission_phase_deg(2.44e9, v) for v in voltages]
+        assert all(b > a for a, b in zip(phases, phases[1:]))
+
+    def test_phase_swing_supports_45_degree_rotation(self, layer):
+        """Two layers per axis must give ~100 degrees of differential phase
+        (paper Table 1 reaches 48.7 degrees of rotation = delta / 2)."""
+        swing = layer.phase_tuning_range_deg(2.44e9, 2.0, 15.0)
+        assert 2.0 * swing > 85.0
+
+    def test_phase_zero_at_resonance(self, layer):
+        resonance = layer.resonant_frequency_hz(8.0)
+        assert layer.transmission_phase_deg(resonance, 8.0) == pytest.approx(
+            0.0, abs=1e-9)
+
+    def test_phase_requires_positive_frequency(self, layer):
+        with pytest.raises(ValueError):
+            layer.transmission_phase_rad(0.0, 5.0)
+
+    @given(st.floats(min_value=0.0, max_value=30.0))
+    @settings(max_examples=40)
+    def test_phase_bounded_by_quarter_turn(self, voltage):
+        layer = PhaseShifterLayer()
+        phase = abs(layer.transmission_phase_deg(2.44e9, voltage))
+        assert phase < 90.0
+
+
+class TestLoss:
+    def test_fr4_layer_lossier_than_rogers(self, layer):
+        rogers = layer.with_substrate(ROGERS_5880)
+        assert layer.dielectric_insertion_loss_db > rogers.dielectric_insertion_loss_db
+
+    def test_loss_grows_with_fill_factor(self):
+        thin = PhaseShifterLayer(dielectric_fill_factor=0.3)
+        thick = PhaseShifterLayer(dielectric_fill_factor=0.8)
+        assert thick.dielectric_insertion_loss_db > thin.dielectric_insertion_loss_db
+
+    def test_loss_grows_with_loaded_q(self):
+        simple = PhaseShifterLayer(loaded_q=4.0)
+        complex_pattern = PhaseShifterLayer(loaded_q=8.0)
+        assert (complex_pattern.dielectric_insertion_loss_db >
+                simple.dielectric_insertion_loss_db)
+
+    def test_insertion_loss_positive(self, layer):
+        assert layer.insertion_loss_db(2.44e9) > 0.0
+
+    def test_insertion_loss_requires_positive_frequency(self, layer):
+        with pytest.raises(ValueError):
+            layer.insertion_loss_db(-1.0)
+
+    def test_over_lossy_layer_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseShifterLayer(loaded_q=60.0, dielectric_fill_factor=1.0,
+                              substrate=FR4)
+
+
+class TestS21:
+    def test_s21_magnitude_below_unity(self, layer):
+        assert abs(layer.s21(2.44e9, 8.0)) < 1.0
+
+    def test_s21_phase_matches_transmission_phase(self, layer):
+        import numpy as np
+        s21 = layer.s21(2.44e9, 5.0)
+        assert np.angle(s21) == pytest.approx(
+            layer.transmission_phase_rad(2.44e9, 5.0))
+
+    def test_with_inductance_changes_resonance(self, layer):
+        detuned = layer.with_inductance(layer.inductance_h * 1.2)
+        assert detuned.resonant_frequency_hz(8.0) < layer.resonant_frequency_hz(8.0)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PhaseShifterLayer(thickness_m=0.0)
+        with pytest.raises(ValueError):
+            PhaseShifterLayer(inductance_h=-1.0)
+        with pytest.raises(ValueError):
+            PhaseShifterLayer(loading_factor=0.0)
+        with pytest.raises(ValueError):
+            PhaseShifterLayer(loaded_q=0.0)
+        with pytest.raises(ValueError):
+            PhaseShifterLayer(dielectric_fill_factor=0.0)
+        with pytest.raises(ValueError):
+            PhaseShifterLayer(dielectric_fill_factor=1.5)
+        with pytest.raises(ValueError):
+            PhaseShifterLayer(design_frequency_hz=0.0)

@@ -1,0 +1,185 @@
+"""Tests for two-port network theory (paper Eqs. 9-12)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metasurface.two_port import (
+    TwoPortNetwork,
+    cascade_networks,
+    phase_shifter_bandwidth_hz,
+    transmission_efficiency_dual_pol,
+    wave_amplitudes,
+)
+
+
+class TestConstruction:
+    def test_identity_network(self):
+        network = TwoPortNetwork.identity()
+        assert network.s21 == pytest.approx(1.0)
+        assert network.s11 == pytest.approx(0.0)
+        assert network.is_lossless
+        assert network.is_reciprocal
+
+    def test_from_s_matrix_shape_validation(self):
+        with pytest.raises(ValueError):
+            TwoPortNetwork.from_s_matrix(np.eye(3))
+
+    def test_rejects_non_positive_impedance(self):
+        with pytest.raises(ValueError):
+            TwoPortNetwork(0, 1, 1, 0, reference_impedance=0.0)
+
+    def test_series_impedance_matched_when_zero(self):
+        network = TwoPortNetwork.series_impedance(0.0)
+        assert abs(network.s11) == pytest.approx(0.0, abs=1e-12)
+        assert abs(network.s21) == pytest.approx(1.0)
+
+    def test_shunt_admittance_open_when_zero(self):
+        network = TwoPortNetwork.shunt_admittance(0.0)
+        assert abs(network.s21) == pytest.approx(1.0)
+
+    def test_series_resistor_insertion_loss(self):
+        # A series 50-ohm resistor in a 50-ohm system: S21 = 2/3.
+        network = TwoPortNetwork.series_impedance(50.0)
+        assert abs(network.s21) == pytest.approx(2.0 / 3.0)
+        assert network.is_passive
+        assert not network.is_lossless
+
+    def test_transmission_line_quarter_wave_phase(self):
+        line = TwoPortNetwork.transmission_line(math.pi / 2.0, 50.0)
+        assert abs(line.s21) == pytest.approx(1.0)
+        assert line.transmission_phase_rad == pytest.approx(-math.pi / 2.0)
+
+    def test_transmission_line_attenuation(self):
+        lossy = TwoPortNetwork.transmission_line(math.pi, 50.0,
+                                                 attenuation_np=0.5)
+        assert lossy.insertion_loss_db == pytest.approx(0.5 * 8.686, rel=1e-3)
+
+    def test_transmission_line_rejects_bad_impedance(self):
+        with pytest.raises(ValueError):
+            TwoPortNetwork.transmission_line(1.0, -50.0)
+
+
+class TestConversions:
+    def test_abcd_round_trip(self):
+        original = TwoPortNetwork.series_impedance(25.0 + 10.0j)
+        abcd = original.abcd_matrix()
+        rebuilt = TwoPortNetwork.from_abcd(abcd[0, 0], abcd[0, 1],
+                                           abcd[1, 0], abcd[1, 1])
+        assert np.allclose(original.s_matrix(), rebuilt.s_matrix())
+
+    def test_abcd_requires_through_path(self):
+        blocked = TwoPortNetwork(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            blocked.abcd_matrix()
+
+    @given(st.floats(min_value=-200.0, max_value=200.0),
+           st.floats(min_value=-200.0, max_value=200.0))
+    @settings(max_examples=40)
+    def test_series_impedance_round_trip_property(self, resistance, reactance):
+        network = TwoPortNetwork.series_impedance(complex(resistance, reactance))
+        abcd = network.abcd_matrix()
+        rebuilt = TwoPortNetwork.from_abcd(abcd[0, 0], abcd[0, 1],
+                                           abcd[1, 0], abcd[1, 1])
+        assert np.allclose(network.s_matrix(), rebuilt.s_matrix(), atol=1e-9)
+
+
+class TestCascading:
+    def test_cascade_with_identity_is_noop(self):
+        network = TwoPortNetwork.series_impedance(30.0)
+        cascaded = network.cascade_with(TwoPortNetwork.identity())
+        assert np.allclose(network.s_matrix(), cascaded.s_matrix(), atol=1e-9)
+
+    def test_cascade_two_lines_adds_phase(self):
+        quarter = TwoPortNetwork.transmission_line(math.pi / 2.0, 50.0)
+        half = quarter.cascade_with(quarter)
+        assert half.transmission_phase_rad == pytest.approx(
+            -math.pi, abs=1e-9) or half.transmission_phase_rad == pytest.approx(
+            math.pi, abs=1e-9)
+
+    def test_cascade_networks_helper(self):
+        sections = [TwoPortNetwork.transmission_line(0.3, 50.0)] * 3
+        combined = cascade_networks(sections)
+        assert combined.transmission_phase_rad == pytest.approx(-0.9, abs=1e-9)
+
+    def test_cascade_networks_rejects_empty(self):
+        with pytest.raises(ValueError):
+            cascade_networks([])
+
+    def test_cascade_rejects_mismatched_impedance(self):
+        a = TwoPortNetwork.identity(50.0)
+        b = TwoPortNetwork.identity(75.0)
+        with pytest.raises(ValueError):
+            a.cascade_with(b)
+
+    def test_cascaded_passive_networks_stay_passive(self):
+        lossy = TwoPortNetwork.series_impedance(20.0)
+        assert lossy.cascade_with(lossy).is_passive
+
+
+class TestDerivedQuantities:
+    def test_insertion_loss_of_identity_is_zero(self):
+        assert TwoPortNetwork.identity().insertion_loss_db == pytest.approx(0.0)
+
+    def test_insertion_loss_infinite_when_blocked(self):
+        blocked = TwoPortNetwork(1.0, 0.0, 0.0, 1.0)
+        assert math.isinf(blocked.insertion_loss_db)
+
+    def test_return_loss_infinite_when_matched(self):
+        assert math.isinf(TwoPortNetwork.identity().return_loss_db)
+
+    def test_transmission_efficiency_is_s21_squared(self):
+        network = TwoPortNetwork(0.0, 0.5, 0.5, 0.0)
+        assert network.transmission_efficiency == pytest.approx(0.25)
+
+
+class TestPaperEquations:
+    def test_wave_amplitudes_matched_load(self):
+        """Eq. 9: with V = Z0 * I there is no reflected wave."""
+        a, b = wave_amplitudes(voltage=50.0, current=1.0,
+                               reference_impedance=50.0)
+        assert abs(b) == pytest.approx(0.0, abs=1e-12)
+        assert abs(a) > 0.0
+
+    def test_wave_amplitudes_power_normalisation(self):
+        a, b = wave_amplitudes(voltage=50.0, current=1.0,
+                               reference_impedance=50.0)
+        # Incident power = |a|^2 = V^2 / Z0 for the matched case ... / 4 * 2
+        assert abs(a) ** 2 == pytest.approx(50.0)
+
+    def test_wave_amplitudes_validation(self):
+        with pytest.raises(ValueError):
+            wave_amplitudes(1.0, 1.0, reference_impedance=-50.0)
+
+    def test_dual_pol_efficiency_eq11(self):
+        assert transmission_efficiency_dual_pol(0.6, 0.3) == pytest.approx(0.45)
+
+    def test_bandwidth_eq12_depends_on_line_length_fraction(self):
+        """Eq. 12: the usable bandwidth scales with the line-length
+        fraction m through the (m / pi) arccos term, which is the knob the
+        paper turns when trading phase-shifter length against bandwidth."""
+        quarter_wave = phase_shifter_bandwidth_hz(2.44e9, 4.0, 0.2, 50.0, 80.0)
+        eighth_wave = phase_shifter_bandwidth_hz(2.44e9, 8.0, 0.2, 50.0, 80.0)
+        assert quarter_wave != pytest.approx(eighth_wave)
+        # Both stay positive and below twice the centre frequency.
+        for bandwidth in (quarter_wave, eighth_wave):
+            assert 0.0 < bandwidth < 2.0 * 2.44e9
+
+    def test_bandwidth_eq12_grows_with_tolerable_reflection(self):
+        tight = phase_shifter_bandwidth_hz(2.44e9, 4.0, 0.1, 50.0, 80.0)
+        loose = phase_shifter_bandwidth_hz(2.44e9, 4.0, 0.3, 50.0, 80.0)
+        assert loose > tight
+
+    def test_bandwidth_eq12_validation(self):
+        with pytest.raises(ValueError):
+            phase_shifter_bandwidth_hz(-1.0, 4.0, 0.2, 50.0, 80.0)
+        with pytest.raises(ValueError):
+            phase_shifter_bandwidth_hz(2.44e9, 4.0, 1.5, 50.0, 80.0)
+        with pytest.raises(ValueError):
+            phase_shifter_bandwidth_hz(2.44e9, 0.0, 0.2, 50.0, 80.0)
+        with pytest.raises(ValueError):
+            phase_shifter_bandwidth_hz(2.44e9, 4.0, 0.2, 50.0, 50.0)
+        with pytest.raises(ValueError):
+            phase_shifter_bandwidth_hz(2.44e9, 4.0, 0.2, -50.0, 80.0)

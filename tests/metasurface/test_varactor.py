@@ -1,0 +1,80 @@
+"""Tests for the SMV1233 varactor model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metasurface.varactor import SMV1233, VaractorDiode
+
+
+class TestPaperCalibration:
+    def test_capacitance_at_2v_matches_paper(self):
+        assert SMV1233.capacitance_pf(2.0) == pytest.approx(2.41, abs=0.03)
+
+    def test_capacitance_at_15v_matches_paper(self):
+        assert SMV1233.capacitance_pf(15.0) == pytest.approx(0.84, abs=0.02)
+
+    def test_paper_capacitance_range_covered(self):
+        c_min, c_max = SMV1233.tuning_range_pf
+        assert c_min < 0.84
+        assert c_max > 2.41
+
+    def test_unit_cost_matches_paper(self):
+        assert SMV1233.unit_cost_usd == pytest.approx(0.5)
+
+
+class TestCapacitanceLaw:
+    def test_monotonically_decreasing_with_voltage(self):
+        voltages = [0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0]
+        capacitances = [SMV1233.capacitance_f(v) for v in voltages]
+        assert all(a > b for a, b in zip(capacitances, capacitances[1:]))
+
+    def test_clips_voltages_to_range(self):
+        assert SMV1233.capacitance_f(-5.0) == SMV1233.capacitance_f(0.0)
+        assert SMV1233.capacitance_f(100.0) == SMV1233.capacitance_f(30.0)
+
+    def test_array_input(self):
+        import numpy as np
+        result = SMV1233.capacitance_pf(np.array([2.0, 15.0]))
+        assert result.shape == (2,)
+        assert result[0] > result[1]
+
+    def test_package_capacitance_adds_floor(self):
+        with_package = VaractorDiode("test", 5e-12, 0.7, 0.6,
+                                     package_capacitance_f=0.3e-12)
+        assert with_package.capacitance_f(30.0) > 0.3e-12
+
+    @given(st.floats(min_value=0.0, max_value=30.0))
+    def test_capacitance_always_positive(self, voltage):
+        assert SMV1233.capacitance_f(voltage) > 0.0
+
+
+class TestInverse:
+    def test_voltage_for_capacitance_round_trip(self):
+        voltage = SMV1233.voltage_for_capacitance(1.5e-12)
+        assert SMV1233.capacitance_pf(voltage) == pytest.approx(1.5, rel=1e-6)
+
+    def test_rejects_out_of_range_capacitance(self):
+        with pytest.raises(ValueError):
+            SMV1233.voltage_for_capacitance(10e-12)
+        with pytest.raises(ValueError):
+            SMV1233.voltage_for_capacitance(0.1e-12)
+
+    @given(st.floats(min_value=2.1, max_value=14.9))
+    def test_inverse_property(self, voltage):
+        capacitance = SMV1233.capacitance_f(voltage)
+        assert SMV1233.voltage_for_capacitance(capacitance) == pytest.approx(
+            voltage, abs=1e-6)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            VaractorDiode("bad", -1e-12, 0.7, 0.5)
+        with pytest.raises(ValueError):
+            VaractorDiode("bad", 1e-12, -0.7, 0.5)
+        with pytest.raises(ValueError):
+            VaractorDiode("bad", 1e-12, 0.7, -0.5)
+        with pytest.raises(ValueError):
+            VaractorDiode("bad", 1e-12, 0.7, 0.5, package_capacitance_f=-1e-12)
+        with pytest.raises(ValueError):
+            VaractorDiode("bad", 1e-12, 0.7, 0.5, max_reverse_voltage_v=0.0)

@@ -1,0 +1,211 @@
+"""Tests for the dense-deployment / polarization-reuse extension."""
+
+import pytest
+
+from repro.network.access_control import polarization_access_control
+from repro.network.deployment import DenseDeployment, StationPlacement
+from repro.network.scheduler import (
+    FixedBiasScheduler,
+    PerStationScheduler,
+    PolarizationReuseScheduler,
+    ScheduleResult,
+    baseline_without_surface,
+    jain_fairness_index,
+)
+
+
+def small_deployment(seed=7):
+    """Three far-away, low-power stations with mixed antenna orientations.
+
+    Distances and transmit powers are chosen so that the mismatched
+    stations sit on the 802.11g rate cliff: that is the regime where the
+    surface's polarization correction translates into throughput.
+    """
+    stations = [
+        StationPlacement("aligned", distance_m=10.0, orientation_deg=0.0,
+                         tx_power_dbm=0.0),
+        StationPlacement("tilted", distance_m=14.0, orientation_deg=80.0,
+                         tx_power_dbm=0.0),
+        StationPlacement("orthogonal", distance_m=12.0, orientation_deg=90.0,
+                         tx_power_dbm=0.0),
+    ]
+    return DenseDeployment(stations, environment_seed=seed)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return small_deployment()
+
+
+class TestDeployment:
+    def test_requires_stations(self):
+        with pytest.raises(ValueError):
+            DenseDeployment([])
+
+    def test_requires_unique_names(self):
+        station = StationPlacement("dup", 3.0, 0.0)
+        with pytest.raises(ValueError):
+            DenseDeployment([station, station])
+
+    def test_station_lookup(self, deployment):
+        assert deployment.station("tilted").orientation_deg == 80.0
+        with pytest.raises(KeyError):
+            deployment.station("missing")
+
+    def test_placement_validation(self):
+        with pytest.raises(ValueError):
+            StationPlacement("bad", 0.0, 0.0)
+        with pytest.raises(ValueError):
+            StationPlacement("bad", 1.0, 0.0, traffic_demand_mbps=0.0)
+
+    def test_rssi_depends_on_bias(self, deployment):
+        low = deployment.rssi_dbm("orthogonal", 15.0, 15.0)
+        high = deployment.rssi_dbm("orthogonal", 30.0, 0.0)
+        assert high != pytest.approx(low)
+
+    def test_best_bias_helps_mismatched_station(self, deployment):
+        _vx, _vy, best_power = deployment.best_bias_for("orthogonal", step_v=7.5)
+        assert best_power > deployment.baseline_rssi_dbm("orthogonal") + 3.0
+
+    def test_aligned_station_baseline_already_good(self, deployment):
+        aligned_baseline = deployment.baseline_rssi_dbm("aligned")
+        orthogonal_baseline = deployment.baseline_rssi_dbm("orthogonal")
+        assert aligned_baseline > orthogonal_baseline + 5.0
+
+    def test_deployment_orientation_groups_pair_tilted_and_orthogonal(self, deployment):
+        groups = deployment.orientation_groups(tolerance_deg=20.0)
+        assert sorted(map(sorted, groups)) == [["aligned"],
+                                               ["orthogonal", "tilted"]]
+
+    def test_orientation_groups_cluster_similar_antennas(self):
+        stations = [
+            StationPlacement("a", 3.0, 0.0),
+            StationPlacement("b", 3.0, 10.0),
+            StationPlacement("c", 3.0, 90.0),
+            StationPlacement("d", 3.0, 100.0),
+        ]
+        groups = DenseDeployment(stations).orientation_groups(tolerance_deg=20.0)
+        assert sorted(map(sorted, groups)) == [["a", "b"], ["c", "d"]]
+
+    def test_orientation_groups_wrap_around_180(self):
+        stations = [
+            StationPlacement("a", 3.0, 5.0),
+            StationPlacement("b", 3.0, 175.0),
+        ]
+        groups = DenseDeployment(stations).orientation_groups(tolerance_deg=15.0)
+        assert len(groups) == 1
+
+    def test_random_home_reproducible(self):
+        first = DenseDeployment.random_home(station_count=4, seed=3)
+        second = DenseDeployment.random_home(station_count=4, seed=3)
+        assert [s.orientation_deg for s in first.stations] == [
+            s.orientation_deg for s in second.stations]
+
+    def test_rate_uses_wifi_table(self, deployment):
+        rate = deployment.rate_mbps("aligned", 0.0, 0.0)
+        assert 0.0 <= rate <= 54.0
+
+
+class TestFairnessIndex:
+    def test_equal_allocations_give_one(self):
+        assert jain_fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_user_monopoly(self):
+        assert jain_fairness_index([10.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jain_fairness_index([])
+        with pytest.raises(ValueError):
+            jain_fairness_index([-1.0, 2.0])
+
+
+class TestSchedulers:
+    @pytest.fixture(scope="class")
+    def results(self):
+        deployment = small_deployment()
+        return {
+            "baseline": baseline_without_surface(deployment),
+            "fixed": FixedBiasScheduler(deployment).schedule(),
+            "per_station": PerStationScheduler(deployment).schedule(),
+            "reuse": PolarizationReuseScheduler(deployment).schedule(),
+        }
+
+    def test_every_scheduler_covers_every_station(self, results):
+        for result in results.values():
+            assert len(result.allocations) == 3
+
+    def test_surface_schedulers_beat_no_surface(self, results):
+        baseline = results["baseline"].total_throughput_mbps
+        for key in ("per_station", "reuse"):
+            assert results[key].total_throughput_mbps > baseline
+
+    def test_per_station_has_highest_raw_rates(self, results):
+        per_station = results["per_station"]
+        for other_key in ("fixed", "reuse"):
+            other = results[other_key]
+            for allocation in per_station.allocations:
+                assert allocation.rate_mbps >= other.allocation_for(
+                    allocation.station).rate_mbps - 1e-9
+
+    def test_reuse_retunes_less_than_per_station(self, results):
+        assert results["reuse"].retune_count < results["per_station"].retune_count
+
+    def test_overhead_fraction_reflects_retunes(self, results):
+        assert results["per_station"].retune_overhead_fraction > \
+            results["fixed"].retune_overhead_fraction
+
+    def test_fairness_improves_with_surface(self, results):
+        assert results["per_station"].fairness >= results["baseline"].fairness
+
+    def test_worst_station_served_better_with_surface(self, results):
+        assert (results["per_station"].worst_station_rate_mbps >=
+                results["baseline"].worst_station_rate_mbps)
+
+    def test_allocation_lookup(self, results):
+        allocation = results["fixed"].allocation_for("aligned")
+        assert allocation.station == "aligned"
+        with pytest.raises(KeyError):
+            results["fixed"].allocation_for("missing")
+
+    def test_scheduler_validation(self):
+        deployment = small_deployment()
+        with pytest.raises(ValueError):
+            FixedBiasScheduler(deployment, epoch_duration_s=0.0)
+        with pytest.raises(ValueError):
+            PolarizationReuseScheduler(deployment, orientation_tolerance_deg=0.0)
+
+
+class TestAccessControl:
+    def test_isolation_improves_over_baseline(self):
+        deployment = small_deployment()
+        result = polarization_access_control(deployment, "orthogonal", "aligned",
+                                             step_v=6.0)
+        assert result.isolation_improvement_db > 3.0
+
+    def test_minimum_rssi_constraint_respected(self):
+        deployment = small_deployment()
+        unconstrained = polarization_access_control(deployment, "orthogonal",
+                                                    "aligned", step_v=6.0)
+        constrained = polarization_access_control(
+            deployment, "orthogonal", "aligned", step_v=6.0,
+            minimum_intended_rssi_dbm=unconstrained.intended_rssi_dbm - 1.0)
+        assert constrained.intended_rssi_dbm >= \
+            unconstrained.intended_rssi_dbm - 1.0
+
+    def test_impossible_constraint_rejected(self):
+        deployment = small_deployment()
+        with pytest.raises(ValueError):
+            polarization_access_control(deployment, "orthogonal", "aligned",
+                                        step_v=10.0,
+                                        minimum_intended_rssi_dbm=50.0)
+
+    def test_same_station_rejected(self):
+        deployment = small_deployment()
+        with pytest.raises(ValueError):
+            polarization_access_control(deployment, "aligned", "aligned")
+
+    def test_unknown_station_rejected(self):
+        deployment = small_deployment()
+        with pytest.raises(KeyError):
+            polarization_access_control(deployment, "aligned", "missing")

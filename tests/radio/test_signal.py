@@ -1,0 +1,100 @@
+"""Tests for baseband signals and tone generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.radio.signal import BasebandSignal, cosine_tone
+
+
+class TestCosineTone:
+    def test_paper_default_parameters(self):
+        tone = cosine_tone()
+        assert tone.sample_rate_hz == pytest.approx(1e6)
+        assert tone.duration_s == pytest.approx(0.01)
+
+    def test_power_matches_request(self):
+        tone = cosine_tone(power_dbm=-20.0)
+        assert tone.power_dbm() == pytest.approx(-20.0, abs=0.01)
+
+    def test_complex_exponential_constant_envelope(self):
+        tone = cosine_tone(power_dbm=0.0)
+        magnitudes = np.abs(tone.samples)
+        assert np.allclose(magnitudes, magnitudes[0])
+
+    def test_sample_count(self):
+        tone = cosine_tone(duration_s=0.001, sample_rate_hz=1e6)
+        assert len(tone) == 1000
+
+    def test_nyquist_edge_allowed(self):
+        # The paper's 500 kHz tone at 1 MS/s sits on the complex-baseband edge.
+        tone = cosine_tone(frequency_hz=500e3, sample_rate_hz=1e6)
+        assert len(tone) > 0
+
+    def test_beyond_nyquist_rejected(self):
+        with pytest.raises(ValueError):
+            cosine_tone(frequency_hz=600e3, sample_rate_hz=1e6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cosine_tone(frequency_hz=0.0)
+        with pytest.raises(ValueError):
+            cosine_tone(duration_s=-1.0)
+
+    @given(st.floats(min_value=-60.0, max_value=20.0))
+    @settings(max_examples=25)
+    def test_power_setting_property(self, power_dbm):
+        tone = cosine_tone(power_dbm=power_dbm, duration_s=0.002)
+        assert tone.power_dbm() == pytest.approx(power_dbm, abs=0.05)
+
+
+class TestBasebandSignal:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            BasebandSignal(np.zeros((2, 2)), 1e6)
+        with pytest.raises(ValueError):
+            BasebandSignal(np.zeros(4), 0.0)
+
+    def test_timestamps(self):
+        signal = BasebandSignal(np.ones(4, dtype=complex), 2.0)
+        assert np.allclose(signal.timestamps_s, [0.0, 0.5, 1.0, 1.5])
+
+    def test_power_of_empty_signal_is_zero(self):
+        assert BasebandSignal(np.array([], dtype=complex), 1e6).power_mw() == 0.0
+
+    def test_scaled_to_power(self):
+        signal = cosine_tone(power_dbm=0.0).scaled_to_power_dbm(-13.0)
+        assert signal.power_dbm() == pytest.approx(-13.0, abs=0.01)
+
+    def test_scaling_zero_signal_rejected(self):
+        silent = BasebandSignal(np.zeros(8, dtype=complex), 1e6)
+        with pytest.raises(ValueError):
+            silent.scaled_to_power_dbm(0.0)
+
+    def test_attenuated_db(self):
+        signal = cosine_tone(power_dbm=0.0).attenuated_db(10.0)
+        assert signal.power_dbm() == pytest.approx(-10.0, abs=0.01)
+
+    def test_noise_addition_raises_power_of_weak_signal(self):
+        weak = cosine_tone(power_dbm=-120.0, duration_s=0.002)
+        noisy = weak.with_noise(noise_power_dbm=-90.0,
+                                rng=np.random.default_rng(1))
+        assert noisy.power_dbm() > weak.power_dbm() + 20.0
+
+    def test_noise_negligible_for_strong_signal(self):
+        strong = cosine_tone(power_dbm=0.0, duration_s=0.002)
+        noisy = strong.with_noise(noise_power_dbm=-80.0,
+                                  rng=np.random.default_rng(1))
+        assert noisy.power_dbm() == pytest.approx(0.0, abs=0.1)
+
+    def test_segment_extraction(self):
+        signal = cosine_tone(duration_s=0.01)
+        segment = signal.segment(0.002, 0.001)
+        assert len(segment) == 1000
+
+    def test_segment_validation(self):
+        signal = cosine_tone(duration_s=0.001)
+        with pytest.raises(ValueError):
+            signal.segment(-0.1, 0.001)
+        with pytest.raises(ValueError):
+            signal.segment(0.01, 0.001)

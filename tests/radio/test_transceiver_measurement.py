@@ -1,0 +1,132 @@
+"""Tests for the simulated transceiver and power-measurement helpers."""
+
+import numpy as np
+import pytest
+
+from repro.channel.antenna import dipole_antenna
+from repro.channel.geometry import LinkGeometry
+from repro.channel.link import LinkConfiguration, WirelessLink
+from repro.radio.measurement import (
+    PowerMeasurement,
+    average_power_dbm,
+    distribution_overlap_fraction,
+    power_trace_dbm,
+    rssi_histogram,
+)
+from repro.radio.signal import cosine_tone
+from repro.radio.transceiver import SimulatedReceiver, SimulatedTransmitter
+
+
+@pytest.fixture(scope="module")
+def simple_link():
+    config = LinkConfiguration(
+        tx_antenna=dipole_antenna(),
+        rx_antenna=dipole_antenna(),
+        geometry=LinkGeometry.transmissive(2.0),
+        tx_power_dbm=10.0,
+    )
+    return WirelessLink(config)
+
+
+class TestTransmitter:
+    def test_transmit_power(self):
+        transmitter = SimulatedTransmitter(tx_power_dbm=7.0)
+        assert transmitter.transmit(0.002).power_dbm() == pytest.approx(7.0, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedTransmitter(tone_frequency_hz=0.0)
+
+
+class TestReceiver:
+    def test_capture_power_close_to_link_budget(self, simple_link):
+        receiver = SimulatedReceiver(simple_link, seed=1)
+        capture = receiver.capture(duration_s=0.005)
+        assert capture.mean_power_dbm == pytest.approx(capture.true_power_dbm,
+                                                       abs=1.0)
+
+    def test_capture_snr_positive_for_strong_link(self, simple_link):
+        receiver = SimulatedReceiver(simple_link, seed=1)
+        assert receiver.capture().snr_db > 20.0
+
+    def test_measurements_reproducible_with_seed(self, simple_link):
+        first = SimulatedReceiver(simple_link, seed=3).measure_power_dbm()
+        second = SimulatedReceiver(simple_link, seed=3).measure_power_dbm()
+        assert first == pytest.approx(second)
+
+    def test_long_average_converges(self, simple_link):
+        receiver = SimulatedReceiver(simple_link, seed=4)
+        averaged = receiver.measure_average_dbm(seconds=1.0)
+        assert averaged == pytest.approx(simple_link.received_power_dbm(), abs=0.5)
+
+    def test_validation(self, simple_link):
+        receiver = SimulatedReceiver(simple_link)
+        with pytest.raises(ValueError):
+            receiver.capture(duration_s=0.0)
+        with pytest.raises(ValueError):
+            receiver.measure_average_dbm(seconds=0.0)
+        with pytest.raises(ValueError):
+            SimulatedReceiver(simple_link, sample_rate_hz=0.0)
+
+
+class TestPowerMeasurement:
+    def test_summary_statistics(self):
+        measurement = PowerMeasurement.from_readings([-40.0, -42.0, -38.0])
+        assert measurement.mean_dbm == pytest.approx(-40.0)
+        assert measurement.median_dbm == pytest.approx(-40.0)
+        assert measurement.minimum_dbm == -42.0
+        assert measurement.maximum_dbm == -38.0
+        assert measurement.spread_db == pytest.approx(4.0)
+        assert measurement.sample_count == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PowerMeasurement.from_readings([])
+
+    def test_average_power_linear_domain(self):
+        # Linear averaging of -10 and -20 dBm is about -12.5 dBm, well above
+        # the arithmetic dB mean of -15.
+        assert average_power_dbm([-10.0, -20.0]) == pytest.approx(-12.6, abs=0.1)
+
+    def test_average_power_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_power_dbm([])
+
+
+class TestTraceAndHistogram:
+    def test_power_trace_shape(self):
+        tone = cosine_tone(duration_s=0.02, power_dbm=-30.0)
+        timestamps, powers = power_trace_dbm(tone, window_s=0.005)
+        assert timestamps.shape == powers.shape
+        assert len(powers) == 4
+        assert np.allclose(powers, -30.0, atol=0.1)
+
+    def test_power_trace_validation(self):
+        tone = cosine_tone(duration_s=0.002)
+        with pytest.raises(ValueError):
+            power_trace_dbm(tone, window_s=0.0)
+
+    def test_rssi_histogram_probabilities_sum_to_100(self):
+        rng = np.random.default_rng(0)
+        readings = rng.normal(-40.0, 2.0, 500)
+        _centers, probabilities = rssi_histogram(readings)
+        assert probabilities.sum() == pytest.approx(100.0)
+
+    def test_rssi_histogram_validation(self):
+        with pytest.raises(ValueError):
+            rssi_histogram([])
+        with pytest.raises(ValueError):
+            rssi_histogram([-40.0], bin_width_db=0.0)
+
+    def test_distribution_overlap_disjoint(self):
+        matched = [-32.0, -31.0, -33.0, -32.5]
+        mismatched = [-43.0, -42.0, -41.5, -42.5]
+        assert distribution_overlap_fraction(matched, mismatched) == pytest.approx(0.0)
+
+    def test_distribution_overlap_identical(self):
+        readings = [-40.0, -41.0, -39.0, -40.5]
+        assert distribution_overlap_fraction(readings, readings) == pytest.approx(1.0)
+
+    def test_distribution_overlap_validation(self):
+        with pytest.raises(ValueError):
+            distribution_overlap_fraction([], [-40.0])

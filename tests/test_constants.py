@@ -1,0 +1,54 @@
+"""Tests for :mod:`repro.constants`."""
+
+import pytest
+
+from repro import constants
+
+
+class TestFrequencyBand:
+    def test_ism_band_center(self):
+        assert constants.ISM_2G4_BAND.center_hz == pytest.approx(2.45e9)
+
+    def test_ism_band_width_below_150mhz(self):
+        # The paper notes the target ISM band is < 100 MHz wide.
+        assert constants.ISM_2G4_BAND.bandwidth_hz == pytest.approx(100e6)
+
+    def test_contains_default_center_frequency(self):
+        assert constants.ISM_2G4_BAND.contains(
+            constants.DEFAULT_CENTER_FREQUENCY_HZ)
+
+    def test_900mhz_band_contains_915(self):
+        assert constants.ISM_900M_BAND.contains(0.915e9)
+
+    def test_rejects_inverted_edges(self):
+        with pytest.raises(ValueError):
+            constants.FrequencyBand("bad", 2.5e9, 2.4e9)
+
+    def test_rejects_non_positive_low_edge(self):
+        with pytest.raises(ValueError):
+            constants.FrequencyBand("bad", 0.0, 2.4e9)
+
+
+class TestPaperConstants:
+    def test_bias_range_matches_paper(self):
+        assert constants.BIAS_VOLTAGE_MIN_V == 0.0
+        assert constants.BIAS_VOLTAGE_MAX_V == 30.0
+
+    def test_switch_rate_is_50_hz(self):
+        assert constants.SUPPLY_SWITCH_RATE_HZ == pytest.approx(50.0)
+
+    def test_leakage_current_is_15_na(self):
+        assert constants.METASURFACE_LEAKAGE_CURRENT_A == pytest.approx(15e-9)
+
+    def test_prototype_inventory(self):
+        assert constants.PROTOTYPE_UNIT_COUNT == 180
+        assert constants.PROTOTYPE_VARACTOR_COUNT == 720
+        assert constants.PROTOTYPE_SIDE_M == pytest.approx(0.48)
+
+    def test_cost_figures(self):
+        assert constants.PROTOTYPE_TOTAL_COST_USD == pytest.approx(900.0)
+        assert constants.PROTOTYPE_COST_PER_UNIT_USD == pytest.approx(5.0)
+        assert constants.SCALED_COST_PER_UNIT_USD == pytest.approx(2.0)
+
+    def test_thermal_noise_density_reasonable(self):
+        assert -175.0 < constants.THERMAL_NOISE_DBM_PER_HZ < -172.0

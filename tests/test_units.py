@@ -1,0 +1,98 @@
+"""Tests for unit conversions in :mod:`repro.units`."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestPowerConversions:
+    def test_db_to_linear_round_trip(self):
+        assert units.linear_to_db(units.db_to_linear(7.3)) == pytest.approx(7.3)
+
+    def test_linear_to_db_of_unity_is_zero(self):
+        assert units.linear_to_db(1.0) == pytest.approx(0.0)
+
+    def test_db_to_linear_three_db_doubles(self):
+        assert units.db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_linear_to_db_clamps_zero(self):
+        assert np.isfinite(units.linear_to_db(0.0))
+        assert units.linear_to_db(0.0) <= -190.0
+
+    def test_dbm_to_watts_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_watts_to_dbm_one_watt_is_30_dbm(self):
+        assert units.watts_to_dbm(1.0) == pytest.approx(30.0)
+
+    def test_dbm_to_milliwatts_and_back(self):
+        assert units.milliwatts_to_dbm(
+            units.dbm_to_milliwatts(-17.0)) == pytest.approx(-17.0)
+
+    def test_array_inputs_preserve_shape(self):
+        values = np.array([-10.0, 0.0, 10.0])
+        assert units.db_to_linear(values).shape == values.shape
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_dbm_round_trip_property(self, dbm):
+        assert units.watts_to_dbm(units.dbm_to_watts(dbm)) == pytest.approx(
+            dbm, abs=1e-9)
+
+
+class TestAmplitudeConversions:
+    def test_amplitude_to_db_uses_20_log(self):
+        assert units.amplitude_to_db(10.0) == pytest.approx(20.0)
+
+    def test_db_to_amplitude_round_trip(self):
+        assert units.db_to_amplitude(
+            units.amplitude_to_db(0.35)) == pytest.approx(0.35)
+
+
+class TestAngles:
+    def test_wrap_angle_degrees(self):
+        assert units.wrap_angle_degrees(370.0) == pytest.approx(10.0)
+        assert units.wrap_angle_degrees(-10.0) == pytest.approx(350.0)
+
+    def test_wrap_angle_180(self):
+        assert units.wrap_angle_180(190.0) == pytest.approx(-170.0)
+        assert units.wrap_angle_180(-190.0) == pytest.approx(170.0)
+
+    def test_polarization_angle_difference_symmetric(self):
+        assert units.polarization_angle_difference(10.0, 170.0) == pytest.approx(20.0)
+
+    def test_polarization_angle_difference_orthogonal(self):
+        assert units.polarization_angle_difference(0.0, 90.0) == pytest.approx(90.0)
+
+    def test_polarization_angle_difference_identity_mod_180(self):
+        assert units.polarization_angle_difference(0.0, 180.0) == pytest.approx(0.0)
+
+    @given(st.floats(min_value=-720, max_value=720),
+           st.floats(min_value=-720, max_value=720))
+    def test_polarization_angle_difference_bounds(self, a, b):
+        difference = units.polarization_angle_difference(a, b)
+        assert 0.0 <= difference <= 90.0 + 1e-9
+
+    def test_degrees_radians_round_trip(self):
+        assert units.radians_to_degrees(
+            units.degrees_to_radians(123.4)) == pytest.approx(123.4)
+
+
+class TestFrequencyWavelength:
+    def test_2g44_wavelength(self):
+        assert units.frequency_to_wavelength(2.44e9) == pytest.approx(0.1229, rel=1e-3)
+
+    def test_round_trip(self):
+        assert units.wavelength_to_frequency(
+            units.frequency_to_wavelength(0.915e9)) == pytest.approx(0.915e9)
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            units.frequency_to_wavelength(0.0)
+
+    def test_rejects_non_positive_wavelength(self):
+        with pytest.raises(ValueError):
+            units.wavelength_to_frequency(-1.0)
