@@ -8,6 +8,7 @@ loss of optimality.
 """
 
 from bench_utils import run_once
+from repro.api import LinkBackend
 from repro.core.controller import CentralizedController, VoltageSweepConfig
 from repro.experiments.reporting import format_table
 from repro.experiments.scenarios import TransmissiveScenario
@@ -15,11 +16,11 @@ from repro.experiments.scenarios import TransmissiveScenario
 
 def run_sweep_comparison():
     """Run both strategies on the canonical mismatched link."""
-    link = TransmissiveScenario().link()
+    backend = LinkBackend(TransmissiveScenario().link())
     controller = CentralizedController(
         VoltageSweepConfig(iterations=2, switches_per_axis=5))
-    fast = controller.coarse_to_fine_sweep(link.received_power_dbm)
-    full = controller.full_sweep(link.received_power_dbm, step_v=1.0)
+    fast = controller.coarse_to_fine_sweep(backend)
+    full = controller.full_sweep(backend, step_v=1.0)
     return fast, full
 
 

@@ -1,0 +1,64 @@
+"""Batched vs scalar heatmap sweep (the Fig. 15 / Fig. 21 hot path).
+
+The measurement-plane redesign vectorizes the whole Jones/Friis/
+multipath budget over bias grids.  This benchmark records the speedup
+of the batched path over the historical per-probe Python loop on the
+exhaustive 1 V heatmap sweep, and asserts the two paths agree to
+numerical precision.
+"""
+
+import time
+
+import numpy as np
+
+from bench_utils import run_once
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import ReflectiveScenario, TransmissiveScenario
+
+
+def _heatmap_grid(step_v=1.0):
+    levels = np.arange(0.0, 30.0 + 0.5 * step_v, step_v)
+    vx, vy = np.meshgrid(levels, levels, indexing="ij")
+    return vx.ravel(), vy.ravel()
+
+
+def scalar_loop_sweep(link, vx, vy):
+    """The seed implementation: one full link budget per probe."""
+    return np.array([link.received_power_dbm(float(a), float(b))
+                     for a, b in zip(vx, vy)])
+
+
+def run_sweep_comparison():
+    """Time the scalar loop against the batched path on both layouts."""
+    rows = []
+    for name, link in (("transmissive", TransmissiveScenario().link()),
+                       ("reflective", ReflectiveScenario().link())):
+        vx, vy = _heatmap_grid(step_v=1.0)
+        start = time.perf_counter()
+        scalar = scalar_loop_sweep(link, vx, vy)
+        scalar_s = time.perf_counter() - start
+        start = time.perf_counter()
+        batched = link.received_power_dbm_batch(vx, vy)
+        batched_s = time.perf_counter() - start
+        max_error_db = float(np.max(np.abs(batched - scalar)))
+        rows.append([name, len(vx), scalar_s * 1e3, batched_s * 1e3,
+                     scalar_s / batched_s, max_error_db])
+    return rows
+
+
+def test_bench_batched_sweep(benchmark):
+    rows = run_once(benchmark, run_sweep_comparison)
+
+    print()
+    print(format_table(
+        ["layout", "probes", "scalar loop (ms)", "batched (ms)",
+         "speedup (x)", "max |diff| (dB)"],
+        rows, precision=3,
+        title="Batched measurement plane vs scalar loop "
+              "(31 x 31 heatmap grid, Fig. 15/21 path)"))
+
+    for _name, probes, _scalar_ms, _batched_ms, speedup, max_error_db in rows:
+        assert probes == 31 * 31
+        # Acceptance bar for the API redesign: >= 5x on the heatmap path.
+        assert speedup >= 5.0
+        assert max_error_db < 1e-9

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Tour of the batched measurement-plane API (repro.api).
+
+Demonstrates the three pieces the API redesign introduced:
+
+1. :class:`ScenarioBuilder` — a new workload is one chained expression,
+2. :class:`LinkSession` — the facade owning the link / rotator / supply
+   bundle, with batched probing and cached derived sessions,
+3. :class:`MeasurementBackend` — the pluggable data plane: the same
+   controller runs against the vectorized simulation backend or any
+   legacy scalar callable wrapped in :class:`CallableBackend`.
+
+Run with::
+
+    python examples/batched_measurement_plane.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.api import CallableBackend, LinkBackend, ScenarioBuilder
+from repro.core.controller import CentralizedController, VoltageSweepConfig
+
+
+def main() -> None:
+    # 1. Fluent scenario construction: antennas -> deployment ->
+    #    environment -> surface, then a session in one expression.
+    session = (ScenarioBuilder()
+               .with_antennas("directional", rx_orientation_deg=90.0)
+               .transmissive(distance_m=0.42)
+               .with_environment("anechoic")
+               .with_surface()
+               .with_sweep_config(VoltageSweepConfig(iterations=2,
+                                                     switches_per_axis=5))
+               .session())
+
+    # 2a. Batched probing: a whole 31 x 31 heatmap in one vectorized pass.
+    levels = np.arange(0.0, 31.0, 1.0)
+    vx, vy = np.meshgrid(levels, levels, indexing="ij")
+    start = time.perf_counter()
+    heatmap = session.measure_batch(vx, vy)
+    batched_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for a, b in zip(vx.ravel()[:50], vy.ravel()[:50]):
+        session.measure(float(a), float(b))
+    scalar_s = (time.perf_counter() - start) * heatmap.size / 50.0
+    best = np.unravel_index(np.argmax(heatmap), heatmap.shape)
+    print(f"31 x 31 heatmap sweep  : {batched_s * 1e3:.1f} ms batched "
+          f"(scalar loop would take ~{scalar_s * 1e3:.0f} ms)")
+    print(f"  best cell            : Vx={levels[best[0]]:.0f} V, "
+          f"Vy={levels[best[1]]:.0f} V, {heatmap[best]:.1f} dBm")
+
+    # 2b. The session runs Algorithm 1 and parks the supply at the optimum.
+    result = session.optimize()
+    print(f"Algorithm 1            : {result.best_power_dbm:.1f} dBm at "
+          f"Vx={result.best_vx:.0f} V, Vy={result.best_vy:.0f} V "
+          f"({result.probe_count} probes)")
+    print(f"  baseline (no surface): {session.baseline_power_dbm():.1f} dBm")
+    print(f"  supply parked at     : {session.supply.bias_pair()}")
+
+    # 3. Pluggable backends: the same controller drives the vectorized
+    #    link backend or any scalar instrument wrapped as a backend.
+    controller = CentralizedController(VoltageSweepConfig(iterations=2,
+                                                          switches_per_axis=5))
+    fast = controller.optimize(LinkBackend(session.link))
+    legacy = controller.optimize(CallableBackend(
+        session.link.received_power_dbm))
+    print("Backend substitution   : vectorized and wrapped-callable agree -> "
+          f"{fast.best_power_dbm:.3f} dBm vs {legacy.best_power_dbm:.3f} dBm")
+
+    # Bonus: the Sec. 3.4 rotation-angle estimation, with per-orientation
+    # link caching and batched voltage sweeps underneath.
+    estimate = session.estimate_rotation(orientation_step_deg=6.0)
+    print(f"Rotation estimation    : {estimate.min_rotation_deg:.1f} to "
+          f"{estimate.max_rotation_deg:.1f} degrees achievable")
+
+
+if __name__ == "__main__":
+    main()

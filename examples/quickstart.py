@@ -4,8 +4,8 @@
 This example reproduces the paper's headline scenario end to end:
 
 1. build the optimized FR4 metasurface prototype,
-2. set up a transmissive link whose endpoints are cross-polarized
-   (90 degrees apart), the worst case for cheap IoT antennas,
+2. describe a transmissive link whose endpoints are cross-polarized
+   (90 degrees apart) with the fluent :class:`repro.api.ScenarioBuilder`,
 3. let the centralized controller run the coarse-to-fine bias-voltage
    sweep (Algorithm 1) using receiver power reports,
 4. compare the optimized link against the no-surface baseline.
@@ -15,9 +15,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro.channel.antenna import directional_antenna
-from repro.channel.geometry import LinkGeometry
-from repro.channel.link import DeploymentMode, LinkConfiguration
+from repro.api import ScenarioBuilder
 from repro.core.controller import VoltageSweepConfig
 from repro.core.llama import LlamaSystem
 from repro.metasurface.design import llama_design
@@ -33,14 +31,12 @@ def main() -> None:
           f"(leakage {surface.leakage_current_a * 1e9:.0f} nA)")
 
     # 2. A mismatched transmissive link: Tx horizontal, Rx vertical.
-    configuration = LinkConfiguration(
-        tx_antenna=directional_antenna(orientation_deg=0.0),
-        rx_antenna=directional_antenna(orientation_deg=90.0),
-        geometry=LinkGeometry.transmissive(0.42),
-        tx_power_dbm=0.0,
-        metasurface=surface,
-        deployment=DeploymentMode.TRANSMISSIVE,
-    )
+    configuration = (ScenarioBuilder()
+                     .with_antennas("directional", rx_orientation_deg=90.0)
+                     .transmissive(distance_m=0.42)
+                     .with_surface(surface)
+                     .with_tx_power_dbm(0.0)
+                     .build())
 
     # 3. Run the LLAMA control loop (Algorithm 1: T=5 switches, N=2 iters).
     system = LlamaSystem(configuration,

@@ -11,6 +11,7 @@ paper's evaluation.
 Top-level convenience imports expose the most common entry points; see
 the subpackages for the full API:
 
+* :mod:`repro.api` -- batched measurement plane: backends, sessions, builder
 * :mod:`repro.core` -- Jones calculus, rotator, controller, LLAMA system
 * :mod:`repro.metasurface` -- EM model of the surface and its design space
 * :mod:`repro.channel` -- antennas, propagation, multipath, link budgets
@@ -48,9 +49,24 @@ from repro.metasurface.design import (
 )
 from repro.metasurface.surface import Metasurface, SurfaceMode
 
+# The batched measurement-plane API builds on core + channel, so it is
+# imported last (keeps the submodule import order acyclic).
+from repro.api import (
+    CallableBackend,
+    LinkBackend,
+    LinkSession,
+    MeasurementBackend,
+    ScenarioBuilder,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
+    "MeasurementBackend",
+    "LinkBackend",
+    "CallableBackend",
+    "LinkSession",
+    "ScenarioBuilder",
     "DEFAULT_CENTER_FREQUENCY_HZ",
     "ISM_2G4_BAND",
     "CentralizedController",

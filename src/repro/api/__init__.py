@@ -1,0 +1,50 @@
+"""Batched measurement-plane API.
+
+This package is the public face of the reproduction's measurement
+plane.  It separates *what is probed* (a
+:class:`~repro.api.backend.MeasurementBackend` answering scalar or
+batched bias-voltage queries) from *what orchestrates the probing*
+(controllers, estimators, schedulers and figure runners), so sweeps are
+vectorized end to end and backends — simulation, noisy receivers,
+recorded traces, hardware — are substitutable.
+
+* :class:`MeasurementBackend`, :class:`LinkBackend`,
+  :class:`CallableBackend` — the backend protocol and the two stock
+  implementations.
+* :class:`LinkSession` — a facade owning the link / rotator / supply
+  bundle for one configuration, replacing ad-hoc link construction.
+* :class:`ScenarioBuilder` — fluent scenario construction
+  (antennas → deployment → environment → device).
+"""
+
+from repro.api.backend import (
+    CallableBackend,
+    CallableOrientationBackend,
+    FixedOrientationBackend,
+    LinkBackend,
+    MeasureCallback,
+    MeasurementBackend,
+    OrientationBackend,
+    OrientationMeasureCallback,
+    OrientationMeasurementBackend,
+    as_backend,
+    as_orientation_backend,
+)
+from repro.api.builder import ScenarioBuilder
+from repro.api.session import LinkSession
+
+__all__ = [
+    "MeasureCallback",
+    "MeasurementBackend",
+    "LinkBackend",
+    "CallableBackend",
+    "as_backend",
+    "OrientationMeasureCallback",
+    "OrientationMeasurementBackend",
+    "OrientationBackend",
+    "CallableOrientationBackend",
+    "FixedOrientationBackend",
+    "as_orientation_backend",
+    "LinkSession",
+    "ScenarioBuilder",
+]

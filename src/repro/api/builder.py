@@ -1,0 +1,304 @@
+"""Fluent scenario construction: antennas → deployment → environment → device.
+
+Building a :class:`~repro.channel.link.LinkConfiguration` by hand means
+juggling antennas, geometry, multipath, surface and radio parameters in
+one constructor call.  :class:`ScenarioBuilder` makes a new workload one
+chained expression::
+
+    session = (ScenarioBuilder()
+               .with_antennas("directional", rx_orientation_deg=90.0)
+               .transmissive(distance_m=0.42)
+               .with_environment("anechoic", seed=2021)
+               .with_surface()
+               .session())
+
+Each step returns a new builder (the builder is immutable), so partial
+scenarios can be shared and specialised without aliasing surprises::
+
+    lab = ScenarioBuilder().with_antennas("omni").with_environment("laboratory")
+    near = lab.transmissive(0.3).with_surface().build()
+    far = lab.transmissive(3.0).with_surface().build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from repro.api.session import LinkSession
+from repro.channel.antenna import (
+    Antenna,
+    circular_antenna,
+    dipole_antenna,
+    directional_antenna,
+    omni_antenna,
+)
+from repro.channel.geometry import LinkGeometry
+from repro.channel.link import DeploymentMode, LinkConfiguration, WirelessLink
+from repro.channel.multipath import MultipathEnvironment
+from repro.constants import DEFAULT_CENTER_FREQUENCY_HZ
+from repro.core.controller import VoltageSweepConfig
+from repro.devices.base import IoTDevice
+from repro.devices.ble import metamotion_wearable, raspberry_pi_central
+from repro.devices.wifi import esp8266_station, netgear_access_point
+from repro.metasurface.design import llama_design
+from repro.metasurface.surface import Metasurface
+
+#: Antenna factories selectable by name in :meth:`ScenarioBuilder.with_antennas`.
+_ANTENNA_KINDS = {
+    "directional": directional_antenna,
+    "omni": omni_antenna,
+    "dipole": dipole_antenna,
+    "circular": lambda orientation_deg=0.0: circular_antenna(),
+}
+
+#: Device-pair presets selectable by name in :meth:`ScenarioBuilder.for_device`.
+_DEVICE_PRESETS = {
+    "wifi": (esp8266_station, netgear_access_point),
+    "ble": (metamotion_wearable, raspberry_pi_central),
+}
+
+
+def _make_antenna(kind: Union[str, Antenna],
+                  orientation_deg: Optional[float],
+                  default_orientation_deg: float) -> Antenna:
+    if isinstance(kind, Antenna):
+        # An explicit orientation re-orients the instance; otherwise the
+        # instance's own orientation is kept.
+        if orientation_deg is not None and orientation_deg != kind.orientation_deg:
+            return kind.rotated(orientation_deg)
+        return kind
+    if kind not in _ANTENNA_KINDS:
+        raise ValueError(
+            f"unknown antenna kind {kind!r}; choose from "
+            f"{sorted(_ANTENNA_KINDS)} or pass an Antenna instance")
+    if orientation_deg is None:
+        orientation_deg = default_orientation_deg
+    return _ANTENNA_KINDS[kind](orientation_deg=orientation_deg)
+
+
+@dataclass(frozen=True)
+class ScenarioBuilder:
+    """Immutable fluent builder for measurement scenarios.
+
+    The terminal operations are :meth:`build` (a
+    :class:`LinkConfiguration`), :meth:`link` (a :class:`WirelessLink`)
+    and :meth:`session` (a :class:`LinkSession` ready for batched
+    sweeps).
+    """
+
+    tx_antenna: Optional[Antenna] = None
+    rx_antenna: Optional[Antenna] = None
+    geometry: Optional[LinkGeometry] = None
+    deployment: DeploymentMode = DeploymentMode.NONE
+    aim_at_surface: bool = False
+    environment: Optional[MultipathEnvironment] = None
+    metasurface: Optional[Metasurface] = None
+    frequency_hz: float = DEFAULT_CENTER_FREQUENCY_HZ
+    tx_power_dbm: float = 0.0
+    bandwidth_hz: float = 500e3
+    noise_figure_db: float = 6.0
+    interference_floor_dbm: Optional[float] = None
+    surface_obstruction_db: float = 0.0
+    sweep_config: Optional[VoltageSweepConfig] = None
+
+    # ------------------------------------------------------------------ #
+    # Antennas
+    # ------------------------------------------------------------------ #
+    def with_antennas(self, kind: Union[str, Antenna] = "directional",
+                      rx_kind: Optional[Union[str, Antenna]] = None,
+                      tx_orientation_deg: Optional[float] = None,
+                      rx_orientation_deg: Optional[float] = None) -> "ScenarioBuilder":
+        """Set both endpoint antennas (mismatched by default).
+
+        ``kind`` names a stock antenna (``directional``, ``omni``,
+        ``dipole``, ``circular``) or is an :class:`Antenna` instance;
+        ``rx_kind`` defaults to the transmit kind.  Stock antennas
+        default to the paper's mismatched setup (Tx at 0, Rx at 90
+        degrees); an :class:`Antenna` instance keeps its own
+        orientation unless one is given explicitly.
+        """
+        rx_kind = kind if rx_kind is None else rx_kind
+        return replace(self,
+                       tx_antenna=_make_antenna(kind, tx_orientation_deg, 0.0),
+                       rx_antenna=_make_antenna(rx_kind, rx_orientation_deg,
+                                                90.0))
+
+    def with_tx_antenna(self, antenna: Antenna) -> "ScenarioBuilder":
+        """Set the transmit antenna explicitly."""
+        return replace(self, tx_antenna=antenna)
+
+    def with_rx_antenna(self, antenna: Antenna) -> "ScenarioBuilder":
+        """Set the receive antenna explicitly."""
+        return replace(self, rx_antenna=antenna)
+
+    def matched(self) -> "ScenarioBuilder":
+        """Align the receiver's polarization with the transmitter's."""
+        if self.tx_antenna is None or self.rx_antenna is None:
+            raise ValueError("set antennas before calling matched()")
+        return replace(self, rx_antenna=self.rx_antenna.rotated(
+            self.tx_antenna.orientation_deg))
+
+    # ------------------------------------------------------------------ #
+    # Deployment geometry
+    # ------------------------------------------------------------------ #
+    def transmissive(self, distance_m: float = 0.42) -> "ScenarioBuilder":
+        """Place the surface midway on a through-surface link."""
+        return replace(self,
+                       geometry=LinkGeometry.transmissive(distance_m),
+                       deployment=DeploymentMode.TRANSMISSIVE,
+                       aim_at_surface=False)
+
+    def reflective(self, separation_m: float = 0.70,
+                   surface_distance_m: float = 0.42) -> "ScenarioBuilder":
+        """Same-side layout with both endpoints aimed at the surface."""
+        return replace(self,
+                       geometry=LinkGeometry.reflective(separation_m,
+                                                        surface_distance_m),
+                       deployment=DeploymentMode.REFLECTIVE,
+                       aim_at_surface=True)
+
+    def direct(self, distance_m: float) -> "ScenarioBuilder":
+        """Plain point-to-point link with no surface in the path."""
+        return replace(self,
+                       geometry=LinkGeometry.transmissive(distance_m),
+                       deployment=DeploymentMode.NONE,
+                       aim_at_surface=False,
+                       metasurface=None)
+
+    # ------------------------------------------------------------------ #
+    # Environment
+    # ------------------------------------------------------------------ #
+    def with_environment(self,
+                         environment: Union[str, MultipathEnvironment] = "anechoic",
+                         seed: int = 2021) -> "ScenarioBuilder":
+        """Choose the multipath environment (``anechoic``/``laboratory``
+        by name, or any :class:`MultipathEnvironment`)."""
+        if isinstance(environment, str):
+            if environment == "anechoic":
+                environment = MultipathEnvironment.anechoic(seed=seed)
+            elif environment == "laboratory":
+                environment = MultipathEnvironment.laboratory(seed=seed)
+            else:
+                raise ValueError(
+                    f"unknown environment {environment!r}; choose 'anechoic', "
+                    "'laboratory' or pass a MultipathEnvironment")
+        return replace(self, environment=environment)
+
+    # ------------------------------------------------------------------ #
+    # Surface
+    # ------------------------------------------------------------------ #
+    def with_surface(self,
+                     metasurface: Optional[Metasurface] = None) -> "ScenarioBuilder":
+        """Deploy a metasurface (the optimized FR4 prototype by default)."""
+        surface = metasurface if metasurface is not None else llama_design().build()
+        deployment = (DeploymentMode.TRANSMISSIVE
+                      if self.deployment is DeploymentMode.NONE
+                      else self.deployment)
+        return replace(self, metasurface=surface, deployment=deployment)
+
+    def without_surface(self) -> "ScenarioBuilder":
+        """Remove the surface (baseline measurements)."""
+        return replace(self, metasurface=None, deployment=DeploymentMode.NONE)
+
+    # ------------------------------------------------------------------ #
+    # Device / radio parameters
+    # ------------------------------------------------------------------ #
+    def for_device(self, preset: str,
+                   mismatched: bool = True) -> "ScenarioBuilder":
+        """Adopt a commodity device pair (``wifi`` or ``ble``).
+
+        Sets both antennas, carrier frequency, transmit power and
+        bandwidth from the transmitter/receiver device models.
+        """
+        if preset not in _DEVICE_PRESETS:
+            raise ValueError(f"unknown device preset {preset!r}; choose from "
+                             f"{sorted(_DEVICE_PRESETS)}")
+        make_station, make_peer = _DEVICE_PRESETS[preset]
+        station: IoTDevice = make_station(
+            orientation_deg=90.0 if mismatched else 0.0)
+        peer: IoTDevice = make_peer(orientation_deg=0.0)
+        return replace(self,
+                       tx_antenna=station.antenna,
+                       rx_antenna=peer.antenna,
+                       frequency_hz=station.frequency_hz,
+                       tx_power_dbm=station.tx_power_dbm,
+                       bandwidth_hz=station.channel_bandwidth_hz)
+
+    def with_frequency_hz(self, frequency_hz: float) -> "ScenarioBuilder":
+        """Set the carrier frequency."""
+        return replace(self, frequency_hz=frequency_hz)
+
+    def with_tx_power_dbm(self, tx_power_dbm: float) -> "ScenarioBuilder":
+        """Set the transmit power."""
+        return replace(self, tx_power_dbm=tx_power_dbm)
+
+    def with_bandwidth_hz(self, bandwidth_hz: float) -> "ScenarioBuilder":
+        """Set the channel bandwidth used for noise/capacity."""
+        return replace(self, bandwidth_hz=bandwidth_hz)
+
+    def with_noise_figure_db(self, noise_figure_db: float) -> "ScenarioBuilder":
+        """Set the receiver noise figure."""
+        return replace(self, noise_figure_db=noise_figure_db)
+
+    def with_interference_floor_dbm(
+            self, floor_dbm: Optional[float]) -> "ScenarioBuilder":
+        """Set the noise-plus-interference floor (Figs. 18-19 knob)."""
+        return replace(self, interference_floor_dbm=floor_dbm)
+
+    def with_sweep_config(self,
+                          sweep_config: VoltageSweepConfig) -> "ScenarioBuilder":
+        """Controller parameters for sessions built from this scenario."""
+        return replace(self, sweep_config=sweep_config)
+
+    # ------------------------------------------------------------------ #
+    # Terminal operations
+    # ------------------------------------------------------------------ #
+    def build(self) -> LinkConfiguration:
+        """Materialise the :class:`LinkConfiguration`."""
+        if self.tx_antenna is None or self.rx_antenna is None:
+            raise ValueError(
+                "scenario has no antennas; call with_antennas()/for_device()")
+        if self.geometry is None:
+            raise ValueError(
+                "scenario has no geometry; call transmissive()/reflective()/"
+                "direct()")
+        metasurface = self.metasurface
+        deployment = self.deployment
+        if deployment is not DeploymentMode.NONE and metasurface is None:
+            # A deployment was chosen but no surface supplied: default to
+            # the paper's optimized FR4 prototype.
+            metasurface = llama_design().build()
+        environment = (self.environment if self.environment is not None
+                       else MultipathEnvironment.anechoic())
+        return LinkConfiguration(
+            tx_antenna=self.tx_antenna,
+            rx_antenna=self.rx_antenna,
+            geometry=self.geometry,
+            frequency_hz=self.frequency_hz,
+            tx_power_dbm=self.tx_power_dbm,
+            bandwidth_hz=self.bandwidth_hz,
+            noise_figure_db=self.noise_figure_db,
+            environment=environment,
+            metasurface=metasurface,
+            deployment=deployment,
+            aim_at_surface=self.aim_at_surface,
+            interference_floor_dbm=self.interference_floor_dbm,
+            surface_obstruction_db=self.surface_obstruction_db,
+        )
+
+    def link(self) -> WirelessLink:
+        """Materialise a :class:`WirelessLink`."""
+        return WirelessLink(self.build())
+
+    def baseline_link(self) -> WirelessLink:
+        """Materialise the matching no-surface link."""
+        return WirelessLink(self.build().without_surface())
+
+    def session(self, **session_kwargs) -> LinkSession:
+        """Materialise a :class:`LinkSession` ready for batched sweeps."""
+        session_kwargs.setdefault("sweep_config", self.sweep_config)
+        return LinkSession(self.build(), **session_kwargs)
+
+
+__all__ = ["ScenarioBuilder"]

@@ -252,6 +252,35 @@ class WirelessLink:
         phasor = amplitude * complex(math.cos(phase), math.sin(phase))
         return JonesVector(phasor * transformed.x, phasor * transformed.y)
 
+    def _surface_fields_batch(self, vx: np.ndarray,
+                              vy: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_surface_field` over bias-voltage arrays.
+
+        Returns a complex ``(..., 2)`` array of via-surface Jones fields,
+        one per broadcast voltage pair.
+        """
+        config = self.configuration
+        shape = np.broadcast_shapes(np.shape(vx), np.shape(vy))
+        if config.metasurface is None or config.deployment is DeploymentMode.NONE:
+            return np.zeros(shape + (2,), dtype=complex)
+        geometry = config.geometry
+        surface = config.metasurface
+        if config.deployment is DeploymentMode.TRANSMISSIVE:
+            jones = surface.jones_matrix_batch(config.frequency_hz, vx, vy)
+        else:
+            jones = surface.reflection_jones_matrix_batch(config.frequency_hz,
+                                                          vx, vy)
+        legs = geometry.tx_to_surface_m + geometry.surface_to_rx_m
+        tx_gain = config.tx_antenna.gain_dbi
+        rx_gain = config.rx_antenna.gain_dbi
+        amplitude = self._path_amplitude(legs, extra_gain_db=tx_gain + rx_gain)
+        phase = self._phase_for_distance(legs)
+        incident = np.array([config.tx_antenna.jones.x,
+                             config.tx_antenna.jones.y], dtype=complex)
+        transformed = jones @ incident
+        phasor = amplitude * complex(math.cos(phase), math.sin(phase))
+        return np.broadcast_to(phasor * transformed, shape + (2,))
+
     def _clutter_field(self) -> JonesVector:
         """Total clutter field weighted by the receive antenna pattern.
 
@@ -291,6 +320,42 @@ class WirelessLink:
         coupling = config.rx_antenna.polarization_coupling(total_field)
         power_linear_mw = total_field.intensity * coupling
         return 10.0 * math.log10(max(power_linear_mw, 1e-20))
+
+    def received_power_dbm_batch(self, vx, vy) -> np.ndarray:
+        """Received power (dBm) over whole bias-voltage grids at once.
+
+        ``vx`` and ``vy`` may be scalars or NumPy arrays that broadcast
+        against each other; the returned array has the broadcast shape
+        and matches scalar :meth:`received_power_dbm` at every pair.
+        The direct and clutter fields are voltage-independent, so the
+        whole Jones/Friis/multipath budget is evaluated with a single
+        pass of vectorized surface responses — this is the fast path the
+        batched measurement API (:mod:`repro.api`) is built on.
+        """
+        config = self.configuration
+        vx = np.asarray(vx, dtype=float)
+        vy = np.asarray(vy, dtype=float)
+        direct = self._direct_field()
+        clutter = self._clutter_field()
+        # Keep the scalar path's (direct + surface) + clutter summation
+        # order so both paths agree to floating-point round-off.
+        fields = (np.array([direct.x, direct.y], dtype=complex) +
+                  self._surface_fields_batch(vx, vy) +
+                  np.array([clutter.x, clutter.y], dtype=complex))
+        ex, ey = fields[..., 0], fields[..., 1]
+        intensity = np.abs(ex) ** 2 + np.abs(ey) ** 2
+        rx_jones = config.rx_antenna.jones
+        projected = np.conj(rx_jones.x) * ex + np.conj(rx_jones.y) * ey
+        with np.errstate(divide="ignore", invalid="ignore"):
+            matched_fraction = np.where(intensity > 0.0,
+                                        np.abs(projected) ** 2 / intensity,
+                                        0.0)
+        floor = 10.0 ** (-config.rx_antenna.cross_pol_isolation_db / 10.0)
+        coupling = np.where(intensity > 0.0,
+                            np.minimum(1.0, np.maximum(matched_fraction, floor)),
+                            0.0)
+        power_linear_mw = intensity * coupling
+        return 10.0 * np.log10(np.maximum(power_linear_mw, 1e-20))
 
     def noise_power_dbm(self) -> float:
         """Receiver noise-plus-interference floor for the configured bandwidth."""

@@ -9,17 +9,25 @@ per axis, shrinking the search window around the best point after each
 iteration.  With the paper's defaults (T=5, N=2) the search cost drops
 from ~900 probes to 50.
 
-The controller is deliberately decoupled from the physics: it only needs
-a ``measure(vx, vy) -> power_dbm`` callable, which in this reproduction
-is provided by :class:`repro.channel.link.WirelessLink` (optionally via
-the simulated power supply for timing realism).
+The controller is deliberately decoupled from the physics: it talks to
+the world through a :class:`repro.api.MeasurementBackend`, issuing one
+*batched* probe per grid (``full_sweep``) or per refinement iteration
+(``coarse_to_fine_sweep``).  The simulation backend evaluates whole
+bias grids in a single vectorized pass of the link budget; hardware or
+recorded-trace backends can answer element by element.
+
+Legacy scalar ``measure(vx, vy) -> power_dbm`` callables are still
+accepted everywhere a backend is, but are deprecated: they are wrapped
+in :class:`repro.api.CallableBackend` (with a ``DeprecationWarning``)
+and probed through a Python loop.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -30,6 +38,48 @@ from repro.constants import (
 )
 
 MeasureCallback = Callable[[float, float], float]
+
+#: Accepted by every controller entry point: a measurement backend, or a
+#: legacy scalar callable (deprecated).
+MeasureSource = Union["MeasurementBackend", MeasureCallback]
+
+
+def _as_measurement_backend(measure):
+    """Coerce a backend-or-callable argument, warning on the legacy path."""
+    from repro.api.backend import as_backend
+    backend = as_backend(measure)
+    if backend is not measure:
+        warnings.warn(
+            "passing a bare measure(vx, vy) callable to CentralizedController "
+            "is deprecated; pass a repro.api.MeasurementBackend (e.g. "
+            "LinkBackend for vectorized sweeps, or CallableBackend to wrap "
+            "this callable)",
+            DeprecationWarning, stacklevel=3)
+    return backend
+
+
+def vectorized_grid_max(levels_x: np.ndarray, levels_y: np.ndarray,
+                        measure_batch) -> Tuple[np.ndarray, np.ndarray,
+                                                np.ndarray, int]:
+    """Evaluate a 2-D grid with one batched call; find its first maximum.
+
+    The shared primitive of every batched grid search (controller
+    sweeps, per-station bias search, scheduler utility search): build
+    the vx-major meshgrid, issue a single ``measure_batch`` over the
+    flattened pairs, and locate the first maximum with NaN values
+    treated as ``-inf`` (never selected), matching the historical
+    strict-``>`` scalar loops.  Returns ``(vx_flat, vy_flat, values,
+    best_index)``.
+    """
+    vx_grid, vy_grid = np.meshgrid(levels_x, levels_y, indexing="ij")
+    vx_flat = vx_grid.ravel()
+    vy_flat = vy_grid.ravel()
+    values = np.asarray(measure_batch(vx_flat, vy_flat), dtype=float).ravel()
+    if values.shape != vx_flat.shape:
+        raise ValueError(f"batched measurement returned {values.shape[0]} "
+                         f"values for {vx_flat.shape[0]} probes")
+    masked = np.where(np.isnan(values), -math.inf, values)
+    return vx_flat, vy_flat, values, int(np.argmax(masked))
 
 
 @dataclass(frozen=True)
@@ -129,27 +179,39 @@ class CentralizedController:
     # ------------------------------------------------------------------ #
     # Exhaustive baseline sweep
     # ------------------------------------------------------------------ #
-    def full_sweep(self, measure: MeasureCallback,
+    @staticmethod
+    def _probe_grid(backend, levels_x: np.ndarray, levels_y: np.ndarray,
+                    iteration: int) -> Tuple[List[SweepSample], Tuple[float, float, float]]:
+        """Issue one batched probe over a voltage grid.
+
+        Returns the samples (vx-major order, matching the historical
+        scalar loop) and the first-maximum ``(power, vx, vy)`` triple.
+        """
+        vx_flat, vy_flat, powers, best_index = vectorized_grid_max(
+            levels_x, levels_y, backend.measure_batch)
+        samples = [SweepSample(float(vx), float(vy), float(power), iteration)
+                   for vx, vy, power in zip(vx_flat, vy_flat, powers)]
+        best_power = powers[best_index]
+        best = (float(best_power) if not math.isnan(best_power) else -math.inf,
+                float(vx_flat[best_index]), float(vy_flat[best_index]))
+        return samples, best
+
+    def full_sweep(self, measure: MeasureSource,
                    step_v: float = 1.0) -> SweepResult:
         """Exhaustive grid scan of the full voltage range.
 
         This is the ~30 s baseline the paper wants to avoid for real-time
         operation, but it is also what the evaluation uses to generate
-        the Fig. 15 / Fig. 21 heatmaps.
+        the Fig. 15 / Fig. 21 heatmaps.  The whole grid is issued as a
+        single batched probe.
         """
         if step_v <= 0:
             raise ValueError("step must be positive")
+        backend = _as_measurement_backend(measure)
         config = self.config
         levels = np.arange(config.min_voltage_v,
                            config.max_voltage_v + 0.5 * step_v, step_v)
-        samples: List[SweepSample] = []
-        best = (-math.inf, config.min_voltage_v, config.min_voltage_v)
-        for vx in levels:
-            for vy in levels:
-                power = measure(float(vx), float(vy))
-                samples.append(SweepSample(float(vx), float(vy), power, 0))
-                if power > best[0]:
-                    best = (power, float(vx), float(vy))
+        samples, best = self._probe_grid(backend, levels, levels, iteration=0)
         duration = len(samples) * config.switch_interval_s
         return SweepResult(best_vx=best[1], best_vy=best[2],
                            best_power_dbm=best[0], samples=tuple(samples),
@@ -158,13 +220,15 @@ class CentralizedController:
     # ------------------------------------------------------------------ #
     # Algorithm 1: coarse-to-fine sweep
     # ------------------------------------------------------------------ #
-    def coarse_to_fine_sweep(self, measure: MeasureCallback) -> SweepResult:
+    def coarse_to_fine_sweep(self, measure: MeasureSource) -> SweepResult:
         """Paper Algorithm 1.
 
         Each iteration probes a ``T x T`` grid across the current search
-        window of each axis, then shrinks the window to the step-sized
-        neighbourhood below the best probe for the next iteration.
+        window of each axis (one batched probe per iteration), then
+        shrinks the window to the step-sized neighbourhood below the
+        best probe for the next iteration.
         """
+        backend = _as_measurement_backend(measure)
         config = self.config
         window_x = (config.min_voltage_v, config.max_voltage_v)
         window_y = (config.min_voltage_v, config.max_voltage_v)
@@ -177,14 +241,9 @@ class CentralizedController:
                                    config.switches_per_axis)
             levels_y = np.linspace(window_y[0], window_y[1],
                                    config.switches_per_axis)
-            iteration_best = (-math.inf, window_x[0], window_y[0])
-            for vx in levels_x:
-                for vy in levels_y:
-                    power = measure(float(vx), float(vy))
-                    samples.append(SweepSample(float(vx), float(vy), power,
-                                               iteration))
-                    if power > iteration_best[0]:
-                        iteration_best = (power, float(vx), float(vy))
+            iteration_samples, iteration_best = self._probe_grid(
+                backend, levels_x, levels_y, iteration=iteration)
+            samples.extend(iteration_samples)
             if iteration_best[0] > best[0]:
                 best = iteration_best
             # Shrink the window around the best probe (Algorithm 1's
@@ -202,13 +261,14 @@ class CentralizedController:
     # ------------------------------------------------------------------ #
     # Convenience
     # ------------------------------------------------------------------ #
-    def optimize(self, measure: MeasureCallback,
+    def optimize(self, measure: MeasureSource,
                  exhaustive: bool = False,
                  step_v: float = 1.0) -> SweepResult:
         """Run the configured search strategy."""
+        backend = _as_measurement_backend(measure)
         if exhaustive:
-            return self.full_sweep(measure, step_v=step_v)
-        return self.coarse_to_fine_sweep(measure)
+            return self.full_sweep(backend, step_v=step_v)
+        return self.coarse_to_fine_sweep(backend)
 
     def full_sweep_duration_s(self, step_v: float = 1.0) -> float:
         """Predicted duration of the exhaustive scan (paper: ~30 s at 1 V).
@@ -226,6 +286,8 @@ class CentralizedController:
 
 __all__ = [
     "MeasureCallback",
+    "MeasureSource",
+    "vectorized_grid_max",
     "VoltageSweepConfig",
     "SweepSample",
     "SweepResult",

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
+import numpy as np
+
 from repro.channel.link import DeploymentMode, LinkConfiguration, WirelessLink
 from repro.core.controller import (
     CentralizedController,
@@ -34,6 +36,39 @@ from repro.core.rotator import ProgrammableRotator, RotatorConfig
 from repro.core.synchronization import SampleVoltageSynchronizer
 from repro.hardware.power_supply import ProgrammablePowerSupply
 from repro.metasurface.surface import Metasurface, SurfaceMode
+
+
+class _SupplyMeasurementBackend:
+    """Measurement backend that keeps the supply/rotator in the loop.
+
+    Every probe — scalar or batched — programs the power supply (which
+    advances the simulated clock and quantises the bias pair through the
+    rotator) exactly as the sequential hardware would, but the link
+    physics for a batch is evaluated in one vectorized pass over the
+    applied voltages.
+    """
+
+    def __init__(self, system: "LlamaSystem"):
+        self._system = system
+
+    def measure(self, vx: float, vy: float) -> float:
+        """Program the supply and report the receiver's power (dBm)."""
+        return self._system._measure(vx, vy)
+
+    def measure_batch(self, vx: np.ndarray, vy: np.ndarray) -> np.ndarray:
+        """Program the supply per probe; evaluate the physics in one pass."""
+        system = self._system
+        vx = np.asarray(vx, dtype=float)
+        vy = np.asarray(vy, dtype=float)
+        vx_b, vy_b = np.broadcast_arrays(vx, vy)
+        applied_x = np.empty(vx_b.size, dtype=float)
+        applied_y = np.empty(vy_b.size, dtype=float)
+        for index, (a, b) in enumerate(zip(vx_b.ravel(), vy_b.ravel())):
+            system.supply.set_bias_pair(float(a), float(b))
+            applied_x[index], applied_y[index] = system.rotator.bias_voltages
+        system._measure_count += vx_b.size
+        powers = system.link.received_power_dbm_batch(applied_x, applied_y)
+        return powers.reshape(vx_b.shape)
 
 
 @dataclass(frozen=True)
@@ -90,6 +125,8 @@ class LlamaSystem:
         self.supply.enable_output(True)
         self.supply.on_voltage_change = self._apply_voltages
         self._measure_count = 0
+        self._backend = _SupplyMeasurementBackend(self)
+        self._orientation_backend: Optional["OrientationBackend"] = None
 
     # ------------------------------------------------------------------ #
     # Plumbing between supply, rotator and link
@@ -108,6 +145,11 @@ class LlamaSystem:
     # Public operations
     # ------------------------------------------------------------------ #
     @property
+    def backend(self) -> _SupplyMeasurementBackend:
+        """The supply-in-the-loop measurement backend of this system."""
+        return self._backend
+
+    @property
     def measurement_count(self) -> int:
         """Number of power reports the controller has consumed."""
         return self._measure_count
@@ -123,7 +165,7 @@ class LlamaSystem:
     def optimize(self, exhaustive: bool = False,
                  step_v: float = 1.0) -> LlamaResult:
         """Run the controller search and report the end-to-end outcome."""
-        sweep = self.controller.optimize(self._measure, exhaustive=exhaustive,
+        sweep = self.controller.optimize(self._backend, exhaustive=exhaustive,
                                          step_v=step_v)
         # Leave the system parked at the optimum the controller found.
         self.supply.set_bias_pair(sweep.best_vx, sweep.best_vy)
@@ -141,26 +183,34 @@ class LlamaSystem:
 
     def heatmap_sweep(self, step_v: float = 2.0) -> SweepResult:
         """Exhaustive sweep used to produce Fig. 15 / Fig. 21 heatmaps."""
-        return self.controller.full_sweep(self._measure, step_v=step_v)
+        return self.controller.full_sweep(self._backend, step_v=step_v)
+
+    def orientation_backend(self) -> "OrientationBackend":
+        """Orientation-aware backend over this link (one cached link per
+        probed receiver angle, shared across estimation runs)."""
+        if self._orientation_backend is None:
+            from repro.api.backend import OrientationBackend
+            self._orientation_backend = OrientationBackend(self.link)
+        return self._orientation_backend
+
+    def link_for_rx_orientation(self, orientation_deg: float) -> WirelessLink:
+        """The link with the receiver rotated (one cached link per angle)."""
+        return self.orientation_backend().link_for_orientation(orientation_deg)
 
     def estimate_rotation(self,
                           orientation_step_deg: float = 2.0,
                           exhaustive_voltage_sweep: bool = False) -> RotationEstimate:
-        """Run the Sec. 3.4 rotation-angle estimation on this link."""
+        """Run the Sec. 3.4 rotation-angle estimation on this link.
+
+        Orientation probes reuse one cached link per receiver angle and
+        the voltage sweeps at the extreme orientations run batched.
+        """
         estimator = RotationAngleEstimator(
             sweep_config=self.controller.config,
             orientation_step_deg=orientation_step_deg)
-
-        def measure(orientation_deg: float, vx: float, vy: float) -> float:
-            rotated_rx = self.link.configuration.rx_antenna.rotated(
-                orientation_deg)
-            from dataclasses import replace as _replace
-            rotated_config = _replace(self.link.configuration,
-                                      rx_antenna=rotated_rx)
-            return WirelessLink(rotated_config).received_power_dbm(vx, vy)
-
         return estimator.estimate(
-            measure, exhaustive_voltage_sweep=exhaustive_voltage_sweep)
+            self.orientation_backend(),
+            exhaustive_voltage_sweep=exhaustive_voltage_sweep)
 
     def synchronizer_for_sweep(self, initial_vx: float, initial_vy: float,
                                step_vx: float, step_vy: float,

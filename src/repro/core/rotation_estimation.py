@@ -14,22 +14,48 @@ assuming the simulated Table 1 values.  The procedure:
    ``|theta_0 - theta_max|`` are the minimum and maximum rotation angles
    the surface produces on this link.
 
-The estimator only needs a ``measure(orientation_deg, vx, vy)`` callable
-so it works against the simulated link, a recorded trace, or (in the
-original system) real hardware driven through the turntable.
+The estimator talks to the world through an orientation-aware
+measurement backend (see :mod:`repro.api.backend`): the voltage sweeps
+of step 2 are issued as batched probes at a fixed orientation, and each
+probed orientation's link is built once and cached (via
+:class:`repro.api.OrientationBackend`) instead of being reconstructed
+per probe.  Legacy ``measure(orientation_deg, vx, vy)`` callables are
+still accepted (wrapped with a ``DeprecationWarning``), so recorded
+traces and turntable hardware keep working.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.controller import CentralizedController, VoltageSweepConfig
 
 OrientationMeasureCallback = Callable[[float, float, float], float]
+
+#: Accepted everywhere the estimator measures: an orientation-aware
+#: backend, or a legacy scalar callable (deprecated).
+OrientationMeasureSource = Union["OrientationMeasurementBackend",
+                                 OrientationMeasureCallback]
+
+
+def _coerce_orientation_backend(measure):
+    """Coerce a backend-or-callable argument, warning on the legacy path."""
+    from repro.api.backend import as_orientation_backend
+    backend = as_orientation_backend(measure)
+    if backend is not measure:
+        warnings.warn(
+            "passing a bare measure(orientation_deg, vx, vy) callable to "
+            "RotationAngleEstimator is deprecated; pass a "
+            "repro.api.OrientationMeasurementBackend (e.g. OrientationBackend "
+            "over a link, or CallableOrientationBackend to wrap this "
+            "callable)",
+            DeprecationWarning, stacklevel=3)
+    return backend
 
 
 @dataclass(frozen=True)
@@ -73,23 +99,29 @@ class RotationAngleEstimator:
     # ------------------------------------------------------------------ #
     # Step helpers
     # ------------------------------------------------------------------ #
-    def find_best_orientation(self, measure: OrientationMeasureCallback,
+    def find_best_orientation(self, measure: OrientationMeasureSource,
                               vx: float, vy: float) -> float:
         """Rotate the receiver through 180 degrees; return the best angle."""
+        backend = _coerce_orientation_backend(measure)
         orientations = np.arange(0.0, 180.0, self.orientation_step_deg)
-        powers = [measure(float(angle), vx, vy) for angle in orientations]
+        powers = [backend.measure(float(angle), vx, vy)
+                  for angle in orientations]
         return float(orientations[int(np.argmax(powers))])
 
-    def find_extreme_voltages(self, measure: OrientationMeasureCallback,
+    def find_extreme_voltages(self, measure: OrientationMeasureSource,
                               orientation_deg: float,
                               exhaustive: bool = False,
                               step_v: float = 2.0) -> Tuple[Tuple[float, float],
                                                             Tuple[float, float]]:
-        """Voltage pairs giving the minimum and maximum power (step 2)."""
-        def fixed_orientation_measure(vx: float, vy: float) -> float:
-            return measure(orientation_deg, vx, vy)
+        """Voltage pairs giving the minimum and maximum power (step 2).
 
-        result = self.controller.optimize(fixed_orientation_measure,
+        The voltage search runs against a fixed-orientation view of the
+        backend, so the controller issues batched probes.
+        """
+        from repro.api.backend import FixedOrientationBackend
+        backend = FixedOrientationBackend(_coerce_orientation_backend(measure),
+                                          orientation_deg)
+        result = self.controller.optimize(backend,
                                           exhaustive=exhaustive,
                                           step_v=step_v)
         samples = sorted(result.samples, key=lambda sample: sample.power_dbm)
@@ -100,18 +132,19 @@ class RotationAngleEstimator:
     # ------------------------------------------------------------------ #
     # Full procedure
     # ------------------------------------------------------------------ #
-    def estimate(self, measure: OrientationMeasureCallback,
+    def estimate(self, measure: OrientationMeasureSource,
                  exhaustive_voltage_sweep: bool = False) -> RotationEstimate:
         """Run steps 1-3 and return the rotation-angle estimate."""
+        backend = _coerce_orientation_backend(measure)
         ref_vx, ref_vy = self.reference_voltages
         # Step 1: align the receiver with the incoming polarization.
-        theta_0 = self.find_best_orientation(measure, ref_vx, ref_vy)
+        theta_0 = self.find_best_orientation(backend, ref_vx, ref_vy)
         # Step 2: find the bias pairs giving min and max power.
         v_min, v_max = self.find_extreme_voltages(
-            measure, theta_0, exhaustive=exhaustive_voltage_sweep)
+            backend, theta_0, exhaustive=exhaustive_voltage_sweep)
         # Step 3: re-align the receiver at each extreme bias pair.
-        theta_min = self.find_best_orientation(measure, *v_min)
-        theta_max = self.find_best_orientation(measure, *v_max)
+        theta_min = self.find_best_orientation(backend, *v_min)
+        theta_max = self.find_best_orientation(backend, *v_max)
         min_rotation = _orientation_difference_deg(theta_0, theta_min)
         max_rotation = _orientation_difference_deg(theta_0, theta_max)
         # The "minimum" bias pair may still rotate more than the
@@ -145,6 +178,7 @@ def power_slope_per_degree(orientations_deg: Sequence[float],
 
 __all__ = [
     "OrientationMeasureCallback",
+    "OrientationMeasureSource",
     "RotationEstimate",
     "RotationAngleEstimator",
     "power_slope_per_degree",

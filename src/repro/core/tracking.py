@@ -22,6 +22,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.backend import LinkBackend
 from repro.channel.link import LinkConfiguration, WirelessLink
 from repro.core.controller import CentralizedController, VoltageSweepConfig
 
@@ -194,8 +195,7 @@ class TrackingController:
             link = self._link_at(orientation)
             retuning = False
             if time_s >= next_reoptimize_s:
-                sweep = self.controller.coarse_to_fine_sweep(
-                    link.received_power_dbm)
+                sweep = self.controller.coarse_to_fine_sweep(LinkBackend(link))
                 bias_pair = (sweep.best_vx, sweep.best_vy)
                 next_reoptimize_s = time_s + self.reoptimize_interval_s
                 retune_count += 1

@@ -26,11 +26,12 @@ Index (see DESIGN.md for the full mapping):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.backend import CallableBackend
 from repro.channel.capacity import spectral_efficiency_from_powers
 from repro.channel.link import WirelessLink
 from repro.channel.noise import thermal_noise_dbm
@@ -299,9 +300,8 @@ def figure12_rotation_estimation(distance_m: float = 0.42) -> RotationEstimation
     powers = []
     for angle in orientations:
         rotated = scenario.configuration().without_surface()
-        from dataclasses import replace as _replace
-        rotated = _replace(rotated,
-                           rx_antenna=rotated.rx_antenna.rotated(angle))
+        rotated = replace(rotated,
+                          rx_antenna=rotated.rx_antenna.rotated(angle))
         powers.append(10.0 ** (WirelessLink(rotated).received_power_dbm() / 10.0))
     slope = np.polyfit(orientations, powers, 1)[0]
     return RotationEstimationResult(
@@ -512,8 +512,6 @@ def _capacity_vs_power(antenna_kind: str, absorber: bool,
                        tx_powers_mw: Sequence[float],
                        distance_m: float = 0.42,
                        seed: int = 5) -> CapacityVsPowerResult:
-    from dataclasses import replace as _replace
-
     efficiency_with: List[float] = []
     efficiency_without: List[float] = []
     floor_dbm = (CHAMBER_NOISE_FLOOR_DBM if absorber
@@ -524,8 +522,8 @@ def _capacity_vs_power(antenna_kind: str, absorber: bool,
                                         tx_power_dbm=tx_power_dbm,
                                         antenna_kind=antenna_kind,
                                         absorber=absorber)
-        configuration = _replace(scenario.configuration(),
-                                 interference_floor_dbm=floor_dbm)
+        configuration = replace(scenario.configuration(),
+                                interference_floor_dbm=floor_dbm)
         link = WirelessLink(configuration)
         baseline_link = WirelessLink(configuration.without_surface())
         noise = link.noise_power_dbm()
@@ -537,9 +535,12 @@ def _capacity_vs_power(antenna_kind: str, absorber: bool,
         receiver = SimulatedReceiver(link, seed=seed)
         controller = CentralizedController(
             VoltageSweepConfig(iterations=2, switches_per_axis=5))
-        sweep = controller.coarse_to_fine_sweep(
+        # The receiver is a stateful, noisy scalar instrument, so it is
+        # wrapped explicitly: batched probes replay the same sequential
+        # sample/noise sequence the paper's sweep would see.
+        sweep = controller.coarse_to_fine_sweep(CallableBackend(
             lambda vx, vy: receiver.measure_power_dbm(vx=vx, vy=vy,
-                                                      duration_s=0.0002))
+                                                      duration_s=0.0002)))
         achieved_power = link.received_power_dbm(sweep.best_vx, sweep.best_vy)
         baseline_power = baseline_link.received_power_dbm()
         efficiency_with.append(float(

@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.backend import LinkBackend
 from repro.channel.capacity import spectral_efficiency_from_powers
 from repro.channel.link import WirelessLink
 from repro.core.controller import CentralizedController, VoltageSweepConfig
@@ -44,7 +45,7 @@ def optimize_link(link: WirelessLink,
     """
     controller = controller or CentralizedController(
         VoltageSweepConfig(iterations=2, switches_per_axis=5))
-    result = controller.optimize(link.received_power_dbm,
+    result = controller.optimize(LinkBackend(link),
                                  exhaustive=exhaustive, step_v=step_v)
     return result.best_power_dbm, result.best_vx, result.best_vy
 
@@ -123,13 +124,11 @@ def voltage_grid_sweep(link: WirelessLink,
         raise ValueError("step must be positive")
     if v_max <= v_min:
         raise ValueError("v_max must exceed v_min")
-    grid: Dict[Tuple[float, float], float] = {}
     levels = np.arange(v_min, v_max + 0.5 * step_v, step_v)
-    for vx in levels:
-        for vy in levels:
-            grid[(float(vx), float(vy))] = link.received_power_dbm(
-                float(vx), float(vy))
-    return grid
+    vx_grid, vy_grid = np.meshgrid(levels, levels, indexing="ij")
+    powers = link.received_power_dbm_batch(vx_grid.ravel(), vy_grid.ravel())
+    return {(float(vx), float(vy)): float(power)
+            for vx, vy, power in zip(vx_grid.ravel(), vy_grid.ravel(), powers)}
 
 
 def sweep_capacity(points: Sequence[SweepPoint],

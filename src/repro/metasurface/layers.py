@@ -189,6 +189,28 @@ class BirefringentLayer:
         ], dtype=complex)
         return JonesMatrix(matrix)
 
+    def diagonal_batch(self, frequency_hz: float, vx: np.ndarray,
+                       vy: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized diagonal of :meth:`jones_matrix` over voltage arrays.
+
+        Returns the complex ``(dx, dy)`` arrays with
+        ``dx = tx e^{j phi_x}`` evaluated element-wise over ``vx`` (and
+        likewise for ``vy``), matching the scalar matrix entries.
+        """
+        vx = np.asarray(vx, dtype=float)
+        vy = np.asarray(vy, dtype=float)
+        phase_x = sum(layer.transmission_phase_rad_batch(frequency_hz, vx)
+                      for layer in self.x_layers)
+        phase_y = sum(layer.transmission_phase_rad_batch(frequency_hz, vy)
+                      for layer in self.y_layers)
+        loss_x_db = sum(layer.insertion_loss_db_batch(frequency_hz, vx)
+                        for layer in self.x_layers)
+        loss_y_db = sum(layer.insertion_loss_db_batch(frequency_hz, vy)
+                        for layer in self.y_layers)
+        amp_x = 10.0 ** (-loss_x_db / 20.0)
+        amp_y = 10.0 ** (-loss_y_db / 20.0)
+        return amp_x * np.exp(1j * phase_x), amp_y * np.exp(1j * phase_y)
+
     def phase_difference_range_rad(self, frequency_hz: float,
                                    voltage_low_v: float = 0.0,
                                    voltage_high_v: float = 30.0) -> float:

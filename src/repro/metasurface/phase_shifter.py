@@ -34,6 +34,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.metasurface.materials import SubstrateMaterial, FR4
 from repro.metasurface.varactor import VaractorDiode, SMV1233
 
@@ -115,6 +117,22 @@ class PhaseShifterLayer:
         detuning = frequency_hz / resonant - resonant / frequency_hz
         return -math.atan(self.loading_factor * detuning)
 
+    def resonant_frequencies_hz_batch(self,
+                                      bias_voltages_v: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`resonant_frequency_hz` over a voltage array."""
+        capacitance = self.varactor.capacitance_f(
+            np.asarray(bias_voltages_v, dtype=float))
+        return 1.0 / (2.0 * math.pi * np.sqrt(self.inductance_h * capacitance))
+
+    def transmission_phase_rad_batch(self, frequency_hz: float,
+                                     bias_voltages_v: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`transmission_phase_rad` over a voltage array."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        resonant = self.resonant_frequencies_hz_batch(bias_voltages_v)
+        detuning = frequency_hz / resonant - resonant / frequency_hz
+        return -np.arctan(self.loading_factor * detuning)
+
     def transmission_phase_deg(self, frequency_hz: float,
                                bias_voltage_v: float) -> float:
         """Transmission phase in degrees."""
@@ -172,6 +190,21 @@ class PhaseShifterLayer:
         if bias_voltage_v is not None:
             loss += self.detuning_loss_db(frequency_hz, bias_voltage_v)
         return loss
+
+    def insertion_loss_db_batch(self, frequency_hz: float,
+                                bias_voltages_v: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`insertion_loss_db` over a voltage array.
+
+        Always includes the voltage-dependent detuning mismatch loss,
+        matching the scalar call with an explicit ``bias_voltage_v``.
+        """
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        resonant = self.resonant_frequencies_hz_batch(bias_voltages_v)
+        detuning = frequency_hz / resonant - resonant / frequency_hz
+        detuning_loss = 10.0 * np.log10(
+            1.0 + (self.detuning_loss_coefficient * detuning) ** 2)
+        return self.dielectric_insertion_loss_db + detuning_loss
 
     # ------------------------------------------------------------------ #
     # Complex transmission coefficient

@@ -181,6 +181,22 @@ class Metasurface:
                     f"{name}={value} V outside the supported bias range "
                     f"[{BIAS_VOLTAGE_MIN_V}, {BIAS_VOLTAGE_MAX_V}] V")
 
+    @staticmethod
+    def _validate_voltage_arrays(vx: np.ndarray,
+                                 vy: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Validate bias-voltage arrays and return them as float arrays."""
+        vx = np.asarray(vx, dtype=float)
+        vy = np.asarray(vy, dtype=float)
+        for name, values in (("Vx", vx), ("Vy", vy)):
+            # NaN fails both comparisons, so it is rejected here just
+            # like the scalar _validate_voltages path rejects it.
+            if not np.all((values >= BIAS_VOLTAGE_MIN_V) &
+                          (values <= BIAS_VOLTAGE_MAX_V)):
+                raise ValueError(
+                    f"{name} contains voltages outside the supported bias "
+                    f"range [{BIAS_VOLTAGE_MIN_V}, {BIAS_VOLTAGE_MAX_V}] V")
+        return vx, vy
+
     def _effective_voltages(self, vx: float, vy: float) -> Tuple[float, float]:
         """Map terminal bias voltages to effective junction voltages.
 
@@ -236,6 +252,28 @@ class Metasurface:
         amp_x, amp_y = self._bandpass_amplitudes(frequency_hz)
         bandpass = np.array([[amp_x, 0.0], [0.0, amp_y]], dtype=complex)
         return JonesMatrix(cascade @ bandpass)
+
+    def jones_matrix_batch(self, frequency_hz: float, vx: np.ndarray,
+                           vy: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`jones_matrix` over flat bias-voltage arrays.
+
+        ``vx`` and ``vy`` must broadcast against each other; the result
+        is a complex ``(..., 2, 2)`` array whose trailing matrices equal
+        the scalar :meth:`jones_matrix` at each voltage pair.
+        """
+        vx, vy = self._validate_voltage_arrays(vx, vy)
+        effective_vx, effective_vy = self._effective_voltages(vx, vy)
+        front = self.front_qwp.jones_matrix(frequency_hz).as_array()
+        back = self.back_qwp.jones_matrix(frequency_hz).as_array()
+        dx, dy = self.birefringent.diagonal_batch(frequency_hz, effective_vx,
+                                                  effective_vy)
+        # front @ diag(dx, dy) scales front's columns element-wise, then
+        # the full matmul with `back` reproduces the scalar cascade.
+        diagonal = np.stack(np.broadcast_arrays(dx, dy), axis=-1)
+        cascade = (front[..., :, :] * diagonal[..., None, :]) @ back
+        amp_x, amp_y = self._bandpass_amplitudes(frequency_hz)
+        bandpass = np.array([amp_x, amp_y])
+        return cascade * bandpass[..., None, :]
 
     def rotation_angle_deg(self, frequency_hz: float, vx: float,
                            vy: float) -> float:
@@ -297,6 +335,23 @@ class Metasurface:
         fraction = self.reflective_conversion_fraction
         combined = fraction * converted + (1.0 - fraction) * specular
         return JonesMatrix(combined)
+
+    def reflection_jones_matrix_batch(self, frequency_hz: float,
+                                      vx: np.ndarray,
+                                      vy: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`reflection_jones_matrix` over voltage arrays.
+
+        Returns a complex ``(..., 2, 2)`` array whose trailing matrices
+        equal the scalar reflective Jones matrix at each voltage pair.
+        """
+        one_way = self.jones_matrix_batch(frequency_hz, vx, vy)
+        mirror = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)
+        backplane_amplitude = math.sqrt(self.reflective_backplane_efficiency)
+        transposed = np.swapaxes(one_way, -1, -2)
+        converted = transposed @ (backplane_amplitude * mirror) @ one_way
+        specular = backplane_amplitude * np.eye(2, dtype=complex)
+        fraction = self.reflective_conversion_fraction
+        return fraction * converted + (1.0 - fraction) * specular
 
     def reflection_efficiency(self, frequency_hz: float, vx: float,
                               vy: float, excitation: str = "x") -> float:

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.channel.antenna import dipole_antenna
 from repro.channel.geometry import LinkGeometry
+from repro.core.controller import vectorized_grid_max
 from repro.channel.link import DeploymentMode, LinkConfiguration, WirelessLink
 from repro.channel.multipath import MultipathEnvironment
 from repro.constants import DEFAULT_CENTER_FREQUENCY_HZ
@@ -149,9 +150,20 @@ class DenseDeployment:
         """Uplink RSSI of a station with no surface deployed."""
         return self.baseline_link_for(station_name).received_power_dbm()
 
+    def rssi_dbm_batch(self, station_name: str, vx: np.ndarray,
+                       vy: np.ndarray) -> np.ndarray:
+        """Vectorized uplink RSSI over whole bias grids (one NumPy pass)."""
+        return self.link_for(station_name).received_power_dbm_batch(vx, vy)
+
     def rate_mbps(self, station_name: str, vx: float, vy: float) -> float:
         """Achievable 802.11g PHY rate of a station at a bias pair."""
         return float(wifi_rate_for_rssi_mbps(self.rssi_dbm(station_name, vx, vy)))
+
+    def rate_mbps_batch(self, station_name: str, vx: np.ndarray,
+                        vy: np.ndarray) -> np.ndarray:
+        """Vectorized achievable PHY rate over whole bias grids."""
+        return np.asarray(wifi_rate_for_rssi_mbps(
+            self.rssi_dbm_batch(station_name, vx, vy)), dtype=float)
 
     def baseline_rate_mbps(self, station_name: str) -> float:
         """Achievable rate of a station with no surface deployed."""
@@ -161,19 +173,17 @@ class DenseDeployment:
                       step_v: float = 5.0) -> Tuple[float, float, float]:
         """Grid-search the bias pair maximizing one station's RSSI.
 
-        Returns ``(vx, vy, rssi_dbm)``.
+        The grid is evaluated as one batched probe.  Returns
+        ``(vx, vy, rssi_dbm)``.
         """
         if step_v <= 0:
             raise ValueError("step must be positive")
-        best = (-np.inf, 0.0, 0.0)
         levels = np.arange(0.0, 30.0 + 0.5 * step_v, step_v)
-        link = self.link_for(station_name)
-        for vx in levels:
-            for vy in levels:
-                power = link.received_power_dbm(float(vx), float(vy))
-                if power > best[0]:
-                    best = (power, float(vx), float(vy))
-        return best[1], best[2], best[0]
+        vx_flat, vy_flat, powers, best_index = vectorized_grid_max(
+            levels, levels,
+            lambda vx, vy: self.rssi_dbm_batch(station_name, vx, vy))
+        return (float(vx_flat[best_index]), float(vy_flat[best_index]),
+                float(powers[best_index]))
 
     def orientation_groups(self, tolerance_deg: float = 20.0) -> List[List[str]]:
         """Cluster stations whose antenna orientations are similar.

@@ -19,12 +19,12 @@ transmits?  Three strategies bracket the design space:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.controller import vectorized_grid_max
 from repro.network.deployment import DenseDeployment
 
 
@@ -114,6 +114,31 @@ class _SchedulerBase:
         share = 1.0 / len(self.deployment.stations)
         return {station.name: share for station in self.deployment.stations}
 
+    def _search_levels(self) -> np.ndarray:
+        """Voltage levels of the coarse bias grid search."""
+        return np.arange(0.0, 30.0 + 0.5 * self.bias_search_step_v,
+                         self.bias_search_step_v)
+
+    def _best_compromise_bias(self,
+                              station_names: Sequence[str]) -> Tuple[float, float]:
+        """Bias pair maximizing the summed rate of a set of stations.
+
+        The whole (Vx, Vy) grid is evaluated with one batched probe per
+        station and the utilities are summed as arrays, replacing the
+        seed's quadruple Python loop over levels and stations.
+        """
+        def summed_rate(vx_flat: np.ndarray, vy_flat: np.ndarray) -> np.ndarray:
+            utility = np.zeros(vx_flat.shape, dtype=float)
+            for name in station_names:
+                utility += self.deployment.rate_mbps_batch(name, vx_flat,
+                                                           vy_flat)
+            return utility
+
+        levels = self._search_levels()
+        vx_flat, vy_flat, _utility, best_index = vectorized_grid_max(
+            levels, levels, summed_rate)
+        return (float(vx_flat[best_index]), float(vy_flat[best_index]))
+
     def _overhead_fraction(self, retune_count: int) -> float:
         """Fraction of the epoch burned by surface retuning."""
         overhead = retune_count * self.RETUNE_TIME_S / self.epoch_duration_s
@@ -153,18 +178,8 @@ class FixedBiasScheduler(_SchedulerBase):
 
     def schedule(self) -> ScheduleResult:
         """Pick the best compromise bias pair and serve everyone with it."""
-        levels = np.arange(0.0, 30.0 + 0.5 * self.bias_search_step_v,
-                           self.bias_search_step_v)
-        best_pair = (0.0, 0.0)
-        best_utility = -math.inf
-        for vx in levels:
-            for vy in levels:
-                utility = sum(
-                    self.deployment.rate_mbps(station.name, float(vx), float(vy))
-                    for station in self.deployment.stations)
-                if utility > best_utility:
-                    best_utility = utility
-                    best_pair = (float(vx), float(vy))
+        best_pair = self._best_compromise_bias(
+            [station.name for station in self.deployment.stations])
         bias_per_station = {station.name: best_pair
                             for station in self.deployment.stations}
         return self._build_result("fixed-bias", bias_per_station,
@@ -208,18 +223,7 @@ class PolarizationReuseScheduler(_SchedulerBase):
             self.orientation_tolerance_deg)
         bias_per_station: Dict[str, Tuple[float, float]] = {}
         for group in groups:
-            levels = np.arange(0.0, 30.0 + 0.5 * self.bias_search_step_v,
-                               self.bias_search_step_v)
-            best_pair = (0.0, 0.0)
-            best_utility = -math.inf
-            for vx in levels:
-                for vy in levels:
-                    utility = sum(
-                        self.deployment.rate_mbps(name, float(vx), float(vy))
-                        for name in group)
-                    if utility > best_utility:
-                        best_utility = utility
-                        best_pair = (float(vx), float(vy))
+            best_pair = self._best_compromise_bias(group)
             for name in group:
                 bias_per_station[name] = best_pair
         return self._build_result("polarization-reuse", bias_per_station,

@@ -1,0 +1,96 @@
+"""Unit tests for the measurement-backend primitives."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CallableBackend,
+    CallableOrientationBackend,
+    FixedOrientationBackend,
+    LinkBackend,
+    MeasurementBackend,
+    OrientationBackend,
+    as_backend,
+    as_orientation_backend,
+)
+from repro.experiments.scenarios import TransmissiveScenario
+
+
+class TestCallableBackend:
+    def test_scalar_and_batch_agree(self):
+        backend = CallableBackend(lambda vx, vy: vx - vy)
+        assert backend.measure(3.0, 1.0) == 2.0
+        powers = backend.measure_batch(np.array([1.0, 2.0]),
+                                       np.array([0.5, 0.5]))
+        assert np.allclose(powers, [0.5, 1.5])
+
+    def test_preserves_probe_order(self):
+        seen = []
+
+        def spy(vx, vy):
+            seen.append((vx, vy))
+            return 0.0
+
+        CallableBackend(spy).measure_batch(np.array([1.0, 2.0, 3.0]),
+                                           np.array([4.0, 5.0, 6.0]))
+        assert seen == [(1.0, 4.0), (2.0, 5.0), (3.0, 6.0)]
+
+    def test_broadcasts_mixed_shapes(self):
+        backend = CallableBackend(lambda vx, vy: vx + vy)
+        powers = backend.measure_batch(np.array([1.0, 2.0]), 10.0)
+        assert np.allclose(powers, [11.0, 12.0])
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            CallableBackend(42)
+
+
+class TestCoercion:
+    def test_backend_passthrough(self):
+        backend = CallableBackend(lambda vx, vy: 0.0)
+        assert as_backend(backend) is backend
+
+    def test_callable_wrapped(self):
+        backend = as_backend(lambda vx, vy: 1.0)
+        assert isinstance(backend, CallableBackend)
+        assert backend.measure(0.0, 0.0) == 1.0
+
+    def test_link_backend_satisfies_protocol(self):
+        backend = LinkBackend(TransmissiveScenario().link())
+        assert isinstance(backend, MeasurementBackend)
+
+    def test_orientation_coercion(self):
+        backend = as_orientation_backend(lambda o, vx, vy: o + vx + vy)
+        assert isinstance(backend, CallableOrientationBackend)
+        assert backend.measure(1.0, 2.0, 3.0) == 6.0
+
+
+class TestOrientationBackend:
+    def test_caches_one_link_per_orientation(self):
+        backend = OrientationBackend(TransmissiveScenario().link())
+        first = backend.link_for_orientation(30.0)
+        second = backend.link_for_orientation(30.0)
+        assert first is second
+        assert backend.link_for_orientation(60.0) is not first
+
+    def test_rotation_changes_received_power(self):
+        backend = OrientationBackend(TransmissiveScenario().link())
+        aligned = backend.measure(0.0, 0.0, 0.0)
+        rotated = backend.measure(90.0, 0.0, 0.0)
+        assert aligned != rotated
+
+    def test_batch_matches_scalar(self):
+        backend = OrientationBackend(TransmissiveScenario().link())
+        vx = np.array([0.0, 10.0, 20.0])
+        vy = np.array([5.0, 15.0, 25.0])
+        batch = backend.measure_batch(45.0, vx, vy)
+        scalar = [backend.measure(45.0, float(a), float(b))
+                  for a, b in zip(vx, vy)]
+        assert np.allclose(batch, scalar)
+
+    def test_fixed_orientation_view(self):
+        backend = OrientationBackend(TransmissiveScenario().link())
+        fixed = FixedOrientationBackend(backend, 30.0)
+        assert fixed.measure(2.0, 4.0) == backend.measure(30.0, 2.0, 4.0)
+        batch = fixed.measure_batch(np.array([2.0]), np.array([4.0]))
+        assert batch[0] == backend.measure(30.0, 2.0, 4.0)

@@ -1,0 +1,125 @@
+"""The pre-redesign scalar entry points still work — and warn.
+
+Every public orchestration entry point that used to take a bare scalar
+callable must keep functioning through the deprecation shims while
+emitting a ``DeprecationWarning`` steering callers to the backend API.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import CallableBackend, LinkBackend, OrientationBackend
+from repro.core.controller import CentralizedController, VoltageSweepConfig
+from repro.core.rotation_estimation import RotationAngleEstimator
+from repro.experiments.scenarios import TransmissiveScenario
+
+
+def quadratic(best_vx, best_vy):
+    return lambda vx, vy: -0.05 * ((vx - best_vx) ** 2 + (vy - best_vy) ** 2)
+
+
+class TestControllerShims:
+    def test_full_sweep_callable_works_and_warns(self):
+        controller = CentralizedController()
+        with pytest.warns(DeprecationWarning, match="measure.*deprecated"):
+            result = controller.full_sweep(quadratic(12.0, 18.0), step_v=1.0)
+        assert result.best_vx == pytest.approx(12.0)
+        assert result.best_vy == pytest.approx(18.0)
+        assert result.probe_count == 31 * 31
+
+    def test_coarse_to_fine_callable_works_and_warns(self):
+        controller = CentralizedController(
+            VoltageSweepConfig(iterations=2, switches_per_axis=5))
+        with pytest.warns(DeprecationWarning):
+            result = controller.coarse_to_fine_sweep(quadratic(22.0, 7.0))
+        assert result.best_vx == pytest.approx(22.0, abs=2.0)
+        assert result.best_vy == pytest.approx(7.0, abs=2.0)
+
+    def test_optimize_callable_warns_once(self):
+        controller = CentralizedController()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            controller.optimize(quadratic(5.0, 5.0))
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+
+    def test_backend_does_not_warn(self):
+        link = TransmissiveScenario().link()
+        controller = CentralizedController()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = controller.optimize(LinkBackend(link))
+        assert 0.0 <= result.best_vx <= 30.0
+
+    def test_wrapped_callable_does_not_warn(self):
+        controller = CentralizedController()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = controller.optimize(CallableBackend(quadratic(9.0, 3.0)))
+        assert result.best_vx == pytest.approx(9.0, abs=2.0)
+
+    def test_callable_and_backend_agree(self):
+        link = TransmissiveScenario().link()
+        controller = CentralizedController()
+        with pytest.warns(DeprecationWarning):
+            legacy = controller.full_sweep(link.received_power_dbm, step_v=5.0)
+        modern = controller.full_sweep(LinkBackend(link), step_v=5.0)
+        assert legacy.best_vx == modern.best_vx
+        assert legacy.best_vy == modern.best_vy
+        assert legacy.best_power_dbm == pytest.approx(modern.best_power_dbm,
+                                                      abs=1e-9)
+
+
+class TestEstimatorShims:
+    def test_callable_estimate_works_and_warns(self):
+        link = TransmissiveScenario().link()
+        estimator = RotationAngleEstimator(
+            sweep_config=VoltageSweepConfig(iterations=1, switches_per_axis=4),
+            orientation_step_deg=15.0)
+        backend = OrientationBackend(link)
+
+        def legacy_measure(orientation_deg, vx, vy):
+            return backend.measure(orientation_deg, vx, vy)
+
+        with pytest.warns(DeprecationWarning, match="RotationAngleEstimator"):
+            legacy = estimator.estimate(legacy_measure)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            modern = estimator.estimate(backend)
+        assert legacy.min_rotation_deg == pytest.approx(modern.min_rotation_deg)
+        assert legacy.max_rotation_deg == pytest.approx(modern.max_rotation_deg)
+
+
+class TestLegacyEntryPointsImportable:
+    def test_legacy_public_surface_still_importable(self):
+        from repro.core.llama import LlamaSystem  # noqa: F401
+        from repro.core.controller import (  # noqa: F401
+            CentralizedController,
+            MeasureCallback,
+            SweepResult,
+        )
+        from repro.network.scheduler import (  # noqa: F401
+            FixedBiasScheduler,
+            PerStationScheduler,
+            PolarizationReuseScheduler,
+        )
+        from repro.experiments.sweeps import (  # noqa: F401
+            optimize_link,
+            voltage_grid_sweep,
+        )
+
+    def test_scheduler_constructors_functional(self):
+        from repro.network.deployment import DenseDeployment
+        from repro.network.scheduler import (
+            FixedBiasScheduler,
+            PerStationScheduler,
+            PolarizationReuseScheduler,
+        )
+        deployment = DenseDeployment.random_home(station_count=3, seed=5)
+        for scheduler_cls in (FixedBiasScheduler, PerStationScheduler,
+                              PolarizationReuseScheduler):
+            result = scheduler_cls(deployment,
+                                   bias_search_step_v=10.0).schedule()
+            assert len(result.allocations) == 3
