@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
 """Tour of the batched measurement-plane API (repro.api).
 
-Demonstrates the three pieces the API redesign introduced:
+Demonstrates the pieces the API redesign and the multi-axis sweep
+engine introduced:
 
 1. :class:`ScenarioBuilder` — a new workload is one chained expression,
 2. :class:`LinkSession` — the facade owning the link / rotator / supply
    bundle, with batched probing and cached derived sessions,
 3. :class:`MeasurementBackend` — the pluggable data plane: the same
    controller runs against the vectorized simulation backend or any
-   legacy scalar callable wrapped in :class:`CallableBackend`.
+   legacy scalar callable wrapped in :class:`CallableBackend`,
+4. ``measure_sweep`` / ``optimize_sweep`` — whole link-parameter axes
+   (frequency, tx power, distance, rx orientation) evaluated and
+   optimized in single vectorized passes.
 
 Run with::
 
@@ -68,6 +72,19 @@ def main() -> None:
         session.link.received_power_dbm))
     print("Backend substitution   : vectorized and wrapped-callable agree -> "
           f"{fast.best_power_dbm:.3f} dBm vs {legacy.best_power_dbm:.3f} dBm")
+
+    # 4. Multi-axis sweep engine: a whole frequency axis in one call —
+    #    the Fig. 17 experiment is a single vectorized search instead of
+    #    a per-frequency rebuild-and-optimize loop.
+    frequencies = np.arange(2.40e9, 2.501e9, 0.01e9)
+    start = time.perf_counter()
+    sweep = session.optimize_sweep("frequency", frequencies)
+    baseline = session.baseline().measure_sweep("frequency", frequencies)
+    sweep_s = time.perf_counter() - start
+    worst = np.min(sweep.best_power_dbm - baseline)
+    print(f"Frequency sweep        : {frequencies.size} points in "
+          f"{sweep_s * 1e3:.1f} ms, worst-case gain {worst:.1f} dB "
+          f"across 2.40-2.50 GHz (paper: > 10 dB)")
 
     # Bonus: the Sec. 3.4 rotation-angle estimation, with per-orientation
     # link caching and batched voltage sweeps underneath.

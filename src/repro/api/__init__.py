@@ -27,6 +27,8 @@ from repro.api.backend import (
     OrientationBackend,
     OrientationMeasureCallback,
     OrientationMeasurementBackend,
+    ReceiverSweepBackend,
+    SweepMeasurementBackend,
     as_backend,
     as_orientation_backend,
 )
@@ -38,6 +40,8 @@ __all__ = [
     "MeasurementBackend",
     "LinkBackend",
     "CallableBackend",
+    "SweepMeasurementBackend",
+    "ReceiverSweepBackend",
     "as_backend",
     "OrientationMeasureCallback",
     "OrientationMeasurementBackend",

@@ -57,12 +57,30 @@ class MeasurementBackend(Protocol):
         ...
 
 
+@runtime_checkable
+class SweepMeasurementBackend(Protocol):
+    """A measurement plane that can probe a whole link-parameter axis.
+
+    ``measure_sweep(axis, values, vx, vy)`` reports received power for
+    every (axis value, bias pair) operating point in one call; axis
+    values and voltage arrays broadcast element-wise (the multi-axis
+    controller passes ``(n, 1)`` values against ``(n, k)`` per-point
+    voltage grids).  Axes are the :data:`repro.channel.link.SWEEP_AXES`.
+    """
+
+    def measure_sweep(self, axis: str, values, vx, vy) -> np.ndarray:
+        """Received power (dBm) over a sweep-axis/bias-grid batch."""
+        ...
+
+
 class LinkBackend:
     """The simulation backend: probes a :class:`WirelessLink` directly.
 
     This is the noiseless, vectorized data plane every deterministic
     sweep and figure runner uses.  Batched probes evaluate the full link
-    budget over the whole grid in one NumPy pass.
+    budget over the whole grid in one NumPy pass; ``measure_sweep``
+    additionally vectorizes a frequency / tx-power / distance /
+    rx-orientation axis alongside the bias grid.
     """
 
     def __init__(self, link: WirelessLink):
@@ -75,6 +93,10 @@ class LinkBackend:
     def measure_batch(self, vx: np.ndarray, vy: np.ndarray) -> np.ndarray:
         """Received power (dBm) over whole bias grids in one pass."""
         return self.link.received_power_dbm_batch(vx, vy)
+
+    def measure_sweep(self, axis: str, values, vx=0.0, vy=0.0) -> np.ndarray:
+        """Received power (dBm) over a whole link-parameter axis at once."""
+        return self.link.received_power_dbm_sweep(axis, values, vx=vx, vy=vy)
 
 
 class CallableBackend:
@@ -104,6 +126,34 @@ class CallableBackend:
                            for a, b in zip(vx_b.ravel(), vy_b.ravel())],
                           dtype=float)
         return powers.reshape(vx_b.shape)
+
+
+class ReceiverSweepBackend:
+    """Sweep-axis measurement plane over a noisy sampling receiver.
+
+    Adapts a :class:`repro.radio.transceiver.SimulatedReceiver` to the
+    :class:`SweepMeasurementBackend` protocol for the capacity
+    experiments of Figs. 18-19, where the controller must see *noisy*
+    power reports.  Probes are issued through the receiver's batched
+    :meth:`measure_power_dbm_sweep`, which draws one noise realisation
+    per probe column and shares it across axis points — reproducing, to
+    floating-point round-off, the reports a Python loop of identically
+    seeded per-point receivers would have produced.
+    """
+
+    def __init__(self, receiver, duration_s: float = 0.005,
+                 tone_frequency_hz: float = 500e3):
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        self.receiver = receiver
+        self.duration_s = duration_s
+        self.tone_frequency_hz = tone_frequency_hz
+
+    def measure_sweep(self, axis: str, values, vx=0.0, vy=0.0) -> np.ndarray:
+        """Noisy received-power reports over a sweep-axis/bias batch."""
+        return self.receiver.measure_power_dbm_sweep(
+            axis, values, vx=vx, vy=vy, duration_s=self.duration_s,
+            tone_frequency_hz=self.tone_frequency_hz)
 
 
 def as_backend(measure) -> MeasurementBackend:
@@ -230,8 +280,10 @@ __all__ = [
     "MeasureCallback",
     "OrientationMeasureCallback",
     "MeasurementBackend",
+    "SweepMeasurementBackend",
     "LinkBackend",
     "CallableBackend",
+    "ReceiverSweepBackend",
     "as_backend",
     "OrientationMeasurementBackend",
     "OrientationBackend",

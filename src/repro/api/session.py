@@ -120,6 +120,28 @@ class LinkSession:
         """Received power (dBm) over whole bias grids in one pass."""
         return self.backend.measure_batch(vx, vy)
 
+    def measure_sweep(self, axis: str, values, vx=0.0, vy=0.0) -> np.ndarray:
+        """Received power (dBm) along a whole link-parameter axis at once.
+
+        ``axis`` is one of :data:`repro.channel.link.SWEEP_AXES`
+        (``"frequency"``, ``"tx_power"``, ``"distance"``,
+        ``"rx_orientation"``); the voltage-independent direct and
+        clutter fields are computed once for the entire sweep.
+        """
+        return self.backend.measure_sweep(axis, values, vx=vx, vy=vy)
+
+    def optimize_sweep(self, axis: str, values, exhaustive: bool = False,
+                       step_v: float = 1.0):
+        """Run the configured bias search at every axis point at once.
+
+        Returns a :class:`repro.core.controller.MultiAxisSweepResult`
+        whose per-point optima match running :meth:`optimize` on a
+        session rebuilt at each axis value.
+        """
+        return self.controller.optimize_multi(self.backend, axis, values,
+                                              exhaustive=exhaustive,
+                                              step_v=step_v)
+
     def measure_grid(self, step_v: float = 2.0, v_min: float = 0.0,
                      v_max: float = 30.0) -> Dict[Tuple[float, float], float]:
         """Exhaustive (Vx, Vy) power grid, for heatmap figures."""

@@ -20,6 +20,8 @@ import math
 from dataclasses import dataclass, replace
 from typing import Optional
 
+import numpy as np
+
 from repro.core.jones import JonesVector
 from repro.core.polarization import (
     PolarizationState,
@@ -98,24 +100,31 @@ class Antenna:
     # ------------------------------------------------------------------ #
     # Pattern
     # ------------------------------------------------------------------ #
-    def pattern_gain_db(self, off_boresight_deg: float) -> float:
+    def pattern_gain_db(self, off_boresight_deg):
         """Gain relative to boresight at an angle off the main lobe (dB <= 0).
 
         Directional antennas follow the standard Gaussian main-lobe model
         ``-12 (theta / theta_3dB)^2`` dB, floored at the front-to-back
-        ratio.  Omni antennas are flat in azimuth.
+        ratio.  Omni antennas are flat in azimuth.  ``off_boresight_deg``
+        may be a scalar (returns a float) or a NumPy array (returns the
+        element-wise roll-off), which is what lets the link budget weight
+        all clutter rays in one vectorized pass.
         """
-        off_boresight = abs(off_boresight_deg) % 360.0
-        if off_boresight > 180.0:
-            off_boresight = 360.0 - off_boresight
+        off_boresight = np.abs(np.asarray(off_boresight_deg,
+                                          dtype=float)) % 360.0
+        off_boresight = np.where(off_boresight > 180.0,
+                                 360.0 - off_boresight, off_boresight)
         if not self.is_directional:
-            return 0.0
-        rolloff = -12.0 * (off_boresight / self.beamwidth_deg) ** 2
-        if self.front_to_back_ratio_db > 0:
-            rolloff = max(rolloff, -self.front_to_back_ratio_db)
+            rolloff = np.zeros_like(off_boresight)
+        else:
+            rolloff = -12.0 * (off_boresight / self.beamwidth_deg) ** 2
+            if self.front_to_back_ratio_db > 0:
+                rolloff = np.maximum(rolloff, -self.front_to_back_ratio_db)
+        if np.isscalar(off_boresight_deg):
+            return float(rolloff)
         return rolloff
 
-    def gain_dbi_towards(self, off_boresight_deg: float) -> float:
+    def gain_dbi_towards(self, off_boresight_deg):
         """Absolute gain (dBi) in a direction off boresight."""
         return self.gain_dbi + self.pattern_gain_db(off_boresight_deg)
 

@@ -19,31 +19,35 @@ ArrayLike = Union[float, np.ndarray]
 
 
 def free_space_path_loss_db(distance_m: ArrayLike,
-                            frequency_hz: float) -> ArrayLike:
+                            frequency_hz: ArrayLike) -> ArrayLike:
     """Free-space path loss (dB) between isotropic antennas.
 
     ``FSPL = 20 log10(4 pi d f / c)``.  Distances below one centimetre
-    are clamped to avoid the unphysical near-field singularity.
+    are clamped to avoid the unphysical near-field singularity.  Both
+    arguments may be scalars or mutually broadcastable arrays, so a
+    whole frequency or distance sweep evaluates in one pass.
     """
-    if frequency_hz <= 0:
+    frequency = np.asarray(frequency_hz, dtype=float)
+    if np.any(frequency <= 0):
         raise ValueError("frequency must be positive")
     distance = np.maximum(np.asarray(distance_m, dtype=float), 0.01)
-    value = 20.0 * np.log10(4.0 * math.pi * distance * frequency_hz /
+    value = 20.0 * np.log10(4.0 * math.pi * distance * frequency /
                             SPEED_OF_LIGHT)
-    if np.isscalar(distance_m):
+    if np.isscalar(distance_m) and np.isscalar(frequency_hz):
         return float(value)
     return value
 
 
-def friis_received_power_dbm(tx_power_dbm: float,
+def friis_received_power_dbm(tx_power_dbm: ArrayLike,
                              tx_gain_dbi: float,
                              rx_gain_dbi: float,
                              distance_m: ArrayLike,
-                             frequency_hz: float,
+                             frequency_hz: ArrayLike,
                              extra_loss_db: float = 0.0) -> ArrayLike:
     """Received power (dBm) from the Friis transmission equation.
 
-    ``Pr = Pt + Gt + Gr - FSPL - extra_loss``.
+    ``Pr = Pt + Gt + Gr - FSPL - extra_loss``.  Transmit power,
+    distance and frequency may be scalars or broadcastable arrays.
     """
     if extra_loss_db < 0:
         raise ValueError("extra loss must be non-negative; use gains for gain")

@@ -20,6 +20,15 @@ The model is a coherent field-summation budget:
    added coherently, weighted by the receive antenna pattern;
 3. the receive antenna projects the total field onto its polarization
    (with finite cross-polar isolation) to yield received power.
+
+Performance contract: :class:`LinkConfiguration` is frozen, so a
+:class:`WirelessLink` caches every voltage-independent quantity (the
+direct field, the pattern-weighted clutter field) on first use and the
+batch/sweep entry points evaluate whole NumPy grids — bias voltages,
+and via :meth:`WirelessLink.received_power_dbm_sweep` whole frequency /
+transmit-power / distance / receiver-orientation axes — in single
+vectorized passes that match the scalar path to floating-point
+round-off.
 """
 
 from __future__ import annotations
@@ -27,7 +36,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -48,6 +57,11 @@ class DeploymentMode(Enum):
     NONE = "none"
     TRANSMISSIVE = "transmissive"
     REFLECTIVE = "reflective"
+
+
+#: Link parameters :meth:`WirelessLink.received_power_dbm_sweep` can
+#: vectorize over.
+SWEEP_AXES = ("frequency", "tx_power", "distance", "rx_orientation")
 
 
 @dataclass(frozen=True)
@@ -164,31 +178,65 @@ class LinkReport:
 class WirelessLink:
     """Evaluates :class:`LinkConfiguration` instances.
 
-    The link object is stateless apart from its configuration, so the
-    controller can probe arbitrary bias voltages cheaply and
-    reproducibly.
+    The link object is stateless apart from its (frozen) configuration
+    and the caches derived from it, so the controller can probe
+    arbitrary bias voltages cheaply and reproducibly.  The direct and
+    clutter fields are voltage-independent and computed exactly once
+    per link; every probe after the first only pays for the surface
+    response.
     """
 
     def __init__(self, configuration: LinkConfiguration):
-        self.configuration = configuration
+        self._configuration = configuration
+        self._direct_field_cache: Optional[JonesVector] = None
+        self._clutter_field_cache: Optional[JonesVector] = None
+        self._clutter_unit_cache: Optional[np.ndarray] = None
+
+    @property
+    def configuration(self) -> LinkConfiguration:
+        """The (frozen) link configuration under evaluation.
+
+        Read-only: the cached voltage-independent fields are derived
+        from it, so swapping configurations means building a new link
+        (they are cheap to construct).
+        """
+        return self._configuration
 
     # ------------------------------------------------------------------ #
     # Field-level building blocks
     # ------------------------------------------------------------------ #
-    def _path_amplitude(self, distance_m: float, extra_gain_db: float = 0.0) -> float:
+    def _path_amplitude(self, distance_m, extra_gain_db=0.0,
+                        frequency_hz=None, tx_power_dbm=None):
         """Field amplitude (relative to 1 mW into an isotropic antenna)
-        after free-space propagation over ``distance_m``."""
-        config = self.configuration
-        path_db = (config.tx_power_dbm + extra_gain_db -
-                   free_space_path_loss_db(distance_m, config.frequency_hz))
+        after free-space propagation over ``distance_m``.
+
+        All arguments may be scalars or mutually broadcastable arrays;
+        frequency and transmit power default to the configuration.
+        """
+        config = self._configuration
+        frequency = (config.frequency_hz if frequency_hz is None
+                     else frequency_hz)
+        tx_power = (config.tx_power_dbm if tx_power_dbm is None
+                    else tx_power_dbm)
+        path_db = (tx_power + extra_gain_db -
+                   free_space_path_loss_db(distance_m, frequency))
         return 10.0 ** (path_db / 20.0)
 
-    def _phase_for_distance(self, distance_m: float) -> float:
+    def _phase_for_distance(self, distance_m, frequency_hz=None):
         """Carrier phase accumulated over a propagation distance."""
-        wavelength = SPEED_OF_LIGHT / self.configuration.frequency_hz
+        config = self._configuration
+        frequency = (config.frequency_hz if frequency_hz is None
+                     else frequency_hz)
+        wavelength = SPEED_OF_LIGHT / frequency
         return 2.0 * math.pi * distance_m / wavelength
 
     def _direct_field(self) -> JonesVector:
+        """Field of the direct Tx->Rx path (cached: voltage-independent)."""
+        if self._direct_field_cache is None:
+            self._direct_field_cache = self._compute_direct_field()
+        return self._direct_field_cache
+
+    def _compute_direct_field(self) -> JonesVector:
         """Field of the direct Tx->Rx path (no surface interaction).
 
         Antenna aiming convention: in direct/transmissive layouts the
@@ -198,7 +246,7 @@ class WirelessLink:
         suffers each antenna's pattern roll-off at the angle between its
         peer and the surface — both with and without the surface present.
         """
-        config = self.configuration
+        config = self._configuration
         geometry = config.geometry
         blocked_db = 0.0
         if config.deployment is DeploymentMode.TRANSMISSIVE:
@@ -225,7 +273,7 @@ class WirelessLink:
 
     def _surface_field(self, vx: float, vy: float) -> JonesVector:
         """Field of the path that interacts with the metasurface."""
-        config = self.configuration
+        config = self._configuration
         if config.metasurface is None or config.deployment is DeploymentMode.NONE:
             return JonesVector(0.0, 0.0)
         geometry = config.geometry
@@ -237,10 +285,11 @@ class WirelessLink:
         # Leg 1: transmitter to surface.
         leg1 = geometry.tx_to_surface_m
         leg2 = geometry.surface_to_rx_m
-        # Antenna aiming convention (see _direct_field): the surface sits
-        # on boresight both in the transmissive layout (colinear) and in
-        # the reflective layout (the endpoints are aimed at the surface),
-        # so the via-surface path gets the full antenna gains.
+        # Antenna aiming convention (see _compute_direct_field): the
+        # surface sits on boresight both in the transmissive layout
+        # (colinear) and in the reflective layout (the endpoints are
+        # aimed at the surface), so the via-surface path gets the full
+        # antenna gains.
         tx_gain = config.tx_antenna.gain_dbi
         rx_gain = config.rx_antenna.gain_dbi
         amplitude = self._path_amplitude(leg1 + leg2,
@@ -252,100 +301,123 @@ class WirelessLink:
         phasor = amplitude * complex(math.cos(phase), math.sin(phase))
         return JonesVector(phasor * transformed.x, phasor * transformed.y)
 
-    def _surface_fields_batch(self, vx: np.ndarray,
-                              vy: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`_surface_field` over bias-voltage arrays.
+    def _surface_fields_batch(self, vx, vy, frequency_hz=None,
+                              tx_power_dbm=None,
+                              via_distance_m=None) -> np.ndarray:
+        """Vectorized :meth:`_surface_field` over operating-point arrays.
 
-        Returns a complex ``(..., 2)`` array of via-surface Jones fields,
-        one per broadcast voltage pair.
+        ``vx`` / ``vy`` and the optional frequency, transmit-power and
+        via-surface-distance overrides broadcast against each other;
+        returns a complex ``(..., 2)`` array of via-surface Jones
+        fields, one per broadcast operating point.
         """
-        config = self.configuration
-        shape = np.broadcast_shapes(np.shape(vx), np.shape(vy))
+        config = self._configuration
+        shape = np.broadcast_shapes(
+            np.shape(vx), np.shape(vy),
+            np.shape(frequency_hz) if frequency_hz is not None else (),
+            np.shape(tx_power_dbm) if tx_power_dbm is not None else (),
+            np.shape(via_distance_m) if via_distance_m is not None else ())
         if config.metasurface is None or config.deployment is DeploymentMode.NONE:
             return np.zeros(shape + (2,), dtype=complex)
         geometry = config.geometry
         surface = config.metasurface
+        frequency = (config.frequency_hz if frequency_hz is None
+                     else frequency_hz)
         if config.deployment is DeploymentMode.TRANSMISSIVE:
-            jones = surface.jones_matrix_batch(config.frequency_hz, vx, vy)
+            jones = surface.jones_matrix_batch(frequency, vx, vy)
         else:
-            jones = surface.reflection_jones_matrix_batch(config.frequency_hz,
-                                                          vx, vy)
-        legs = geometry.tx_to_surface_m + geometry.surface_to_rx_m
+            jones = surface.reflection_jones_matrix_batch(frequency, vx, vy)
+        legs = (geometry.tx_to_surface_m + geometry.surface_to_rx_m
+                if via_distance_m is None else via_distance_m)
         tx_gain = config.tx_antenna.gain_dbi
         rx_gain = config.rx_antenna.gain_dbi
-        amplitude = self._path_amplitude(legs, extra_gain_db=tx_gain + rx_gain)
-        phase = self._phase_for_distance(legs)
+        amplitude = self._path_amplitude(legs, extra_gain_db=tx_gain + rx_gain,
+                                         frequency_hz=frequency_hz,
+                                         tx_power_dbm=tx_power_dbm)
+        phase = self._phase_for_distance(legs, frequency_hz=frequency_hz)
         incident = np.array([config.tx_antenna.jones.x,
                              config.tx_antenna.jones.y], dtype=complex)
         transformed = jones @ incident
-        phasor = amplitude * complex(math.cos(phase), math.sin(phase))
-        return np.broadcast_to(phasor * transformed, shape + (2,))
+        phasor = np.asarray(amplitude) * np.exp(1j * np.asarray(phase))
+        return np.broadcast_to(phasor[..., None] * transformed, shape + (2,))
+
+    def _clutter_unit(self) -> np.ndarray:
+        """Pattern-weighted unit clutter field (cached complex ``(2,)``).
+
+        The coherent reduction over the environment's stacked ray
+        arrays, with each ray weighted by the receive antenna pattern at
+        its arrival angle; the total clutter field is this unit vector
+        times the (axis-dependent) direct-path reference amplitude.
+        """
+        if self._clutter_unit_cache is None:
+            config = self._configuration
+            arrays = config.environment.ray_arrays()
+            if arrays.count == 0:
+                self._clutter_unit_cache = np.zeros(2, dtype=complex)
+            else:
+                self._clutter_unit_cache = arrays.unit_field(
+                    extra_gain_db=config.rx_antenna.pattern_gain_db(
+                        arrays.arrival_angle_deg))
+        return self._clutter_unit_cache
+
+    def _clutter_blocking_db(self) -> float:
+        """Clutter shadowing applied by a deployed transmissive surface."""
+        config = self._configuration
+        return (config.clutter_blocking_db
+                if config.deployment is DeploymentMode.TRANSMISSIVE
+                else 0.0)
+
+    def _clutter_reference_amplitude(self, frequency_hz=None,
+                                     tx_power_dbm=None,
+                                     direct_distance_m=None):
+        """Direct-path reference amplitude the clutter rays scale from."""
+        config = self._configuration
+        distance = (config.geometry.direct_distance_m
+                    if direct_distance_m is None else direct_distance_m)
+        return self._path_amplitude(
+            distance,
+            extra_gain_db=(config.tx_antenna.gain_dbi +
+                           config.rx_antenna.gain_dbi -
+                           self._clutter_blocking_db()),
+            frequency_hz=frequency_hz, tx_power_dbm=tx_power_dbm)
 
     def _clutter_field(self) -> JonesVector:
-        """Total clutter field weighted by the receive antenna pattern.
+        """Total clutter field weighted by the receive antenna pattern
+        (cached: voltage-independent).
 
         When a transmissive surface is deployed it physically shadows
         part of the room, so the clutter is additionally attenuated by
         ``clutter_blocking_db``.
         """
-        config = self.configuration
-        geometry = config.geometry
-        blocking_db = (config.clutter_blocking_db
-                       if config.deployment is DeploymentMode.TRANSMISSIVE
-                       else 0.0)
-        reference = self._path_amplitude(
-            geometry.direct_distance_m,
-            extra_gain_db=(config.tx_antenna.gain_dbi +
-                           config.rx_antenna.gain_dbi - blocking_db))
-        total = JonesVector(0.0, 0.0)
-        for ray in config.environment.rays():
-            pattern_db = config.rx_antenna.pattern_gain_db(ray.arrival_angle_deg)
-            contribution = ray.field_contribution(
-                reference * 10.0 ** (pattern_db / 20.0))
-            total = total + contribution
-        return total
+        if self._clutter_field_cache is None:
+            reference = self._clutter_reference_amplitude()
+            unit = self._clutter_unit()
+            self._clutter_field_cache = JonesVector(
+                complex(reference * unit[0]), complex(reference * unit[1]))
+        return self._clutter_field_cache
 
     # ------------------------------------------------------------------ #
-    # Public evaluation API
+    # Shared power projection
     # ------------------------------------------------------------------ #
-    def received_field(self, vx: float = 0.0, vy: float = 0.0) -> JonesVector:
-        """Total complex field at the receive aperture."""
-        return (self._direct_field() + self._surface_field(vx, vy) +
-                self._clutter_field())
+    def _project_power_dbm(self, fields: np.ndarray,
+                           rx_jones: Optional[np.ndarray] = None) -> np.ndarray:
+        """Project total fields onto the receive polarization (dBm).
 
-    def received_power_dbm(self, vx: float = 0.0, vy: float = 0.0) -> float:
-        """Received power (dBm) after polarization projection."""
-        config = self.configuration
-        total_field = self.received_field(vx, vy)
-        coupling = config.rx_antenna.polarization_coupling(total_field)
-        power_linear_mw = total_field.intensity * coupling
-        return 10.0 * math.log10(max(power_linear_mw, 1e-20))
-
-    def received_power_dbm_batch(self, vx, vy) -> np.ndarray:
-        """Received power (dBm) over whole bias-voltage grids at once.
-
-        ``vx`` and ``vy`` may be scalars or NumPy arrays that broadcast
-        against each other; the returned array has the broadcast shape
-        and matches scalar :meth:`received_power_dbm` at every pair.
-        The direct and clutter fields are voltage-independent, so the
-        whole Jones/Friis/multipath budget is evaluated with a single
-        pass of vectorized surface responses — this is the fast path the
-        batched measurement API (:mod:`repro.api`) is built on.
+        ``fields`` is a complex ``(..., 2)`` array; ``rx_jones`` an
+        optional ``(..., 2)`` array of receive Jones vectors (defaults
+        to the configured antenna), broadcast against the fields.
+        Applies the same finite cross-polar-isolation floor as the
+        scalar :meth:`Antenna.polarization_coupling` path.
         """
-        config = self.configuration
-        vx = np.asarray(vx, dtype=float)
-        vy = np.asarray(vy, dtype=float)
-        direct = self._direct_field()
-        clutter = self._clutter_field()
-        # Keep the scalar path's (direct + surface) + clutter summation
-        # order so both paths agree to floating-point round-off.
-        fields = (np.array([direct.x, direct.y], dtype=complex) +
-                  self._surface_fields_batch(vx, vy) +
-                  np.array([clutter.x, clutter.y], dtype=complex))
+        config = self._configuration
         ex, ey = fields[..., 0], fields[..., 1]
+        if rx_jones is None:
+            jones_x = config.rx_antenna.jones.x
+            jones_y = config.rx_antenna.jones.y
+        else:
+            jones_x, jones_y = rx_jones[..., 0], rx_jones[..., 1]
         intensity = np.abs(ex) ** 2 + np.abs(ey) ** 2
-        rx_jones = config.rx_antenna.jones
-        projected = np.conj(rx_jones.x) * ex + np.conj(rx_jones.y) * ey
+        projected = np.conj(jones_x) * ex + np.conj(jones_y) * ey
         with np.errstate(divide="ignore", invalid="ignore"):
             matched_fraction = np.where(intensity > 0.0,
                                         np.abs(projected) ** 2 / intensity,
@@ -357,9 +429,202 @@ class WirelessLink:
         power_linear_mw = intensity * coupling
         return 10.0 * np.log10(np.maximum(power_linear_mw, 1e-20))
 
+    # ------------------------------------------------------------------ #
+    # Public evaluation API
+    # ------------------------------------------------------------------ #
+    def received_field(self, vx: float = 0.0, vy: float = 0.0) -> JonesVector:
+        """Total complex field at the receive aperture."""
+        return (self._direct_field() + self._surface_field(vx, vy) +
+                self._clutter_field())
+
+    def received_power_dbm(self, vx: float = 0.0, vy: float = 0.0) -> float:
+        """Received power (dBm) after polarization projection."""
+        config = self._configuration
+        total_field = self.received_field(vx, vy)
+        coupling = config.rx_antenna.polarization_coupling(total_field)
+        power_linear_mw = total_field.intensity * coupling
+        return 10.0 * math.log10(max(power_linear_mw, 1e-20))
+
+    def received_power_dbm_batch(self, vx, vy) -> np.ndarray:
+        """Received power (dBm) over whole bias-voltage grids at once.
+
+        ``vx`` and ``vy`` may be scalars or NumPy arrays that broadcast
+        against each other; the returned array has the broadcast shape
+        and matches scalar :meth:`received_power_dbm` at every pair.
+        The direct and clutter fields are voltage-independent (and
+        cached on the link), so the whole Jones/Friis/multipath budget
+        is evaluated with a single pass of vectorized surface responses
+        — this is the fast path the batched measurement API
+        (:mod:`repro.api`) is built on.
+        """
+        vx = np.asarray(vx, dtype=float)
+        vy = np.asarray(vy, dtype=float)
+        direct = self._direct_field()
+        clutter = self._clutter_field()
+        # Keep the scalar path's (direct + surface) + clutter summation
+        # order so both paths agree to floating-point round-off.
+        fields = (np.array([direct.x, direct.y], dtype=complex) +
+                  self._surface_fields_batch(vx, vy) +
+                  np.array([clutter.x, clutter.y], dtype=complex))
+        return self._project_power_dbm(fields)
+
+    # ------------------------------------------------------------------ #
+    # Multi-axis sweep engine
+    # ------------------------------------------------------------------ #
+    def _geometry_at_distance(self, distance_m: float) -> LinkGeometry:
+        """Geometry of this link's layout at a swept distance.
+
+        Transmissive and no-surface layouts vary the Tx-Rx distance with
+        the surface staying at the same fractional position between the
+        endpoints; aimed-at-surface (reflective) layouts keep the
+        endpoints fixed and vary the surface's perpendicular offset —
+        exactly the two distance axes of the paper's Figs. 16 and 22.
+        """
+        config = self._configuration
+        geometry = config.geometry
+        if config.deployment is DeploymentMode.REFLECTIVE or config.aim_at_surface:
+            return LinkGeometry.reflective(geometry.direct_distance_m,
+                                           distance_m)
+        fraction = geometry.tx_to_surface_m / geometry.direct_distance_m
+        if not (0.0 < fraction < 1.0):
+            # Degenerate/non-canonical layout: keep the surface midway,
+            # which is where every canonical transmissive setup puts it.
+            fraction = 0.5
+        return LinkGeometry.transmissive(distance_m, surface_fraction=fraction)
+
+    def _sweep_parameters(self, axis: str, values: np.ndarray) -> Dict:
+        """Per-point parameter arrays for one sweep axis.
+
+        Returns overrides (each shaped like ``values``) consumed by
+        :meth:`received_power_dbm_sweep`'s vectorized budget; parameters
+        not overridden stay at their configured scalar values.
+        """
+        config = self._configuration
+        if axis == "frequency":
+            if np.any(values <= 0):
+                raise ValueError("frequencies must be positive")
+            return {"frequency_hz": values}
+        if axis == "tx_power":
+            return {"tx_power_dbm": values}
+        if axis == "distance":
+            geometries = [self._geometry_at_distance(float(d))
+                          for d in values.ravel()]
+            overrides = {
+                "direct_distance_m": np.reshape(
+                    [g.direct_distance_m for g in geometries], values.shape),
+                "via_distance_m": np.reshape(
+                    [g.via_surface_distance_m for g in geometries],
+                    values.shape),
+            }
+            if config.aim_at_surface:
+                overrides["direct_tx_gain_dbi"] = np.reshape(
+                    [config.tx_antenna.gain_dbi_towards(
+                        g.angle_at_transmitter_deg()) for g in geometries],
+                    values.shape)
+                overrides["direct_rx_gain_dbi"] = np.reshape(
+                    [config.rx_antenna.gain_dbi_towards(
+                        g.angle_at_receiver_deg()) for g in geometries],
+                    values.shape)
+            return overrides
+        if axis == "rx_orientation":
+            rotated = [config.rx_antenna.rotated(float(angle)).jones
+                       for angle in values.ravel()]
+            return {"rx_jones": np.reshape(
+                [[jones.x, jones.y] for jones in rotated],
+                values.shape + (2,))}
+        raise ValueError(f"unknown sweep axis {axis!r}; expected one of "
+                         f"{SWEEP_AXES}")
+
+    def received_power_dbm_sweep(self, axis: str, values, vx=0.0,
+                                 vy=0.0) -> np.ndarray:
+        """Received power (dBm) along a whole link-parameter axis at once.
+
+        Parameters
+        ----------
+        axis:
+            One of ``"frequency"`` (carrier, Hz), ``"tx_power"``
+            (transmit power, dBm), ``"distance"`` (Tx-Rx distance for
+            transmissive/no-surface layouts, surface offset for
+            aimed-at-surface layouts, metres) or ``"rx_orientation"``
+            (receive-antenna rotation, degrees).
+        values:
+            Axis values; any array shape.
+        vx, vy:
+            Bias voltages, broadcast element-wise against ``values``
+            (e.g. ``values`` shaped ``(n, 1)`` against per-point voltage
+            grids shaped ``(n, k)`` evaluates ``n`` axis points times
+            ``k`` probes in one pass).
+
+        Matches the scalar path — a fresh link per point via
+        ``dataclasses.replace`` of the axis parameter — to floating-
+        point round-off, while computing the voltage-independent direct
+        and clutter fields once for the entire sweep.
+        """
+        values = np.asarray(values, dtype=float)
+        params = self._sweep_parameters(axis, values)
+        config = self._configuration
+        geometry = config.geometry
+        vx = np.asarray(vx, dtype=float)
+        vy = np.asarray(vy, dtype=float)
+
+        frequency = params.get("frequency_hz")
+        tx_power = params.get("tx_power_dbm")
+        direct_distance = params.get("direct_distance_m")
+        via_distance = params.get("via_distance_m")
+        rx_jones = params.get("rx_jones")
+
+        axis_shape = values.shape
+        shape = np.broadcast_shapes(axis_shape, vx.shape, vy.shape)
+
+        # Direct field ------------------------------------------------- #
+        if config.deployment is DeploymentMode.TRANSMISSIVE:
+            direct = np.zeros(axis_shape + (2,), dtype=complex)
+        else:
+            blocked_db = (config.surface_obstruction_db
+                          if (config.deployment is DeploymentMode.NONE and
+                              config.surface_obstruction_db) else 0.0)
+            tx_gain = params.get("direct_tx_gain_dbi")
+            rx_gain = params.get("direct_rx_gain_dbi")
+            if tx_gain is None:
+                if config.aim_at_surface:
+                    tx_gain = config.tx_antenna.gain_dbi_towards(
+                        geometry.angle_at_transmitter_deg())
+                    rx_gain = config.rx_antenna.gain_dbi_towards(
+                        geometry.angle_at_receiver_deg())
+                else:
+                    tx_gain = config.tx_antenna.gain_dbi
+                    rx_gain = config.rx_antenna.gain_dbi
+            distance = (geometry.direct_distance_m
+                        if direct_distance is None else direct_distance)
+            amplitude = self._path_amplitude(
+                distance, extra_gain_db=tx_gain + rx_gain - blocked_db,
+                frequency_hz=frequency, tx_power_dbm=tx_power)
+            phase = self._phase_for_distance(distance, frequency_hz=frequency)
+            phasor = np.asarray(amplitude) * np.exp(1j * np.asarray(phase))
+            tx_jones = np.array([config.tx_antenna.jones.x,
+                                 config.tx_antenna.jones.y], dtype=complex)
+            direct = np.broadcast_to(phasor[..., None] * tx_jones,
+                                     np.shape(phasor) + (2,))
+
+        # Via-surface field -------------------------------------------- #
+        surface = self._surface_fields_batch(
+            vx, vy, frequency_hz=frequency, tx_power_dbm=tx_power,
+            via_distance_m=via_distance)
+
+        # Clutter field ------------------------------------------------ #
+        reference = self._clutter_reference_amplitude(
+            frequency_hz=frequency, tx_power_dbm=tx_power,
+            direct_distance_m=direct_distance)
+        clutter = np.asarray(reference)[..., None] * self._clutter_unit()
+
+        # Keep the scalar path's (direct + surface) + clutter summation
+        # order so both paths agree to floating-point round-off.
+        fields = np.broadcast_to((direct + surface) + clutter, shape + (2,))
+        return self._project_power_dbm(fields, rx_jones=rx_jones)
+
     def noise_power_dbm(self) -> float:
         """Receiver noise-plus-interference floor for the configured bandwidth."""
-        config = self.configuration
+        config = self._configuration
         thermal = thermal_noise_dbm(config.bandwidth_hz,
                                     noise_figure_db=config.noise_figure_db)
         if config.interference_floor_dbm is None:
@@ -368,7 +633,7 @@ class WirelessLink:
 
     def evaluate(self, vx: float = 0.0, vy: float = 0.0) -> LinkReport:
         """Full link report at one (Vx, Vy) operating point."""
-        config = self.configuration
+        config = self._configuration
         engineered = self._direct_field() + self._surface_field(vx, vy)
         clutter = self._clutter_field()
         rx_power = self.received_power_dbm(vx, vy)
@@ -392,7 +657,7 @@ class WirelessLink:
 
     def baseline(self) -> "WirelessLink":
         """The matching link with the metasurface removed."""
-        return WirelessLink(self.configuration.without_surface())
+        return WirelessLink(self._configuration.without_surface())
 
     def power_gain_over_baseline_db(self, vx: float, vy: float) -> float:
         """Received-power improvement over the no-surface baseline (dB)."""
@@ -400,4 +665,5 @@ class WirelessLink:
                 self.baseline().received_power_dbm())
 
 
-__all__ = ["DeploymentMode", "LinkConfiguration", "LinkReport", "WirelessLink"]
+__all__ = ["DeploymentMode", "LinkConfiguration", "LinkReport",
+           "SWEEP_AXES", "WirelessLink"]

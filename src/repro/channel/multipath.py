@@ -65,6 +65,47 @@ class Ray:
         return JonesVector(phasor * math.cos(angle), phasor * math.sin(angle))
 
 
+@dataclass(frozen=True)
+class RayArrays:
+    """The environment's rays stacked into parallel NumPy arrays.
+
+    This is the vectorized view the link budget consumes: one array per
+    :class:`Ray` attribute, aligned by ray index, so the whole clutter
+    summation collapses to a NumPy reduction instead of a per-ray
+    Python loop.
+    """
+
+    relative_power_db: np.ndarray
+    phase_rad: np.ndarray
+    polarization_angle_deg: np.ndarray
+    arrival_angle_deg: np.ndarray
+    excess_delay_ns: np.ndarray
+
+    @property
+    def count(self) -> int:
+        """Number of stacked rays."""
+        return int(self.relative_power_db.size)
+
+    def unit_field(self, extra_gain_db=None) -> np.ndarray:
+        """Coherent per-unit-reference clutter field, a complex ``(2,)``.
+
+        The total clutter field for a direct-path reference amplitude
+        ``A`` is ``A * unit_field()``, i.e. the reduction
+        ``sum_r 10^((p_r + g_r)/20) e^{j phi_r} (cos a_r, sin a_r)``
+        where ``g_r`` is the optional per-ray ``extra_gain_db`` array
+        (e.g. receive-pattern weights at each arrival angle; zero when
+        omitted).
+        """
+        power_db = self.relative_power_db
+        if extra_gain_db is not None:
+            power_db = power_db + extra_gain_db
+        amplitudes = 10.0 ** (power_db / 20.0)
+        phasors = amplitudes * np.exp(1j * self.phase_rad)
+        angles = np.radians(self.polarization_angle_deg)
+        return np.array([np.sum(phasors * np.cos(angles)),
+                         np.sum(phasors * np.sin(angles))], dtype=complex)
+
+
 @dataclass
 class MultipathEnvironment:
     """A reproducible clutter environment.
@@ -102,6 +143,7 @@ class MultipathEnvironment:
             raise ValueError("absorber attenuation must be non-negative")
         self._rng = np.random.default_rng(self.seed)
         self._rays: Optional[List[Ray]] = None
+        self._ray_arrays: Optional[RayArrays] = None
 
     # ------------------------------------------------------------------ #
     # Factories
@@ -128,6 +170,28 @@ class MultipathEnvironment:
         if self._rays is None:
             self._rays = self._generate_rays()
         return list(self._rays)
+
+    def ray_arrays(self) -> RayArrays:
+        """The rays stacked into parallel arrays (generated once, cached).
+
+        Safe to cache indefinitely: the ray set is generated exactly
+        once per environment and never mutated afterwards.
+        """
+        if self._ray_arrays is None:
+            rays = self.rays()
+            self._ray_arrays = RayArrays(
+                relative_power_db=np.array(
+                    [ray.relative_power_db for ray in rays], dtype=float),
+                phase_rad=np.array(
+                    [ray.phase_rad for ray in rays], dtype=float),
+                polarization_angle_deg=np.array(
+                    [ray.polarization_angle_deg for ray in rays], dtype=float),
+                arrival_angle_deg=np.array(
+                    [ray.arrival_angle_deg for ray in rays], dtype=float),
+                excess_delay_ns=np.array(
+                    [ray.excess_delay_ns for ray in rays], dtype=float),
+            )
+        return self._ray_arrays
 
     def _generate_rays(self) -> List[Ray]:
         if self.ray_count == 0:
@@ -157,16 +221,24 @@ class MultipathEnvironment:
     # Aggregate quantities
     # ------------------------------------------------------------------ #
     def clutter_field(self, reference_amplitude: float) -> JonesVector:
-        """Total clutter field given the direct-path reference amplitude."""
-        total = JonesVector(0.0, 0.0)
-        for ray in self.rays():
-            total = total + ray.field_contribution(reference_amplitude)
-        return total
+        """Total clutter field given the direct-path reference amplitude.
+
+        Evaluated as one NumPy reduction over the stacked ray arrays
+        rather than a per-ray Python loop.
+        """
+        arrays = self.ray_arrays()
+        if arrays.count == 0:
+            return JonesVector(0.0, 0.0)
+        unit = arrays.unit_field()
+        return JonesVector(complex(reference_amplitude * unit[0]),
+                           complex(reference_amplitude * unit[1]))
 
     def clutter_power_fraction(self) -> float:
         """Total clutter power relative to the direct path (linear)."""
-        return float(sum(10.0 ** (ray.relative_power_db / 10.0)
-                         for ray in self.rays()))
+        arrays = self.ray_arrays()
+        if arrays.count == 0:
+            return 0.0
+        return float(np.sum(10.0 ** (arrays.relative_power_db / 10.0)))
 
     def with_absorber(self, enabled: bool) -> "MultipathEnvironment":
         """Return a copy of the environment with the absorber toggled."""
@@ -179,4 +251,4 @@ class MultipathEnvironment:
         )
 
 
-__all__ = ["Ray", "MultipathEnvironment"]
+__all__ = ["Ray", "RayArrays", "MultipathEnvironment"]

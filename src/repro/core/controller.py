@@ -129,6 +129,43 @@ class VoltageSweepConfig:
 
 
 @dataclass(frozen=True)
+class MultiAxisSweepResult:
+    """Outcome of a bias-voltage search run at every point of a sweep axis.
+
+    The vectorized counterpart of running :class:`SweepResult`-producing
+    searches in a Python loop over a link-parameter axis: element ``i``
+    of every array is exactly what the scalar search at axis value
+    ``values[i]`` would have found (same grids, same first-maximum and
+    NaN semantics), but all points are probed together in one batched
+    ``measure_sweep`` call per iteration.
+    """
+
+    axis: str
+    values: np.ndarray
+    best_vx: np.ndarray
+    best_vy: np.ndarray
+    best_power_dbm: np.ndarray
+    probe_count_per_point: int
+    duration_s_per_point: float
+    strategy: str
+
+    def __post_init__(self) -> None:
+        for name in ("values", "best_vx", "best_vy", "best_power_dbm"):
+            object.__setattr__(self, name,
+                               np.asarray(getattr(self, name), dtype=float))
+
+    @property
+    def point_count(self) -> int:
+        """Number of axis points optimized."""
+        return int(self.values.size)
+
+    def __iter__(self):
+        """Iterate ``(value, best_vx, best_vy, best_power_dbm)`` rows."""
+        return iter(zip(self.values.tolist(), self.best_vx.tolist(),
+                        self.best_vy.tolist(), self.best_power_dbm.tolist()))
+
+
+@dataclass(frozen=True)
 class SweepSample:
     """One probed operating point."""
 
@@ -259,6 +296,114 @@ class CentralizedController:
                            duration_s=duration, strategy="coarse-to-fine")
 
     # ------------------------------------------------------------------ #
+    # Multi-axis vectorized searches (the sweep engine's control plane)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _probe_grid_multi(backend, axis: str, values: np.ndarray,
+                          grid_vx: np.ndarray, grid_vy: np.ndarray):
+        """Issue one batched probe of per-point voltage grids.
+
+        ``grid_vx`` / ``grid_vy`` are ``(n, k)`` vx-major grids (one row
+        per axis point); returns the per-point first-maximum
+        ``(power, vx, vy)`` arrays with NaN probes treated as ``-inf``,
+        matching the scalar :meth:`_probe_grid` semantics row by row.
+        """
+        powers = np.asarray(
+            backend.measure_sweep(axis, values.reshape(-1, 1),
+                                  grid_vx, grid_vy), dtype=float)
+        if powers.shape != grid_vx.shape:
+            raise ValueError(
+                f"batched sweep measurement returned shape {powers.shape} "
+                f"for {grid_vx.shape} probes")
+        masked = np.where(np.isnan(powers), -math.inf, powers)
+        best_index = np.argmax(masked, axis=1)
+        rows = np.arange(values.size)
+        return (masked[rows, best_index], grid_vx[rows, best_index],
+                grid_vy[rows, best_index])
+
+    def full_sweep_multi(self, backend, axis: str, values,
+                         step_v: float = 1.0) -> MultiAxisSweepResult:
+        """Exhaustive grid scan at every point of a sweep axis at once.
+
+        One batched probe evaluates the full ``(point, Vx, Vy)`` cube;
+        per point the result equals :meth:`full_sweep` on a link rebuilt
+        at that axis value.
+        """
+        if step_v <= 0:
+            raise ValueError("step must be positive")
+        values = np.asarray(values, dtype=float).ravel()
+        config = self.config
+        levels = np.arange(config.min_voltage_v,
+                           config.max_voltage_v + 0.5 * step_v, step_v)
+        count = levels.size
+        grid_vx = np.broadcast_to(np.repeat(levels, count),
+                                  (values.size, count * count))
+        grid_vy = np.broadcast_to(np.tile(levels, count),
+                                  (values.size, count * count))
+        best_power, best_vx, best_vy = self._probe_grid_multi(
+            backend, axis, values, grid_vx, grid_vy)
+        probes = count * count
+        return MultiAxisSweepResult(
+            axis=axis, values=values, best_vx=best_vx, best_vy=best_vy,
+            best_power_dbm=best_power, probe_count_per_point=probes,
+            duration_s_per_point=probes * config.switch_interval_s,
+            strategy="full")
+
+    def coarse_to_fine_sweep_multi(self, backend, axis: str,
+                                   values) -> MultiAxisSweepResult:
+        """Paper Algorithm 1, run at every point of a sweep axis at once.
+
+        Each refinement iteration issues a single batched probe over all
+        per-point ``T x T`` grids; the per-point windows then shrink
+        independently around each point's best probe.  Per point the
+        grids, first-maximum selection and NaN handling are identical to
+        the scalar :meth:`coarse_to_fine_sweep`.
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        config = self.config
+        n = values.size
+        switches = config.switches_per_axis
+        low_x = np.full(n, config.min_voltage_v)
+        high_x = np.full(n, config.max_voltage_v)
+        low_y = np.full(n, config.min_voltage_v)
+        high_y = np.full(n, config.max_voltage_v)
+        best_power = np.full(n, -math.inf)
+        best_vx = np.full(n, config.min_voltage_v)
+        best_vy = np.full(n, config.min_voltage_v)
+        for _iteration in range(config.iterations):
+            step_x = (high_x - low_x) / switches
+            step_y = (high_y - low_y) / switches
+            levels_x = np.linspace(low_x, high_x, switches, axis=-1)
+            levels_y = np.linspace(low_y, high_y, switches, axis=-1)
+            # vx-major per-point grids, matching the scalar meshgrid order.
+            grid_vx = np.repeat(levels_x, switches, axis=-1)
+            grid_vy = np.tile(levels_y, (1, switches))
+            iter_power, iter_vx, iter_vy = self._probe_grid_multi(
+                backend, axis, values, grid_vx, grid_vy)
+            improved = iter_power > best_power
+            best_power = np.where(improved, iter_power, best_power)
+            best_vx = np.where(improved, iter_vx, best_vx)
+            best_vy = np.where(improved, iter_vy, best_vy)
+            low_x = np.maximum(config.min_voltage_v, iter_vx - step_x)
+            high_x = np.minimum(config.max_voltage_v, iter_vx + step_x)
+            low_y = np.maximum(config.min_voltage_v, iter_vy - step_y)
+            high_y = np.minimum(config.max_voltage_v, iter_vy + step_y)
+        return MultiAxisSweepResult(
+            axis=axis, values=values, best_vx=best_vx, best_vy=best_vy,
+            best_power_dbm=best_power,
+            probe_count_per_point=config.probe_count,
+            duration_s_per_point=config.estimated_duration_s,
+            strategy="coarse-to-fine")
+
+    def optimize_multi(self, backend, axis: str, values,
+                       exhaustive: bool = False,
+                       step_v: float = 1.0) -> MultiAxisSweepResult:
+        """Run the configured search strategy over a whole sweep axis."""
+        if exhaustive:
+            return self.full_sweep_multi(backend, axis, values, step_v=step_v)
+        return self.coarse_to_fine_sweep_multi(backend, axis, values)
+
+    # ------------------------------------------------------------------ #
     # Convenience
     # ------------------------------------------------------------------ #
     def optimize(self, measure: MeasureSource,
@@ -289,6 +434,7 @@ __all__ = [
     "MeasureSource",
     "vectorized_grid_max",
     "VoltageSweepConfig",
+    "MultiAxisSweepResult",
     "SweepSample",
     "SweepResult",
     "CentralizedController",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -164,13 +164,24 @@ class TrackingController:
         self.controller = CentralizedController(
             sweep_config if sweep_config is not None else
             VoltageSweepConfig(iterations=2, switches_per_axis=5))
+        # The trajectory revisits orientations (periodic swings, slow
+        # drifts), so rotated links — and their cached voltage-
+        # independent fields — are built once per distinct angle and
+        # reused across the whole run.
+        self._links: Dict[float, WirelessLink] = {}
+        self._base_link = WirelessLink(configuration)
+        self._base_baseline = WirelessLink(configuration.without_surface())
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _link_at(self, orientation_deg: float) -> WirelessLink:
-        rotated = self.configuration.rx_antenna.rotated(orientation_deg)
-        return WirelessLink(replace(self.configuration, rx_antenna=rotated))
+        key = float(orientation_deg)
+        if key not in self._links:
+            rotated = self.configuration.rx_antenna.rotated(key)
+            self._links[key] = WirelessLink(
+                replace(self.configuration, rx_antenna=rotated))
+        return self._links[key]
 
     def _baseline_at(self, orientation_deg: float) -> WirelessLink:
         return WirelessLink(
@@ -182,34 +193,62 @@ class TrackingController:
     # ------------------------------------------------------------------ #
     def run(self, duration_s: float = 20.0,
             time_step_s: float = 0.25) -> TrackingReport:
-        """Simulate the tracking loop over ``duration_s``."""
+        """Simulate the tracking loop over ``duration_s``.
+
+        Only the re-optimization events are sequential (each bias search
+        depends on the orientation at retune time); the per-sample power
+        reads are batched afterwards as receiver-orientation sweeps —
+        one vectorized pass per constant-bias segment for the tracked
+        link and one for the whole baseline trace.
+        """
         if duration_s <= 0 or time_step_s <= 0:
             raise ValueError("duration and time step must be positive")
         times = np.arange(0.0, duration_s, time_step_s)
+        orientations = np.array([self.trajectory.orientation_at(float(t))
+                                 for t in times])
         bias_pair = (0.0, 0.0)
         next_reoptimize_s = 0.0
         retune_count = 0
-        samples: List[TrackingSample] = []
-        for time_s in times:
-            orientation = self.trajectory.orientation_at(float(time_s))
-            link = self._link_at(orientation)
+        # Sequential control pass: retune where due, and split the
+        # timeline into constant-bias segments.
+        bias_pairs: List[Tuple[float, float]] = []
+        retuning_flags: List[bool] = []
+        segments: List[Tuple[int, int, Tuple[float, float]]] = []
+        segment_start = 0
+        for index, time_s in enumerate(times):
             retuning = False
             if time_s >= next_reoptimize_s:
+                link = self._link_at(orientations[index])
                 sweep = self.controller.coarse_to_fine_sweep(LinkBackend(link))
+                if index > segment_start:
+                    segments.append((segment_start, index, bias_pair))
+                    segment_start = index
                 bias_pair = (sweep.best_vx, sweep.best_vy)
                 next_reoptimize_s = time_s + self.reoptimize_interval_s
                 retune_count += 1
                 retuning = True
-            samples.append(TrackingSample(
-                time_s=float(time_s),
-                orientation_deg=orientation,
-                bias_pair=bias_pair,
-                power_with_dbm=link.received_power_dbm(*bias_pair),
-                power_without_dbm=self._baseline_at(
-                    orientation).received_power_dbm(),
-                retuning=retuning,
-            ))
-        return TrackingReport(samples=tuple(samples),
+            bias_pairs.append(bias_pair)
+            retuning_flags.append(retuning)
+        segments.append((segment_start, len(times), bias_pair))
+        # Batched measurement pass: one orientation sweep per segment
+        # (tracked link) and one for the full baseline trace.
+        powers_with = np.empty(len(times))
+        for start, stop, (vx, vy) in segments:
+            powers_with[start:stop] = self._base_link.received_power_dbm_sweep(
+                "rx_orientation", orientations[start:stop], vx=vx, vy=vy)
+        powers_without = self._base_baseline.received_power_dbm_sweep(
+            "rx_orientation", orientations)
+        samples = tuple(TrackingSample(
+            time_s=float(time_s),
+            orientation_deg=float(orientation),
+            bias_pair=pair,
+            power_with_dbm=float(power_with),
+            power_without_dbm=float(power_without),
+            retuning=retuning,
+        ) for time_s, orientation, pair, power_with, power_without, retuning
+            in zip(times, orientations, bias_pairs, powers_with,
+                   powers_without, retuning_flags))
+        return TrackingReport(samples=samples,
                               retune_count=retune_count,
                               reoptimize_interval_s=self.reoptimize_interval_s)
 

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.api.backend import CallableBackend
+from repro.api.backend import ReceiverSweepBackend
 from repro.channel.capacity import spectral_efficiency_from_powers
 from repro.channel.link import WirelessLink
 from repro.channel.noise import thermal_noise_dbm
@@ -47,7 +47,11 @@ from repro.experiments.scenarios import (
     iot_ble_scenario,
     iot_wifi_scenario,
 )
-from repro.experiments.sweeps import optimize_link, voltage_grid_sweep
+from repro.experiments.sweeps import (
+    multi_axis_sweep,
+    optimize_link,
+    voltage_grid_sweep,
+)
 from repro.metasurface.design import (
     MetasurfaceDesign,
     fr4_naive_design,
@@ -402,19 +406,20 @@ class GainVsDistanceResult:
 def figure16_transmissive_gain(
         distances_cm: Sequence[float] = TRANSMISSIVE_DISTANCES_CM,
         exhaustive: bool = False) -> GainVsDistanceResult:
-    """Fig. 16: transmissive received power with/without the metasurface."""
-    with_powers: List[float] = []
-    without_powers: List[float] = []
-    for distance_cm in distances_cm:
-        scenario = TransmissiveScenario(tx_rx_distance_m=distance_cm / 100.0)
-        best_power, _vx, _vy = optimize_link(scenario.link(),
-                                             exhaustive=exhaustive)
-        with_powers.append(best_power)
-        without_powers.append(scenario.baseline_link().received_power_dbm())
+    """Fig. 16: transmissive received power with/without the metasurface.
+
+    Driven by the vectorized sweep engine: one scenario covers the whole
+    distance axis, with per-point optimization batched across distances.
+    """
+    distances_m = np.asarray(distances_cm, dtype=float) / 100.0
+    scenario = TransmissiveScenario(tx_rx_distance_m=float(distances_m[0]))
+    points = multi_axis_sweep("distance", distances_m, scenario.link(),
+                              baseline_link=scenario.baseline_link(),
+                              exhaustive=exhaustive)
     return GainVsDistanceResult(
         distances_cm=tuple(float(d) for d in distances_cm),
-        power_with_dbm=tuple(with_powers),
-        power_without_dbm=tuple(without_powers),
+        power_with_dbm=tuple(point.power_with_dbm for point in points),
+        power_without_dbm=tuple(point.power_without_dbm for point in points),
     )
 
 
@@ -444,21 +449,23 @@ class FrequencySweepResult:
 def figure17_frequency_sweep(
         frequencies_hz: Optional[Sequence[float]] = None,
         distance_m: float = 0.42) -> FrequencySweepResult:
-    """Fig. 17: power improvement across 2.40-2.50 GHz."""
+    """Fig. 17: power improvement across 2.40-2.50 GHz.
+
+    Driven by the vectorized sweep engine: the whole band is one batched
+    frequency axis, with the per-frequency Algorithm 1 optimizations
+    probed together.
+    """
     if frequencies_hz is None:
         frequencies_hz = np.arange(2.40e9, 2.501e9, 0.01e9)
-    with_powers: List[float] = []
-    without_powers: List[float] = []
-    for frequency in frequencies_hz:
-        scenario = TransmissiveScenario(tx_rx_distance_m=distance_m,
-                                        frequency_hz=float(frequency))
-        best_power, _vx, _vy = optimize_link(scenario.link())
-        with_powers.append(best_power)
-        without_powers.append(scenario.baseline_link().received_power_dbm())
+    frequencies = np.asarray(frequencies_hz, dtype=float)
+    scenario = TransmissiveScenario(tx_rx_distance_m=distance_m,
+                                    frequency_hz=float(frequencies[0]))
+    points = multi_axis_sweep("frequency", frequencies, scenario.link(),
+                              baseline_link=scenario.baseline_link())
     return FrequencySweepResult(
         frequencies_hz=tuple(float(f) for f in frequencies_hz),
-        power_with_dbm=tuple(with_powers),
-        power_without_dbm=tuple(without_powers),
+        power_with_dbm=tuple(point.power_with_dbm for point in points),
+        power_without_dbm=tuple(point.power_without_dbm for point in points),
     )
 
 
@@ -512,47 +519,47 @@ def _capacity_vs_power(antenna_kind: str, absorber: bool,
                        tx_powers_mw: Sequence[float],
                        distance_m: float = 0.42,
                        seed: int = 5) -> CapacityVsPowerResult:
-    efficiency_with: List[float] = []
-    efficiency_without: List[float] = []
     floor_dbm = (CHAMBER_NOISE_FLOOR_DBM if absorber
                  else LAB_INTERFERENCE_FLOOR_DBM)
-    for power_mw in tx_powers_mw:
-        tx_power_dbm = 10.0 * math.log10(power_mw)
-        scenario = TransmissiveScenario(tx_rx_distance_m=distance_m,
-                                        tx_power_dbm=tx_power_dbm,
-                                        antenna_kind=antenna_kind,
-                                        absorber=absorber)
-        configuration = replace(scenario.configuration(),
-                                interference_floor_dbm=floor_dbm)
-        link = WirelessLink(configuration)
-        baseline_link = WirelessLink(configuration.without_surface())
-        noise = link.noise_power_dbm()
-        # The controller only sees noisy power reports; at low transmit
-        # power the sweep differences sink below the measurement floor
-        # and the chosen bias pair degrades towards random — this is the
-        # mechanism behind the paper's ~2 mW crossover for omni antennas
-        # in multipath (Fig. 19a).
-        receiver = SimulatedReceiver(link, seed=seed)
-        controller = CentralizedController(
-            VoltageSweepConfig(iterations=2, switches_per_axis=5))
-        # The receiver is a stateful, noisy scalar instrument, so it is
-        # wrapped explicitly: batched probes replay the same sequential
-        # sample/noise sequence the paper's sweep would see.
-        sweep = controller.coarse_to_fine_sweep(CallableBackend(
-            lambda vx, vy: receiver.measure_power_dbm(vx=vx, vy=vy,
-                                                      duration_s=0.0002)))
-        achieved_power = link.received_power_dbm(sweep.best_vx, sweep.best_vy)
-        baseline_power = baseline_link.received_power_dbm()
-        efficiency_with.append(float(
-            spectral_efficiency_from_powers(achieved_power, noise)))
-        efficiency_without.append(float(
-            spectral_efficiency_from_powers(baseline_power, noise)))
+    tx_powers_dbm = np.array([10.0 * math.log10(power_mw)
+                              for power_mw in tx_powers_mw])
+    scenario = TransmissiveScenario(tx_rx_distance_m=distance_m,
+                                    tx_power_dbm=float(tx_powers_dbm[0]),
+                                    antenna_kind=antenna_kind,
+                                    absorber=absorber)
+    configuration = replace(scenario.configuration(),
+                            interference_floor_dbm=floor_dbm)
+    link = WirelessLink(configuration)
+    baseline_link = WirelessLink(configuration.without_surface())
+    noise = link.noise_power_dbm()
+    # The controller only sees noisy power reports; at low transmit
+    # power the sweep differences sink below the measurement floor
+    # and the chosen bias pair degrades towards random — this is the
+    # mechanism behind the paper's ~2 mW crossover for omni antennas
+    # in multipath (Fig. 19a).  The whole transmit-power axis is swept
+    # at once: the sweep backend draws one noise realisation per probe
+    # and shares it across axis points, replaying the sample streams of
+    # the per-point receivers (identically seeded) the scalar loop
+    # would construct.
+    receiver = SimulatedReceiver(link, seed=seed)
+    controller = CentralizedController(
+        VoltageSweepConfig(iterations=2, switches_per_axis=5))
+    sweep = controller.coarse_to_fine_sweep_multi(
+        ReceiverSweepBackend(receiver, duration_s=0.0002),
+        "tx_power", tx_powers_dbm)
+    achieved_powers = link.received_power_dbm_sweep(
+        "tx_power", tx_powers_dbm, vx=sweep.best_vx, vy=sweep.best_vy)
+    baseline_powers = baseline_link.received_power_dbm_sweep(
+        "tx_power", tx_powers_dbm)
+    efficiency_with = spectral_efficiency_from_powers(achieved_powers, noise)
+    efficiency_without = spectral_efficiency_from_powers(baseline_powers,
+                                                         noise)
     return CapacityVsPowerResult(
         antenna_kind=antenna_kind,
         absorber=absorber,
         tx_powers_mw=tuple(float(p) for p in tx_powers_mw),
-        efficiency_with=tuple(efficiency_with),
-        efficiency_without=tuple(efficiency_without),
+        efficiency_with=tuple(float(e) for e in efficiency_with),
+        efficiency_without=tuple(float(e) for e in efficiency_without),
     )
 
 
@@ -679,29 +686,31 @@ class ReflectiveGainResult:
 def figure22_reflective_gain(
         distances_cm: Sequence[float] = REFLECTIVE_DISTANCES_CM,
         exhaustive: bool = False) -> ReflectiveGainResult:
-    """Fig. 22: reflective power/capacity with and without the surface."""
-    power_with: List[float] = []
-    power_without: List[float] = []
-    eff_with: List[float] = []
-    eff_without: List[float] = []
-    for distance_cm in distances_cm:
-        scenario = ReflectiveScenario(surface_distance_m=distance_cm / 100.0)
-        link = scenario.link()
-        noise = link.noise_power_dbm()
-        best_power, _vx, _vy = optimize_link(link, exhaustive=exhaustive)
-        baseline_power = scenario.baseline_link().received_power_dbm()
-        power_with.append(best_power)
-        power_without.append(baseline_power)
-        eff_with.append(float(
-            spectral_efficiency_from_powers(best_power, noise)))
-        eff_without.append(float(
-            spectral_efficiency_from_powers(baseline_power, noise)))
+    """Fig. 22: reflective power/capacity with and without the surface.
+
+    Driven by the vectorized sweep engine: the surface-offset axis is
+    one batched distance sweep (with the aimed-antenna direct-path
+    roll-off recomputed per offset, as the scalar per-point loop did),
+    followed by one vectorized Shannon evaluation.
+    """
+    distances_m = np.asarray(distances_cm, dtype=float) / 100.0
+    scenario = ReflectiveScenario(surface_distance_m=float(distances_m[0]))
+    # The noise floor depends only on bandwidth/noise figure, not on the
+    # swept distance, so one link's floor covers the whole axis.
+    noise = scenario.link().noise_power_dbm()
+    points = multi_axis_sweep("distance", distances_m, scenario.link(),
+                              baseline_link=scenario.baseline_link(),
+                              exhaustive=exhaustive)
+    power_with = np.array([point.power_with_dbm for point in points])
+    power_without = np.array([point.power_without_dbm for point in points])
+    eff_with = spectral_efficiency_from_powers(power_with, noise)
+    eff_without = spectral_efficiency_from_powers(power_without, noise)
     return ReflectiveGainResult(
         distances_cm=tuple(float(d) for d in distances_cm),
-        power_with_dbm=tuple(power_with),
-        power_without_dbm=tuple(power_without),
-        efficiency_with=tuple(eff_with),
-        efficiency_without=tuple(eff_without),
+        power_with_dbm=tuple(float(p) for p in power_with),
+        power_without_dbm=tuple(float(p) for p in power_without),
+        efficiency_with=tuple(float(e) for e in eff_with),
+        efficiency_without=tuple(float(e) for e in eff_without),
     )
 
 

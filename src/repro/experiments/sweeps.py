@@ -4,6 +4,19 @@ Every evaluation figure in the paper is a sweep over one or two
 parameters with received power (or capacity) recorded with and without
 the metasurface.  These helpers implement those loops once so the
 per-figure runners stay declarative.
+
+Two execution paths exist:
+
+* :func:`multi_axis_sweep` — the vectorized sweep engine.  One
+  :class:`~repro.channel.link.WirelessLink` (plus its baseline) covers
+  the whole axis: the controller optimizes every point together through
+  batched ``measure_sweep`` probes and the baseline is a single
+  vectorized pass.  This is what the Fig. 16-19/22 runners use.
+* :func:`comparison_sweep` — the legacy per-point loop over arbitrary
+  link factories, kept for workloads whose factories vary more than one
+  parameter.  The axis-named wrappers (:func:`frequency_sweep`,
+  :func:`tx_power_sweep`, :func:`distance_sweep`) default to the
+  vectorized engine and fall back to the loop on request.
 """
 
 from __future__ import annotations
@@ -35,6 +48,11 @@ class SweepPoint:
         return self.power_with_dbm - self.power_without_dbm
 
 
+def _default_controller() -> CentralizedController:
+    return CentralizedController(
+        VoltageSweepConfig(iterations=2, switches_per_axis=5))
+
+
 def optimize_link(link: WirelessLink,
                   controller: Optional[CentralizedController] = None,
                   exhaustive: bool = False,
@@ -43,11 +61,50 @@ def optimize_link(link: WirelessLink,
 
     Returns ``(best_power_dbm, best_vx, best_vy)``.
     """
-    controller = controller or CentralizedController(
-        VoltageSweepConfig(iterations=2, switches_per_axis=5))
+    controller = controller or _default_controller()
     result = controller.optimize(LinkBackend(link),
                                  exhaustive=exhaustive, step_v=step_v)
     return result.best_power_dbm, result.best_vx, result.best_vy
+
+
+def multi_axis_sweep(axis: str,
+                     values: Sequence[float],
+                     link: WirelessLink,
+                     baseline_link: Optional[WirelessLink] = None,
+                     controller: Optional[CentralizedController] = None,
+                     exhaustive: bool = False,
+                     step_v: float = 3.0,
+                     backend=None) -> List[SweepPoint]:
+    """Vectorized with/without comparison along one link-parameter axis.
+
+    ``link`` is evaluated at every axis value (``axis`` is one of
+    :data:`repro.channel.link.SWEEP_AXES`) with the surface optimized
+    per point — all points probed together through batched
+    ``measure_sweep`` calls — and compared against ``baseline_link``
+    (default: ``link.baseline()``) in a single vectorized pass.  Per
+    point the optimization grids, first-maximum selection and NaN
+    handling are identical to the scalar :func:`comparison_sweep` path.
+
+    ``backend`` overrides the measurement plane the controller probes
+    (default: a noiseless :class:`LinkBackend` over ``link``); pass a
+    :class:`repro.api.ReceiverSweepBackend` for noisy-receiver
+    semantics.
+    """
+    controller = controller or _default_controller()
+    backend = backend if backend is not None else LinkBackend(link)
+    values = np.asarray(values, dtype=float).ravel()
+    result = controller.optimize_multi(backend, axis, values,
+                                       exhaustive=exhaustive, step_v=step_v)
+    baseline_link = baseline_link if baseline_link is not None else link.baseline()
+    without = np.asarray(
+        baseline_link.received_power_dbm_sweep(axis, values), dtype=float)
+    return [SweepPoint(parameter=float(value),
+                       power_with_dbm=float(power),
+                       power_without_dbm=float(base),
+                       best_vx=float(vx), best_vy=float(vy))
+            for value, vx, vy, power, base in zip(
+                values, result.best_vx, result.best_vy,
+                result.best_power_dbm, without)]
 
 
 def comparison_sweep(parameter_values: Sequence[float],
@@ -58,8 +115,12 @@ def comparison_sweep(parameter_values: Sequence[float],
                      step_v: float = 3.0) -> List[SweepPoint]:
     """Sweep a parameter, optimizing the surface at every point.
 
-    ``link_factory(value)`` must return the with-surface link and
-    ``baseline_factory(value)`` the matching no-surface link.
+    The legacy per-point loop: ``link_factory(value)`` must return the
+    with-surface link and ``baseline_factory(value)`` the matching
+    no-surface link.  Factories may vary anything with the parameter;
+    when only a single link parameter changes, prefer
+    :func:`multi_axis_sweep`, which evaluates the whole axis in
+    vectorized passes.
     """
     points: List[SweepPoint] = []
     for value in parameter_values:
@@ -78,41 +139,62 @@ def comparison_sweep(parameter_values: Sequence[float],
     return points
 
 
+def _scenario_axis_sweep(axis: str,
+                         values: Sequence[float],
+                         scenario_factory: Callable[[float], "object"],
+                         vectorized: bool = True,
+                         **kwargs) -> List[SweepPoint]:
+    """Shared implementation of the axis-named scenario sweeps.
+
+    The vectorized path builds one scenario (at the first axis value)
+    and sweeps the axis on its link, which assumes the factory varies
+    only that axis — true of every canonical scenario.  Pass
+    ``vectorized=False`` for factories that vary additional parameters.
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        return []
+    if vectorized:
+        scenario = scenario_factory(float(values[0]))
+        return multi_axis_sweep(axis, values, scenario.link(),
+                                baseline_link=scenario.baseline_link(),
+                                **kwargs)
+    return comparison_sweep(
+        values,
+        link_factory=lambda value: scenario_factory(value).link(),
+        baseline_factory=lambda value: scenario_factory(value).baseline_link(),
+        **kwargs)
+
+
 def distance_sweep(distances_m: Sequence[float],
                    scenario_factory: Callable[[float], "object"],
+                   vectorized: bool = True,
                    **kwargs) -> List[SweepPoint]:
     """Sweep the Tx-Rx (or Tx-surface) distance of a scenario.
 
     ``scenario_factory(distance)`` must return an object exposing
     ``link()`` and ``baseline_link()`` (the scenario classes do).
     """
-    return comparison_sweep(
-        distances_m,
-        link_factory=lambda d: scenario_factory(d).link(),
-        baseline_factory=lambda d: scenario_factory(d).baseline_link(),
-        **kwargs)
+    return _scenario_axis_sweep("distance", distances_m, scenario_factory,
+                                vectorized=vectorized, **kwargs)
 
 
 def frequency_sweep(frequencies_hz: Sequence[float],
                     scenario_factory: Callable[[float], "object"],
+                    vectorized: bool = True,
                     **kwargs) -> List[SweepPoint]:
     """Sweep the operating frequency of a scenario."""
-    return comparison_sweep(
-        frequencies_hz,
-        link_factory=lambda f: scenario_factory(f).link(),
-        baseline_factory=lambda f: scenario_factory(f).baseline_link(),
-        **kwargs)
+    return _scenario_axis_sweep("frequency", frequencies_hz, scenario_factory,
+                                vectorized=vectorized, **kwargs)
 
 
 def tx_power_sweep(tx_powers_dbm: Sequence[float],
                    scenario_factory: Callable[[float], "object"],
+                   vectorized: bool = True,
                    **kwargs) -> List[SweepPoint]:
     """Sweep the transmit power of a scenario."""
-    return comparison_sweep(
-        tx_powers_dbm,
-        link_factory=lambda p: scenario_factory(p).link(),
-        baseline_factory=lambda p: scenario_factory(p).baseline_link(),
-        **kwargs)
+    return _scenario_axis_sweep("tx_power", tx_powers_dbm, scenario_factory,
+                                vectorized=vectorized, **kwargs)
 
 
 def voltage_grid_sweep(link: WirelessLink,
@@ -135,21 +217,24 @@ def sweep_capacity(points: Sequence[SweepPoint],
                    noise_power_dbm: float) -> List[Tuple[float, float, float]]:
     """Convert sweep powers into spectral efficiencies.
 
-    Returns ``(parameter, efficiency_with, efficiency_without)`` tuples.
+    One vectorized Shannon evaluation over the whole sweep; returns
+    ``(parameter, efficiency_with, efficiency_without)`` tuples.
     """
-    rows = []
-    for point in points:
-        with_eff = spectral_efficiency_from_powers(point.power_with_dbm,
-                                                   noise_power_dbm)
-        without_eff = spectral_efficiency_from_powers(point.power_without_dbm,
-                                                      noise_power_dbm)
-        rows.append((point.parameter, float(with_eff), float(without_eff)))
-    return rows
+    if not points:
+        return []
+    with_eff = spectral_efficiency_from_powers(
+        np.array([point.power_with_dbm for point in points]), noise_power_dbm)
+    without_eff = spectral_efficiency_from_powers(
+        np.array([point.power_without_dbm for point in points]),
+        noise_power_dbm)
+    return [(point.parameter, float(w), float(wo))
+            for point, w, wo in zip(points, with_eff, without_eff)]
 
 
 __all__ = [
     "SweepPoint",
     "optimize_link",
+    "multi_axis_sweep",
     "comparison_sweep",
     "distance_sweep",
     "frequency_sweep",

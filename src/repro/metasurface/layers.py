@@ -189,13 +189,16 @@ class BirefringentLayer:
         ], dtype=complex)
         return JonesMatrix(matrix)
 
-    def diagonal_batch(self, frequency_hz: float, vx: np.ndarray,
+    def diagonal_batch(self, frequency_hz, vx: np.ndarray,
                        vy: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Vectorized diagonal of :meth:`jones_matrix` over voltage arrays.
 
         Returns the complex ``(dx, dy)`` arrays with
         ``dx = tx e^{j phi_x}`` evaluated element-wise over ``vx`` (and
         likewise for ``vy``), matching the scalar matrix entries.
+        ``frequency_hz`` may be a scalar or an array that broadcasts
+        against the voltage arrays, so a frequency axis sweeps in the
+        same vectorized pass as a bias grid.
         """
         vx = np.asarray(vx, dtype=float)
         vy = np.asarray(vy, dtype=float)

@@ -124,13 +124,19 @@ class PhaseShifterLayer:
             np.asarray(bias_voltages_v, dtype=float))
         return 1.0 / (2.0 * math.pi * np.sqrt(self.inductance_h * capacitance))
 
-    def transmission_phase_rad_batch(self, frequency_hz: float,
+    def transmission_phase_rad_batch(self, frequency_hz,
                                      bias_voltages_v: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`transmission_phase_rad` over a voltage array."""
-        if frequency_hz <= 0:
+        """Vectorized :meth:`transmission_phase_rad` over voltage arrays.
+
+        ``frequency_hz`` may be a scalar or an array broadcastable
+        against ``bias_voltages_v``, so whole frequency sweeps evaluate
+        in the same pass as bias grids.
+        """
+        frequency = np.asarray(frequency_hz, dtype=float)
+        if np.any(frequency <= 0):
             raise ValueError("frequency must be positive")
         resonant = self.resonant_frequencies_hz_batch(bias_voltages_v)
-        detuning = frequency_hz / resonant - resonant / frequency_hz
+        detuning = frequency / resonant - resonant / frequency
         return -np.arctan(self.loading_factor * detuning)
 
     def transmission_phase_deg(self, frequency_hz: float,
@@ -191,17 +197,20 @@ class PhaseShifterLayer:
             loss += self.detuning_loss_db(frequency_hz, bias_voltage_v)
         return loss
 
-    def insertion_loss_db_batch(self, frequency_hz: float,
+    def insertion_loss_db_batch(self, frequency_hz,
                                 bias_voltages_v: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`insertion_loss_db` over a voltage array.
+        """Vectorized :meth:`insertion_loss_db` over voltage arrays.
 
         Always includes the voltage-dependent detuning mismatch loss,
         matching the scalar call with an explicit ``bias_voltage_v``.
+        ``frequency_hz`` may be a scalar or an array broadcastable
+        against ``bias_voltages_v``.
         """
-        if frequency_hz <= 0:
+        frequency = np.asarray(frequency_hz, dtype=float)
+        if np.any(frequency <= 0):
             raise ValueError("frequency must be positive")
         resonant = self.resonant_frequencies_hz_batch(bias_voltages_v)
-        detuning = frequency_hz / resonant - resonant / frequency_hz
+        detuning = frequency / resonant - resonant / frequency
         detuning_loss = 10.0 * np.log10(
             1.0 + (self.detuning_loss_coefficient * detuning) ** 2)
         return self.dielectric_insertion_loss_db + detuning_loss

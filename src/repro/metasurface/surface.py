@@ -214,18 +214,26 @@ class Metasurface:
     # ------------------------------------------------------------------ #
     # Structure-level band-pass response
     # ------------------------------------------------------------------ #
-    def bandpass_loss_db(self, frequency_hz: float, axis: str = "x") -> float:
-        """Band-pass roll-off of the assembled structure for one axis (dB)."""
-        if frequency_hz <= 0:
+    def bandpass_loss_db(self, frequency_hz, axis: str = "x"):
+        """Band-pass roll-off of the assembled structure for one axis (dB).
+
+        ``frequency_hz`` may be a scalar (returns a float) or a NumPy
+        array (returns the element-wise roll-off with the same shape).
+        """
+        frequency = np.asarray(frequency_hz, dtype=float)
+        if np.any(frequency <= 0):
             raise ValueError("frequency must be positive")
         if axis not in ("x", "y"):
             raise ValueError("axis must be 'x' or 'y'")
         center = self.design_frequency_hz + (
             self.axis_detuning_hz if axis == "y" else -self.axis_detuning_hz)
-        normalized = 2.0 * self.selectivity_q * (frequency_hz - center) / center
-        return 10.0 * math.log10(1.0 + normalized ** (2 * self.filter_order))
+        normalized = 2.0 * self.selectivity_q * (frequency - center) / center
+        value = 10.0 * np.log10(1.0 + normalized ** (2 * self.filter_order))
+        if np.isscalar(frequency_hz):
+            return float(value)
+        return value
 
-    def _bandpass_amplitudes(self, frequency_hz: float) -> Tuple[float, float]:
+    def _bandpass_amplitudes(self, frequency_hz) -> Tuple:
         """Per-axis field amplitude factors of the band-pass response."""
         amp_x = 10.0 ** (-self.bandpass_loss_db(frequency_hz, "x") / 20.0)
         amp_y = 10.0 ** (-self.bandpass_loss_db(frequency_hz, "y") / 20.0)
@@ -253,26 +261,37 @@ class Metasurface:
         bandpass = np.array([[amp_x, 0.0], [0.0, amp_y]], dtype=complex)
         return JonesMatrix(cascade @ bandpass)
 
-    def jones_matrix_batch(self, frequency_hz: float, vx: np.ndarray,
+    def jones_matrix_batch(self, frequency_hz, vx: np.ndarray,
                            vy: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`jones_matrix` over flat bias-voltage arrays.
+        """Vectorized :meth:`jones_matrix` over bias-voltage arrays.
 
-        ``vx`` and ``vy`` must broadcast against each other; the result
-        is a complex ``(..., 2, 2)`` array whose trailing matrices equal
-        the scalar :meth:`jones_matrix` at each voltage pair.
+        ``vx``, ``vy`` and ``frequency_hz`` must broadcast against each
+        other (frequency may be a scalar, or e.g. an ``(n, 1)`` column
+        sweeping the carrier alongside an ``(n, k)`` bias grid); the
+        result is a complex ``(..., 2, 2)`` array whose trailing
+        matrices equal the scalar :meth:`jones_matrix` at each
+        (frequency, voltage) operating point.
         """
         vx, vy = self._validate_voltage_arrays(vx, vy)
+        frequency = np.asarray(frequency_hz, dtype=float)
+        if np.any(frequency <= 0):
+            raise ValueError("frequency must be positive")
         effective_vx, effective_vy = self._effective_voltages(vx, vy)
-        front = self.front_qwp.jones_matrix(frequency_hz).as_array()
-        back = self.back_qwp.jones_matrix(frequency_hz).as_array()
-        dx, dy = self.birefringent.diagonal_batch(frequency_hz, effective_vx,
+        # The QWP layers' loss model is frequency-flat (dielectric
+        # dissipation only), so their matrices are constants of the
+        # stack and can be evaluated once at the design frequency.
+        front = self.front_qwp.jones_matrix(self.design_frequency_hz).as_array()
+        back = self.back_qwp.jones_matrix(self.design_frequency_hz).as_array()
+        dx, dy = self.birefringent.diagonal_batch(frequency, effective_vx,
                                                   effective_vy)
         # front @ diag(dx, dy) scales front's columns element-wise, then
         # the full matmul with `back` reproduces the scalar cascade.
         diagonal = np.stack(np.broadcast_arrays(dx, dy), axis=-1)
         cascade = (front[..., :, :] * diagonal[..., None, :]) @ back
-        amp_x, amp_y = self._bandpass_amplitudes(frequency_hz)
-        bandpass = np.array([amp_x, amp_y])
+        amp_x, amp_y = self._bandpass_amplitudes(frequency)
+        bandpass = np.stack(np.broadcast_arrays(
+            np.asarray(amp_x, dtype=float), np.asarray(amp_y, dtype=float)),
+            axis=-1)
         return cascade * bandpass[..., None, :]
 
     def rotation_angle_deg(self, frequency_hz: float, vx: float,
@@ -336,13 +355,15 @@ class Metasurface:
         combined = fraction * converted + (1.0 - fraction) * specular
         return JonesMatrix(combined)
 
-    def reflection_jones_matrix_batch(self, frequency_hz: float,
+    def reflection_jones_matrix_batch(self, frequency_hz,
                                       vx: np.ndarray,
                                       vy: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`reflection_jones_matrix` over voltage arrays.
 
-        Returns a complex ``(..., 2, 2)`` array whose trailing matrices
-        equal the scalar reflective Jones matrix at each voltage pair.
+        Accepts the same broadcastable frequency/voltage arrays as
+        :meth:`jones_matrix_batch`; returns a complex ``(..., 2, 2)``
+        array whose trailing matrices equal the scalar reflective Jones
+        matrix at each operating point.
         """
         one_way = self.jones_matrix_batch(frequency_hz, vx, vy)
         mirror = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)

@@ -113,6 +113,56 @@ class SimulatedReceiver:
         """One averaged power report, as the controller consumes them."""
         return self.capture(duration_s=duration_s, vx=vx, vy=vy).mean_power_dbm
 
+    def measure_power_dbm_sweep(self, axis: str, values, vx=0.0, vy=0.0,
+                                duration_s: float = 0.005,
+                                tone_frequency_hz: float = 500e3) -> np.ndarray:
+        """Batched noisy power reports over a whole sweep axis at once.
+
+        Rows of the broadcast ``(values, vx, vy)`` batch are independent
+        axis points; columns are sequential probes (a 1-D batch is
+        treated as axis points sharing one probe).  One noise
+        realisation is drawn from this receiver's generator per probe
+        column and shared across rows — exactly the sample streams a
+        Python loop of per-point receivers constructed with the same
+        seed would observe, so the vectorized sweep reproduces the
+        scalar :meth:`measure_power_dbm` loop's reports to
+        floating-point round-off, and the returned array keeps the
+        broadcast input shape.  The capture itself is evaluated in
+        closed form: for a unit tone ``u`` and noise block ``n``, the
+        mean power of ``a u + n`` is
+        ``a^2 mean|u|^2 + 2 a mean(Re(u conj(n))) + mean|n|^2``,
+        so only three reductions per probe column are needed regardless
+        of how many axis points share it.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        raw = np.asarray(
+            self.link.received_power_dbm_sweep(axis, values, vx=vx, vy=vy),
+            dtype=float)
+        if raw.ndim > 2:
+            raise ValueError("sweep probe batches must be at most 2-D "
+                             "(axis points, probes)")
+        true_powers = raw.reshape(-1, 1) if raw.ndim <= 1 else raw
+        noise_power_dbm = self.link.noise_power_dbm()
+        count = int(round(duration_s * self.sample_rate_hz))
+        timestamps = np.arange(count) / self.sample_rate_hz
+        tone = np.exp(1j * (2.0 * math.pi * tone_frequency_hz * timestamps))
+        tone_power = np.mean(np.abs(tone) ** 2)
+        noise_mw = 10.0 ** (noise_power_dbm / 10.0)
+        scale = math.sqrt(noise_mw / 2.0)
+        amplitudes = np.sqrt(10.0 ** (true_powers / 10.0))
+        powers_dbm = np.empty_like(true_powers)
+        for column in range(true_powers.shape[1]):
+            noise = (self._rng.normal(0.0, scale, count) +
+                     1j * self._rng.normal(0.0, scale, count))
+            cross = np.mean(np.real(tone * np.conj(noise)))
+            noise_power = np.mean(np.abs(noise) ** 2)
+            mean_mw = (amplitudes[:, column] ** 2 * tone_power +
+                       2.0 * amplitudes[:, column] * cross + noise_power)
+            powers_dbm[:, column] = 10.0 * np.log10(
+                np.maximum(mean_mw, 1e-20))
+        return powers_dbm.reshape(raw.shape)
+
     def measure_average_dbm(self, seconds: float, vx: float = 0.0,
                             vy: float = 0.0, chunk_s: float = 0.01) -> float:
         """Average received power over a longer observation window.
