@@ -1,4 +1,16 @@
-"""Helpers shared by the benchmark modules."""
+"""Helpers shared by the benchmark modules.
+
+Every per-figure benchmark follows the same shape — run a deterministic
+figure generator once under pytest-benchmark, print the paper's
+rows/series, assert the result's shape — and the engine benchmarks all
+time a scalar reference against a vectorized path and gate the speedup.
+The scaffolding for both lives here so the ``test_bench_*`` modules
+stay declarative.
+"""
+
+import time
+
+from repro.experiments.reporting import format_table
 
 
 def run_once(benchmark, function, *args, **kwargs):
@@ -10,3 +22,77 @@ def run_once(benchmark, function, *args, **kwargs):
     """
     return benchmark.pedantic(function, args=args, kwargs=kwargs,
                               rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------- #
+# Scalar-vs-vectorized speedup scaffolding
+# ---------------------------------------------------------------------- #
+def timed(function, *args, **kwargs):
+    """Run ``function`` once; returns ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def speedup_row(label, probe_count, slow_s, fast_s, max_error_db):
+    """One standard row of a scalar-vs-vectorized comparison table."""
+    return [label, probe_count, slow_s * 1e3, fast_s * 1e3, slow_s / fast_s,
+            max_error_db]
+
+
+def print_speedup_table(title, rows, row_label="sweep", count_label="points",
+                        slow_label="scalar loop", fast_label="vectorized"):
+    """Print rows built by :func:`speedup_row` with the standard headers."""
+    print()
+    print(format_table(
+        [row_label, count_label, f"{slow_label} (ms)", f"{fast_label} (ms)",
+         "speedup (x)", "max |diff| (dB)"],
+        rows, precision=3, title=title))
+
+
+def assert_speedup(rows, min_speedup, tolerance_db=1e-9):
+    """Gate every :func:`speedup_row`: fast enough and numerically tight."""
+    for row in rows:
+        speedup, max_error_db = row[-2], row[-1]
+        assert speedup >= min_speedup, row
+        assert max_error_db <= tolerance_db, row
+
+
+# ---------------------------------------------------------------------- #
+# Per-figure table scaffolding
+# ---------------------------------------------------------------------- #
+def efficiency_rows(curve, grid_hz=1e8, tolerance_hz=1e6):
+    """Table rows of an efficiency-vs-frequency curve (Figs. 8-10).
+
+    Keeps one row per ``grid_hz`` of the sweep (the benches print every
+    100 MHz of the 2.0-2.8 GHz band).
+    """
+    return [
+        (f / 1e9, x, y)
+        for f, x, y in zip(curve.frequencies_hz, curve.efficiency_x_db,
+                           curve.efficiency_y_db)
+        if abs(f - round(f / grid_hz) * grid_hz) < tolerance_hz
+    ]
+
+
+def print_efficiency_table(curve, title):
+    """Print one Figs. 8-10 efficiency curve with the standard headers."""
+    print()
+    print(format_table(
+        ["frequency (GHz)", "x-excitation (dB)", "y-excitation (dB)"],
+        efficiency_rows(curve), precision=2, title=title))
+
+
+def print_capacity_table(series, title):
+    """Print one Figs. 18-19 capacity-vs-power panel."""
+    rows = [
+        (power, with_eff, without_eff, with_eff - without_eff)
+        for power, with_eff, without_eff in zip(
+            series.tx_powers_mw, series.efficiency_with,
+            series.efficiency_without)
+    ]
+    print()
+    print(format_table(
+        ["Tx power (mW)", "with surface (bit/s/Hz)",
+         "without surface (bit/s/Hz)", "improvement"],
+        rows, precision=2, title=title))

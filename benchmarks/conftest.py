@@ -5,7 +5,8 @@ and prints the same rows/series the paper reports (see DESIGN.md for the
 experiment index and EXPERIMENTS.md for the paper-vs-measured summary).
 The figure runners are deterministic simulations, so a single
 measurement round per benchmark is sufficient and keeps the whole suite
-fast.
+fast; the shared scaffolding (``run_once``, the speedup and table
+helpers) lives in :mod:`bench_utils`.
 """
 
 import os
@@ -15,9 +16,3 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
                     "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
-
-
-def run_once(benchmark, function, *args, **kwargs):
-    """Run a figure generator exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(function, args=args, kwargs=kwargs,
-                              rounds=1, iterations=1)

@@ -40,7 +40,7 @@ def test_bench_alg1_sweep_cost(benchmark):
         title="Algorithm 1 ablation (paper: full scan ~30 s, "
               "Algorithm 1 cost 0.02*N*T^2 = 1 s)"))
     print(f"\nspeed-up        : {full.duration_s / fast.duration_s:.0f}x")
-    print(f"optimality gap  : "
+    print("optimality gap  : "
           f"{full.best_power_dbm - fast.best_power_dbm:.2f} dB")
 
     # Shape: Algorithm 1 is an order of magnitude faster and within a

@@ -7,12 +7,15 @@ exhaustive 1 V heatmap sweep, and asserts the two paths agree to
 numerical precision.
 """
 
-import time
-
 import numpy as np
 
-from bench_utils import run_once
-from repro.experiments.reporting import format_table
+from bench_utils import (
+    assert_speedup,
+    print_speedup_table,
+    run_once,
+    speedup_row,
+    timed,
+)
 from repro.experiments.scenarios import ReflectiveScenario, TransmissiveScenario
 
 
@@ -34,31 +37,23 @@ def run_sweep_comparison():
     for name, link in (("transmissive", TransmissiveScenario().link()),
                        ("reflective", ReflectiveScenario().link())):
         vx, vy = _heatmap_grid(step_v=1.0)
-        start = time.perf_counter()
-        scalar = scalar_loop_sweep(link, vx, vy)
-        scalar_s = time.perf_counter() - start
-        start = time.perf_counter()
-        batched = link.received_power_dbm_batch(vx, vy)
-        batched_s = time.perf_counter() - start
+        scalar, scalar_s = timed(scalar_loop_sweep, link, vx, vy)
+        batched, batched_s = timed(link.received_power_dbm_batch, vx, vy)
         max_error_db = float(np.max(np.abs(batched - scalar)))
-        rows.append([name, len(vx), scalar_s * 1e3, batched_s * 1e3,
-                     scalar_s / batched_s, max_error_db])
+        rows.append(speedup_row(name, len(vx), scalar_s, batched_s,
+                                max_error_db))
     return rows
 
 
 def test_bench_batched_sweep(benchmark):
     rows = run_once(benchmark, run_sweep_comparison)
 
-    print()
-    print(format_table(
-        ["layout", "probes", "scalar loop (ms)", "batched (ms)",
-         "speedup (x)", "max |diff| (dB)"],
-        rows, precision=3,
-        title="Batched measurement plane vs scalar loop "
-              "(31 x 31 heatmap grid, Fig. 15/21 path)"))
+    print_speedup_table(
+        "Batched measurement plane vs scalar loop "
+        "(31 x 31 heatmap grid, Fig. 15/21 path)",
+        rows, row_label="layout", count_label="probes", fast_label="batched")
 
-    for _name, probes, _scalar_ms, _batched_ms, speedup, max_error_db in rows:
-        assert probes == 31 * 31
-        # Acceptance bar for the API redesign: >= 5x on the heatmap path.
-        assert speedup >= 5.0
-        assert max_error_db < 1e-9
+    for row in rows:
+        assert row[1] == 31 * 31
+    # Acceptance bar for the API redesign: >= 5x on the heatmap path.
+    assert_speedup(rows, min_speedup=5.0)

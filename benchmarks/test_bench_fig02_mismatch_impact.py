@@ -35,7 +35,7 @@ def test_bench_fig02_mismatch_impact(benchmark):
               "(paper: ~10 dB penalty on both links)"))
 
     centers, pdf = rssi_histogram(result["wifi"].mismatched_rssi_dbm)
-    print(f"\nWi-Fi mismatched RSSI PDF spans "
+    print("\nWi-Fi mismatched RSSI PDF spans "
           f"{centers.min():.0f}..{centers.max():.0f} dBm "
           f"(peak bin {pdf.max():.0f}%)")
 

@@ -4,11 +4,8 @@ Regenerates the transmission-efficiency-vs-frequency curves for x- and
 y-polarized excitation of the expensive low-loss reference design.
 """
 
-import numpy as np
-
-from bench_utils import run_once
+from bench_utils import print_efficiency_table, run_once
 from repro.experiments import figures
-from repro.experiments.reporting import format_table
 
 
 def test_bench_fig08_rogers_efficiency(benchmark):
@@ -16,20 +13,12 @@ def test_bench_fig08_rogers_efficiency(benchmark):
                       frequency_count=41)
     rogers = curves["fig8_rogers"]
 
-    rows = [
-        (f / 1e9, x, y)
-        for f, x, y in zip(rogers.frequencies_hz, rogers.efficiency_x_db,
-                           rogers.efficiency_y_db)
-        if abs(f - round(f / 1e8) * 1e8) < 1e6  # print every 100 MHz
-    ]
-    print()
-    print(format_table(
-        ["frequency (GHz)", "x-excitation (dB)", "y-excitation (dB)"],
-        rows, precision=2,
-        title="Fig. 8 - Rogers 5880 cascaded rotator efficiency "
-              "(paper: above about -3 dB in band)"))
+    print_efficiency_table(
+        rogers,
+        "Fig. 8 - Rogers 5880 cascaded rotator efficiency "
+        "(paper: above about -3 dB in band)")
     print(f"\nworst in-band efficiency : {rogers.in_band_minimum_db():.2f} dB")
-    print(f"-3 dB bandwidth           : "
+    print("-3 dB bandwidth           : "
           f"{rogers.bandwidth_above_hz(-3.0) / 1e6:.0f} MHz")
 
     # Shape: the low-loss substrate keeps the in-band efficiency high.

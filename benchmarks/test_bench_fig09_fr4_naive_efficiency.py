@@ -5,9 +5,8 @@ paper's point is that the efficiency collapses, which is what motivates
 the structural optimization of Fig. 10.
 """
 
-from bench_utils import run_once
+from bench_utils import print_efficiency_table, run_once
 from repro.experiments import figures
-from repro.experiments.reporting import format_table
 
 
 def test_bench_fig09_fr4_naive_efficiency(benchmark):
@@ -16,20 +15,12 @@ def test_bench_fig09_fr4_naive_efficiency(benchmark):
     naive = curves["fig9_fr4_naive"]
     rogers = curves["fig8_rogers"]
 
-    rows = [
-        (f / 1e9, x, y)
-        for f, x, y in zip(naive.frequencies_hz, naive.efficiency_x_db,
-                           naive.efficiency_y_db)
-        if abs(f - round(f / 1e8) * 1e8) < 1e6
-    ]
-    print()
-    print(format_table(
-        ["frequency (GHz)", "x-excitation (dB)", "y-excitation (dB)"],
-        rows, precision=2,
-        title="Fig. 9 - naive FR4 port efficiency "
-              "(paper: ~10 dB worse than Rogers, well below -3 dB)"))
+    print_efficiency_table(
+        naive,
+        "Fig. 9 - naive FR4 port efficiency "
+        "(paper: ~10 dB worse than Rogers, well below -3 dB)")
     print(f"\nworst in-band efficiency      : {naive.in_band_minimum_db():.2f} dB")
-    print(f"penalty vs Rogers reference   : "
+    print("penalty vs Rogers reference   : "
           f"{rogers.in_band_minimum_db() - naive.in_band_minimum_db():.2f} dB")
 
     # Shape: the naive port is far below the -3 dB line and much worse

@@ -5,9 +5,8 @@ recover most of the efficiency lost by FR4's high loss tangent, with a
 usable bandwidth wider than the 2.4 GHz ISM band.
 """
 
-from bench_utils import run_once
+from bench_utils import print_efficiency_table, run_once
 from repro.experiments import figures
-from repro.experiments.reporting import format_table
 
 
 def test_bench_fig10_fr4_optimized_efficiency(benchmark):
@@ -17,24 +16,15 @@ def test_bench_fig10_fr4_optimized_efficiency(benchmark):
     rogers = curves["fig8_rogers"]
     naive = curves["fig9_fr4_naive"]
 
-    rows = [
-        (f / 1e9, x, y)
-        for f, x, y in zip(optimized.frequencies_hz,
-                           optimized.efficiency_x_db,
-                           optimized.efficiency_y_db)
-        if abs(f - round(f / 1e8) * 1e8) < 1e6
-    ]
-    print()
-    print(format_table(
-        ["frequency (GHz)", "x-excitation (dB)", "y-excitation (dB)"],
-        rows, precision=2,
-        title="Fig. 10 - optimized FR4 (LLAMA) efficiency "
-              "(paper: comparable to Rogers, >150 MHz above -5 dB)"))
+    print_efficiency_table(
+        optimized,
+        "Fig. 10 - optimized FR4 (LLAMA) efficiency "
+        "(paper: comparable to Rogers, >150 MHz above -5 dB)")
     print(f"\nworst in-band efficiency : {optimized.in_band_minimum_db():.2f} dB")
-    print(f"-5 dB bandwidth           : "
+    print("-5 dB bandwidth           : "
           f"{optimized.bandwidth_above_hz(-5.0) / 1e6:.0f} MHz "
-          f"(paper: 150 MHz)")
-    print(f"recovered vs naive FR4    : "
+          "(paper: 150 MHz)")
+    print("recovered vs naive FR4    : "
           f"{optimized.in_band_minimum_db() - naive.in_band_minimum_db():.2f} dB")
 
     # Shape: optimized FR4 sits close to Rogers and far above the naive port,

@@ -29,7 +29,7 @@ def test_bench_fig11_voltage_efficiency(benchmark):
         rows, precision=2,
         title="Fig. 11 - efficiency under bias-voltage combinations "
               "(paper: always above -8 dB in 2.4-2.5 GHz)"))
-    print(f"\nworst efficiency over all bias settings: "
+    print("\nworst efficiency over all bias settings: "
           f"{result.worst_in_band_db():.2f} dB")
 
     # Shape: every bias setting keeps the in-band efficiency above -8 dB,

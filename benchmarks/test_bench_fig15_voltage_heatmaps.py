@@ -19,7 +19,7 @@ def test_bench_fig15_voltage_heatmaps(benchmark):
     example = result.heatmaps[1]
     print()
     print(format_heatmap(example.grid_dbm, precision=1,
-                         title=f"Fig. 15 - received power (dBm) vs (Vx, Vy) "
+                         title="Fig. 15 - received power (dBm) vs (Vx, Vy) "
                                f"at {example.distance_cm:.0f} cm"))
     rows = []
     for heatmap in result.heatmaps:

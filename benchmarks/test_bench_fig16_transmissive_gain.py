@@ -21,9 +21,9 @@ def test_bench_fig16_transmissive_gain(benchmark):
         result.distances_cm, result.power_with_dbm, result.power_without_dbm,
         x_label="distance (cm)", precision=1))
     print(f"\nmax improvement          : {result.max_gain_db:.1f} dB "
-          f"(paper: 15 dB)")
+          "(paper: 15 dB)")
     print(f"implied range extension  : {result.range_extension_factor:.1f}x "
-          f"(paper: 5.6x)")
+          "(paper: 5.6x)")
 
     # Shape: the surface wins at every distance, by roughly the paper's
     # factor, and the implied range extension is of the same order.

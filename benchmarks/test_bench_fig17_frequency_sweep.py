@@ -24,7 +24,7 @@ def test_bench_fig17_frequency_sweep(benchmark):
         [f / 1e9 for f in result.frequencies_hz],
         result.power_with_dbm, result.power_without_dbm,
         x_label="frequency (GHz)", precision=1))
-    print(f"\nworst-case improvement across the band: "
+    print("\nworst-case improvement across the band: "
           f"{result.min_gain_db:.1f} dB (paper: >10 dB)")
 
     # Shape: the improvement holds across the whole ISM band.

@@ -5,9 +5,8 @@ In the clean chamber the metasurface improves capacity at every probed
 transmit power, down to 0.002 mW.
 """
 
-from bench_utils import run_once
+from bench_utils import print_capacity_table, run_once
 from repro.experiments import figures
-from repro.experiments.reporting import format_table
 
 TX_POWERS_MW = (0.002, 0.02, 0.2, 2.0, 20.0, 200.0, 1000.0)
 
@@ -19,20 +18,10 @@ def test_bench_fig18_txpower_clean(benchmark):
     for key, title in (("fig18a_omni_clean", "Fig. 18a - omni antenna"),
                        ("fig18b_directional_clean",
                         "Fig. 18b - directional antenna")):
-        series = result[key]
-        rows = [
-            (power, with_eff, without_eff, with_eff - without_eff)
-            for power, with_eff, without_eff in zip(
-                series.tx_powers_mw, series.efficiency_with,
-                series.efficiency_without)
-        ]
-        print()
-        print(format_table(
-            ["Tx power (mW)", "with surface (bit/s/Hz)",
-             "without surface (bit/s/Hz)", "improvement"],
-            rows, precision=2,
-            title=f"{title}, absorber-covered chamber "
-                  "(paper: surface helps at every power)"))
+        print_capacity_table(
+            result[key],
+            f"{title}, absorber-covered chamber "
+            "(paper: surface helps at every power)")
 
     # Shape: in the clean chamber the surface helps at every transmit power
     # for both antenna types.

@@ -7,9 +7,8 @@ own multipath props up the baseline), while directional antennas remain
 robust.
 """
 
-from bench_utils import run_once
+from bench_utils import print_capacity_table, run_once
 from repro.experiments import figures
-from repro.experiments.reporting import format_table
 
 TX_POWERS_MW = (0.002, 0.02, 0.2, 2.0, 20.0, 200.0, 1000.0)
 
@@ -21,20 +20,10 @@ def test_bench_fig19_txpower_multipath(benchmark):
     for key, title in (("fig19a_omni_multipath", "Fig. 19a - omni antenna"),
                        ("fig19b_directional_multipath",
                         "Fig. 19b - directional antenna")):
-        series = result[key]
-        rows = [
-            (power, with_eff, without_eff, with_eff - without_eff)
-            for power, with_eff, without_eff in zip(
-                series.tx_powers_mw, series.efficiency_with,
-                series.efficiency_without)
-        ]
-        print()
-        print(format_table(
-            ["Tx power (mW)", "with surface (bit/s/Hz)",
-             "without surface (bit/s/Hz)", "improvement"],
-            rows, precision=2,
-            title=f"{title}, laboratory with multipath "
-                  "(paper: omni benefit collapses below ~2 mW)"))
+        print_capacity_table(
+            result[key],
+            f"{title}, laboratory with multipath "
+            "(paper: omni benefit collapses below ~2 mW)")
 
     omni = result["fig19a_omni_multipath"]
     directional = result["fig19b_directional_multipath"]

@@ -36,7 +36,7 @@ def test_bench_fig20_iot_device(benchmark):
                                             result.without_surface_rssi_dbm)
     print(f"\nmean improvement            : {result.improvement_db:.1f} dB")
     print(f"distribution overlap        : {overlap * 100:.0f}%")
-    print(f"802.11g PHY rate unlocked   : "
+    print("802.11g PHY rate unlocked   : "
           f"+{result.throughput_improvement_mbps:.0f} Mbit/s")
     print(f"optimal bias pair           : Vx={result.optimal_bias_v[0]:.0f} V, "
           f"Vy={result.optimal_bias_v[1]:.0f} V")

@@ -18,9 +18,9 @@ def test_bench_fig21_reflective_heatmaps(benchmark):
     example = heatmaps[1]
     print()
     print(format_heatmap(example.grid_dbm, precision=1,
-                         title=f"Fig. 21 - reflective received power (dBm) vs "
+                         title="Fig. 21 - reflective received power (dBm) vs "
                                f"(Vx, Vy) at {example.distance_cm:.0f} cm "
-                               f"Tx-surface distance"))
+                               "Tx-surface distance"))
     rows = []
     for heatmap in heatmaps:
         vx, vy, power = heatmap.best_point

@@ -27,9 +27,9 @@ def test_bench_fig22_reflective_gain(benchmark):
         result.distances_cm, result.efficiency_with, result.efficiency_without,
         x_label="distance (cm)", precision=2))
     print(f"\nmax power improvement    : {result.max_gain_db:.1f} dB "
-          f"(paper: 17 dB)")
+          "(paper: 17 dB)")
     print(f"max capacity improvement : {result.max_capacity_improvement:.2f} "
-          f"bit/s/Hz")
+          "bit/s/Hz")
 
     # Shape: the surface wins at every distance and the peak improvement is
     # in the paper's ballpark (tens of dB).

@@ -9,17 +9,21 @@ scalar/vectorized parity <= 1e-9 dB.
 """
 
 import math
-import time
 from dataclasses import replace
 
 import numpy as np
 
-from bench_utils import run_once
-from repro.api.backend import CallableBackend, LinkBackend, ReceiverSweepBackend
+from bench_utils import (
+    assert_speedup,
+    print_speedup_table,
+    run_once,
+    speedup_row,
+    timed,
+)
+from repro.api.backend import CallableBackend, ReceiverSweepBackend
 from repro.channel.link import WirelessLink
 from repro.core.controller import CentralizedController, VoltageSweepConfig
 from repro.experiments.figures import LAB_INTERFERENCE_FLOOR_DBM
-from repro.experiments.reporting import format_table
 from repro.experiments.scenarios import TransmissiveScenario
 from repro.experiments.sweeps import comparison_sweep, multi_axis_sweep
 
@@ -33,30 +37,26 @@ def run_fig17_frequency_sweep():
     """Fig. 17 band sweep: vectorized engine vs per-point scenario loop."""
     frequencies = np.arange(2.40e9, 2.501e9, 0.01e9)
 
-    start = time.perf_counter()
-    scalar_points = comparison_sweep(
+    scalar_points, scalar_s = timed(
+        comparison_sweep,
         frequencies,
         link_factory=lambda f: TransmissiveScenario(
             frequency_hz=float(f)).link(),
         baseline_factory=lambda f: TransmissiveScenario(
             frequency_hz=float(f)).baseline_link(),
         controller=_controller())
-    scalar_s = time.perf_counter() - start
 
-    start = time.perf_counter()
     scenario = TransmissiveScenario(frequency_hz=float(frequencies[0]))
-    vector_points = multi_axis_sweep("frequency", frequencies,
-                                     scenario.link(),
-                                     baseline_link=scenario.baseline_link(),
-                                     controller=_controller())
-    vector_s = time.perf_counter() - start
+    vector_points, vector_s = timed(
+        multi_axis_sweep, "frequency", frequencies, scenario.link(),
+        baseline_link=scenario.baseline_link(), controller=_controller())
 
     max_error_db = max(
         max(abs(fast.power_with_dbm - slow.power_with_dbm),
             abs(fast.power_without_dbm - slow.power_without_dbm))
         for fast, slow in zip(vector_points, scalar_points))
-    return ["fig17 frequency", len(frequencies), scalar_s * 1e3,
-            vector_s * 1e3, scalar_s / vector_s, max_error_db]
+    return speedup_row("fig17 frequency", len(frequencies), scalar_s,
+                       vector_s, max_error_db)
 
 
 def run_fig18_txpower_sweep():
@@ -68,36 +68,38 @@ def run_fig18_txpower_sweep():
     configuration = replace(base.configuration(),
                             interference_floor_dbm=LAB_INTERFERENCE_FLOOR_DBM)
 
-    # Scalar per-point path: fresh link + identically seeded receiver +
-    # Algorithm 1 at every transmit power (the seed implementation).
-    start = time.perf_counter()
-    scalar_best = []
-    for tx_power in tx_powers_dbm:
-        point_link = WirelessLink(replace(configuration,
-                                          tx_power_dbm=float(tx_power)))
-        receiver = _PerPointReceiver(point_link, seed=5)
-        sweep = _controller().coarse_to_fine_sweep(CallableBackend(
-            receiver.measure))
-        scalar_best.append(
-            point_link.received_power_dbm(sweep.best_vx, sweep.best_vy))
-    scalar_s = time.perf_counter() - start
+    def scalar_reference():
+        # Fresh link + identically seeded receiver + Algorithm 1 at
+        # every transmit power (the seed implementation).
+        best = []
+        for tx_power in tx_powers_dbm:
+            point_link = WirelessLink(replace(configuration,
+                                              tx_power_dbm=float(tx_power)))
+            receiver = _PerPointReceiver(point_link, seed=5)
+            sweep = _controller().coarse_to_fine_sweep(CallableBackend(
+                receiver.measure))
+            best.append(
+                point_link.received_power_dbm(sweep.best_vx, sweep.best_vy))
+        return best
 
-    # Vectorized path: one link, one receiver, one multi-axis search.
-    start = time.perf_counter()
-    link = WirelessLink(configuration)
-    from repro.radio.transceiver import SimulatedReceiver
-    receiver = SimulatedReceiver(link, seed=5)
-    sweep = _controller().coarse_to_fine_sweep_multi(
-        ReceiverSweepBackend(receiver, duration_s=0.0002),
-        "tx_power", tx_powers_dbm)
-    vector_best = link.received_power_dbm_sweep(
-        "tx_power", tx_powers_dbm, vx=sweep.best_vx, vy=sweep.best_vy)
-    vector_s = time.perf_counter() - start
+    def vectorized():
+        # One link, one receiver, one multi-axis search.
+        link = WirelessLink(configuration)
+        from repro.radio.transceiver import SimulatedReceiver
+        receiver = SimulatedReceiver(link, seed=5)
+        sweep = _controller().coarse_to_fine_sweep_multi(
+            ReceiverSweepBackend(receiver, duration_s=0.0002),
+            "tx_power", tx_powers_dbm)
+        return link.received_power_dbm_sweep(
+            "tx_power", tx_powers_dbm, vx=sweep.best_vx, vy=sweep.best_vy)
+
+    scalar_best, scalar_s = timed(scalar_reference)
+    vector_best, vector_s = timed(vectorized)
 
     max_error_db = float(np.max(np.abs(np.asarray(scalar_best) -
                                        np.asarray(vector_best))))
-    return ["fig18 tx power", len(tx_powers_mw), scalar_s * 1e3,
-            vector_s * 1e3, scalar_s / vector_s, max_error_db]
+    return speedup_row("fig18 tx power", len(tx_powers_mw), scalar_s,
+                       vector_s, max_error_db)
 
 
 class _PerPointReceiver:
@@ -119,15 +121,9 @@ def run_multi_axis_comparison():
 def test_bench_multi_axis_sweep(benchmark):
     rows = run_once(benchmark, run_multi_axis_comparison)
 
-    print()
-    print(format_table(
-        ["sweep", "points", "scalar loop (ms)", "vectorized (ms)",
-         "speedup (x)", "max |diff| (dB)"],
-        rows, precision=3,
-        title="Multi-axis sweep engine vs scalar per-point loops "
-              "(Fig. 17 frequency axis, Fig. 18 tx-power axis)"))
+    print_speedup_table(
+        "Multi-axis sweep engine vs scalar per-point loops "
+        "(Fig. 17 frequency axis, Fig. 18 tx-power axis)", rows)
 
-    for _name, _points, _scalar_ms, _vector_ms, speedup, max_error_db in rows:
-        # Acceptance bar for the sweep engine: >= 3x per swept axis.
-        assert speedup >= 3.0
-        assert max_error_db <= 1e-9
+    # Acceptance bar for the sweep engine: >= 3x per swept axis.
+    assert_speedup(rows, min_speedup=3.0)

@@ -84,7 +84,7 @@ def main() -> None:
     worst = np.min(sweep.best_power_dbm - baseline)
     print(f"Frequency sweep        : {frequencies.size} points in "
           f"{sweep_s * 1e3:.1f} ms, worst-case gain {worst:.1f} dB "
-          f"across 2.40-2.50 GHz (paper: > 10 dB)")
+          "across 2.40-2.50 GHz (paper: > 10 dB)")
 
     # Bonus: the Sec. 3.4 rotation-angle estimation, with per-orientation
     # link caching and batched voltage sweeps underneath.

@@ -50,7 +50,7 @@ def evaluate_link(name, transmitter, receiver, distance_m, surface,
     print(f"  RSSI with surface    : {with_rssi:7.1f} dBm "
           f"({rate_formatter(with_rssi)}) at Vx={best_vx:.0f} V, Vy={best_vy:.0f} V")
     print(f"  improvement          : {with_rssi - without_rssi:7.1f} dB")
-    print(f"  link margin gained   : "
+    print("  link margin gained   : "
           f"{receiver.link_margin_db(with_rssi) - receiver.link_margin_db(without_rssi):7.1f} dB")
 
 

@@ -70,14 +70,14 @@ def main() -> None:
     rfid = scaled_design(0.915e9)
     surface = rfid.build(prototype=False)
     print(f"Scaled design: {rfid.name}")
-    print(f"  efficiency at 915 MHz : "
+    print("  efficiency at 915 MHz : "
           f"{surface.transmission_efficiency_db(0.915e9, 8.0, 8.0, 'x'):.1f} dB")
-    print(f"  rotation range (2-15 V): "
+    print("  rotation range (2-15 V): "
           f"{surface.rotation_range_deg(0.915e9)[0]:.1f} - "
           f"{surface.rotation_range_deg(0.915e9)[1]:.1f} deg")
-    print(f"  unit cell side         : "
+    print("  unit cell side         : "
           f"{rfid.side_length_m / rfid.unit_count ** 0.5 * 1000:.0f} mm "
-          f"(scaled by the wavelength ratio)")
+          "(scaled by the wavelength ratio)")
 
 
 if __name__ == "__main__":

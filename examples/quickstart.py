@@ -54,7 +54,7 @@ def main() -> None:
     print(f"  realised rotation        : {result.rotation_angle_deg:7.1f} deg")
     print(f"  probes used              : {result.sweep.probe_count} "
           f"(~{result.sweep.duration_s:.1f} s at 50 Hz switching)")
-    print(f"  implied range extension  : "
+    print("  implied range extension  : "
           f"{10 ** (result.power_gain_db / 20):.1f}x (Friis)")
 
 

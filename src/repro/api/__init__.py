@@ -2,15 +2,20 @@
 
 This package is the public face of the reproduction's measurement
 plane.  It separates *what is probed* (a
-:class:`~repro.api.backend.MeasurementBackend` answering scalar or
-batched bias-voltage queries) from *what orchestrates the probing*
-(controllers, estimators, schedulers and figure runners), so sweeps are
-vectorized end to end and backends — simulation, noisy receivers,
-recorded traces, hardware — are substitutable.
+:class:`~repro.api.backend.MeasurementBackend` answering scalar,
+batched, single-axis or N-D grid queries) from *what orchestrates the
+probing* (controllers, estimators, schedulers and figure runners), so
+sweeps are vectorized end to end and backends — simulation, noisy
+receivers, recorded traces, hardware — are substitutable.
 
-* :class:`MeasurementBackend`, :class:`LinkBackend`,
-  :class:`CallableBackend` — the backend protocol and the two stock
-  implementations.
+* :class:`MeasurementBackend`, :class:`SweepMeasurementBackend`,
+  :class:`GridMeasurementBackend` — the backend protocols, from scalar
+  bias probes up to whole N-D probe grids.
+* :class:`LinkBackend`, :class:`CallableBackend`,
+  :class:`ReceiverSweepBackend` — the stock implementations.
+* :class:`ProbeGrid` (re-exported from :mod:`repro.channel.grid`) — the
+  named N-D operating-point grids the engine evaluates; axis names are
+  ``"vx"`` / ``"vy"`` plus :data:`SWEEP_AXES`.
 * :class:`LinkSession` — a facade owning the link / rotator / supply
   bundle for one configuration, replacing ad-hoc link construction.
 * :class:`ScenarioBuilder` — fluent scenario construction
@@ -21,6 +26,7 @@ from repro.api.backend import (
     CallableBackend,
     CallableOrientationBackend,
     FixedOrientationBackend,
+    GridMeasurementBackend,
     LinkBackend,
     MeasureCallback,
     MeasurementBackend,
@@ -34,6 +40,7 @@ from repro.api.backend import (
 )
 from repro.api.builder import ScenarioBuilder
 from repro.api.session import LinkSession
+from repro.channel.grid import GRID_AXES, GridAxis, ProbeGrid, SWEEP_AXES
 
 __all__ = [
     "MeasureCallback",
@@ -41,7 +48,12 @@ __all__ = [
     "LinkBackend",
     "CallableBackend",
     "SweepMeasurementBackend",
+    "GridMeasurementBackend",
     "ReceiverSweepBackend",
+    "GRID_AXES",
+    "GridAxis",
+    "ProbeGrid",
+    "SWEEP_AXES",
     "as_backend",
     "OrientationMeasureCallback",
     "OrientationMeasurementBackend",

@@ -30,6 +30,7 @@ from typing import Callable, Dict, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.channel.grid import ProbeGrid
 from repro.channel.link import WirelessLink
 
 #: Legacy scalar measurement callback signature.
@@ -73,6 +74,23 @@ class SweepMeasurementBackend(Protocol):
         ...
 
 
+@runtime_checkable
+class GridMeasurementBackend(Protocol):
+    """A measurement plane that can probe a whole N-D probe grid.
+
+    ``measure_grid(grid)`` reports received power at every operating
+    point of a :class:`~repro.channel.grid.ProbeGrid` — bias voltages
+    plus any subset of :data:`repro.channel.grid.SWEEP_AXES` — in one
+    call, returning an array of ``grid.shape``.  This is the richest
+    probe the grid-native controller dispatches to; backends that only
+    implement ``measure_sweep`` still serve single-axis search grids.
+    """
+
+    def measure_grid(self, grid: ProbeGrid) -> np.ndarray:
+        """Received power (dBm) at every grid operating point."""
+        ...
+
+
 class LinkBackend:
     """The simulation backend: probes a :class:`WirelessLink` directly.
 
@@ -97,6 +115,10 @@ class LinkBackend:
     def measure_sweep(self, axis: str, values, vx=0.0, vy=0.0) -> np.ndarray:
         """Received power (dBm) over a whole link-parameter axis at once."""
         return self.link.received_power_dbm_sweep(axis, values, vx=vx, vy=vy)
+
+    def measure_grid(self, grid: ProbeGrid) -> np.ndarray:
+        """Received power (dBm) over a whole N-D probe grid at once."""
+        return self.link.evaluate(grid)
 
 
 class CallableBackend:
@@ -281,6 +303,7 @@ __all__ = [
     "OrientationMeasureCallback",
     "MeasurementBackend",
     "SweepMeasurementBackend",
+    "GridMeasurementBackend",
     "LinkBackend",
     "CallableBackend",
     "ReceiverSweepBackend",

@@ -27,6 +27,7 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.api.backend import LinkBackend, OrientationBackend
+from repro.channel.grid import ProbeGrid
 from repro.channel.link import (
     DeploymentMode,
     LinkConfiguration,
@@ -142,13 +143,58 @@ class LinkSession:
                                               exhaustive=exhaustive,
                                               step_v=step_v)
 
-    def measure_grid(self, step_v: float = 2.0, v_min: float = 0.0,
-                     v_max: float = 30.0) -> Dict[Tuple[float, float], float]:
-        """Exhaustive (Vx, Vy) power grid, for heatmap figures."""
+    def measure_grid(self, grid=None, *legacy_args, step_v=None,
+                     v_min=None, v_max=None):
+        """Received power over an N-D probe grid (or a legacy heatmap).
+
+        Pass a :class:`~repro.channel.grid.ProbeGrid` to evaluate any
+        joint grid over bias voltages and
+        :data:`repro.channel.grid.SWEEP_AXES` — e.g. a frequency x
+        distance surface — in one vectorized pass; the returned array
+        has ``grid.shape``.  Called without a grid it keeps the
+        historical ``measure_grid(step_v, v_min, v_max)`` signature
+        (positionally or by keyword) and returns the exhaustive
+        ``{(vx, vy): power}`` dict of the Fig. 15/21 heatmap figures.
+        """
+        if isinstance(grid, ProbeGrid):
+            if legacy_args or not all(value is None
+                                      for value in (step_v, v_min, v_max)):
+                raise TypeError("step_v/v_min/v_max do not apply when "
+                                "measuring a ProbeGrid")
+            return self.backend.measure_grid(grid)
+        # Historical signature: the leading positionals (if any) are
+        # (step_v, v_min, v_max) in order, keywords fill the rest.
+        positional = ([] if grid is None else [grid]) + list(legacy_args)
+        if len(positional) > 3:
+            raise TypeError("measure_grid takes at most a ProbeGrid or "
+                            "(step_v, v_min, v_max)")
+        legacy = {"step_v": step_v, "v_min": v_min, "v_max": v_max}
+        for name, value in zip(("step_v", "v_min", "v_max"), positional):
+            if legacy[name] is not None:
+                raise TypeError(f"measure_grid got multiple values for "
+                                f"{name!r}")
+            legacy[name] = float(value)
         # Deferred import: repro.experiments builds on this package.
         from repro.experiments.sweeps import voltage_grid_sweep
-        return voltage_grid_sweep(self.link, step_v=step_v, v_min=v_min,
-                                  v_max=v_max)
+        return voltage_grid_sweep(
+            self.link,
+            step_v=2.0 if legacy["step_v"] is None else legacy["step_v"],
+            v_min=0.0 if legacy["v_min"] is None else legacy["v_min"],
+            v_max=30.0 if legacy["v_max"] is None else legacy["v_max"])
+
+    def optimize_grid(self, grid, exhaustive: bool = False,
+                      step_v: float = 1.0):
+        """Run the configured bias search at every grid point at once.
+
+        ``grid`` is a :class:`~repro.channel.grid.ProbeGrid` over
+        link-parameter axes only (the controller owns the voltages);
+        returns a :class:`repro.core.controller.GridSweepResult` whose
+        per-cell optima match running :meth:`optimize` on a session
+        rebuilt at each cell's axis values.
+        """
+        return self.controller.optimize_grid(self.backend, grid,
+                                             exhaustive=exhaustive,
+                                             step_v=step_v)
 
     def evaluate(self, vx: float = 0.0, vy: float = 0.0) -> LinkReport:
         """Full link report at one bias pair."""

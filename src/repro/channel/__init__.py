@@ -27,9 +27,27 @@ from repro.channel.capacity import (
     capacity_improvement,
 )
 from repro.channel.multipath import MultipathEnvironment, Ray
-from repro.channel.link import LinkConfiguration, LinkReport, WirelessLink
+from repro.channel.grid import (
+    GRID_AXES,
+    GridAxis,
+    ProbeGrid,
+    SWEEP_AXES,
+    VOLTAGE_AXES,
+)
+from repro.channel.link import (
+    DeploymentMode,
+    LinkConfiguration,
+    LinkReport,
+    WirelessLink,
+)
 
 __all__ = [
+    "GRID_AXES",
+    "GridAxis",
+    "ProbeGrid",
+    "SWEEP_AXES",
+    "VOLTAGE_AXES",
+    "DeploymentMode",
     "Position",
     "LinkGeometry",
     "Antenna",

@@ -16,7 +16,6 @@ which is what the paper's turntable varies).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, replace
 from typing import Optional
 

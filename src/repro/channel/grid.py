@@ -1,0 +1,210 @@
+"""Named N-D probe grids: the operating-point language of the engine.
+
+Every evaluation in the reproduction probes received power at a set of
+operating points drawn from a handful of named axes: the two bias
+voltages (``vx`` / ``vy``) and the link parameters of
+:data:`SWEEP_AXES` (``frequency`` / ``tx_power`` / ``distance`` /
+``rx_orientation``).  A :class:`ProbeGrid` names the axes of one such
+set and carries broadcast-ready value arrays for each, so
+:meth:`repro.channel.link.WirelessLink.evaluate` can compute the whole
+Jones/Friis/multipath budget over the full grid in a single NumPy pass.
+
+Two layouts cover every workload:
+
+* :meth:`ProbeGrid.product` — the outer-product grid.  Each array-
+  valued axis occupies its own dimension of the result, in declaration
+  order; scalar axis values pin a parameter without adding a dimension.
+  This is what figure runners use for joint heatmaps (e.g. a
+  frequency x distance gain surface).
+* :meth:`ProbeGrid.aligned` — pre-shaped arrays that broadcast against
+  each other element-wise, for probes whose axes co-vary (the grid
+  controller probes per-point voltage windows this way: axis values
+  shaped ``(n, 1)`` against ``(n, k)`` voltage grids).
+
+Grids are immutable and validate their axis names on construction, so a
+typo fails loudly at build time rather than deep inside the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+#: Link parameters the evaluation engine can vectorize over (in addition
+#: to the ``vx`` / ``vy`` bias-voltage axes).
+SWEEP_AXES = ("frequency", "tx_power", "distance", "rx_orientation")
+
+#: Bias-voltage axes of the probe space.
+VOLTAGE_AXES = ("vx", "vy")
+
+#: Every axis name a :class:`ProbeGrid` accepts.
+GRID_AXES = VOLTAGE_AXES + SWEEP_AXES
+
+
+@dataclass(frozen=True, eq=False)
+class GridAxis:
+    """One named axis of a :class:`ProbeGrid`.
+
+    Compared (and hashed) by identity: the dataclass-generated value
+    equality would reduce over ndarray element comparisons and raise.
+
+    Attributes
+    ----------
+    name:
+        Axis name, one of :data:`GRID_AXES`.
+    values:
+        The axis points as given (1-D for product axes, any broadcast-
+        ready shape for aligned axes, 0-d for pinned scalars).
+    shaped:
+        The broadcast-ready array the engine consumes; for product axes
+        this is ``values`` reshaped into the axis's dimension slot.
+    """
+
+    name: str
+    values: np.ndarray
+    shaped: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.name not in GRID_AXES:
+            raise ValueError(f"unknown grid axis {self.name!r}; expected one "
+                             f"of {GRID_AXES}")
+
+
+@dataclass(frozen=True, eq=False)
+class ProbeGrid:
+    """A named, broadcastable N-D grid of link operating points.
+
+    Build with :meth:`product` (outer-product semantics, the common
+    case) or :meth:`aligned` (pre-broadcast arrays).  The grid's
+    ``shape`` is the broadcast shape of its axes and is the shape of the
+    power array :meth:`repro.channel.link.WirelessLink.evaluate`
+    returns; a grid with no array-valued axes is 0-d and evaluates to a
+    scalar-shaped array.  Grids compare (and hash) by identity — value
+    equality over ndarray axes has no single sensible reduction.
+    """
+
+    axes: Tuple[GridAxis, ...]
+
+    def __post_init__(self) -> None:
+        names = [axis.name for axis in self.axes]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate grid axes: {sorted(duplicates)}")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def product(cls, **axes) -> "ProbeGrid":
+        """Outer-product grid over named axis values.
+
+        Each array-valued axis is flattened to 1-D and occupies its own
+        dimension of the grid, in keyword order (the first axis is the
+        leading dimension).  Scalar (0-d) values pin the axis without
+        adding a dimension::
+
+            ProbeGrid.product(frequency=freqs, distance=dists)  # 2-D
+            ProbeGrid.product(frequency=2.45e9, vx=vs, vy=vs)   # 2-D
+        """
+        specs = [(name, np.asarray(values, dtype=float))
+                 for name, values in axes.items()]
+        rank = sum(1 for _name, values in specs if values.ndim > 0)
+        built = []
+        position = 0
+        for name, values in specs:
+            if values.ndim == 0:
+                built.append(GridAxis(name=name, values=values, shaped=values))
+                continue
+            flat = values.ravel()
+            shaped = flat.reshape((flat.size,) + (1,) * (rank - position - 1))
+            built.append(GridAxis(name=name, values=flat, shaped=shaped))
+            position += 1
+        return cls(axes=tuple(built))
+
+    @classmethod
+    def aligned(cls, **axes) -> "ProbeGrid":
+        """Grid of pre-shaped axis arrays that broadcast element-wise.
+
+        Unlike :meth:`product`, values are used exactly as given; the
+        grid shape is their common broadcast shape.  This is the layout
+        for probes whose axes co-vary, e.g. per-point voltage windows::
+
+            ProbeGrid.aligned(tx_power=powers[:, None], vx=grid_vx,
+                              vy=grid_vy)
+        """
+        built = tuple(
+            GridAxis(name=name, values=np.asarray(values, dtype=float),
+                     shaped=np.asarray(values, dtype=float))
+            for name, values in axes.items())
+        grid = cls(axes=built)
+        grid.shape  # validate broadcastability eagerly
+        return grid
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Axis names in declaration order."""
+        return tuple(axis.name for axis in self.axes)
+
+    @property
+    def sweep_names(self) -> Tuple[str, ...]:
+        """The link-parameter (non-voltage) axes of the grid."""
+        return tuple(axis.name for axis in self.axes
+                     if axis.name in SWEEP_AXES)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Broadcast shape of the grid (and of its evaluation result)."""
+        return np.broadcast_shapes(*(axis.shaped.shape for axis in self.axes))
+
+    @property
+    def ndim(self) -> int:
+        """Number of result dimensions."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of operating points."""
+        return int(np.prod(self.shape, dtype=int)) if self.shape else 1
+
+    def __contains__(self, name: str) -> bool:
+        return any(axis.name == name for axis in self.axes)
+
+    def __iter__(self) -> Iterator[GridAxis]:
+        return iter(self.axes)
+
+    def axis(self, name: str) -> GridAxis:
+        """The named axis (raises ``KeyError`` when absent)."""
+        for axis in self.axes:
+            if axis.name == name:
+                return axis
+        raise KeyError(f"grid has no axis {name!r}; axes are {self.names}")
+
+    def values(self, name: str) -> np.ndarray:
+        """The axis points of one axis, as given at construction."""
+        return self.axis(name).values
+
+    def shaped(self, name: str) -> np.ndarray:
+        """The broadcast-ready array of one axis."""
+        return self.axis(name).shaped
+
+    def expand(self, name: str) -> np.ndarray:
+        """One axis's values broadcast to the full grid shape.
+
+        Handy for labelling results: ``grid.expand("frequency")`` is the
+        frequency of every cell of the evaluated power array.
+        """
+        return np.broadcast_to(self.shaped(name), self.shape)
+
+    def point_values(self) -> Dict[str, np.ndarray]:
+        """Flattened per-point value arrays, one ``(size,)`` per axis."""
+        return {axis.name: self.expand(axis.name).ravel()
+                for axis in self.axes}
+
+
+__all__ = ["GRID_AXES", "GridAxis", "ProbeGrid", "SWEEP_AXES",
+           "VOLTAGE_AXES"]

@@ -23,12 +23,16 @@ The model is a coherent field-summation budget:
 
 Performance contract: :class:`LinkConfiguration` is frozen, so a
 :class:`WirelessLink` caches every voltage-independent quantity (the
-direct field, the pattern-weighted clutter field) on first use and the
-batch/sweep entry points evaluate whole NumPy grids — bias voltages,
-and via :meth:`WirelessLink.received_power_dbm_sweep` whole frequency /
-transmit-power / distance / receiver-orientation axes — in single
-vectorized passes that match the scalar path to floating-point
-round-off.
+direct field, the pattern-weighted clutter field) on first use.  The
+budget itself exists exactly once, in the N-D grid engine behind
+:meth:`WirelessLink.evaluate`: hand it a
+:class:`~repro.channel.grid.ProbeGrid` over bias voltages and any
+subset of :data:`~repro.channel.grid.SWEEP_AXES` and the whole product
+grid evaluates in a single vectorized pass.  The historical entry
+points — scalar :meth:`WirelessLink.received_power_dbm`, the bias-grid
+:meth:`WirelessLink.received_power_dbm_batch` and the single-axis
+:meth:`WirelessLink.received_power_dbm_sweep` — are thin views over
+that engine, pinned to it within 1e-9 dB by the parity suites.
 """
 
 from __future__ import annotations
@@ -44,11 +48,12 @@ from repro.channel.antenna import Antenna
 from repro.channel.capacity import shannon_spectral_efficiency
 from repro.channel.freespace import free_space_path_loss_db
 from repro.channel.geometry import LinkGeometry
+from repro.channel.grid import ProbeGrid, SWEEP_AXES
 from repro.channel.multipath import MultipathEnvironment
 from repro.channel.noise import thermal_noise_dbm
 from repro.constants import DEFAULT_CENTER_FREQUENCY_HZ, SPEED_OF_LIGHT
 from repro.core.jones import JonesVector
-from repro.metasurface.surface import Metasurface, SurfaceMode
+from repro.metasurface.surface import Metasurface
 
 
 class DeploymentMode(Enum):
@@ -57,11 +62,6 @@ class DeploymentMode(Enum):
     NONE = "none"
     TRANSMISSIVE = "transmissive"
     REFLECTIVE = "reflective"
-
-
-#: Link parameters :meth:`WirelessLink.received_power_dbm_sweep` can
-#: vectorize over.
-SWEEP_AXES = ("frequency", "tx_power", "distance", "rx_orientation")
 
 
 @dataclass(frozen=True)
@@ -237,7 +237,19 @@ class WirelessLink:
         return self._direct_field_cache
 
     def _compute_direct_field(self) -> JonesVector:
+        """The cached scalar view of :meth:`_direct_fields`."""
+        fields = self._direct_fields()
+        return JonesVector(complex(fields[0]), complex(fields[1]))
+
+    def _direct_fields(self, frequency_hz=None, tx_power_dbm=None,
+                       distance_m=None, tx_gain_dbi=None,
+                       rx_gain_dbi=None) -> np.ndarray:
         """Field of the direct Tx->Rx path (no surface interaction).
+
+        The single implementation of the direct-path budget: arguments
+        may be ``None`` (use the configuration) or mutually
+        broadcastable arrays; the result is a complex ``(..., 2)``
+        array of Jones fields.
 
         Antenna aiming convention: in direct/transmissive layouts the
         endpoints face each other, so the direct path is on boresight;
@@ -248,65 +260,45 @@ class WirelessLink:
         """
         config = self._configuration
         geometry = config.geometry
-        blocked_db = 0.0
         if config.deployment is DeploymentMode.TRANSMISSIVE:
-            # In the transmissive layout the only Tx->Rx route crosses the
-            # surface; there is no separate unobstructed direct path.
-            return JonesVector(0.0, 0.0)
-        if config.deployment is DeploymentMode.NONE and config.surface_obstruction_db:
-            blocked_db = config.surface_obstruction_db
-        if config.aim_at_surface:
-            tx_gain = config.tx_antenna.gain_dbi_towards(
-                geometry.angle_at_transmitter_deg())
-            rx_gain = config.rx_antenna.gain_dbi_towards(
-                geometry.angle_at_receiver_deg())
-        else:
-            tx_gain = config.tx_antenna.gain_dbi
-            rx_gain = config.rx_antenna.gain_dbi
+            # In the transmissive layout the only Tx->Rx route crosses
+            # the surface; there is no separate unobstructed direct path.
+            return np.zeros(2, dtype=complex)
+        blocked_db = (config.surface_obstruction_db
+                      if (config.deployment is DeploymentMode.NONE and
+                          config.surface_obstruction_db) else 0.0)
+        if tx_gain_dbi is None:
+            if config.aim_at_surface:
+                tx_gain_dbi = config.tx_antenna.gain_dbi_towards(
+                    geometry.angle_at_transmitter_deg())
+                rx_gain_dbi = config.rx_antenna.gain_dbi_towards(
+                    geometry.angle_at_receiver_deg())
+            else:
+                tx_gain_dbi = config.tx_antenna.gain_dbi
+                rx_gain_dbi = config.rx_antenna.gain_dbi
+        distance = (geometry.direct_distance_m if distance_m is None
+                    else distance_m)
         amplitude = self._path_amplitude(
-            geometry.direct_distance_m,
-            extra_gain_db=(tx_gain + rx_gain - blocked_db))
-        phase = self._phase_for_distance(geometry.direct_distance_m)
-        phasor = amplitude * complex(math.cos(phase), math.sin(phase))
-        return JonesVector(phasor * config.tx_antenna.jones.x,
-                           phasor * config.tx_antenna.jones.y)
+            distance, extra_gain_db=tx_gain_dbi + rx_gain_dbi - blocked_db,
+            frequency_hz=frequency_hz, tx_power_dbm=tx_power_dbm)
+        phase = self._phase_for_distance(distance, frequency_hz=frequency_hz)
+        phasor = np.asarray(amplitude) * np.exp(1j * np.asarray(phase))
+        tx_jones = np.array([config.tx_antenna.jones.x,
+                             config.tx_antenna.jones.y], dtype=complex)
+        return phasor[..., None] * tx_jones
 
     def _surface_field(self, vx: float, vy: float) -> JonesVector:
-        """Field of the path that interacts with the metasurface."""
-        config = self._configuration
-        if config.metasurface is None or config.deployment is DeploymentMode.NONE:
-            return JonesVector(0.0, 0.0)
-        geometry = config.geometry
-        surface = config.metasurface
-        if config.deployment is DeploymentMode.TRANSMISSIVE:
-            jones = surface.jones_matrix(config.frequency_hz, vx, vy)
-        else:
-            jones = surface.reflection_jones_matrix(config.frequency_hz, vx, vy)
-        # Leg 1: transmitter to surface.
-        leg1 = geometry.tx_to_surface_m
-        leg2 = geometry.surface_to_rx_m
-        # Antenna aiming convention (see _compute_direct_field): the
-        # surface sits on boresight both in the transmissive layout
-        # (colinear) and in the reflective layout (the endpoints are
-        # aimed at the surface), so the via-surface path gets the full
-        # antenna gains.
-        tx_gain = config.tx_antenna.gain_dbi
-        rx_gain = config.rx_antenna.gain_dbi
-        amplitude = self._path_amplitude(leg1 + leg2,
-                                         extra_gain_db=tx_gain + rx_gain)
-        phase = self._phase_for_distance(leg1 + leg2)
-        incident = JonesVector(config.tx_antenna.jones.x,
-                               config.tx_antenna.jones.y)
-        transformed = jones.apply(incident)
-        phasor = amplitude * complex(math.cos(phase), math.sin(phase))
-        return JonesVector(phasor * transformed.x, phasor * transformed.y)
+        """Scalar view of :meth:`_surface_fields_batch` at one bias pair."""
+        fields = self._surface_fields_batch(vx, vy)
+        return JonesVector(complex(fields[..., 0]), complex(fields[..., 1]))
 
     def _surface_fields_batch(self, vx, vy, frequency_hz=None,
                               tx_power_dbm=None,
                               via_distance_m=None) -> np.ndarray:
-        """Vectorized :meth:`_surface_field` over operating-point arrays.
+        """Field of the path that interacts with the metasurface.
 
-        ``vx`` / ``vy`` and the optional frequency, transmit-power and
+        The single implementation of the via-surface budget: ``vx`` /
+        ``vy`` and the optional frequency, transmit-power and
         via-surface-distance overrides broadcast against each other;
         returns a complex ``(..., 2)`` array of via-surface Jones
         fields, one per broadcast operating point.
@@ -329,6 +321,10 @@ class WirelessLink:
             jones = surface.reflection_jones_matrix_batch(frequency, vx, vy)
         legs = (geometry.tx_to_surface_m + geometry.surface_to_rx_m
                 if via_distance_m is None else via_distance_m)
+        # Antenna aiming convention (see _direct_fields): the surface
+        # sits on boresight both in the transmissive layout (colinear)
+        # and in the reflective layout (the endpoints are aimed at the
+        # surface), so the via-surface path gets the full antenna gains.
         tx_gain = config.tx_antenna.gain_dbi
         rx_gain = config.rx_antenna.gain_dbi
         amplitude = self._path_amplitude(legs, extra_gain_db=tx_gain + rx_gain,
@@ -430,46 +426,7 @@ class WirelessLink:
         return 10.0 * np.log10(np.maximum(power_linear_mw, 1e-20))
 
     # ------------------------------------------------------------------ #
-    # Public evaluation API
-    # ------------------------------------------------------------------ #
-    def received_field(self, vx: float = 0.0, vy: float = 0.0) -> JonesVector:
-        """Total complex field at the receive aperture."""
-        return (self._direct_field() + self._surface_field(vx, vy) +
-                self._clutter_field())
-
-    def received_power_dbm(self, vx: float = 0.0, vy: float = 0.0) -> float:
-        """Received power (dBm) after polarization projection."""
-        config = self._configuration
-        total_field = self.received_field(vx, vy)
-        coupling = config.rx_antenna.polarization_coupling(total_field)
-        power_linear_mw = total_field.intensity * coupling
-        return 10.0 * math.log10(max(power_linear_mw, 1e-20))
-
-    def received_power_dbm_batch(self, vx, vy) -> np.ndarray:
-        """Received power (dBm) over whole bias-voltage grids at once.
-
-        ``vx`` and ``vy`` may be scalars or NumPy arrays that broadcast
-        against each other; the returned array has the broadcast shape
-        and matches scalar :meth:`received_power_dbm` at every pair.
-        The direct and clutter fields are voltage-independent (and
-        cached on the link), so the whole Jones/Friis/multipath budget
-        is evaluated with a single pass of vectorized surface responses
-        — this is the fast path the batched measurement API
-        (:mod:`repro.api`) is built on.
-        """
-        vx = np.asarray(vx, dtype=float)
-        vy = np.asarray(vy, dtype=float)
-        direct = self._direct_field()
-        clutter = self._clutter_field()
-        # Keep the scalar path's (direct + surface) + clutter summation
-        # order so both paths agree to floating-point round-off.
-        fields = (np.array([direct.x, direct.y], dtype=complex) +
-                  self._surface_fields_batch(vx, vy) +
-                  np.array([clutter.x, clutter.y], dtype=complex))
-        return self._project_power_dbm(fields)
-
-    # ------------------------------------------------------------------ #
-    # Multi-axis sweep engine
+    # The N-D evaluation engine
     # ------------------------------------------------------------------ #
     def _geometry_at_distance(self, distance_m: float) -> LinkGeometry:
         """Geometry of this link's layout at a swept distance.
@@ -492,12 +449,12 @@ class WirelessLink:
             fraction = 0.5
         return LinkGeometry.transmissive(distance_m, surface_fraction=fraction)
 
-    def _sweep_parameters(self, axis: str, values: np.ndarray) -> Dict:
-        """Per-point parameter arrays for one sweep axis.
+    def _axis_parameters(self, axis: str, values: np.ndarray) -> Dict:
+        """Per-point parameter arrays for one grid/sweep axis.
 
-        Returns overrides (each shaped like ``values``) consumed by
-        :meth:`received_power_dbm_sweep`'s vectorized budget; parameters
-        not overridden stay at their configured scalar values.
+        Returns overrides (each shaped like ``values``) consumed by the
+        :meth:`_budget_power_dbm` engine; parameters not overridden stay
+        at their configured scalar values.
         """
         config = self._configuration
         if axis == "frequency":
@@ -535,9 +492,122 @@ class WirelessLink:
         raise ValueError(f"unknown sweep axis {axis!r}; expected one of "
                          f"{SWEEP_AXES}")
 
+    def _budget_power_dbm(self, vx, vy, params: Dict) -> np.ndarray:
+        """The one link-budget engine every public entry point views.
+
+        ``vx`` / ``vy`` are bias-voltage scalars or arrays; ``params``
+        carries the per-axis override arrays built by
+        :meth:`_axis_parameters`.  Everything broadcasts against
+        everything, so a single pass covers scalar probes, bias grids,
+        single-axis sweeps and full N-D product grids alike.  The
+        voltage-independent direct and clutter fields are reused from
+        the link's caches whenever no axis overrides a parameter they
+        depend on.
+        """
+        vx = np.asarray(vx, dtype=float)
+        vy = np.asarray(vy, dtype=float)
+        frequency = params.get("frequency_hz")
+        tx_power = params.get("tx_power_dbm")
+        direct_distance = params.get("direct_distance_m")
+        via_distance = params.get("via_distance_m")
+        rx_jones = params.get("rx_jones")
+
+        shapes = [vx.shape, vy.shape]
+        for key, value in params.items():
+            shapes.append(np.shape(value)[:-1] if key == "rx_jones"
+                          else np.shape(value))
+        shape = np.broadcast_shapes(*shapes)
+
+        # Direct and clutter fields are voltage-independent: reuse the
+        # cached scalars unless an axis overrides a parameter they
+        # depend on (any axis that does only pays for the dimensions it
+        # actually spans — the overrides keep their own slot shapes).
+        if (frequency is None and tx_power is None and
+                direct_distance is None and
+                "direct_tx_gain_dbi" not in params):
+            direct_field = self._direct_field()
+            direct = np.array([direct_field.x, direct_field.y], dtype=complex)
+            clutter_field = self._clutter_field()
+            clutter = np.array([clutter_field.x, clutter_field.y],
+                               dtype=complex)
+        else:
+            direct = self._direct_fields(
+                frequency_hz=frequency, tx_power_dbm=tx_power,
+                distance_m=direct_distance,
+                tx_gain_dbi=params.get("direct_tx_gain_dbi"),
+                rx_gain_dbi=params.get("direct_rx_gain_dbi"))
+            reference = self._clutter_reference_amplitude(
+                frequency_hz=frequency, tx_power_dbm=tx_power,
+                direct_distance_m=direct_distance)
+            clutter = np.asarray(reference)[..., None] * self._clutter_unit()
+
+        surface = self._surface_fields_batch(
+            vx, vy, frequency_hz=frequency, tx_power_dbm=tx_power,
+            via_distance_m=via_distance)
+
+        # Keep the historical (direct + surface) + clutter summation
+        # order so every view agrees to floating-point round-off.
+        fields = np.broadcast_to((direct + surface) + clutter, shape + (2,))
+        return self._project_power_dbm(fields, rx_jones=rx_jones)
+
+    def evaluate_grid(self, grid: ProbeGrid) -> np.ndarray:
+        """Received power (dBm) at every operating point of a grid.
+
+        ``grid`` is a :class:`~repro.channel.grid.ProbeGrid` over the
+        ``vx`` / ``vy`` bias axes and any subset of
+        :data:`~repro.channel.grid.SWEEP_AXES`; axes absent from the
+        grid stay at the configured scalar values (voltages default to
+        0 V).  The full product grid — e.g. frequency x distance x
+        bias heatmaps — evaluates in one vectorized pass of the budget,
+        and the returned array has ``grid.shape``.
+        """
+        vx = vy = 0.0
+        params: Dict = {}
+        for axis in grid.axes:
+            if axis.name == "vx":
+                vx = axis.shaped
+            elif axis.name == "vy":
+                vy = axis.shaped
+            else:
+                params.update(self._axis_parameters(axis.name, axis.shaped))
+        return np.asarray(self._budget_power_dbm(vx, vy, params))
+
+    # ------------------------------------------------------------------ #
+    # Public evaluation API (views over the engine)
+    # ------------------------------------------------------------------ #
+    def received_field(self, vx: float = 0.0, vy: float = 0.0) -> JonesVector:
+        """Total complex field at the receive aperture."""
+        return (self._direct_field() + self._surface_field(vx, vy) +
+                self._clutter_field())
+
+    def received_power_dbm(self, vx: float = 0.0, vy: float = 0.0) -> float:
+        """Received power (dBm) after polarization projection.
+
+        Scalar view of the grid engine (one 0-d operating point).
+        """
+        return float(self._budget_power_dbm(vx, vy, {}))
+
+    def received_power_dbm_batch(self, vx, vy) -> np.ndarray:
+        """Received power (dBm) over whole bias-voltage grids at once.
+
+        ``vx`` and ``vy`` may be scalars or NumPy arrays that broadcast
+        against each other; the returned array has the broadcast shape
+        and matches scalar :meth:`received_power_dbm` at every pair.
+        A bias-only view of the grid engine: the direct and clutter
+        fields come from the link's caches, so the whole
+        Jones/Friis/multipath budget is a single pass of vectorized
+        surface responses — this is the fast path the batched
+        measurement API (:mod:`repro.api`) is built on.
+        """
+        return self._budget_power_dbm(vx, vy, {})
+
     def received_power_dbm_sweep(self, axis: str, values, vx=0.0,
                                  vy=0.0) -> np.ndarray:
         """Received power (dBm) along a whole link-parameter axis at once.
+
+        Single-axis view of the grid engine (for joint axes, build a
+        :class:`~repro.channel.grid.ProbeGrid` and call
+        :meth:`evaluate`).
 
         Parameters
         ----------
@@ -561,66 +631,8 @@ class WirelessLink:
         and clutter fields once for the entire sweep.
         """
         values = np.asarray(values, dtype=float)
-        params = self._sweep_parameters(axis, values)
-        config = self._configuration
-        geometry = config.geometry
-        vx = np.asarray(vx, dtype=float)
-        vy = np.asarray(vy, dtype=float)
-
-        frequency = params.get("frequency_hz")
-        tx_power = params.get("tx_power_dbm")
-        direct_distance = params.get("direct_distance_m")
-        via_distance = params.get("via_distance_m")
-        rx_jones = params.get("rx_jones")
-
-        axis_shape = values.shape
-        shape = np.broadcast_shapes(axis_shape, vx.shape, vy.shape)
-
-        # Direct field ------------------------------------------------- #
-        if config.deployment is DeploymentMode.TRANSMISSIVE:
-            direct = np.zeros(axis_shape + (2,), dtype=complex)
-        else:
-            blocked_db = (config.surface_obstruction_db
-                          if (config.deployment is DeploymentMode.NONE and
-                              config.surface_obstruction_db) else 0.0)
-            tx_gain = params.get("direct_tx_gain_dbi")
-            rx_gain = params.get("direct_rx_gain_dbi")
-            if tx_gain is None:
-                if config.aim_at_surface:
-                    tx_gain = config.tx_antenna.gain_dbi_towards(
-                        geometry.angle_at_transmitter_deg())
-                    rx_gain = config.rx_antenna.gain_dbi_towards(
-                        geometry.angle_at_receiver_deg())
-                else:
-                    tx_gain = config.tx_antenna.gain_dbi
-                    rx_gain = config.rx_antenna.gain_dbi
-            distance = (geometry.direct_distance_m
-                        if direct_distance is None else direct_distance)
-            amplitude = self._path_amplitude(
-                distance, extra_gain_db=tx_gain + rx_gain - blocked_db,
-                frequency_hz=frequency, tx_power_dbm=tx_power)
-            phase = self._phase_for_distance(distance, frequency_hz=frequency)
-            phasor = np.asarray(amplitude) * np.exp(1j * np.asarray(phase))
-            tx_jones = np.array([config.tx_antenna.jones.x,
-                                 config.tx_antenna.jones.y], dtype=complex)
-            direct = np.broadcast_to(phasor[..., None] * tx_jones,
-                                     np.shape(phasor) + (2,))
-
-        # Via-surface field -------------------------------------------- #
-        surface = self._surface_fields_batch(
-            vx, vy, frequency_hz=frequency, tx_power_dbm=tx_power,
-            via_distance_m=via_distance)
-
-        # Clutter field ------------------------------------------------ #
-        reference = self._clutter_reference_amplitude(
-            frequency_hz=frequency, tx_power_dbm=tx_power,
-            direct_distance_m=direct_distance)
-        clutter = np.asarray(reference)[..., None] * self._clutter_unit()
-
-        # Keep the scalar path's (direct + surface) + clutter summation
-        # order so both paths agree to floating-point round-off.
-        fields = np.broadcast_to((direct + surface) + clutter, shape + (2,))
-        return self._project_power_dbm(fields, rx_jones=rx_jones)
+        return self._budget_power_dbm(vx, vy,
+                                      self._axis_parameters(axis, values))
 
     def noise_power_dbm(self) -> float:
         """Receiver noise-plus-interference floor for the configured bandwidth."""
@@ -631,8 +643,17 @@ class WirelessLink:
             return thermal
         return max(thermal, config.interference_floor_dbm)
 
-    def evaluate(self, vx: float = 0.0, vy: float = 0.0) -> LinkReport:
-        """Full link report at one (Vx, Vy) operating point."""
+    def evaluate(self, vx=0.0, vy: float = 0.0):
+        """Evaluate a probe grid, or report one operating point.
+
+        Called with a :class:`~repro.channel.grid.ProbeGrid` as the
+        first argument, returns the received-power array of
+        :meth:`evaluate_grid` (shape ``grid.shape``).  Called with
+        scalar bias voltages, returns the full :class:`LinkReport` at
+        that single (Vx, Vy) operating point.
+        """
+        if isinstance(vx, ProbeGrid):
+            return self.evaluate_grid(vx)
         config = self._configuration
         engineered = self._direct_field() + self._surface_field(vx, vy)
         clutter = self._clutter_field()
@@ -665,5 +686,5 @@ class WirelessLink:
                 self.baseline().received_power_dbm())
 
 
-__all__ = ["DeploymentMode", "LinkConfiguration", "LinkReport",
+__all__ = ["DeploymentMode", "LinkConfiguration", "LinkReport", "ProbeGrid",
            "SWEEP_AXES", "WirelessLink"]

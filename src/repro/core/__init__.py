@@ -23,6 +23,8 @@ from repro.core.polarization import (
 from repro.core.rotator import ProgrammableRotator, RotatorConfig
 from repro.core.controller import (
     CentralizedController,
+    GridSweepResult,
+    MultiAxisSweepResult,
     SweepResult,
     VoltageSweepConfig,
 )
@@ -49,6 +51,8 @@ __all__ = [
     "ProgrammableRotator",
     "RotatorConfig",
     "CentralizedController",
+    "GridSweepResult",
+    "MultiAxisSweepResult",
     "SweepResult",
     "VoltageSweepConfig",
     "SampleVoltageSynchronizer",

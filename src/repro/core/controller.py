@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import math
 import warnings
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.channel.grid import ProbeGrid
 from repro.constants import (
     BIAS_VOLTAGE_MAX_V,
     BIAS_VOLTAGE_MIN_V,
@@ -166,6 +167,38 @@ class MultiAxisSweepResult:
 
 
 @dataclass(frozen=True)
+class GridSweepResult:
+    """Outcome of a bias-voltage search run at every point of a probe grid.
+
+    The N-D generalisation of :class:`MultiAxisSweepResult`: ``grid`` is
+    a :class:`~repro.channel.grid.ProbeGrid` over link-parameter axes
+    (the controller owns the voltage axes) and every result array has
+    ``grid.shape`` — cell ``index`` holds exactly what the scalar search
+    on a link rebuilt at that cell's axis values would have found (same
+    voltage grids, same first-maximum and NaN semantics), with all cells
+    probed together in one batched call per refinement iteration.
+    """
+
+    grid: ProbeGrid
+    best_vx: np.ndarray
+    best_vy: np.ndarray
+    best_power_dbm: np.ndarray
+    probe_count_per_point: int
+    duration_s_per_point: float
+    strategy: str
+
+    def __post_init__(self) -> None:
+        for name in ("best_vx", "best_vy", "best_power_dbm"):
+            object.__setattr__(self, name,
+                               np.asarray(getattr(self, name), dtype=float))
+
+    @property
+    def point_count(self) -> int:
+        """Number of grid points optimized."""
+        return self.grid.size
+
+
+@dataclass(frozen=True)
 class SweepSample:
     """One probed operating point."""
 
@@ -296,72 +329,107 @@ class CentralizedController:
                            duration_s=duration, strategy="coarse-to-fine")
 
     # ------------------------------------------------------------------ #
-    # Multi-axis vectorized searches (the sweep engine's control plane)
+    # Grid-native searches (the N-D evaluation engine's control plane)
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _probe_grid_multi(backend, axis: str, values: np.ndarray,
-                          grid_vx: np.ndarray, grid_vy: np.ndarray):
+    def _validate_search_grid(grid: ProbeGrid) -> None:
+        """The controller owns the voltage axes of its search grids."""
+        for name in ("vx", "vy"):
+            if name in grid:
+                raise ValueError(
+                    f"search grids must not carry a {name!r} axis: the "
+                    "controller sweeps the bias voltages itself")
+
+    @staticmethod
+    def _probe_grid_points(backend, point_values: Dict[str, np.ndarray],
+                           grid_vx: np.ndarray, grid_vy: np.ndarray):
         """Issue one batched probe of per-point voltage grids.
 
-        ``grid_vx`` / ``grid_vy`` are ``(n, k)`` vx-major grids (one row
-        per axis point); returns the per-point first-maximum
-        ``(power, vx, vy)`` arrays with NaN probes treated as ``-inf``,
-        matching the scalar :meth:`_probe_grid` semantics row by row.
+        ``point_values`` maps each link-parameter axis to its ``(n,)``
+        flattened per-point values; ``grid_vx`` / ``grid_vy`` are
+        ``(n, k)`` vx-major grids (one row per point).  Dispatches to
+        the richest probe the backend offers — ``measure_grid`` (any
+        axes), ``measure_sweep`` (single axis, e.g. the noisy receiver
+        backend) or ``measure_batch`` (no link-parameter axes) — and
+        returns the per-point first-maximum ``(power, vx, vy)`` arrays
+        with NaN probes treated as ``-inf``, matching the scalar
+        :meth:`_probe_grid` semantics row by row.
         """
-        powers = np.asarray(
-            backend.measure_sweep(axis, values.reshape(-1, 1),
-                                  grid_vx, grid_vy), dtype=float)
+        if hasattr(backend, "measure_grid"):
+            probe = ProbeGrid.aligned(
+                vx=grid_vx, vy=grid_vy,
+                **{name: values[:, None]
+                   for name, values in point_values.items()})
+            powers = backend.measure_grid(probe)
+        elif len(point_values) == 1 and hasattr(backend, "measure_sweep"):
+            (axis, values), = point_values.items()
+            powers = backend.measure_sweep(axis, values.reshape(-1, 1),
+                                           grid_vx, grid_vy)
+        elif not point_values and hasattr(backend, "measure_batch"):
+            powers = backend.measure_batch(grid_vx, grid_vy)
+        else:
+            raise TypeError(
+                "backend cannot probe this grid: it must provide "
+                "measure_grid (any axes), measure_sweep (exactly one "
+                "axis) or measure_batch (no link-parameter axes)")
+        powers = np.asarray(powers, dtype=float)
         if powers.shape != grid_vx.shape:
             raise ValueError(
                 f"batched sweep measurement returned shape {powers.shape} "
                 f"for {grid_vx.shape} probes")
         masked = np.where(np.isnan(powers), -math.inf, powers)
         best_index = np.argmax(masked, axis=1)
-        rows = np.arange(values.size)
+        rows = np.arange(grid_vx.shape[0])
         return (masked[rows, best_index], grid_vx[rows, best_index],
                 grid_vy[rows, best_index])
 
-    def full_sweep_multi(self, backend, axis: str, values,
-                         step_v: float = 1.0) -> MultiAxisSweepResult:
-        """Exhaustive grid scan at every point of a sweep axis at once.
+    def full_sweep_grid(self, backend, grid: ProbeGrid,
+                        step_v: float = 1.0) -> GridSweepResult:
+        """Exhaustive voltage scan at every point of a probe grid at once.
 
-        One batched probe evaluates the full ``(point, Vx, Vy)`` cube;
-        per point the result equals :meth:`full_sweep` on a link rebuilt
-        at that axis value.
+        One batched probe evaluates the full ``(grid point, Vx, Vy)``
+        product; per cell the result equals :meth:`full_sweep` on a link
+        rebuilt at that cell's axis values.
         """
         if step_v <= 0:
             raise ValueError("step must be positive")
-        values = np.asarray(values, dtype=float).ravel()
+        self._validate_search_grid(grid)
+        point_values = grid.point_values()
+        n = grid.size
         config = self.config
         levels = np.arange(config.min_voltage_v,
                            config.max_voltage_v + 0.5 * step_v, step_v)
         count = levels.size
         grid_vx = np.broadcast_to(np.repeat(levels, count),
-                                  (values.size, count * count))
+                                  (n, count * count))
         grid_vy = np.broadcast_to(np.tile(levels, count),
-                                  (values.size, count * count))
-        best_power, best_vx, best_vy = self._probe_grid_multi(
-            backend, axis, values, grid_vx, grid_vy)
+                                  (n, count * count))
+        best_power, best_vx, best_vy = self._probe_grid_points(
+            backend, point_values, grid_vx, grid_vy)
         probes = count * count
-        return MultiAxisSweepResult(
-            axis=axis, values=values, best_vx=best_vx, best_vy=best_vy,
-            best_power_dbm=best_power, probe_count_per_point=probes,
+        shape = grid.shape
+        return GridSweepResult(
+            grid=grid, best_vx=best_vx.reshape(shape),
+            best_vy=best_vy.reshape(shape),
+            best_power_dbm=best_power.reshape(shape),
+            probe_count_per_point=probes,
             duration_s_per_point=probes * config.switch_interval_s,
             strategy="full")
 
-    def coarse_to_fine_sweep_multi(self, backend, axis: str,
-                                   values) -> MultiAxisSweepResult:
-        """Paper Algorithm 1, run at every point of a sweep axis at once.
+    def coarse_to_fine_sweep_grid(self, backend,
+                                  grid: ProbeGrid) -> GridSweepResult:
+        """Paper Algorithm 1, run at every point of a probe grid at once.
 
         Each refinement iteration issues a single batched probe over all
-        per-point ``T x T`` grids; the per-point windows then shrink
-        independently around each point's best probe.  Per point the
-        grids, first-maximum selection and NaN handling are identical to
-        the scalar :meth:`coarse_to_fine_sweep`.
+        per-point ``T x T`` voltage grids; the per-point windows then
+        shrink independently around each point's best probe.  Per cell
+        the grids, first-maximum selection and NaN handling are
+        identical to the scalar :meth:`coarse_to_fine_sweep`.
         """
-        values = np.asarray(values, dtype=float).ravel()
+        self._validate_search_grid(grid)
+        point_values = grid.point_values()
+        n = grid.size
         config = self.config
-        n = values.size
         switches = config.switches_per_axis
         low_x = np.full(n, config.min_voltage_v)
         high_x = np.full(n, config.max_voltage_v)
@@ -378,8 +446,8 @@ class CentralizedController:
             # vx-major per-point grids, matching the scalar meshgrid order.
             grid_vx = np.repeat(levels_x, switches, axis=-1)
             grid_vy = np.tile(levels_y, (1, switches))
-            iter_power, iter_vx, iter_vy = self._probe_grid_multi(
-                backend, axis, values, grid_vx, grid_vy)
+            iter_power, iter_vx, iter_vy = self._probe_grid_points(
+                backend, point_values, grid_vx, grid_vy)
             improved = iter_power > best_power
             best_power = np.where(improved, iter_power, best_power)
             best_vx = np.where(improved, iter_vx, best_vx)
@@ -388,12 +456,67 @@ class CentralizedController:
             high_x = np.minimum(config.max_voltage_v, iter_vx + step_x)
             low_y = np.maximum(config.min_voltage_v, iter_vy - step_y)
             high_y = np.minimum(config.max_voltage_v, iter_vy + step_y)
-        return MultiAxisSweepResult(
-            axis=axis, values=values, best_vx=best_vx, best_vy=best_vy,
-            best_power_dbm=best_power,
+        shape = grid.shape
+        return GridSweepResult(
+            grid=grid, best_vx=best_vx.reshape(shape),
+            best_vy=best_vy.reshape(shape),
+            best_power_dbm=best_power.reshape(shape),
             probe_count_per_point=config.probe_count,
             duration_s_per_point=config.estimated_duration_s,
             strategy="coarse-to-fine")
+
+    def optimize_grid(self, backend, grid: ProbeGrid,
+                      exhaustive: bool = False,
+                      step_v: float = 1.0) -> GridSweepResult:
+        """Run the configured search at every point of a probe grid.
+
+        The N-D generalisation of :meth:`optimize` /
+        :meth:`optimize_multi`: ``grid`` names any subset of
+        :data:`repro.channel.grid.SWEEP_AXES` (a 0-d grid reduces to a
+        single scalar search) and the backend is probed once per
+        refinement iteration for the entire grid.
+        """
+        if exhaustive:
+            return self.full_sweep_grid(backend, grid, step_v=step_v)
+        return self.coarse_to_fine_sweep_grid(backend, grid)
+
+    # ------------------------------------------------------------------ #
+    # Single-axis wrappers over the grid-native searches
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _as_multi_result(result: GridSweepResult, axis: str,
+                         values: np.ndarray) -> MultiAxisSweepResult:
+        """Flatten a one-axis grid result to the legacy multi shape."""
+        return MultiAxisSweepResult(
+            axis=axis, values=values, best_vx=result.best_vx.ravel(),
+            best_vy=result.best_vy.ravel(),
+            best_power_dbm=result.best_power_dbm.ravel(),
+            probe_count_per_point=result.probe_count_per_point,
+            duration_s_per_point=result.duration_s_per_point,
+            strategy=result.strategy)
+
+    def full_sweep_multi(self, backend, axis: str, values,
+                         step_v: float = 1.0) -> MultiAxisSweepResult:
+        """Exhaustive scan at every point of one sweep axis at once.
+
+        Wrapper over :meth:`full_sweep_grid` with a one-axis grid.
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        result = self.full_sweep_grid(
+            backend, ProbeGrid.product(**{axis: values}), step_v=step_v)
+        return self._as_multi_result(result, axis, values)
+
+    def coarse_to_fine_sweep_multi(self, backend, axis: str,
+                                   values) -> MultiAxisSweepResult:
+        """Paper Algorithm 1 at every point of one sweep axis at once.
+
+        Wrapper over :meth:`coarse_to_fine_sweep_grid` with a one-axis
+        grid.
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        result = self.coarse_to_fine_sweep_grid(
+            backend, ProbeGrid.product(**{axis: values}))
+        return self._as_multi_result(result, axis, values)
 
     def optimize_multi(self, backend, axis: str, values,
                        exhaustive: bool = False,
@@ -434,6 +557,7 @@ __all__ = [
     "MeasureSource",
     "vectorized_grid_max",
     "VoltageSweepConfig",
+    "GridSweepResult",
     "MultiAxisSweepResult",
     "SweepSample",
     "SweepResult",

@@ -18,7 +18,7 @@ rotation angle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -35,7 +35,7 @@ from repro.core.rotation_estimation import (
 from repro.core.rotator import ProgrammableRotator, RotatorConfig
 from repro.core.synchronization import SampleVoltageSynchronizer
 from repro.hardware.power_supply import ProgrammablePowerSupply
-from repro.metasurface.surface import Metasurface, SurfaceMode
+from repro.metasurface.surface import SurfaceMode
 
 
 class _SupplyMeasurementBackend:

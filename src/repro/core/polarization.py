@@ -15,7 +15,6 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 
-import numpy as np
 
 from repro.core.jones import JonesVector
 from repro.units import linear_to_db

@@ -26,7 +26,6 @@ traces and turntable hardware keep working.
 
 from __future__ import annotations
 
-import math
 import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Tuple, Union

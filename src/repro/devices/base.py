@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Optional
 
 from repro.channel.antenna import Antenna, dipole_antenna
 from repro.constants import DEFAULT_CENTER_FREQUENCY_HZ

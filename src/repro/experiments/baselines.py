@@ -10,7 +10,6 @@ methodology).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.channel.link import WirelessLink
 from repro.radio.transceiver import SimulatedReceiver

@@ -21,12 +21,17 @@ Index (see DESIGN.md for the full mapping):
 * :func:`figure21_reflective_heatmaps`  — Fig. 21
 * :func:`figure22_reflective_gain`      — Fig. 22
 * :func:`figure23_respiration_sensing`  — Fig. 23
+
+Beyond the published panels, the N-D grid engine powers two joint
+scenario runners: :func:`gain_surface_frequency_distance` (a frequency
+x distance gain surface) and :func:`coverage_map_txpower_distance` (a
+tx-power x distance capacity coverage map).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -34,12 +39,9 @@ import numpy as np
 from repro.api.backend import ReceiverSweepBackend
 from repro.channel.capacity import spectral_efficiency_from_powers
 from repro.channel.link import WirelessLink
-from repro.channel.noise import thermal_noise_dbm
 from repro.constants import DEFAULT_CENTER_FREQUENCY_HZ
 from repro.core.controller import CentralizedController, VoltageSweepConfig
 from repro.core.llama import LlamaSystem
-from repro.core.rotation_estimation import RotationAngleEstimator
-from repro.devices.ble import ble_rate_for_rssi_kbps
 from repro.devices.wifi import wifi_rate_for_rssi_mbps
 from repro.experiments.scenarios import (
     ReflectiveScenario,
@@ -47,7 +49,9 @@ from repro.experiments.scenarios import (
     iot_ble_scenario,
     iot_wifi_scenario,
 )
+from repro.channel.grid import ProbeGrid
 from repro.experiments.sweeps import (
+    grid_sweep,
     multi_axis_sweep,
     optimize_link,
     voltage_grid_sweep,
@@ -299,7 +303,6 @@ def figure12_rotation_estimation(distance_m: float = 0.42) -> RotationEstimation
     estimate = system.estimate_rotation(orientation_step_deg=3.0)
     # Fig. 12(a): received *linear* power falls as the orientation
     # difference grows; report the sign of that slope as a sanity check.
-    baseline = scenario.baseline_link()
     orientations = np.arange(0.0, 91.0, 15.0)
     powers = []
     for angle in orientations:
@@ -715,6 +718,157 @@ def figure22_reflective_gain(
 
 
 # ---------------------------------------------------------------------- #
+# Two-axis scenario runners (the N-D grid engine's figure plane)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GainSurfaceResult:
+    """Optimized gain over a joint frequency x distance grid.
+
+    Every 2-D array is indexed ``[frequency, distance]``; the surface
+    is optimized per cell (Algorithm 1, all cells batched together) and
+    compared against the matching no-surface baseline.
+    """
+
+    frequencies_hz: Tuple[float, ...]
+    distances_m: Tuple[float, ...]
+    power_with_dbm: np.ndarray
+    power_without_dbm: np.ndarray
+    best_vx: np.ndarray
+    best_vy: np.ndarray
+
+    @property
+    def gain_db(self) -> np.ndarray:
+        """Per-cell received-power improvement (dB)."""
+        return self.power_with_dbm - self.power_without_dbm
+
+    @property
+    def min_gain_db(self) -> float:
+        """Worst-case improvement anywhere on the surface."""
+        return float(np.min(self.gain_db))
+
+    @property
+    def max_gain_db(self) -> float:
+        """Best improvement anywhere on the surface."""
+        return float(np.max(self.gain_db))
+
+
+def gain_surface_frequency_distance(
+        frequencies_hz: Optional[Sequence[float]] = None,
+        distances_m: Optional[Sequence[float]] = None) -> GainSurfaceResult:
+    """Joint frequency x distance gain surface (transmissive layout).
+
+    The two-axis generalisation of Figs. 16 and 17: one
+    :class:`~repro.channel.grid.ProbeGrid` covers the whole ISM band
+    crossed with the transmissive distance range, the per-cell
+    Algorithm 1 searches all batched through the grid engine.
+    """
+    if frequencies_hz is None:
+        frequencies_hz = np.arange(2.40e9, 2.501e9, 0.02e9)
+    if distances_m is None:
+        distances_m = np.asarray(TRANSMISSIVE_DISTANCES_CM, dtype=float) / 100.0
+    frequencies = np.asarray(frequencies_hz, dtype=float).ravel()
+    distances = np.asarray(distances_m, dtype=float).ravel()
+    scenario = TransmissiveScenario(frequency_hz=float(frequencies[0]),
+                                    tx_rx_distance_m=float(distances[0]))
+    grid = ProbeGrid.product(frequency=frequencies, distance=distances)
+    comparison = grid_sweep(grid, scenario.link(),
+                            baseline_link=scenario.baseline_link())
+    return GainSurfaceResult(
+        frequencies_hz=tuple(float(f) for f in frequencies),
+        distances_m=tuple(float(d) for d in distances),
+        power_with_dbm=comparison.power_with_dbm,
+        power_without_dbm=comparison.power_without_dbm,
+        best_vx=comparison.best_vx,
+        best_vy=comparison.best_vy,
+    )
+
+
+@dataclass(frozen=True)
+class CoverageMapResult:
+    """Capacity coverage over a joint tx-power x distance grid.
+
+    Every 2-D array is indexed ``[tx_power, distance]``.  A cell is
+    "covered" when its spectral efficiency reaches
+    ``threshold_bps_hz``; the coverage fractions summarise how much of
+    the operating envelope the surface opens up.
+    """
+
+    tx_powers_dbm: Tuple[float, ...]
+    distances_m: Tuple[float, ...]
+    efficiency_with: np.ndarray
+    efficiency_without: np.ndarray
+    threshold_bps_hz: float
+
+    @property
+    def covered_with(self) -> np.ndarray:
+        """Boolean coverage map with the surface deployed."""
+        return self.efficiency_with >= self.threshold_bps_hz
+
+    @property
+    def covered_without(self) -> np.ndarray:
+        """Boolean coverage map of the no-surface baseline."""
+        return self.efficiency_without >= self.threshold_bps_hz
+
+    @property
+    def coverage_fraction_with(self) -> float:
+        """Fraction of the grid the surface-assisted link covers."""
+        return float(np.mean(self.covered_with))
+
+    @property
+    def coverage_fraction_without(self) -> float:
+        """Fraction of the grid the baseline link covers."""
+        return float(np.mean(self.covered_without))
+
+    @property
+    def newly_covered_fraction(self) -> float:
+        """Fraction of the grid only the surface-assisted link covers."""
+        return float(np.mean(self.covered_with & ~self.covered_without))
+
+
+def coverage_map_txpower_distance(
+        tx_powers_dbm: Optional[Sequence[float]] = None,
+        distances_m: Optional[Sequence[float]] = None,
+        threshold_bps_hz: float = 2.0,
+        antenna_kind: str = "directional",
+        absorber: bool = True) -> CoverageMapResult:
+    """Joint tx-power x distance coverage map (transmissive layout).
+
+    The two-axis generalisation of the Fig. 18/19 capacity experiments:
+    every (transmit power, distance) cell runs Algorithm 1 through the
+    grid engine and the resulting powers convert to spectral
+    efficiencies against the scenario's noise floor.
+    """
+    if tx_powers_dbm is None:
+        tx_powers_dbm = np.arange(-60.0, 0.1, 10.0)
+    if distances_m is None:
+        distances_m = np.array([0.3, 1.0, 3.0, 10.0, 30.0])
+    tx_powers = np.asarray(tx_powers_dbm, dtype=float).ravel()
+    distances = np.asarray(distances_m, dtype=float).ravel()
+    floor_dbm = (CHAMBER_NOISE_FLOOR_DBM if absorber
+                 else LAB_INTERFERENCE_FLOOR_DBM)
+    scenario = TransmissiveScenario(tx_power_dbm=float(tx_powers[0]),
+                                    tx_rx_distance_m=float(distances[0]),
+                                    antenna_kind=antenna_kind,
+                                    absorber=absorber)
+    configuration = replace(scenario.configuration(),
+                            interference_floor_dbm=floor_dbm)
+    link = WirelessLink(configuration)
+    baseline_link = WirelessLink(configuration.without_surface())
+    noise = link.noise_power_dbm()
+    grid = ProbeGrid.product(tx_power=tx_powers, distance=distances)
+    comparison = grid_sweep(grid, link, baseline_link=baseline_link)
+    return CoverageMapResult(
+        tx_powers_dbm=tuple(float(p) for p in tx_powers),
+        distances_m=tuple(float(d) for d in distances),
+        efficiency_with=spectral_efficiency_from_powers(
+            comparison.power_with_dbm, noise),
+        efficiency_without=spectral_efficiency_from_powers(
+            comparison.power_without_dbm, noise),
+        threshold_bps_hz=float(threshold_bps_hz),
+    )
+
+
+# ---------------------------------------------------------------------- #
 # Fig. 23 — respiration sensing at low transmit power
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -784,6 +938,10 @@ __all__ = [
     "figure21_reflective_heatmaps",
     "ReflectiveGainResult",
     "figure22_reflective_gain",
+    "GainSurfaceResult",
+    "gain_surface_frequency_distance",
+    "CoverageMapResult",
+    "coverage_map_txpower_distance",
     "RespirationSensingResult",
     "figure23_respiration_sensing",
 ]

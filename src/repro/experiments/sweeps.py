@@ -5,13 +5,16 @@ parameters with received power (or capacity) recorded with and without
 the metasurface.  These helpers implement those loops once so the
 per-figure runners stay declarative.
 
-Two execution paths exist:
+Three execution paths exist:
 
-* :func:`multi_axis_sweep` — the vectorized sweep engine.  One
-  :class:`~repro.channel.link.WirelessLink` (plus its baseline) covers
-  the whole axis: the controller optimizes every point together through
-  batched ``measure_sweep`` probes and the baseline is a single
-  vectorized pass.  This is what the Fig. 16-19/22 runners use.
+* :func:`grid_sweep` — the N-D grid engine.  A
+  :class:`~repro.channel.grid.ProbeGrid` names any subset of the link-
+  parameter axes (e.g. frequency x distance) and one link (plus its
+  baseline) covers the whole product grid: the controller optimizes
+  every cell together through batched grid probes and the baseline is a
+  single vectorized pass.  The two-axis figure runners use this.
+* :func:`multi_axis_sweep` — the single-axis view of the same engine.
+  This is what the Fig. 16-19/22 runners use.
 * :func:`comparison_sweep` — the legacy per-point loop over arbitrary
   link factories, kept for workloads whose factories vary more than one
   parameter.  The axis-named wrappers (:func:`frequency_sweep`,
@@ -28,6 +31,7 @@ import numpy as np
 
 from repro.api.backend import LinkBackend
 from repro.channel.capacity import spectral_efficiency_from_powers
+from repro.channel.grid import ProbeGrid
 from repro.channel.link import WirelessLink
 from repro.core.controller import CentralizedController, VoltageSweepConfig
 
@@ -105,6 +109,58 @@ def multi_axis_sweep(axis: str,
             for value, vx, vy, power, base in zip(
                 values, result.best_vx, result.best_vy,
                 result.best_power_dbm, without)]
+
+
+@dataclass(frozen=True)
+class GridComparison:
+    """With/without comparison over an N-D probe grid.
+
+    Every array has ``grid.shape``: the per-cell optimized received
+    power of the with-surface link, the matching no-surface baseline,
+    and the bias pair the search chose at each cell.
+    """
+
+    grid: ProbeGrid
+    power_with_dbm: np.ndarray
+    power_without_dbm: np.ndarray
+    best_vx: np.ndarray
+    best_vy: np.ndarray
+
+    @property
+    def gain_db(self) -> np.ndarray:
+        """Per-cell received-power improvement the surface provides."""
+        return self.power_with_dbm - self.power_without_dbm
+
+
+def grid_sweep(grid: ProbeGrid,
+               link: WirelessLink,
+               baseline_link: Optional[WirelessLink] = None,
+               controller: Optional[CentralizedController] = None,
+               exhaustive: bool = False,
+               step_v: float = 3.0,
+               backend=None) -> GridComparison:
+    """Vectorized with/without comparison over an N-D probe grid.
+
+    The joint generalisation of :func:`multi_axis_sweep`: ``grid``
+    names any subset of :data:`repro.channel.grid.SWEEP_AXES` (e.g. a
+    frequency x distance product) and the surface is optimized at
+    every cell — all cells probed together through batched grid calls —
+    while ``baseline_link`` (default: ``link.baseline()``) is a single
+    vectorized pass of the evaluation engine over the same grid.
+    """
+    controller = controller or _default_controller()
+    backend = backend if backend is not None else LinkBackend(link)
+    result = controller.optimize_grid(backend, grid, exhaustive=exhaustive,
+                                      step_v=step_v)
+    baseline_link = baseline_link if baseline_link is not None else link.baseline()
+    without = np.broadcast_to(
+        np.asarray(baseline_link.evaluate(grid), dtype=float),
+        grid.shape).copy()
+    return GridComparison(grid=grid,
+                          power_with_dbm=result.best_power_dbm,
+                          power_without_dbm=without,
+                          best_vx=result.best_vx,
+                          best_vy=result.best_vy)
 
 
 def comparison_sweep(parameter_values: Sequence[float],
@@ -233,7 +289,9 @@ def sweep_capacity(points: Sequence[SweepPoint],
 
 __all__ = [
     "SweepPoint",
+    "GridComparison",
     "optimize_link",
+    "grid_sweep",
     "multi_axis_sweep",
     "comparison_sweep",
     "distance_sweep",

@@ -15,7 +15,7 @@ instrument would flag malformed SCPI.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 
 class VisaError(RuntimeError):

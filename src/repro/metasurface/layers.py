@@ -178,14 +178,15 @@ class BirefringentLayer:
 
     def jones_matrix(self, frequency_hz: float, vx: float,
                      vy: float) -> JonesMatrix:
-        """Lossy Jones matrix ``diag(tx e^{j phi_x}, ty e^{j phi_y})``."""
-        phase_x = self.axis_phase_rad(frequency_hz, vx, "x")
-        phase_y = self.axis_phase_rad(frequency_hz, vy, "y")
-        amp_x = self.axis_amplitude(frequency_hz, "x", vx)
-        amp_y = self.axis_amplitude(frequency_hz, "y", vy)
+        """Lossy Jones matrix ``diag(tx e^{j phi_x}, ty e^{j phi_y})``.
+
+        Scalar view of :meth:`diagonal_batch` (the per-axis phase/loss
+        expressions exist once, in the batch path).
+        """
+        dx, dy = self.diagonal_batch(frequency_hz, vx, vy)
         matrix = np.array([
-            [amp_x * np.exp(1j * phase_x), 0.0],
-            [0.0, amp_y * np.exp(1j * phase_y)],
+            [complex(dx), 0.0],
+            [0.0, complex(dy)],
         ], dtype=complex)
         return JonesMatrix(matrix)
 

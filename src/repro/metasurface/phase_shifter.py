@@ -104,18 +104,20 @@ class PhaseShifterLayer:
     # Resonance and phase
     # ------------------------------------------------------------------ #
     def resonant_frequency_hz(self, bias_voltage_v: float) -> float:
-        """LC tank resonant frequency at the given reverse bias voltage."""
-        capacitance = self.varactor.capacitance_f(bias_voltage_v)
-        return 1.0 / (2.0 * math.pi * math.sqrt(self.inductance_h * capacitance))
+        """LC tank resonant frequency at the given reverse bias voltage.
+
+        Scalar view of :meth:`resonant_frequencies_hz_batch`.
+        """
+        return float(self.resonant_frequencies_hz_batch(bias_voltage_v))
 
     def transmission_phase_rad(self, frequency_hz: float,
                                bias_voltage_v: float) -> float:
-        """Transmission phase of the co-polarized component (radians)."""
-        if frequency_hz <= 0:
-            raise ValueError("frequency must be positive")
-        resonant = self.resonant_frequency_hz(bias_voltage_v)
-        detuning = frequency_hz / resonant - resonant / frequency_hz
-        return -math.atan(self.loading_factor * detuning)
+        """Transmission phase of the co-polarized component (radians).
+
+        Scalar view of :meth:`transmission_phase_rad_batch`.
+        """
+        return float(self.transmission_phase_rad_batch(frequency_hz,
+                                                       bias_voltage_v))
 
     def resonant_frequencies_hz_batch(self,
                                       bias_voltages_v: np.ndarray) -> np.ndarray:
@@ -164,21 +166,30 @@ class PhaseShifterLayer:
         remaining = 1.0 - self.loaded_q * unloaded_q_inverse
         return -20.0 * math.log10(remaining)
 
-    def detuning_loss_db(self, frequency_hz: float,
-                         bias_voltage_v: float) -> float:
+    def detuning_loss_db_batch(self, frequency_hz,
+                               bias_voltages_v: np.ndarray) -> np.ndarray:
         """Mismatch loss from the varactor detuning the tank (dB).
 
         When the bias voltage pulls the tank resonance away from the
         operating frequency, part of the incident energy is reflected
         rather than transmitted; the loss grows with the normalised
-        detuning the phase response is built on.
+        detuning the phase response is built on.  ``frequency_hz`` may
+        be a scalar or an array broadcastable against
+        ``bias_voltages_v``.
         """
-        if frequency_hz <= 0:
+        frequency = np.asarray(frequency_hz, dtype=float)
+        if np.any(frequency <= 0):
             raise ValueError("frequency must be positive")
-        resonant = self.resonant_frequency_hz(bias_voltage_v)
-        detuning = frequency_hz / resonant - resonant / frequency_hz
-        return 10.0 * math.log10(
+        resonant = self.resonant_frequencies_hz_batch(bias_voltages_v)
+        detuning = frequency / resonant - resonant / frequency
+        return 10.0 * np.log10(
             1.0 + (self.detuning_loss_coefficient * detuning) ** 2)
+
+    def detuning_loss_db(self, frequency_hz: float,
+                         bias_voltage_v: float) -> float:
+        """Scalar view of :meth:`detuning_loss_db_batch`."""
+        return float(self.detuning_loss_db_batch(frequency_hz,
+                                                 bias_voltage_v))
 
     def insertion_loss_db(self, frequency_hz: float,
                           bias_voltage_v: float = None) -> float:
@@ -206,14 +217,8 @@ class PhaseShifterLayer:
         ``frequency_hz`` may be a scalar or an array broadcastable
         against ``bias_voltages_v``.
         """
-        frequency = np.asarray(frequency_hz, dtype=float)
-        if np.any(frequency <= 0):
-            raise ValueError("frequency must be positive")
-        resonant = self.resonant_frequencies_hz_batch(bias_voltages_v)
-        detuning = frequency / resonant - resonant / frequency
-        detuning_loss = 10.0 * np.log10(
-            1.0 + (self.detuning_loss_coefficient * detuning) ** 2)
-        return self.dielectric_insertion_loss_db + detuning_loss
+        return (self.dielectric_insertion_loss_db +
+                self.detuning_loss_db_batch(frequency_hz, bias_voltages_v))
 
     # ------------------------------------------------------------------ #
     # Complex transmission coefficient

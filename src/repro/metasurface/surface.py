@@ -248,18 +248,12 @@ class Metasurface:
 
         The structure-level band-pass response is applied per incident
         field axis, so the matrix is consistent with
-        :meth:`transmission_efficiency` at every frequency.
+        :meth:`transmission_efficiency` at every frequency.  Scalar view
+        of :meth:`jones_matrix_batch` (the cascade exists once, in the
+        batch path).
         """
         self._validate_voltages(vx, vy)
-        effective_vx, effective_vy = self._effective_voltages(vx, vy)
-        front = self.front_qwp.jones_matrix(frequency_hz)
-        bfs = self.birefringent.jones_matrix(frequency_hz, effective_vx,
-                                             effective_vy)
-        back = self.back_qwp.jones_matrix(frequency_hz)
-        cascade = (front @ bfs @ back).as_array()
-        amp_x, amp_y = self._bandpass_amplitudes(frequency_hz)
-        bandpass = np.array([[amp_x, 0.0], [0.0, amp_y]], dtype=complex)
-        return JonesMatrix(cascade @ bandpass)
+        return JonesMatrix(self.jones_matrix_batch(frequency_hz, vx, vy))
 
     def jones_matrix_batch(self, frequency_hz, vx: np.ndarray,
                            vy: np.ndarray) -> np.ndarray:
@@ -342,18 +336,11 @@ class Metasurface:
         ``diag(1, -1)``.  Only ``reflective_conversion_fraction`` of the
         aperture participates in this anisotropic double traversal; the
         remainder reflects specularly with its polarization unchanged.
+        Scalar view of :meth:`reflection_jones_matrix_batch`.
         """
         self._validate_voltages(vx, vy)
-        one_way = self.jones_matrix(frequency_hz, vx, vy).as_array()
-        mirror = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)
-        backplane_amplitude = math.sqrt(self.reflective_backplane_efficiency)
-        converted = one_way.T @ (backplane_amplitude * mirror) @ one_way
-        # Specular (non-functional aperture) component: plain mirror with
-        # the same backplane reflectivity, no polarization change.
-        specular = backplane_amplitude * np.eye(2, dtype=complex)
-        fraction = self.reflective_conversion_fraction
-        combined = fraction * converted + (1.0 - fraction) * specular
-        return JonesMatrix(combined)
+        return JonesMatrix(
+            self.reflection_jones_matrix_batch(frequency_hz, vx, vy))
 
     def reflection_jones_matrix_batch(self, frequency_hz,
                                       vx: np.ndarray,

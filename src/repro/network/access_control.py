@@ -9,7 +9,6 @@ decoding threshold (or simply maximize the power ratio between them).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Tuple
 

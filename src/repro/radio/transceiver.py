@@ -12,8 +12,7 @@ reports rather than exact link-budget numbers.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,6 +1,5 @@
 """Tests for the LinkSession facade and the fluent ScenarioBuilder."""
 
-import numpy as np
 import pytest
 
 from repro.api import LinkSession, ScenarioBuilder

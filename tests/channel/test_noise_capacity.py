@@ -1,6 +1,5 @@
 """Tests for thermal noise and Shannon capacity helpers."""
 
-import math
 
 import numpy as np
 import pytest

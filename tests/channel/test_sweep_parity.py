@@ -23,7 +23,6 @@ from repro.api.backend import (
 from repro.channel.link import (
     SWEEP_AXES,
     DeploymentMode,
-    LinkConfiguration,
     LinkGeometry,
     WirelessLink,
 )

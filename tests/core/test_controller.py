@@ -1,13 +1,11 @@
 """Tests for the centralized controller (paper Algorithm 1)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.controller import (
     CentralizedController,
-    SweepResult,
     VoltageSweepConfig,
 )
 
@@ -147,9 +145,6 @@ class TestCoarseToFineSweep:
 
 class TestSweepResult:
     def test_power_grid_keeps_best_value(self):
-        samples = (
-            SweepResult(0, 0, 0, (), 0, "x"),  # placeholder to get type
-        )
         controller = CentralizedController(
             VoltageSweepConfig(iterations=2, switches_per_axis=3))
         result = controller.coarse_to_fine_sweep(quadratic_power_surface(15, 15))

@@ -7,7 +7,6 @@ from hypothesis import given, strategies as st
 
 from repro.core.polarization import (
     PolarizationKind,
-    PolarizationState,
     circular_polarization,
     elliptical_polarization,
     horizontal_polarization,

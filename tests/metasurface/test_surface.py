@@ -8,7 +8,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.jones import JonesVector
 from repro.metasurface.design import llama_design
-from repro.metasurface.surface import Metasurface, SurfaceMode
+from repro.metasurface.surface import SurfaceMode
 
 voltages = st.floats(min_value=0.0, max_value=30.0)
 
@@ -139,7 +139,9 @@ class TestReflectiveMode:
                         for vx, vy in voltages]
         reflective = [coupling(ideal_surface.reflection_jones_matrix(2.44e9, vx, vy))
                       for vx, vy in voltages]
-        spread = lambda values: 10.0 * math.log10(max(values) / min(values))
+        def spread(values):
+            return 10.0 * math.log10(max(values) / min(values))
+
         assert spread(reflective) < spread(transmissive)
 
     def test_response_mode_dispatch(self, prototype_surface):

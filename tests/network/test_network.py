@@ -8,7 +8,6 @@ from repro.network.scheduler import (
     FixedBiasScheduler,
     PerStationScheduler,
     PolarizationReuseScheduler,
-    ScheduleResult,
     baseline_without_surface,
     jain_fairness_index,
 )

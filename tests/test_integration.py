@@ -6,16 +6,13 @@ library (or the paper's evaluation) would: metasurface model -> channel
 isolation.
 """
 
-from dataclasses import replace
-
 import numpy as np
 import pytest
 
-from repro.channel.antenna import directional_antenna, omni_antenna
+from repro.channel.antenna import directional_antenna
 from repro.channel.geometry import LinkGeometry
 from repro.channel.link import DeploymentMode, LinkConfiguration, WirelessLink
 from repro.core.controller import CentralizedController, VoltageSweepConfig
-from repro.core.jones import rotation_angle_of
 from repro.core.llama import LlamaSystem
 from repro.core.rotator import ProgrammableRotator
 from repro.hardware.power_supply import ProgrammablePowerSupply

@@ -1,6 +1,5 @@
 """Tests for unit conversions in :mod:`repro.units`."""
 
-import math
 
 import numpy as np
 import pytest
