@@ -3,58 +3,48 @@
 
 The paper's conclusion sketches what happens beyond a single link: many
 IoT devices in different polarization orientations sharing one LLAMA
-panel.  This example builds a random smart-home deployment and compares
-three scheduling strategies (no surface, one fixed bias, per-station
-retuning, orientation-clustered "polarization reuse"), then demonstrates
-polarization-based access control between two stations.
+panel.  This example describes a smart home as a declarative
+:class:`FleetSpec`, opens a :class:`FleetSession` (every scheduler
+search runs as one station-stacked NumPy pass), compares the TDMA
+strategies and demonstrates polarization-based access control between
+two stations.  See ``examples/fleet_scheduling.py`` for the full fleet
+workflow including stacked Algorithm 1 and JSON scenario files.
 
 Run with::
 
     python examples/dense_deployment.py
 """
 
+from repro.api import FleetSession, FleetSpec, StationSpec
 from repro.experiments.reporting import format_table
-from repro.network.access_control import polarization_access_control
-from repro.network.deployment import DenseDeployment, StationPlacement
-from repro.network.scheduler import (
-    FixedBiasScheduler,
-    PerStationScheduler,
-    PolarizationReuseScheduler,
-    baseline_without_surface,
-)
 
 
-def build_deployment() -> DenseDeployment:
+def build_fleet() -> FleetSpec:
     """A six-station smart home with badly oriented, low-power devices."""
-    stations = [
-        StationPlacement("thermostat", 11.0, 0.0, tx_power_dbm=0.0),
-        StationPlacement("door-sensor", 13.0, 85.0, tx_power_dbm=0.0),
-        StationPlacement("camera", 9.0, 90.0, tx_power_dbm=0.0),
-        StationPlacement("smart-plug", 12.0, 10.0, tx_power_dbm=0.0),
-        StationPlacement("wearable-hub", 14.0, 75.0, tx_power_dbm=0.0),
-        StationPlacement("soil-sensor", 15.0, 40.0, tx_power_dbm=0.0),
-    ]
-    return DenseDeployment(stations)
+    return FleetSpec(stations=(
+        StationSpec("thermostat", 11.0, 0.0, tx_power_dbm=0.0),
+        StationSpec("door-sensor", 13.0, 85.0, tx_power_dbm=0.0),
+        StationSpec("camera", 9.0, 90.0, tx_power_dbm=0.0),
+        StationSpec("smart-plug", 12.0, 10.0, tx_power_dbm=0.0),
+        StationSpec("wearable-hub", 14.0, 75.0, tx_power_dbm=0.0),
+        StationSpec("soil-sensor", 15.0, 40.0, tx_power_dbm=0.0),
+    ))
 
 
 def main() -> None:
-    deployment = build_deployment()
-    print(f"Deployment: {len(deployment.stations)} stations, one shared "
-          f"{deployment.metasurface.name}")
-    groups = deployment.orientation_groups(tolerance_deg=20.0)
+    fleet = FleetSession(build_fleet())
+    print(f"Deployment: {fleet.station_count} stations, one shared "
+          f"{fleet.deployment.metasurface.name}")
+    groups = fleet.orientation_groups(tolerance_deg=20.0)
     print(f"Orientation groups (20 deg tolerance): {groups}\n")
 
-    results = [
-        baseline_without_surface(deployment),
-        FixedBiasScheduler(deployment).schedule(),
-        PolarizationReuseScheduler(deployment).schedule(),
-        PerStationScheduler(deployment).schedule(),
-    ]
+    results = fleet.schedule_all()
+    order = ["no-surface", "fixed-bias", "polarization-reuse", "per-station"]
     rows = [
-        [result.scheduler_name, result.total_throughput_mbps,
-         result.worst_station_rate_mbps, result.fairness,
-         result.retune_count]
-        for result in results
+        [name, results[name].total_throughput_mbps,
+         results[name].worst_station_rate_mbps, results[name].fairness,
+         results[name].retune_count]
+        for name in order
     ]
     print(format_table(
         ["scheduler", "network throughput (Mbit/s)",
@@ -63,8 +53,7 @@ def main() -> None:
         title="Scheduling strategies over one 60 s epoch"))
 
     # Access control: serve the camera while suppressing the door sensor.
-    control = polarization_access_control(deployment, "camera", "door-sensor",
-                                          step_v=5.0)
+    control = fleet.access_control("camera", "door-sensor", step_v=5.0)
     print("\nPolarization access control (serve camera, suppress door-sensor):")
     print(f"  bias pair             : Vx={control.bias_pair[0]:.0f} V, "
           f"Vy={control.bias_pair[1]:.0f} V")

@@ -18,6 +18,12 @@ receivers, recorded traces, hardware — are substitutable.
   ``"vx"`` / ``"vy"`` plus :data:`SWEEP_AXES`.
 * :class:`LinkSession` — a facade owning the link / rotator / supply
   bundle for one configuration, replacing ad-hoc link construction.
+* :class:`FleetSession` — the multi-link counterpart: N named stations
+  evaluated in one NumPy pass along a leading ``station`` axis
+  (measurement grids, stacked Algorithm 1, TDMA scheduling, access
+  control).
+* :class:`FleetSpec` / :class:`StationSpec` — declarative, serializable
+  deployment scenarios (``to_dict``/``from_dict`` JSON round-trip).
 * :class:`ScenarioBuilder` — fluent scenario construction
   (antennas → deployment → environment → device).
 """
@@ -39,6 +45,14 @@ from repro.api.backend import (
     as_orientation_backend,
 )
 from repro.api.builder import ScenarioBuilder
+from repro.api.fleet import (
+    SCHEDULE_STRATEGIES,
+    SURFACE_DESIGNS,
+    FleetBiasPlan,
+    FleetSession,
+    FleetSpec,
+    StationSpec,
+)
 from repro.api.session import LinkSession
 from repro.channel.grid import GRID_AXES, GridAxis, ProbeGrid, SWEEP_AXES
 
@@ -63,4 +77,10 @@ __all__ = [
     "as_orientation_backend",
     "LinkSession",
     "ScenarioBuilder",
+    "SCHEDULE_STRATEGIES",
+    "SURFACE_DESIGNS",
+    "StationSpec",
+    "FleetSpec",
+    "FleetBiasPlan",
+    "FleetSession",
 ]

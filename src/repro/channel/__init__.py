@@ -27,6 +27,7 @@ from repro.channel.capacity import (
     capacity_improvement,
 )
 from repro.channel.multipath import MultipathEnvironment, Ray
+from repro.channel.ensemble import STATION_AXES, LinkEnsemble
 from repro.channel.grid import (
     GRID_AXES,
     GridAxis,
@@ -65,6 +66,8 @@ __all__ = [
     "capacity_improvement",
     "MultipathEnvironment",
     "Ray",
+    "STATION_AXES",
+    "LinkEnsemble",
     "LinkConfiguration",
     "LinkReport",
     "WirelessLink",

@@ -4,7 +4,8 @@ Every evaluation in the reproduction probes received power at a set of
 operating points drawn from a handful of named axes: the two bias
 voltages (``vx`` / ``vy``) and the link parameters of
 :data:`SWEEP_AXES` (``frequency`` / ``tx_power`` / ``distance`` /
-``rx_orientation``).  A :class:`ProbeGrid` names the axes of one such
+``rx_orientation`` / ``tx_orientation``).  A :class:`ProbeGrid` names
+the axes of one such
 set and carries broadcast-ready value arrays for each, so
 :meth:`repro.channel.link.WirelessLink.evaluate` can compute the whole
 Jones/Friis/multipath budget over the full grid in a single NumPy pass.
@@ -34,7 +35,8 @@ import numpy as np
 
 #: Link parameters the evaluation engine can vectorize over (in addition
 #: to the ``vx`` / ``vy`` bias-voltage axes).
-SWEEP_AXES = ("frequency", "tx_power", "distance", "rx_orientation")
+SWEEP_AXES = ("frequency", "tx_power", "distance", "rx_orientation",
+              "tx_orientation")
 
 #: Bias-voltage axes of the probe space.
 VOLTAGE_AXES = ("vx", "vy")

@@ -243,7 +243,7 @@ class WirelessLink:
 
     def _direct_fields(self, frequency_hz=None, tx_power_dbm=None,
                        distance_m=None, tx_gain_dbi=None,
-                       rx_gain_dbi=None) -> np.ndarray:
+                       rx_gain_dbi=None, tx_jones=None) -> np.ndarray:
         """Field of the direct Tx->Rx path (no surface interaction).
 
         The single implementation of the direct-path budget: arguments
@@ -283,8 +283,9 @@ class WirelessLink:
             frequency_hz=frequency_hz, tx_power_dbm=tx_power_dbm)
         phase = self._phase_for_distance(distance, frequency_hz=frequency_hz)
         phasor = np.asarray(amplitude) * np.exp(1j * np.asarray(phase))
-        tx_jones = np.array([config.tx_antenna.jones.x,
-                             config.tx_antenna.jones.y], dtype=complex)
+        if tx_jones is None:
+            tx_jones = np.array([config.tx_antenna.jones.x,
+                                 config.tx_antenna.jones.y], dtype=complex)
         return phasor[..., None] * tx_jones
 
     def _surface_field(self, vx: float, vy: float) -> JonesVector:
@@ -294,21 +295,25 @@ class WirelessLink:
 
     def _surface_fields_batch(self, vx, vy, frequency_hz=None,
                               tx_power_dbm=None,
-                              via_distance_m=None) -> np.ndarray:
+                              via_distance_m=None,
+                              tx_jones=None) -> np.ndarray:
         """Field of the path that interacts with the metasurface.
 
         The single implementation of the via-surface budget: ``vx`` /
-        ``vy`` and the optional frequency, transmit-power and
-        via-surface-distance overrides broadcast against each other;
-        returns a complex ``(..., 2)`` array of via-surface Jones
-        fields, one per broadcast operating point.
+        ``vy`` and the optional frequency, transmit-power,
+        via-surface-distance and transmit-polarization overrides
+        broadcast against each other; returns a complex ``(..., 2)``
+        array of via-surface Jones fields, one per broadcast operating
+        point.  ``tx_jones`` is an optional ``(..., 2)`` array of
+        transmit Jones vectors (defaults to the configured antenna).
         """
         config = self._configuration
         shape = np.broadcast_shapes(
             np.shape(vx), np.shape(vy),
             np.shape(frequency_hz) if frequency_hz is not None else (),
             np.shape(tx_power_dbm) if tx_power_dbm is not None else (),
-            np.shape(via_distance_m) if via_distance_m is not None else ())
+            np.shape(via_distance_m) if via_distance_m is not None else (),
+            np.shape(tx_jones)[:-1] if tx_jones is not None else ())
         if config.metasurface is None or config.deployment is DeploymentMode.NONE:
             return np.zeros(shape + (2,), dtype=complex)
         geometry = config.geometry
@@ -331,9 +336,16 @@ class WirelessLink:
                                          frequency_hz=frequency_hz,
                                          tx_power_dbm=tx_power_dbm)
         phase = self._phase_for_distance(legs, frequency_hz=frequency_hz)
-        incident = np.array([config.tx_antenna.jones.x,
-                             config.tx_antenna.jones.y], dtype=complex)
-        transformed = jones @ incident
+        if tx_jones is None:
+            incident = np.array([config.tx_antenna.jones.x,
+                                 config.tx_antenna.jones.y], dtype=complex)
+            transformed = jones @ incident
+        else:
+            # Per-point transmit polarizations: contract the (..., 2, 2)
+            # Jones matrices against the (..., 2) incident vectors with
+            # full leading-dimension broadcasting.
+            transformed = np.einsum("...ij,...j->...i", jones,
+                                    np.asarray(tx_jones, dtype=complex))
         phasor = np.asarray(amplitude) * np.exp(1j * np.asarray(phase))
         return np.broadcast_to(phasor[..., None] * transformed, shape + (2,))
 
@@ -489,6 +501,12 @@ class WirelessLink:
             return {"rx_jones": np.reshape(
                 [[jones.x, jones.y] for jones in rotated],
                 values.shape + (2,))}
+        if axis == "tx_orientation":
+            rotated = [config.tx_antenna.rotated(float(angle)).jones
+                       for angle in values.ravel()]
+            return {"tx_jones": np.reshape(
+                [[jones.x, jones.y] for jones in rotated],
+                values.shape + (2,))}
         raise ValueError(f"unknown sweep axis {axis!r}; expected one of "
                          f"{SWEEP_AXES}")
 
@@ -511,10 +529,12 @@ class WirelessLink:
         direct_distance = params.get("direct_distance_m")
         via_distance = params.get("via_distance_m")
         rx_jones = params.get("rx_jones")
+        tx_jones = params.get("tx_jones")
 
         shapes = [vx.shape, vy.shape]
         for key, value in params.items():
-            shapes.append(np.shape(value)[:-1] if key == "rx_jones"
+            shapes.append(np.shape(value)[:-1] if key in ("rx_jones",
+                                                          "tx_jones")
                           else np.shape(value))
         shape = np.broadcast_shapes(*shapes)
 
@@ -522,20 +542,27 @@ class WirelessLink:
         # cached scalars unless an axis overrides a parameter they
         # depend on (any axis that does only pays for the dimensions it
         # actually spans — the overrides keep their own slot shapes).
-        if (frequency is None and tx_power is None and
-                direct_distance is None and
+        # The clutter field is additionally transmit-polarization
+        # independent (the rays' polarizations come from the scattering
+        # environment), so a tx_jones override alone keeps it cached.
+        path_overridden = (frequency is not None or tx_power is not None or
+                           direct_distance is not None)
+        if (not path_overridden and tx_jones is None and
                 "direct_tx_gain_dbi" not in params):
             direct_field = self._direct_field()
             direct = np.array([direct_field.x, direct_field.y], dtype=complex)
-            clutter_field = self._clutter_field()
-            clutter = np.array([clutter_field.x, clutter_field.y],
-                               dtype=complex)
         else:
             direct = self._direct_fields(
                 frequency_hz=frequency, tx_power_dbm=tx_power,
                 distance_m=direct_distance,
                 tx_gain_dbi=params.get("direct_tx_gain_dbi"),
-                rx_gain_dbi=params.get("direct_rx_gain_dbi"))
+                rx_gain_dbi=params.get("direct_rx_gain_dbi"),
+                tx_jones=tx_jones)
+        if not path_overridden:
+            clutter_field = self._clutter_field()
+            clutter = np.array([clutter_field.x, clutter_field.y],
+                               dtype=complex)
+        else:
             reference = self._clutter_reference_amplitude(
                 frequency_hz=frequency, tx_power_dbm=tx_power,
                 direct_distance_m=direct_distance)
@@ -543,7 +570,7 @@ class WirelessLink:
 
         surface = self._surface_fields_batch(
             vx, vy, frequency_hz=frequency, tx_power_dbm=tx_power,
-            via_distance_m=via_distance)
+            via_distance_m=via_distance, tx_jones=tx_jones)
 
         # Keep the historical (direct + surface) + clutter summation
         # order so every view agrees to floating-point round-off.
@@ -615,8 +642,10 @@ class WirelessLink:
             One of ``"frequency"`` (carrier, Hz), ``"tx_power"``
             (transmit power, dBm), ``"distance"`` (Tx-Rx distance for
             transmissive/no-surface layouts, surface offset for
-            aimed-at-surface layouts, metres) or ``"rx_orientation"``
-            (receive-antenna rotation, degrees).
+            aimed-at-surface layouts, metres), ``"rx_orientation"``
+            (receive-antenna rotation, degrees) or ``"tx_orientation"``
+            (transmit-antenna rotation, degrees — the per-station
+            polarization axis of fleet deployments).
         values:
             Axis values; any array shape.
         vx, vy:

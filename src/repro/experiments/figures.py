@@ -25,7 +25,11 @@ Index (see DESIGN.md for the full mapping):
 Beyond the published panels, the N-D grid engine powers two joint
 scenario runners: :func:`gain_surface_frequency_distance` (a frequency
 x distance gain surface) and :func:`coverage_map_txpower_distance` (a
-tx-power x distance capacity coverage map).
+tx-power x distance capacity coverage map), and the fleet API powers
+the Sec. 7 deployment runners:
+:func:`deployment_scheduling_comparison` (every TDMA strategy over one
+fleet-stacked epoch) and :func:`deployment_access_isolation`
+(polarization access control over every station pair).
 """
 
 from __future__ import annotations
@@ -910,6 +914,150 @@ def figure23_respiration_sensing(tx_power_mw: float = 5.0,
     )
 
 
+# ---------------------------------------------------------------------- #
+# Sec. 7 / conclusion — dense-deployment scheduling and access control
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DeploymentSchedulingResult:
+    """One epoch of every scheduling strategy over one fleet.
+
+    The Sec. 7 comparison the paper sketches as "polarization reuse":
+    ``results`` maps each strategy of
+    :data:`repro.api.fleet.SCHEDULE_STRATEGIES` to its
+    :class:`~repro.network.scheduler.ScheduleResult`.
+    """
+
+    spec: "FleetSpec"
+    epoch_duration_s: float
+    results: Dict[str, "ScheduleResult"]
+
+    def result_for(self, strategy: str) -> "ScheduleResult":
+        """One strategy's schedule (raises ``KeyError`` when unknown)."""
+        if strategy not in self.results:
+            raise KeyError(f"no schedule for strategy {strategy!r}; ran "
+                           f"{sorted(self.results)}")
+        return self.results[strategy]
+
+    @property
+    def best_surface_strategy(self) -> str:
+        """The surface-using strategy with the highest net throughput."""
+        surface_strategies = [name for name in self.results
+                              if name != "no-surface"]
+        return max(surface_strategies,
+                   key=lambda name: self.results[name].total_throughput_mbps)
+
+    @property
+    def reuse_throughput_gain_mbps(self) -> float:
+        """Polarization reuse's net-throughput gain over no surface."""
+        return (self.results["polarization-reuse"].total_throughput_mbps -
+                self.results["no-surface"].total_throughput_mbps)
+
+    @property
+    def reuse_retune_savings(self) -> int:
+        """Retunes saved per epoch by clustering vs per-station tuning."""
+        return (self.results["per-station"].retune_count -
+                self.results["polarization-reuse"].retune_count)
+
+    def rows(self) -> List[List]:
+        """Table rows (strategy, throughput, worst rate, fairness,
+        retunes) in the benchmark's standard format."""
+        return [
+            [name, result.total_throughput_mbps,
+             result.worst_station_rate_mbps, result.fairness,
+             result.retune_count]
+            for name, result in self.results.items()
+        ]
+
+
+def deployment_scheduling_comparison(
+        spec: Optional["FleetSpec"] = None,
+        epoch_duration_s: float = 300.0,
+        bias_search_step_v: float = 5.0,
+        orientation_tolerance_deg: float = 20.0) -> DeploymentSchedulingResult:
+    """Sec. 7 deployment comparison: one epoch of every strategy.
+
+    Runs the whole comparison through a fleet-stacked
+    :class:`~repro.api.fleet.FleetSession`: each strategy's utility
+    search is a handful of NumPy passes over the full station x bias
+    grid, independent of the station count.  ``spec`` defaults to the
+    reproducible office fleet (mixed orientations on the 802.11g rate
+    cliff, where polarization correction buys throughput).
+    """
+    from repro.api.fleet import FleetSession, FleetSpec
+    if spec is None:
+        spec = FleetSpec.office(station_count=8, seed=42)
+    session = FleetSession(spec)
+    return DeploymentSchedulingResult(
+        spec=spec,
+        epoch_duration_s=float(epoch_duration_s),
+        results=session.schedule_all(
+            epoch_duration_s=epoch_duration_s,
+            bias_search_step_v=bias_search_step_v,
+            orientation_tolerance_deg=orientation_tolerance_deg))
+
+
+@dataclass(frozen=True)
+class AccessIsolationResult:
+    """Access-control isolation achieved for every ordered station pair."""
+
+    spec: "FleetSpec"
+    pairs: Tuple[Tuple[str, str], ...]
+    isolation_db: Tuple[float, ...]
+    improvement_db: Tuple[float, ...]
+
+    @property
+    def best_pair(self) -> Tuple[str, str]:
+        """The station pair the surface isolates best."""
+        return self.pairs[int(np.argmax(self.isolation_db))]
+
+    @property
+    def max_isolation_db(self) -> float:
+        """Best intended-over-unauthorised power margin achieved."""
+        return float(max(self.isolation_db))
+
+    @property
+    def mean_improvement_db(self) -> float:
+        """Mean isolation improvement over the no-surface baseline."""
+        return float(np.mean(self.improvement_db))
+
+
+def deployment_access_isolation(
+        spec: Optional["FleetSpec"] = None,
+        step_v: float = 5.0) -> AccessIsolationResult:
+    """Access-control sweep over every ordered pair of fleet stations.
+
+    One fleet-stacked probe evaluates the whole station x bias grid;
+    every ordered pair's best isolating bias pair is then a pairwise
+    reduction over the stacked rows (first maximum in vx-major order,
+    matching the unconstrained
+    :func:`repro.network.access_control.polarization_access_control`
+    search pair by pair).
+    """
+    from repro.api.fleet import FleetSession, FleetSpec
+    if spec is None:
+        spec = FleetSpec.office(station_count=4, seed=42)
+    session = FleetSession(spec)
+    levels = np.arange(0.0, 30.0 + 0.5 * step_v, step_v)
+    vx_grid, vy_grid = np.meshgrid(levels, levels, indexing="ij")
+    rssi = session.measure_grid(vx_grid.ravel(), vy_grid.ravel())
+    baseline = session.baseline_rssi_dbm()
+    pairs: List[Tuple[str, str]] = []
+    isolation: List[float] = []
+    improvement: List[float] = []
+    for i, intended in enumerate(session.station_names):
+        for j, unauthorized in enumerate(session.station_names):
+            if i == j:
+                continue
+            margin = rssi[i] - rssi[j]
+            best = float(margin[int(np.argmax(margin))])
+            pairs.append((intended, unauthorized))
+            isolation.append(best)
+            improvement.append(best - float(baseline[i] - baseline[j]))
+    return AccessIsolationResult(
+        spec=spec, pairs=tuple(pairs), isolation_db=tuple(isolation),
+        improvement_db=tuple(improvement))
+
+
 __all__ = [
     "TABLE1_VOLTAGES_V",
     "TRANSMISSIVE_DISTANCES_CM",
@@ -944,4 +1092,8 @@ __all__ = [
     "coverage_map_txpower_distance",
     "RespirationSensingResult",
     "figure23_respiration_sensing",
+    "DeploymentSchedulingResult",
+    "deployment_scheduling_comparison",
+    "AccessIsolationResult",
+    "deployment_access_isolation",
 ]

@@ -15,14 +15,23 @@ single-link machinery:
 * :mod:`repro.network.access_control` — polarization-based access
   control: choosing a bias pair that serves the intended station while
   keeping an unauthorised receiver below its decoding threshold.
+
+Since PR 4 every utility search in this package is *fleet-stacked*: the
+deployment exposes whole-fleet planes (``rssi_matrix``,
+``best_bias_per_station``, ``compromise_bias``) that evaluate all
+stations in one NumPy pass of the link budget via
+:class:`repro.channel.ensemble.LinkEnsemble`; the declarative session
+facade lives in :mod:`repro.api.fleet`.
 """
 
 from repro.network.deployment import DenseDeployment, StationPlacement
 from repro.network.scheduler import (
     ScheduleResult,
+    StationAllocation,
     FixedBiasScheduler,
     PerStationScheduler,
     PolarizationReuseScheduler,
+    baseline_without_surface,
     jain_fairness_index,
 )
 from repro.network.access_control import (
@@ -34,9 +43,11 @@ __all__ = [
     "DenseDeployment",
     "StationPlacement",
     "ScheduleResult",
+    "StationAllocation",
     "FixedBiasScheduler",
     "PerStationScheduler",
     "PolarizationReuseScheduler",
+    "baseline_without_surface",
     "jain_fairness_index",
     "AccessControlResult",
     "polarization_access_control",

@@ -70,34 +70,35 @@ def polarization_access_control(deployment: DenseDeployment,
     if step_v <= 0:
         raise ValueError("step must be positive")
     # Validate both names up front (raises KeyError for unknown ones).
-    deployment.station(intended_station)
-    deployment.station(unauthorized_station)
+    names = (intended_station, unauthorized_station)
+    for name in names:
+        deployment.station(name)
 
-    baseline_isolation = (deployment.baseline_rssi_dbm(intended_station) -
-                          deployment.baseline_rssi_dbm(unauthorized_station))
+    baselines = deployment.baseline_rssi_vector(names)
+    baseline_isolation = float(baselines[0] - baselines[1])
     levels = np.arange(0.0, 30.0 + 0.5 * step_v, step_v)
-    best: Optional[Tuple[float, float, float, float]] = None
-    for vx in levels:
-        for vy in levels:
-            intended = deployment.rssi_dbm(intended_station, float(vx), float(vy))
-            if (minimum_intended_rssi_dbm is not None and
-                    intended < minimum_intended_rssi_dbm):
-                continue
-            unauthorized = deployment.rssi_dbm(unauthorized_station,
-                                               float(vx), float(vy))
-            isolation = intended - unauthorized
-            if best is None or isolation > best[0]:
-                best = (isolation, float(vx), float(vy), intended)
-    if best is None:
+    vx_grid, vy_grid = np.meshgrid(levels, levels, indexing="ij")
+    vx_flat, vy_flat = vx_grid.ravel(), vy_grid.ravel()
+    # One fleet-stacked probe evaluates both stations over the whole
+    # grid; row 0 is the intended station, row 1 the unauthorised one.
+    rssi = deployment.rssi_matrix(vx_flat, vy_flat, names)
+    intended, unauthorized = rssi[0], rssi[1]
+    isolation = intended - unauthorized
+    allowed = (np.ones_like(intended, dtype=bool)
+               if minimum_intended_rssi_dbm is None
+               else intended >= minimum_intended_rssi_dbm)
+    if not np.any(allowed):
         raise ValueError(
             "no bias pair satisfies the minimum intended RSSI constraint")
-    _isolation, vx, vy, intended_rssi = best
+    # First maximum in vx-major order, matching the historical strict-">"
+    # nested scalar loop.
+    best_index = int(np.argmax(np.where(allowed, isolation, -np.inf)))
     return AccessControlResult(
         intended_station=intended_station,
         unauthorized_station=unauthorized_station,
-        bias_pair=(vx, vy),
-        intended_rssi_dbm=intended_rssi,
-        unauthorized_rssi_dbm=deployment.rssi_dbm(unauthorized_station, vx, vy),
+        bias_pair=(float(vx_flat[best_index]), float(vy_flat[best_index])),
+        intended_rssi_dbm=float(intended[best_index]),
+        unauthorized_rssi_dbm=float(unauthorized[best_index]),
         baseline_isolation_db=baseline_isolation,
     )
 

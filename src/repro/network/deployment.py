@@ -1,21 +1,30 @@
-"""Dense IoT deployment model (paper conclusion / future work).
+"""Dense IoT deployment model (paper Sec. 7 / conclusion).
 
 A deployment is a set of IoT stations at different positions and —
 crucially for LLAMA — different antenna orientations, all talking to one
-access point through (or past) one shared metasurface.  The deployment
-exposes, for every station, the received power as a function of the
-surface's bias pair, which is all the schedulers in
-:mod:`repro.network.scheduler` need.
+access point through (or past) one shared metasurface.  Since PR 4 the
+deployment's data plane is *fleet-stacked*: the per-station parameters
+(distance, transmit power, transmit-antenna orientation) form a
+:class:`~repro.channel.ensemble.LinkEnsemble`, so the received power of
+**every** station over **every** probed bias pair evaluates in a single
+NumPy pass of the link budget (:meth:`DenseDeployment.rssi_matrix`).
+The schedulers in :mod:`repro.network.scheduler`, the access-control
+search and the :class:`repro.api.fleet.FleetSession` facade all ride on
+those stacked planes; the historical per-station entry points
+(:meth:`rssi_dbm_batch`, :meth:`rate_mbps_batch`, ...) survive as thin
+shims over cached per-station links.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.channel.antenna import dipole_antenna
+from repro.channel.ensemble import LinkEnsemble
 from repro.channel.geometry import LinkGeometry
 from repro.core.controller import vectorized_grid_max
 from repro.channel.link import DeploymentMode, LinkConfiguration, WirelessLink
@@ -89,27 +98,33 @@ class DenseDeployment:
         self.ap_orientation_deg = ap_orientation_deg
         self.frequency_hz = frequency_hz
         self.environment_seed = environment_seed
+        self._station_index: Dict[str, int] = {
+            station.name: index for index, station in enumerate(self.stations)}
+        # All stations share the AP antenna and the (deterministic)
+        # multipath environment; build each exactly once.
+        self._ap_antenna = netgear_access_point(
+            orientation_deg=ap_orientation_deg).antenna
+        self._environment = MultipathEnvironment(
+            absorber_enabled=False, rician_k_db=10.0, ray_count=12,
+            seed=environment_seed)
         self._links: Dict[str, WirelessLink] = {}
         self._baselines: Dict[str, WirelessLink] = {}
+        self._ensembles: Dict[Tuple[Tuple[str, ...], bool], LinkEnsemble] = {}
 
     # ------------------------------------------------------------------ #
     # Link construction
     # ------------------------------------------------------------------ #
     def _configuration(self, station: StationPlacement,
                        with_surface: bool) -> LinkConfiguration:
-        access_point = netgear_access_point(
-            orientation_deg=self.ap_orientation_deg)
         configuration = LinkConfiguration(
             tx_antenna=dipole_antenna(orientation_deg=station.orientation_deg,
                                       name=f"{station.name} antenna"),
-            rx_antenna=access_point.antenna,
+            rx_antenna=self._ap_antenna,
             geometry=LinkGeometry.transmissive(station.distance_m),
             frequency_hz=self.frequency_hz,
             tx_power_dbm=station.tx_power_dbm,
             bandwidth_hz=20e6,
-            environment=MultipathEnvironment(absorber_enabled=False,
-                                             rician_k_db=10.0, ray_count=12,
-                                             seed=self.environment_seed),
+            environment=self._environment,
             metasurface=self.metasurface if with_surface else None,
             deployment=(DeploymentMode.TRANSMISSIVE if with_surface
                         else DeploymentMode.NONE),
@@ -117,7 +132,7 @@ class DenseDeployment:
         return configuration
 
     def link_for(self, station_name: str) -> WirelessLink:
-        """With-surface uplink of one station (cached)."""
+        """With-surface uplink of one station (built once, cached)."""
         if station_name not in self._links:
             station = self.station(station_name)
             self._links[station_name] = WirelessLink(
@@ -125,7 +140,7 @@ class DenseDeployment:
         return self._links[station_name]
 
     def baseline_link_for(self, station_name: str) -> WirelessLink:
-        """No-surface uplink of one station (cached)."""
+        """No-surface uplink of one station (built once, cached)."""
         if station_name not in self._baselines:
             station = self.station(station_name)
             self._baselines[station_name] = WirelessLink(
@@ -133,14 +148,137 @@ class DenseDeployment:
         return self._baselines[station_name]
 
     def station(self, name: str) -> StationPlacement:
-        """Look up a station by name."""
-        for station in self.stations:
-            if station.name == name:
-                return station
-        raise KeyError(f"unknown station {name!r}")
+        """Look up a station by name (O(1))."""
+        try:
+            return self.stations[self._station_index[name]]
+        except KeyError:
+            raise KeyError(f"unknown station {name!r}") from None
+
+    def station_index(self, name: str) -> int:
+        """Position of a station on the fleet's stacked station axis."""
+        try:
+            return self._station_index[name]
+        except KeyError:
+            raise KeyError(f"unknown station {name!r}") from None
+
+    @property
+    def station_names(self) -> Tuple[str, ...]:
+        """Station names in stacking order."""
+        return tuple(station.name for station in self.stations)
 
     # ------------------------------------------------------------------ #
-    # Per-station metrics
+    # The fleet-stacked data plane
+    # ------------------------------------------------------------------ #
+    def _resolve_names(self,
+                       names: Optional[Sequence[str]]) -> Tuple[str, ...]:
+        if names is None:
+            return self.station_names
+        resolved = tuple(names)
+        for name in resolved:
+            self.station(name)  # raises KeyError for unknown stations
+        return resolved
+
+    def ensemble_for(self, names: Optional[Sequence[str]] = None,
+                     with_surface: bool = True) -> LinkEnsemble:
+        """The stacked link ensemble of a set of stations (cached).
+
+        ``names`` selects (and orders) the stations on the leading axis;
+        ``None`` stacks the whole deployment.  The ensemble shares one
+        base link, so its direct/clutter field caches are computed once
+        for the entire fleet.
+        """
+        key = (self._resolve_names(names), bool(with_surface))
+        if not key[0]:
+            raise ValueError("an ensemble needs at least one station")
+        if key not in self._ensembles:
+            stations = [self.station(name) for name in key[0]]
+            base = replace(
+                self._configuration(stations[0], with_surface=with_surface),
+                tx_antenna=dipole_antenna(name="station antenna"))
+            self._ensembles[key] = LinkEnsemble(
+                base,
+                distance_m=[station.distance_m for station in stations],
+                tx_power_dbm=[station.tx_power_dbm for station in stations],
+                tx_orientation_deg=[station.orientation_deg
+                                    for station in stations])
+        return self._ensembles[key]
+
+    def rssi_matrix(self, vx, vy,
+                    names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Uplink RSSI of every station at every bias pair, one pass.
+
+        ``vx`` / ``vy`` may be scalars or mutually broadcastable arrays;
+        the result is shaped ``(station_count,) + broadcast(vx, vy)``
+        with stations stacked along the leading axis in ``names`` order
+        (deployment order when ``None``).
+        """
+        return self.ensemble_for(names).measure_batch(vx, vy)
+
+    def rate_matrix(self, vx, vy,
+                    names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Achievable 802.11g PHY rates of every station, one pass."""
+        return np.asarray(wifi_rate_for_rssi_mbps(
+            self.rssi_matrix(vx, vy, names)), dtype=float)
+
+    def rssi_aligned(self, vx, vy,
+                     names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Per-station RSSI at *per-station* bias pairs (element-wise).
+
+        ``vx`` / ``vy`` are scalars or arrays aligned with the station
+        axis (one bias pair per station); the result is ``(n,)``.
+        """
+        return self.ensemble_for(names).measure_aligned(vx, vy)
+
+    def baseline_rssi_vector(
+            self, names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """No-surface uplink RSSI of every station, one pass."""
+        return np.asarray(self.ensemble_for(
+            names, with_surface=False).measure_batch(0.0, 0.0))
+
+    def baseline_rate_vector(
+            self, names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """No-surface achievable rate of every station, one pass."""
+        return np.asarray(wifi_rate_for_rssi_mbps(
+            self.baseline_rssi_vector(names)), dtype=float)
+
+    def best_bias_per_station(self, step_v: float = 5.0,
+                              names: Optional[Sequence[str]] = None
+                              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Grid-search every station's best bias pair in one stacked pass.
+
+        Returns ``(vx, vy, rssi_dbm)`` arrays aligned with the station
+        axis; element ``i`` matches :meth:`best_bias_for` on station
+        ``i`` (same vx-major grid, same first-maximum semantics).
+        """
+        if step_v <= 0:
+            raise ValueError("step must be positive")
+        levels = np.arange(0.0, 30.0 + 0.5 * step_v, step_v)
+        vx_grid, vy_grid = np.meshgrid(levels, levels, indexing="ij")
+        vx_flat, vy_flat = vx_grid.ravel(), vy_grid.ravel()
+        powers = self.rssi_matrix(vx_flat, vy_flat, names)
+        masked = np.where(np.isnan(powers), -np.inf, powers)
+        best = np.argmax(masked, axis=1)
+        rows = np.arange(powers.shape[0])
+        return vx_flat[best], vy_flat[best], powers[rows, best]
+
+    def compromise_bias(self, names: Optional[Sequence[str]] = None,
+                        step_v: float = 5.0) -> Tuple[float, float]:
+        """Bias pair maximizing the summed rate of a set of stations.
+
+        The whole (Vx, Vy) grid crossed with the whole station set is
+        one stacked probe; the per-station utilities reduce over the
+        leading station axis.
+        """
+        if step_v <= 0:
+            raise ValueError("step must be positive")
+        levels = np.arange(0.0, 30.0 + 0.5 * step_v, step_v)
+        vx_flat, vy_flat, _utility, best_index = vectorized_grid_max(
+            levels, levels,
+            lambda vx, vy: self.rate_matrix(vx, vy, names).sum(axis=0))
+        return (float(vx_flat[best_index]), float(vy_flat[best_index]))
+
+    # ------------------------------------------------------------------ #
+    # Per-station metrics (thin shims over the cached links / the fleet)
     # ------------------------------------------------------------------ #
     def rssi_dbm(self, station_name: str, vx: float, vy: float) -> float:
         """Uplink RSSI of a station at a given surface bias pair."""
@@ -152,7 +290,18 @@ class DenseDeployment:
 
     def rssi_dbm_batch(self, station_name: str, vx: np.ndarray,
                        vy: np.ndarray) -> np.ndarray:
-        """Vectorized uplink RSSI over whole bias grids (one NumPy pass)."""
+        """Vectorized uplink RSSI of one station over whole bias grids.
+
+        .. deprecated::
+            Superseded by the station-stacked :meth:`rssi_matrix` (all
+            stations in one pass); this shim survives for single-station
+            campaigns and probes the station's cached link.
+        """
+        warnings.warn(
+            "DenseDeployment.rssi_dbm_batch is deprecated; use "
+            "rssi_matrix(vx, vy, names=[station]) (or FleetSession."
+            "measure_grid) to probe stations in one stacked pass",
+            DeprecationWarning, stacklevel=2)
         return self.link_for(station_name).received_power_dbm_batch(vx, vy)
 
     def rate_mbps(self, station_name: str, vx: float, vy: float) -> float:
@@ -161,9 +310,19 @@ class DenseDeployment:
 
     def rate_mbps_batch(self, station_name: str, vx: np.ndarray,
                         vy: np.ndarray) -> np.ndarray:
-        """Vectorized achievable PHY rate over whole bias grids."""
+        """Vectorized achievable PHY rate of one station over bias grids.
+
+        .. deprecated::
+            Superseded by the station-stacked :meth:`rate_matrix`.
+        """
+        warnings.warn(
+            "DenseDeployment.rate_mbps_batch is deprecated; use "
+            "rate_matrix(vx, vy, names=[station]) (or FleetSession."
+            "rate_grid) to probe stations in one stacked pass",
+            DeprecationWarning, stacklevel=2)
         return np.asarray(wifi_rate_for_rssi_mbps(
-            self.rssi_dbm_batch(station_name, vx, vy)), dtype=float)
+            self.link_for(station_name).received_power_dbm_batch(vx, vy)),
+            dtype=float)
 
     def baseline_rate_mbps(self, station_name: str) -> float:
         """Achievable rate of a station with no surface deployed."""
@@ -173,17 +332,13 @@ class DenseDeployment:
                       step_v: float = 5.0) -> Tuple[float, float, float]:
         """Grid-search the bias pair maximizing one station's RSSI.
 
-        The grid is evaluated as one batched probe.  Returns
+        A single-station view of :meth:`best_bias_per_station` (one
+        stacked probe over the station's sub-ensemble).  Returns
         ``(vx, vy, rssi_dbm)``.
         """
-        if step_v <= 0:
-            raise ValueError("step must be positive")
-        levels = np.arange(0.0, 30.0 + 0.5 * step_v, step_v)
-        vx_flat, vy_flat, powers, best_index = vectorized_grid_max(
-            levels, levels,
-            lambda vx, vy: self.rssi_dbm_batch(station_name, vx, vy))
-        return (float(vx_flat[best_index]), float(vy_flat[best_index]),
-                float(powers[best_index]))
+        vx, vy, power = self.best_bias_per_station(step_v=step_v,
+                                                   names=[station_name])
+        return (float(vx[0]), float(vy[0]), float(power[0]))
 
     def orientation_groups(self, tolerance_deg: float = 20.0) -> List[List[str]]:
         """Cluster stations whose antenna orientations are similar.

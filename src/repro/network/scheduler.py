@@ -24,7 +24,7 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.controller import vectorized_grid_max
+from repro.devices.wifi import wifi_rate_for_rssi_mbps
 from repro.network.deployment import DenseDeployment
 
 
@@ -74,13 +74,21 @@ class ScheduleResult:
 
     @property
     def fairness(self) -> float:
-        """Jain fairness of the per-station throughputs."""
+        """Jain fairness of the per-station throughputs.
+
+        An epoch that allocated nothing (no stations) is vacuously fair.
+        """
+        if not self.allocations:
+            return 1.0
         return jain_fairness_index(
             [allocation.throughput_mbps for allocation in self.allocations])
 
     @property
     def worst_station_rate_mbps(self) -> float:
-        """PHY rate of the worst-served station (0 if any link is down)."""
+        """PHY rate of the worst-served station (0 if any link is down,
+        or when the epoch allocated no stations at all)."""
+        if not self.allocations:
+            return 0.0
         return min(allocation.rate_mbps for allocation in self.allocations)
 
     def allocation_for(self, station: str) -> StationAllocation:
@@ -114,30 +122,18 @@ class _SchedulerBase:
         share = 1.0 / len(self.deployment.stations)
         return {station.name: share for station in self.deployment.stations}
 
-    def _search_levels(self) -> np.ndarray:
-        """Voltage levels of the coarse bias grid search."""
-        return np.arange(0.0, 30.0 + 0.5 * self.bias_search_step_v,
-                         self.bias_search_step_v)
-
     def _best_compromise_bias(self,
                               station_names: Sequence[str]) -> Tuple[float, float]:
         """Bias pair maximizing the summed rate of a set of stations.
 
-        The whole (Vx, Vy) grid is evaluated with one batched probe per
-        station and the utilities are summed as arrays, replacing the
-        seed's quadruple Python loop over levels and stations.
+        The whole (Vx, Vy) grid crossed with the whole station set is
+        one fleet-stacked probe of the link budget
+        (:meth:`DenseDeployment.compromise_bias`), replacing the one
+        batched probe *per station* of PR 1 — and the seed's quadruple
+        Python loop before that.
         """
-        def summed_rate(vx_flat: np.ndarray, vy_flat: np.ndarray) -> np.ndarray:
-            utility = np.zeros(vx_flat.shape, dtype=float)
-            for name in station_names:
-                utility += self.deployment.rate_mbps_batch(name, vx_flat,
-                                                           vy_flat)
-            return utility
-
-        levels = self._search_levels()
-        vx_flat, vy_flat, _utility, best_index = vectorized_grid_max(
-            levels, levels, summed_rate)
-        return (float(vx_flat[best_index]), float(vy_flat[best_index]))
+        return self.deployment.compromise_bias(station_names,
+                                               step_v=self.bias_search_step_v)
 
     def _overhead_fraction(self, retune_count: int) -> float:
         """Fraction of the epoch burned by surface retuning."""
@@ -148,16 +144,22 @@ class _SchedulerBase:
                       bias_per_station: Dict[str, Tuple[float, float]],
                       retune_count: int) -> ScheduleResult:
         airtime = self._airtime_fractions()
+        stations = self.deployment.stations
+        vx = np.array([bias_per_station[station.name][0]
+                       for station in stations])
+        vy = np.array([bias_per_station[station.name][1]
+                       for station in stations])
+        # One aligned fleet probe: every station's RSSI at the bias pair
+        # programmed for *its* slot.
+        rssi = self.deployment.rssi_aligned(vx, vy)
+        rates = np.asarray(wifi_rate_for_rssi_mbps(rssi), dtype=float)
         allocations = []
-        for station in self.deployment.stations:
-            vx, vy = bias_per_station[station.name]
-            rssi = self.deployment.rssi_dbm(station.name, vx, vy)
-            rate = self.deployment.rate_mbps(station.name, vx, vy)
+        for index, station in enumerate(stations):
             allocations.append(StationAllocation(
                 station=station.name,
-                bias_pair=(vx, vy),
-                rssi_dbm=rssi,
-                rate_mbps=rate,
+                bias_pair=(float(vx[index]), float(vy[index])),
+                rssi_dbm=float(rssi[index]),
+                rate_mbps=float(rates[index]),
                 airtime_fraction=airtime[station.name],
             ))
         return ScheduleResult(
@@ -190,12 +192,16 @@ class PerStationScheduler(_SchedulerBase):
     """Retune the surface for every station's slot."""
 
     def schedule(self) -> ScheduleResult:
-        """Give each station its individually optimal bias pair."""
-        bias_per_station = {}
-        for station in self.deployment.stations:
-            vx, vy, _power = self.deployment.best_bias_for(
-                station.name, step_v=self.bias_search_step_v)
-            bias_per_station[station.name] = (vx, vy)
+        """Give each station its individually optimal bias pair.
+
+        All stations' grid searches run as one stacked probe of the
+        fleet ensemble (:meth:`DenseDeployment.best_bias_per_station`).
+        """
+        vx, vy, _power = self.deployment.best_bias_per_station(
+            step_v=self.bias_search_step_v)
+        bias_per_station = {
+            station.name: (float(vx[index]), float(vy[index]))
+            for index, station in enumerate(self.deployment.stations)}
         return self._build_result("per-station", bias_per_station,
                                   retune_count=len(self.deployment.stations))
 
@@ -231,15 +237,21 @@ class PolarizationReuseScheduler(_SchedulerBase):
 
 
 def baseline_without_surface(deployment: DenseDeployment) -> ScheduleResult:
-    """Round-robin TDMA with no metasurface deployed at all."""
+    """Round-robin TDMA with no metasurface deployed at all.
+
+    All stations' baseline links evaluate as one stacked probe of the
+    no-surface fleet ensemble.
+    """
     share = 1.0 / len(deployment.stations)
-    allocations = []
-    for station in deployment.stations:
-        rssi = deployment.baseline_rssi_dbm(station.name)
-        rate = deployment.baseline_rate_mbps(station.name)
-        allocations.append(StationAllocation(
-            station=station.name, bias_pair=(0.0, 0.0), rssi_dbm=rssi,
-            rate_mbps=rate, airtime_fraction=share))
+    rssi = deployment.baseline_rssi_vector()
+    rates = np.asarray(wifi_rate_for_rssi_mbps(rssi), dtype=float)
+    allocations = [
+        StationAllocation(
+            station=station.name, bias_pair=(0.0, 0.0),
+            rssi_dbm=float(rssi[index]), rate_mbps=float(rates[index]),
+            airtime_fraction=share)
+        for index, station in enumerate(deployment.stations)
+    ]
     return ScheduleResult(scheduler_name="no-surface",
                           allocations=tuple(allocations),
                           retune_count=0, retune_overhead_fraction=0.0)

@@ -30,6 +30,7 @@ AXIS_VALUES = {
     "tx_power": np.array([-17.0, 0.0, 13.0]),
     "distance": np.array([0.30, 0.54]),
     "rx_orientation": np.array([0.0, 60.0]),
+    "tx_orientation": np.array([15.0, 90.0]),
 }
 
 VX_VALUES = np.array([0.0, 7.0, 30.0])
@@ -70,6 +71,9 @@ def _scalar_link_at(link, point):
     if "rx_orientation" in point:
         config = replace(config, rx_antenna=config.rx_antenna.rotated(
             float(point["rx_orientation"])))
+    if "tx_orientation" in point:
+        config = replace(config, tx_antenna=config.tx_antenna.rotated(
+            float(point["tx_orientation"])))
     return WirelessLink(config)
 
 

@@ -42,6 +42,7 @@ AXIS_VALUES = {
     "tx_power": np.array([-27.0, -17.0, -7.0, 0.0, 13.0, 30.0]),
     "distance": np.array([0.24, 0.30, 0.42, 0.54, 0.66]),
     "rx_orientation": np.arange(0.0, 181.0, 30.0),
+    "tx_orientation": np.arange(0.0, 181.0, 30.0),
 }
 
 BIAS_PAIRS = [(0.0, 0.0), (7.0, 22.0), (30.0, 30.0)]
@@ -73,6 +74,9 @@ def _scalar_link_at(link, axis, value):
     if axis == "rx_orientation":
         return WirelessLink(replace(
             config, rx_antenna=config.rx_antenna.rotated(float(value))))
+    if axis == "tx_orientation":
+        return WirelessLink(replace(
+            config, tx_antenna=config.tx_antenna.rotated(float(value))))
     raise AssertionError(axis)
 
 

@@ -293,3 +293,57 @@ class TestFigure23:
     def test_detection_margin_larger_with_surface(self, result):
         assert (result.reading_with.peak_to_noise_db >
                 result.reading_without.peak_to_noise_db + 3.0)
+
+
+class TestDeploymentRunners:
+    @pytest.fixture(scope="class")
+    def scheduling(self):
+        from repro.api import FleetSpec
+        spec = FleetSpec.office(station_count=4, seed=42)
+        return figures.deployment_scheduling_comparison(
+            spec, epoch_duration_s=300.0, bias_search_step_v=7.5)
+
+    def test_scheduling_covers_every_strategy(self, scheduling):
+        from repro.api import SCHEDULE_STRATEGIES
+        assert set(scheduling.results) == set(SCHEDULE_STRATEGIES)
+        assert all(len(result.allocations) == 4
+                   for result in scheduling.results.values())
+
+    def test_scheduling_rows_match_results(self, scheduling):
+        rows = scheduling.rows()
+        assert len(rows) == len(scheduling.results)
+        for name, throughput, _worst, _fairness, retunes in rows:
+            result = scheduling.result_for(name)
+            assert throughput == result.total_throughput_mbps
+            assert retunes == result.retune_count
+
+    def test_reuse_saves_retunes(self, scheduling):
+        assert scheduling.reuse_retune_savings > 0
+        assert scheduling.best_surface_strategy != "no-surface"
+
+    def test_result_for_miss_raises(self, scheduling):
+        with pytest.raises(KeyError):
+            scheduling.result_for("round-robin")
+
+    def test_access_isolation_covers_every_ordered_pair(self):
+        from repro.api import FleetSpec
+        spec = FleetSpec.office(station_count=3, seed=42)
+        result = figures.deployment_access_isolation(spec, step_v=10.0)
+        assert len(result.pairs) == 3 * 2
+        assert result.best_pair in result.pairs
+        assert result.max_isolation_db == max(result.isolation_db)
+        assert np.isfinite(result.mean_improvement_db)
+
+    def test_access_isolation_matches_pairwise_access_control(self):
+        from repro.api import FleetSession, FleetSpec
+        from repro.network.access_control import polarization_access_control
+        spec = FleetSpec.office(station_count=3, seed=42)
+        result = figures.deployment_access_isolation(spec, step_v=10.0)
+        deployment = FleetSession(spec).deployment
+        for pair, isolation, improvement in zip(
+                result.pairs, result.isolation_db, result.improvement_db):
+            direct = polarization_access_control(deployment, *pair,
+                                                 step_v=10.0)
+            assert isolation == pytest.approx(direct.isolation_db, abs=1e-9)
+            assert improvement == pytest.approx(
+                direct.isolation_improvement_db, abs=1e-9)

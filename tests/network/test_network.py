@@ -1,5 +1,6 @@
 """Tests for the dense-deployment / polarization-reuse extension."""
 
+import numpy as np
 import pytest
 
 from repro.network.access_control import polarization_access_control
@@ -8,6 +9,8 @@ from repro.network.scheduler import (
     FixedBiasScheduler,
     PerStationScheduler,
     PolarizationReuseScheduler,
+    ScheduleResult,
+    StationAllocation,
     baseline_without_surface,
     jain_fairness_index,
 )
@@ -112,11 +115,62 @@ class TestFairnessIndex:
     def test_single_user_monopoly(self):
         assert jain_fairness_index([10.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
 
+    def test_all_zero_allocations_are_vacuously_fair(self):
+        assert jain_fairness_index([0.0, 0.0, 0.0]) == 1.0
+
+    def test_single_station_is_perfectly_fair(self):
+        assert jain_fairness_index([7.5]) == pytest.approx(1.0)
+        assert jain_fairness_index([0.0]) == 1.0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             jain_fairness_index([])
         with pytest.raises(ValueError):
             jain_fairness_index([-1.0, 2.0])
+
+
+def _allocation(name="solo", rate=54.0, airtime=1.0):
+    return StationAllocation(station=name, bias_pair=(0.0, 0.0),
+                             rssi_dbm=-40.0, rate_mbps=rate,
+                             airtime_fraction=airtime)
+
+
+class TestScheduleResultEdges:
+    def test_empty_epoch_is_degenerate_but_defined(self):
+        empty = ScheduleResult(scheduler_name="empty", allocations=(),
+                               retune_count=0, retune_overhead_fraction=0.0)
+        assert empty.total_throughput_mbps == 0.0
+        assert empty.fairness == 1.0
+        assert empty.worst_station_rate_mbps == 0.0
+
+    def test_single_station_epoch(self):
+        result = ScheduleResult(scheduler_name="solo",
+                                allocations=(_allocation(),),
+                                retune_count=1,
+                                retune_overhead_fraction=0.1)
+        assert result.total_throughput_mbps == pytest.approx(54.0 * 0.9)
+        assert result.fairness == pytest.approx(1.0)
+        assert result.worst_station_rate_mbps == 54.0
+
+    def test_zero_rate_allocations_give_zero_throughput(self):
+        result = ScheduleResult(
+            scheduler_name="down",
+            allocations=(_allocation("a", rate=0.0, airtime=0.5),
+                         _allocation("b", rate=0.0, airtime=0.5)),
+            retune_count=0, retune_overhead_fraction=0.0)
+        assert result.total_throughput_mbps == 0.0
+        assert result.fairness == 1.0
+        assert result.worst_station_rate_mbps == 0.0
+
+    def test_allocation_for_miss_raises_clear_key_error(self):
+        result = ScheduleResult(scheduler_name="solo",
+                                allocations=(_allocation(),),
+                                retune_count=0,
+                                retune_overhead_fraction=0.0)
+        assert result.allocation_for("solo").station == "solo"
+        with pytest.raises(KeyError, match="no allocation for station "
+                                           "'ghost'"):
+            result.allocation_for("ghost")
 
 
 class TestSchedulers:
@@ -208,3 +262,136 @@ class TestAccessControl:
         deployment = small_deployment()
         with pytest.raises(KeyError):
             polarization_access_control(deployment, "aligned", "missing")
+
+
+class TestOrientationGroupBoundaries:
+    """Tolerance-boundary behaviour of the polarization-reuse clusters."""
+
+    @staticmethod
+    def _groups(orientations, tolerance_deg):
+        stations = [StationPlacement(f"s{i}", 3.0, orientation)
+                    for i, orientation in enumerate(orientations)]
+        return DenseDeployment(stations).orientation_groups(tolerance_deg)
+
+    def test_difference_exactly_at_tolerance_shares_a_group(self):
+        assert self._groups([0.0, 20.0], tolerance_deg=20.0) == [["s0", "s1"]]
+
+    def test_difference_just_above_tolerance_splits(self):
+        assert self._groups([0.0, 20.0 + 1e-9], tolerance_deg=20.0) == [
+            ["s0"], ["s1"]]
+
+    def test_wraparound_difference_exactly_at_tolerance(self):
+        # 170 deg vs 5 deg is a 15 deg wrap-around difference.
+        assert self._groups([5.0, 170.0], tolerance_deg=15.0) == [
+            ["s0", "s1"]]
+        assert self._groups([5.0, 170.0], tolerance_deg=14.999) == [
+            ["s0"], ["s1"]]
+
+    def test_anchor_is_the_first_member_not_the_running_mean(self):
+        # s1 joins s0 (within 20), s2 is 30 from the anchor s0 even
+        # though it is within 20 of s1 -> new group.
+        assert self._groups([0.0, 20.0, 30.0], tolerance_deg=20.0) == [
+            ["s0", "s1"], ["s2"]]
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            self._groups([0.0], tolerance_deg=0.0)
+
+
+class TestLinkCaching:
+    """Per-station links and ensembles are built once and reused."""
+
+    def test_link_for_returns_the_same_object(self):
+        deployment = small_deployment()
+        assert deployment.link_for("aligned") is deployment.link_for("aligned")
+        assert (deployment.baseline_link_for("aligned")
+                is deployment.baseline_link_for("aligned"))
+
+    def test_scalar_probes_do_not_rebuild_links(self, monkeypatch):
+        deployment = small_deployment()
+        calls = []
+        original = deployment._configuration
+
+        def counting(station, with_surface):
+            calls.append((station.name, with_surface))
+            return original(station, with_surface)
+
+        monkeypatch.setattr(deployment, "_configuration", counting)
+        for _ in range(5):
+            deployment.rssi_dbm("aligned", 7.0, 22.0)
+            deployment.rate_mbps("aligned", 7.0, 22.0)
+            deployment.baseline_rssi_dbm("aligned")
+            deployment.baseline_rate_mbps("aligned")
+        # One with-surface and one baseline construction, ever.
+        assert calls == [("aligned", True), ("aligned", False)]
+
+    def test_ensembles_are_cached_per_subset(self):
+        deployment = small_deployment()
+        assert deployment.ensemble_for() is deployment.ensemble_for()
+        subset = deployment.ensemble_for(["tilted", "aligned"])
+        assert deployment.ensemble_for(["tilted", "aligned"]) is subset
+        assert subset is not deployment.ensemble_for()
+
+    def test_environment_and_ap_antenna_are_shared(self):
+        deployment = small_deployment()
+        first = deployment.link_for("aligned").configuration
+        second = deployment.link_for("tilted").configuration
+        assert first.environment is second.environment
+        assert first.rx_antenna is second.rx_antenna
+
+
+class TestStackedPlanes:
+    """The fleet-stacked deployment planes match the per-station shims."""
+
+    def test_rssi_matrix_rows_match_scalar_probes(self, deployment):
+        levels = np.arange(0.0, 30.1, 10.0)
+        vx, vy = np.meshgrid(levels, levels, indexing="ij")
+        stacked = deployment.rssi_matrix(vx, vy)
+        assert stacked.shape == (3,) + vx.shape
+        for index, station in enumerate(deployment.stations):
+            for i in range(vx.shape[0]):
+                for j in range(vx.shape[1]):
+                    assert stacked[index, i, j] == pytest.approx(
+                        deployment.rssi_dbm(station.name, float(vx[i, j]),
+                                            float(vy[i, j])), abs=1e-9)
+
+    def test_baseline_vector_matches_scalar_baselines(self, deployment):
+        baseline = deployment.baseline_rssi_vector()
+        for index, station in enumerate(deployment.stations):
+            assert baseline[index] == pytest.approx(
+                deployment.baseline_rssi_dbm(station.name), abs=1e-9)
+
+    def test_best_bias_per_station_matches_best_bias_for(self, deployment):
+        vx, vy, power = deployment.best_bias_per_station(step_v=7.5)
+        for index, station in enumerate(deployment.stations):
+            single = deployment.best_bias_for(station.name, step_v=7.5)
+            assert (float(vx[index]), float(vy[index])) == single[:2]
+            assert float(power[index]) == pytest.approx(single[2], abs=1e-9)
+
+    def test_step_validation(self, deployment):
+        with pytest.raises(ValueError):
+            deployment.best_bias_per_station(step_v=0.0)
+        with pytest.raises(ValueError):
+            deployment.compromise_bias(step_v=-1.0)
+
+    def test_unknown_station_in_subset_rejected(self, deployment):
+        with pytest.raises(KeyError):
+            deployment.rssi_matrix(0.0, 0.0, names=["missing"])
+
+
+class TestDeprecatedBatchShims:
+    """The pre-fleet per-station batch entry points still work — and warn."""
+
+    def test_rssi_dbm_batch_warns_and_matches_matrix_row(self, deployment):
+        levels = np.arange(0.0, 30.1, 10.0)
+        with pytest.warns(DeprecationWarning, match="rssi_matrix"):
+            shim = deployment.rssi_dbm_batch("tilted", levels, levels)
+        stacked = deployment.rssi_matrix(levels, levels, names=["tilted"])
+        assert np.max(np.abs(shim - stacked[0])) <= 1e-9
+
+    def test_rate_mbps_batch_warns_and_matches_matrix_row(self, deployment):
+        levels = np.arange(0.0, 30.1, 10.0)
+        with pytest.warns(DeprecationWarning, match="rate_matrix"):
+            shim = deployment.rate_mbps_batch("tilted", levels, levels)
+        stacked = deployment.rate_matrix(levels, levels, names=["tilted"])
+        assert np.max(np.abs(shim - stacked[0])) <= 1e-9
