@@ -58,41 +58,6 @@ def assert_speedup(rows, min_speedup, tolerance_db=1e-9):
         assert max_error_db <= tolerance_db, row
 
 
-# ---------------------------------------------------------------------- #
-# Per-figure table scaffolding
-# ---------------------------------------------------------------------- #
-def efficiency_rows(curve, grid_hz=1e8, tolerance_hz=1e6):
-    """Table rows of an efficiency-vs-frequency curve (Figs. 8-10).
-
-    Keeps one row per ``grid_hz`` of the sweep (the benches print every
-    100 MHz of the 2.0-2.8 GHz band).
-    """
-    return [
-        (f / 1e9, x, y)
-        for f, x, y in zip(curve.frequencies_hz, curve.efficiency_x_db,
-                           curve.efficiency_y_db)
-        if abs(f - round(f / grid_hz) * grid_hz) < tolerance_hz
-    ]
-
-
-def print_efficiency_table(curve, title):
-    """Print one Figs. 8-10 efficiency curve with the standard headers."""
-    print()
-    print(format_table(
-        ["frequency (GHz)", "x-excitation (dB)", "y-excitation (dB)"],
-        efficiency_rows(curve), precision=2, title=title))
-
-
-def print_capacity_table(series, title):
-    """Print one Figs. 18-19 capacity-vs-power panel."""
-    rows = [
-        (power, with_eff, without_eff, with_eff - without_eff)
-        for power, with_eff, without_eff in zip(
-            series.tx_powers_mw, series.efficiency_with,
-            series.efficiency_without)
-    ]
-    print()
-    print(format_table(
-        ["Tx power (mW)", "with surface (bit/s/Hz)",
-         "without surface (bit/s/Hz)", "improvement"],
-        rows, precision=2, title=title))
+# The per-figure table scaffolding that used to live here moved into
+# the experiment specs' ``summarize`` hooks (repro.experiments.figures);
+# the registry bench prints those summaries directly.

@@ -1,0 +1,46 @@
+"""Registry-driven benchmark of every figure/table experiment.
+
+One parametrized bench replaces the former per-figure benchmark files:
+for every experiment tagged ``figure`` or ``table`` in
+:data:`repro.experiments.REGISTRY` it
+
+* regenerates the result once under pytest-benchmark timing (smoke
+  parameters — the same reduced grids the per-figure benches used),
+* prints the paper's rows/series via the spec's ``summarize`` hook, and
+* gates the result's shape via the spec's ``check`` hook (the same
+  assertions the per-figure benches carried).
+
+Engine speedup gates (batched / multi-axis / grid / fleet) live in
+their dedicated ``test_bench_*`` modules; this file is the
+paper-reproduction surface.
+"""
+
+import pytest
+
+from bench_utils import run_once
+from repro.experiments import REGISTRY, Runner
+
+#: Every paper panel: the figure experiments plus the table experiments,
+#: in registration order.
+PAPER_EXPERIMENTS = tuple(
+    spec.name for spec in REGISTRY
+    if {"figure", "table"} & set(spec.tags))
+
+
+def test_every_paper_panel_is_benchmarked():
+    """The bench sweep covers each registered figure/table exactly once."""
+    assert len(PAPER_EXPERIMENTS) == len(set(PAPER_EXPERIMENTS))
+    assert len(PAPER_EXPERIMENTS) >= 16
+
+
+@pytest.mark.parametrize("name", PAPER_EXPERIMENTS)
+def test_bench_experiment(benchmark, name):
+    # A fresh runner per panel: timings measure the experiment, not the
+    # process-wide result cache.
+    runner = Runner(cache=False)
+    result = run_once(benchmark, runner.run, name, smoke=True)
+
+    print()
+    print(result.summary())
+
+    result.check()

@@ -20,7 +20,11 @@ from repro.channel.link import DeploymentMode, LinkConfiguration, WirelessLink
 from repro.channel.multipath import MultipathEnvironment
 from repro.devices.ble import ble_rate_for_rssi_kbps, metamotion_wearable, raspberry_pi_central
 from repro.devices.wifi import esp8266_station, netgear_access_point, wifi_rate_for_rssi_mbps
-from repro.devices.zigbee import zigbee_rate_for_rssi_kbps, zigbee_sensor
+from repro.devices.zigbee import (
+    zigbee_coordinator,
+    zigbee_rate_for_rssi_kbps,
+    zigbee_sensor,
+)
 from repro.experiments.sweeps import optimize_link
 from repro.metasurface.design import llama_design
 
@@ -80,15 +84,20 @@ def main() -> None:
         rate_formatter=lambda rssi: f"{ble_rate_for_rssi_kbps(rssi):.0f} kbit/s BLE",
     )
 
-    # Zigbee door sensor mounted sideways.
+    # Zigbee door sensor mounted sideways, reporting to the hub (the
+    # canonical pairing of repro.experiments.scenarios.iot_zigbee_scenario).
     evaluate_link(
         "Zigbee door sensor",
         zigbee_sensor(orientation_deg=90.0),
-        zigbee_sensor(orientation_deg=0.0),
+        zigbee_coordinator(orientation_deg=0.0),
         distance_m=6.0,
         surface=surface,
         rate_formatter=lambda rssi: f"{zigbee_rate_for_rssi_kbps(rssi):.0f} kbit/s Zigbee",
     )
+
+    # The registry packages the same three families as the
+    # ``iot_families`` experiment — one call reproduces the whole panel:
+    #   python -m repro.experiments run iot_families
 
 
 if __name__ == "__main__":

@@ -56,6 +56,30 @@ from repro.api.fleet import (
 from repro.api.session import LinkSession
 from repro.channel.grid import GRID_AXES, GridAxis, ProbeGrid, SWEEP_AXES
 
+#: Experiment-registry exports, resolved lazily (PEP 562): importing
+#: ``repro.api`` for a single link must not pay for — or create an
+#: import cycle with — the full experiment catalogue in
+#: :mod:`repro.experiments`.
+_EXPERIMENT_EXPORTS = {
+    "EXPERIMENT_REGISTRY": ("repro.experiments.registry", "REGISTRY"),
+    "ExperimentRegistry": ("repro.experiments.registry",
+                           "ExperimentRegistry"),
+    "ExperimentSpec": ("repro.experiments.registry", "ExperimentSpec"),
+    "Param": ("repro.experiments.registry", "Param"),
+    "ExperimentResult": ("repro.experiments.runner", "ExperimentResult"),
+    "Runner": ("repro.experiments.runner", "Runner"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attribute = _EXPERIMENT_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+    return getattr(importlib.import_module(module_name), attribute)
+
 __all__ = [
     "MeasureCallback",
     "MeasurementBackend",
@@ -83,4 +107,10 @@ __all__ = [
     "FleetSpec",
     "FleetBiasPlan",
     "FleetSession",
+    "EXPERIMENT_REGISTRY",
+    "ExperimentRegistry",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "Param",
+    "Runner",
 ]

@@ -25,7 +25,12 @@ from repro.devices.ble import (
     raspberry_pi_central,
     ble_rate_for_rssi_kbps,
 )
-from repro.devices.zigbee import ZigbeeEndpoint, zigbee_sensor, zigbee_rate_for_rssi_kbps
+from repro.devices.zigbee import (
+    ZigbeeEndpoint,
+    zigbee_coordinator,
+    zigbee_sensor,
+    zigbee_rate_for_rssi_kbps,
+)
 
 __all__ = [
     "IoTDevice",
@@ -41,6 +46,7 @@ __all__ = [
     "raspberry_pi_central",
     "ble_rate_for_rssi_kbps",
     "ZigbeeEndpoint",
+    "zigbee_coordinator",
     "zigbee_sensor",
     "zigbee_rate_for_rssi_kbps",
 ]

@@ -54,6 +54,23 @@ def zigbee_sensor(orientation_deg: float = 0.0) -> ZigbeeEndpoint:
     )
 
 
+def zigbee_coordinator(orientation_deg: float = 0.0) -> ZigbeeEndpoint:
+    """A mains-powered Zigbee coordinator (smart-home hub)."""
+    return ZigbeeEndpoint(
+        name="Zigbee coordinator hub",
+        technology=RadioTechnology.ZIGBEE,
+        tx_power_dbm=8.0,
+        rx_sensitivity_dbm=-97.0,
+        antenna=dipole_antenna(orientation_deg=orientation_deg,
+                               gain_dbi=2.0, name="hub PCB antenna",
+                               cross_pol_isolation_db=13.0),
+        frequency_hz=2.44e9,
+        channel_bandwidth_hz=2e6,
+        unit_cost_usd=25.0,
+        duty_cycle=1.0,
+    )
+
+
 def zigbee_rate_for_rssi_kbps(rssi_dbm: ArrayLike) -> ArrayLike:
     """Achievable Zigbee goodput (kbit/s) at a given RSSI."""
     rssi = np.asarray(rssi_dbm, dtype=float)
@@ -68,6 +85,7 @@ def zigbee_rate_for_rssi_kbps(rssi_dbm: ArrayLike) -> ArrayLike:
 __all__ = [
     "ZIGBEE_RATE_TABLE",
     "ZigbeeEndpoint",
+    "zigbee_coordinator",
     "zigbee_sensor",
     "zigbee_rate_for_rssi_kbps",
 ]

@@ -1,0 +1,248 @@
+"""Command-line front end for the experiment registry.
+
+``python -m repro.experiments`` drives the whole reproduction suite:
+
+* ``list [--tag TAG]``            — enumerate registered experiments.
+* ``describe NAME``               — parameter schema, tags, coverage.
+* ``run NAME [--set k=v] [--smoke] [--json PATH] [--check]`` — run one
+  experiment, print its summary, optionally archive the serialized
+  :class:`~repro.experiments.runner.ExperimentResult`.
+* ``run-all [--tag TAG] [--smoke] [--json-dir DIR] [--check]`` — run a
+  tag's worth (or everything), one status line per experiment.
+* ``coverage [--json PATH]``      — which scenarios,
+  :data:`~repro.channel.grid.SWEEP_AXES` and ``repro`` modules the
+  registered suite exercises, and what remains uncovered.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.channel.grid import SWEEP_AXES
+from repro.experiments.registry import (
+    MODULE_NAMES,
+    REGISTRY,
+    SCENARIO_NAMES,
+    ExperimentRegistry,
+    ParameterError,
+    UnknownExperimentError,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import Runner
+
+
+def _parse_overrides(spec, assignments: Sequence[str]) -> Dict[str, object]:
+    overrides: Dict[str, object] = {}
+    for assignment in assignments:
+        name, separator, text = assignment.partition("=")
+        if not separator:
+            raise ParameterError(
+                f"malformed --set {assignment!r}; expected name=value")
+        overrides[name.strip()] = spec.param(name.strip()).parse(text)
+    return overrides
+
+
+def _cmd_list(registry: ExperimentRegistry, tag: Optional[str]) -> int:
+    specs = registry.all(tag)
+    rows = [[spec.name, ", ".join(spec.tags), len(spec.params), spec.title]
+            for spec in specs]
+    suffix = f" tagged {tag!r}" if tag else ""
+    print(format_table(["name", "tags", "params", "title"], rows,
+                       title=f"{len(specs)} registered experiments{suffix}"))
+    return 0
+
+
+def _cmd_describe(registry: ExperimentRegistry, name: str) -> int:
+    print(registry.get(name).describe())
+    return 0
+
+
+def _cmd_run(registry: ExperimentRegistry, name: str,
+             assignments: Sequence[str], smoke: bool,
+             json_path: Optional[str], check: bool, quiet: bool) -> int:
+    runner = Runner(registry)
+    spec = registry.get(name)
+    result = runner.run(name, smoke=smoke,
+                        **_parse_overrides(spec, assignments))
+    if not quiet:
+        print(result.summary())
+    if json_path:
+        Path(json_path).write_text(result.to_json(indent=2))
+        print(f"\nwrote {json_path}")
+    if check:
+        try:
+            result.check()
+        except AssertionError as error:
+            detail = f" ({error})" if str(error) else ""
+            print(f"check FAILED: {name}{detail}", file=sys.stderr)
+            return 1
+        print(f"check passed: {name}")
+    return 0
+
+
+def _cmd_run_all(registry: ExperimentRegistry, tag: Optional[str],
+                 smoke: bool, json_dir: Optional[str], check: bool) -> int:
+    runner = Runner(registry)
+    specs = registry.all(tag)
+    if not specs:
+        print(f"no experiments tagged {tag!r}")
+        return 1
+    directory = Path(json_dir) if json_dir else None
+    if directory is not None:
+        directory.mkdir(parents=True, exist_ok=True)
+    failures: List[str] = []
+    for spec in specs:
+        start = time.perf_counter()
+        result = runner.run(spec.name, smoke=smoke)
+        status = "ok"
+        if check:
+            try:
+                result.check()
+            except AssertionError as error:
+                failures.append(spec.name)
+                status = f"CHECK FAILED ({error})"
+        if directory is not None:
+            (directory / f"{spec.name}.json").write_text(
+                result.to_json(indent=2))
+        elapsed = time.perf_counter() - start
+        print(f"{spec.name:20s} {elapsed:7.2f}s  {status}")
+    mode = "smoke" if smoke else "full"
+    print(f"\nran {len(specs)} experiments ({mode} parameters)"
+          + (f"; archived to {directory}" if directory else ""))
+    if failures:
+        print(f"failed checks: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+def coverage_report(registry: ExperimentRegistry) -> Dict[str, object]:
+    """Aggregate which scenarios/axes/modules the suite exercises."""
+    def exercised(universe, attribute):
+        return {item: sorted(spec.name for spec in registry
+                             if item in getattr(spec, attribute))
+                for item in universe}
+
+    scenarios = exercised(SCENARIO_NAMES, "scenarios")
+    axes = exercised(SWEEP_AXES, "axes")
+    modules = exercised(MODULE_NAMES, "modules")
+    return {
+        "experiment_count": len(registry),
+        "tags": {tag: len(registry.all(tag)) for tag in registry.tags()},
+        "scenarios": scenarios,
+        "axes": axes,
+        "modules": modules,
+        "uncovered": {
+            "scenarios": sorted(k for k, v in scenarios.items() if not v),
+            "axes": sorted(k for k, v in axes.items() if not v),
+            "modules": sorted(k for k, v in modules.items() if not v),
+        },
+    }
+
+
+def format_coverage(report: Dict[str, object]) -> str:
+    """Render :func:`coverage_report` as the CLI's text tables."""
+    blocks = [f"{report['experiment_count']} experiments; tags: " +
+              ", ".join(f"{tag} ({count})"
+                        for tag, count in report["tags"].items())]
+    for title, key in (("scenario coverage", "scenarios"),
+                       ("sweep-axis coverage", "axes"),
+                       ("module coverage", "modules")):
+        rows = [[name, len(users), ", ".join(users) if users else "—"]
+                for name, users in report[key].items()]
+        blocks.append(format_table([key[:-1] if key != "axes" else "axis",
+                                    "experiments", "exercised by"],
+                                   rows, title=title))
+    uncovered = report["uncovered"]
+    missing = [f"{kind}: {', '.join(items)}"
+               for kind, items in uncovered.items() if items]
+    blocks.append("uncovered: " + ("; ".join(missing) if missing else
+                                   "nothing — full coverage"))
+    return "\n\n".join(blocks)
+
+
+def _cmd_coverage(registry: ExperimentRegistry,
+                  json_path: Optional[str]) -> int:
+    report = coverage_report(registry)
+    print(format_coverage(report))
+    if json_path:
+        Path(json_path).write_text(json.dumps(report, indent=2))
+        print(f"\nwrote {json_path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.experiments`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper-reproduction experiment suite.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = commands.add_parser("list", help="enumerate experiments")
+    list_cmd.add_argument("--tag", default=None,
+                          help="only experiments with this tag")
+
+    describe_cmd = commands.add_parser("describe",
+                                       help="show one experiment's schema")
+    describe_cmd.add_argument("name")
+
+    run_cmd = commands.add_parser("run", help="run one experiment")
+    run_cmd.add_argument("name")
+    run_cmd.add_argument("--set", dest="assignments", action="append",
+                         default=[], metavar="NAME=VALUE",
+                         help="override a parameter (repeatable)")
+    run_cmd.add_argument("--smoke", action="store_true",
+                         help="apply the spec's fast smoke profile first")
+    run_cmd.add_argument("--json", dest="json_path", default=None,
+                         help="archive the serialized result here")
+    run_cmd.add_argument("--check", action="store_true",
+                         help="run the spec's shape assertions")
+    run_cmd.add_argument("--quiet", action="store_true",
+                         help="skip the summary rendering")
+
+    run_all_cmd = commands.add_parser("run-all",
+                                      help="run every (tagged) experiment")
+    run_all_cmd.add_argument("--tag", default=None,
+                             help="only experiments with this tag")
+    run_all_cmd.add_argument("--smoke", action="store_true",
+                             help="apply each spec's smoke profile")
+    run_all_cmd.add_argument("--json-dir", dest="json_dir", default=None,
+                             help="archive one JSON result per experiment")
+    run_all_cmd.add_argument("--check", action="store_true",
+                             help="run every spec's shape assertions")
+
+    coverage_cmd = commands.add_parser(
+        "coverage", help="scenario/axis/module coverage of the suite")
+    coverage_cmd.add_argument("--json", dest="json_path", default=None,
+                              help="write the machine-readable report here")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         registry: Optional[ExperimentRegistry] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    registry = registry if registry is not None else REGISTRY
+    arguments = build_parser().parse_args(argv)
+    try:
+        if arguments.command == "list":
+            return _cmd_list(registry, arguments.tag)
+        if arguments.command == "describe":
+            return _cmd_describe(registry, arguments.name)
+        if arguments.command == "run":
+            return _cmd_run(registry, arguments.name, arguments.assignments,
+                            arguments.smoke, arguments.json_path,
+                            arguments.check, arguments.quiet)
+        if arguments.command == "run-all":
+            return _cmd_run_all(registry, arguments.tag, arguments.smoke,
+                                arguments.json_dir, arguments.check)
+        return _cmd_coverage(registry, arguments.json_path)
+    except (ParameterError, UnknownExperimentError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+__all__ = ["build_parser", "coverage_report", "format_coverage", "main"]

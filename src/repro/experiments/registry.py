@@ -1,0 +1,383 @@
+"""Declarative experiment registry.
+
+Every reproduced table, figure and sweep of the paper is described by a
+frozen :class:`ExperimentSpec`: a name, a typed/validated parameter
+schema with defaults, tags (``figure`` / ``table`` / ``sweep`` /
+``network`` / ``sensing`` / ...), and coverage metadata naming the
+canonical scenarios, :data:`~repro.channel.grid.SWEEP_AXES` and
+``repro`` modules the experiment exercises.  Specs are registered with
+the :func:`experiment` decorator::
+
+    @experiment("fig16", title="Fig. 16 - transmissive gain",
+                tags=("figure", "sweep"),
+                params=(Param("distance_cm", "float_seq", (24, 30)),),
+                scenarios=("transmissive",), axes=("distance",))
+    def _run_fig16(distance_cm):
+        ...
+
+which leaves the function untouched and records the spec in the
+module-level :data:`REGISTRY`.  The registry makes the whole
+reproduction one enumerable suite: :class:`~repro.experiments.runner.Runner`
+executes specs with parameter overrides and caching, and
+``python -m repro.experiments`` lists, describes, runs and
+coverage-audits them from the command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.channel.grid import SWEEP_AXES
+
+#: Parameter kinds a spec may declare.  ``float_seq`` is a tuple of
+#: floats; it accepts a bare number (one-element axis), any sequence of
+#: numbers, or — from the CLI — a comma-separated string.
+PARAM_KINDS = ("int", "float", "bool", "str", "float_seq")
+
+#: Canonical scenario families an experiment can exercise (the coverage
+#: universe of the ``coverage`` CLI subcommand).
+SCENARIO_NAMES = ("transmissive", "reflective", "iot_wifi", "iot_ble",
+                  "iot_zigbee", "fleet", "respiration")
+
+#: ``repro`` subsystems an experiment can exercise.
+MODULE_NAMES = ("api", "channel", "core", "devices", "metasurface",
+                "network", "radio", "sensing")
+
+
+class ParameterError(ValueError):
+    """An override used an unknown parameter name or an ill-typed value."""
+
+
+class DuplicateExperimentError(ValueError):
+    """Two specs tried to register under the same name."""
+
+
+class UnknownExperimentError(KeyError):
+    """A lookup named an experiment the registry does not know."""
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep prose.
+        return self.args[0]
+
+
+def _coerce_float_seq(value: Any) -> Tuple[float, ...]:
+    if isinstance(value, bool):
+        raise ParameterError("expected a sequence of numbers, got a bool")
+    if isinstance(value, (int, float)):
+        return (float(value),)
+    if isinstance(value, str):
+        parts = [part.strip() for part in value.split(",") if part.strip()]
+        if not parts:
+            raise ParameterError(f"cannot parse {value!r} as a number list")
+        try:
+            return tuple(float(part) for part in parts)
+        except ValueError as error:
+            raise ParameterError(
+                f"cannot parse {value!r} as a number list") from error
+    try:
+        items = list(value)
+    except TypeError as error:
+        raise ParameterError(
+            f"expected a sequence of numbers, got {type(value).__name__}"
+        ) from error
+    if not items:
+        raise ParameterError("expected a non-empty sequence of numbers")
+    coerced = []
+    for item in items:
+        if isinstance(item, bool) or not isinstance(item, (int, float)):
+            raise ParameterError(
+                f"sequence items must be numbers, got {item!r}")
+        coerced.append(float(item))
+    return tuple(coerced)
+
+
+@dataclass(frozen=True)
+class Param:
+    """One typed parameter of an experiment.
+
+    Attributes
+    ----------
+    name:
+        Keyword name, matching the registered function's signature.
+    kind:
+        One of :data:`PARAM_KINDS`.
+    default:
+        Default value (coerced at registration, so specs always carry
+        canonical defaults).
+    help:
+        One-line description for ``describe``.
+    """
+
+    name: str
+    kind: str
+    default: Any
+    help: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in PARAM_KINDS:
+            raise ValueError(f"unknown parameter kind {self.kind!r}; "
+                             f"expected one of {PARAM_KINDS}")
+        object.__setattr__(self, "default", self.coerce(self.default))
+
+    def coerce(self, value: Any) -> Any:
+        """Validate/convert a Python value for this parameter.
+
+        Integers widen to floats for ``float`` parameters; everything
+        else must already have the declared type.  Raises
+        :class:`ParameterError` on mismatch.
+        """
+        if self.kind == "float_seq":
+            return _coerce_float_seq(value)
+        if self.kind == "bool":
+            if not isinstance(value, bool):
+                raise ParameterError(
+                    f"parameter {self.name!r} expects a bool, "
+                    f"got {value!r}")
+            return value
+        if self.kind == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ParameterError(
+                    f"parameter {self.name!r} expects an int, got {value!r}")
+            return int(value)
+        if self.kind == "float":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ParameterError(
+                    f"parameter {self.name!r} expects a number, "
+                    f"got {value!r}")
+            return float(value)
+        if not isinstance(value, str):
+            raise ParameterError(
+                f"parameter {self.name!r} expects a string, got {value!r}")
+        return value
+
+    def parse(self, text: str) -> Any:
+        """Parse a CLI ``--set name=value`` string into a typed value."""
+        if self.kind == "str":
+            return text
+        if self.kind == "bool":
+            lowered = text.strip().lower()
+            if lowered in ("true", "1", "yes", "on"):
+                return True
+            if lowered in ("false", "0", "no", "off"):
+                return False
+            raise ParameterError(
+                f"parameter {self.name!r} expects true/false, got {text!r}")
+        if self.kind == "int":
+            try:
+                return int(text)
+            except ValueError as error:
+                raise ParameterError(
+                    f"parameter {self.name!r} expects an int, "
+                    f"got {text!r}") from error
+        if self.kind == "float":
+            try:
+                return float(text)
+            except ValueError as error:
+                raise ParameterError(
+                    f"parameter {self.name!r} expects a number, "
+                    f"got {text!r}") from error
+        return self.coerce(text)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Frozen description of one registered experiment.
+
+    ``function`` runs the experiment (keyword arguments exactly the
+    declared parameter names) and returns the payload.  ``smoke`` maps
+    parameter names to cheaper values for quick suite-wide runs.
+    ``summarize(payload, params)`` renders the paper's table/series for
+    the payload and ``check(payload, params)`` asserts its shape (the
+    claims the benchmarks gate).
+    """
+
+    name: str
+    title: str
+    function: Callable[..., Any]
+    params: Tuple[Param, ...] = ()
+    tags: Tuple[str, ...] = ()
+    scenarios: Tuple[str, ...] = ()
+    axes: Tuple[str, ...] = ()
+    modules: Tuple[str, ...] = ()
+    smoke: Mapping[str, Any] = field(default_factory=dict)
+    summarize: Optional[Callable[[Any, Mapping[str, Any]], str]] = None
+    check: Optional[Callable[[Any, Mapping[str, Any]], None]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("experiment name must be non-empty")
+        if not self.tags:
+            raise ValueError(f"experiment {self.name!r} declares no tags")
+        names = [param.name for param in self.params]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"experiment {self.name!r} declares duplicate parameters")
+        for axis in self.axes:
+            if axis not in SWEEP_AXES:
+                raise ValueError(
+                    f"experiment {self.name!r} names unknown axis {axis!r}; "
+                    f"expected a subset of {SWEEP_AXES}")
+        for scenario in self.scenarios:
+            if scenario not in SCENARIO_NAMES:
+                raise ValueError(
+                    f"experiment {self.name!r} names unknown scenario "
+                    f"{scenario!r}; expected a subset of {SCENARIO_NAMES}")
+        for module in self.modules:
+            if module not in MODULE_NAMES:
+                raise ValueError(
+                    f"experiment {self.name!r} names unknown module "
+                    f"{module!r}; expected a subset of {MODULE_NAMES}")
+        # Fail at registration, not first run, on a bad smoke profile.
+        object.__setattr__(self, "smoke", dict(self.smoke))
+        self.resolve(self.smoke)
+
+    def param(self, name: str) -> Param:
+        """The declared parameter called ``name``."""
+        for param in self.params:
+            if param.name == name:
+                return param
+        known = ", ".join(sorted(p.name for p in self.params)) or "(none)"
+        raise ParameterError(
+            f"experiment {self.name!r} has no parameter {name!r}; "
+            f"known parameters: {known}")
+
+    def defaults(self) -> Dict[str, Any]:
+        """Default parameter values, in declaration order."""
+        return {param.name: param.default for param in self.params}
+
+    def resolve(self, overrides: Mapping[str, Any],
+                smoke: bool = False) -> Dict[str, Any]:
+        """Full parameter dict: defaults, then smoke profile, then
+        ``overrides`` — every override validated against the schema."""
+        resolved = self.defaults()
+        layers = [self.smoke, overrides] if smoke else [overrides]
+        for layer in layers:
+            for name, value in layer.items():
+                resolved[name] = self.param(name).coerce(value)
+        return resolved
+
+    def run(self, params: Mapping[str, Any]) -> Any:
+        """Execute the experiment with an already-resolved param dict."""
+        return self.function(**params)
+
+    def describe(self) -> str:
+        """Human-readable multi-line description (CLI ``describe``)."""
+        lines = [f"{self.name} — {self.title}",
+                 f"  tags      : {', '.join(self.tags)}"]
+        if self.scenarios:
+            lines.append(f"  scenarios : {', '.join(self.scenarios)}")
+        if self.axes:
+            lines.append(f"  axes      : {', '.join(self.axes)}")
+        if self.modules:
+            lines.append(f"  modules   : {', '.join(self.modules)}")
+        if self.params:
+            lines.append("  parameters:")
+            for param in self.params:
+                smoke = (f"  [smoke: {self.smoke[param.name]!r}]"
+                         if param.name in self.smoke else "")
+                help_text = f"  — {param.help}" if param.help else ""
+                lines.append(f"    {param.name} ({param.kind}) = "
+                             f"{param.default!r}{smoke}{help_text}")
+        else:
+            lines.append("  parameters: (none)")
+        return "\n".join(lines)
+
+
+class ExperimentRegistry:
+    """Ordered collection of :class:`ExperimentSpec`\\ s."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ExperimentSpec] = {}
+
+    def register(self, spec: ExperimentSpec) -> ExperimentSpec:
+        """Add a spec; duplicate names are an error."""
+        if spec.name in self._specs:
+            raise DuplicateExperimentError(
+                f"experiment {spec.name!r} is already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> ExperimentSpec:
+        """Look a spec up by name."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "(none registered)"
+            raise UnknownExperimentError(
+                f"unknown experiment {name!r}; known experiments: "
+                f"{known}") from None
+
+    def all(self, tag: Optional[str] = None) -> Tuple[ExperimentSpec, ...]:
+        """Every spec, optionally restricted to one tag."""
+        specs = self._specs.values()
+        if tag is None:
+            return tuple(specs)
+        return tuple(spec for spec in specs if tag in spec.tags)
+
+    def names(self, tag: Optional[str] = None) -> Tuple[str, ...]:
+        """Registered names, optionally restricted to one tag."""
+        return tuple(spec.name for spec in self.all(tag))
+
+    def tags(self) -> Tuple[str, ...]:
+        """Every tag any spec declares, sorted."""
+        return tuple(sorted({tag for spec in self._specs.values()
+                             for tag in spec.tags}))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[ExperimentSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+#: The process-wide registry the :func:`experiment` decorator fills.
+#: Importing :mod:`repro.experiments` registers the full catalogue.
+REGISTRY = ExperimentRegistry()
+
+
+def experiment(name: str, *, title: str,
+               params: Sequence[Param] = (),
+               tags: Sequence[str] = (),
+               scenarios: Sequence[str] = (),
+               axes: Sequence[str] = (),
+               modules: Sequence[str] = (),
+               smoke: Optional[Mapping[str, Any]] = None,
+               summarize: Optional[Callable] = None,
+               check: Optional[Callable] = None,
+               registry: Optional[ExperimentRegistry] = None):
+    """Register the decorated function as an experiment.
+
+    The function itself is returned unchanged; the registration is a
+    side effect on ``registry`` (default: the module-level
+    :data:`REGISTRY`).
+    """
+    target = registry if registry is not None else REGISTRY
+
+    def decorate(function: Callable) -> Callable:
+        target.register(ExperimentSpec(
+            name=name, title=title, function=function,
+            params=tuple(params), tags=tuple(tags),
+            scenarios=tuple(scenarios), axes=tuple(axes),
+            modules=tuple(modules), smoke=dict(smoke or {}),
+            summarize=summarize, check=check))
+        return function
+
+    return decorate
+
+
+__all__ = [
+    "DuplicateExperimentError",
+    "ExperimentRegistry",
+    "ExperimentSpec",
+    "MODULE_NAMES",
+    "PARAM_KINDS",
+    "Param",
+    "ParameterError",
+    "REGISTRY",
+    "SCENARIO_NAMES",
+    "UnknownExperimentError",
+    "experiment",
+]

@@ -8,13 +8,19 @@ dependencies).
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Sequence, Union
 
 Number = Union[int, float]
 
+#: Cell text used for missing values (NaN cells, empty tables).
+PLACEHOLDER_CELL = "n/a"
+
 
 def _format_cell(value, precision: int) -> str:
     if isinstance(value, float):
+        if math.isnan(value):
+            return PLACEHOLDER_CELL
         return f"{value:.{precision}f}"
     return str(value)
 
@@ -39,6 +45,10 @@ def format_table(headers: Sequence[str],
     rendered_rows: List[List[str]] = [
         [_format_cell(cell, precision) for cell in row] for row in rows]
     header_row = [str(h) for h in headers]
+    if not rendered_rows:
+        # Empty input still renders a well-formed table: one placeholder
+        # row instead of a dangling header.
+        rendered_rows = [[PLACEHOLDER_CELL] * len(header_row)]
     widths = [len(h) for h in header_row]
     for row in rendered_rows:
         if len(row) != len(header_row):
@@ -82,9 +92,13 @@ def format_comparison(name: str, xs: Sequence[Number],
 
 
 def format_heatmap(grid: dict, precision: int = 1, title: str = "") -> str:
-    """Render a (vx, vy) -> value grid as a matrix-style table."""
+    """Render a (vx, vy) -> value grid as a matrix-style table.
+
+    Missing and NaN cells render as :data:`PLACEHOLDER_CELL`; an empty
+    grid renders a single placeholder row instead of raising.
+    """
     if not grid:
-        raise ValueError("grid is empty")
+        return format_table(["Vx\\Vy"], [], precision=precision, title=title)
     vx_values = sorted({key[0] for key in grid})
     vy_values = sorted({key[1] for key in grid})
     headers = ["Vx\\Vy"] + [f"{vy:g}" for vy in vy_values]
@@ -98,5 +112,5 @@ def format_heatmap(grid: dict, precision: int = 1, title: str = "") -> str:
     return format_table(headers, rows, precision=precision, title=title)
 
 
-__all__ = ["format_table", "format_series", "format_comparison",
-           "format_heatmap"]
+__all__ = ["PLACEHOLDER_CELL", "format_table", "format_series",
+           "format_comparison", "format_heatmap"]

@@ -1,0 +1,216 @@
+"""Experiment runner: overrides, caching and result envelopes.
+
+:class:`Runner` executes :class:`~repro.experiments.registry.ExperimentSpec`\\ s
+with validated parameter overrides and a content-keyed in-memory cache
+(one entry per distinct ``(experiment, resolved-parameters)``), so
+``run_many``/``run_all`` never recompute a result two entry points
+share — and the legacy ``figureN_*`` shims, which delegate here, hit
+the same cache as registry runs.
+
+Every run returns an :class:`ExperimentResult` envelope: the spec, the
+fully-resolved parameters and the payload, with a ``to_dict`` /
+``to_json`` / ``from_json`` round-trip (via
+:mod:`repro.experiments.artifacts`) and a ``summary()`` rendered with
+:mod:`repro.experiments.reporting`.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.experiments import artifacts
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentRegistry,
+    ExperimentSpec,
+)
+from repro.experiments.reporting import format_table
+
+
+def _content_key(name: str, params: Mapping[str, Any]) -> str:
+    encoded = {key: artifacts.encode(value) for key, value in params.items()}
+    return json.dumps([name, encoded], sort_keys=True)
+
+
+def _isolated(result: "ExperimentResult") -> "ExperimentResult":
+    """A deep-copied view of a cached result (the spec is shared — it is
+    frozen and carries only schema/functions)."""
+    return ExperimentResult(spec=result.spec,
+                            params=copy.deepcopy(result.params),
+                            payload=copy.deepcopy(result.payload))
+
+
+def _describe_value(value: Any) -> str:
+    if isinstance(value, tuple) and len(value) > 6:
+        head = ", ".join(f"{v:g}" for v in value[:4])
+        return f"({head}, ... {len(value)} values)"
+    return repr(value)
+
+
+@dataclass(frozen=True, eq=False)
+class ExperimentResult:
+    """One experiment run: spec, resolved parameters and payload.
+
+    Equality is :meth:`equal` (numeric tolerance, NaN-aware) rather
+    than ``==`` because payloads may hold NumPy arrays.
+    """
+
+    spec: ExperimentSpec
+    params: Dict[str, Any] = field(default_factory=dict)
+    payload: Any = None
+
+    @property
+    def name(self) -> str:
+        """The experiment's registry name."""
+        return self.spec.name
+
+    def summary(self) -> str:
+        """The paper's rows/series for this payload (plain text)."""
+        if self.spec.summarize is not None:
+            return self.spec.summarize(self.payload, self.params)
+        rows = [[name, _describe_value(value)]
+                for name, value in self.params.items()]
+        rows.append(["payload", type(self.payload).__name__])
+        return format_table(["parameter", "value"], rows,
+                            title=f"{self.name} — {self.spec.title}")
+
+    def check(self) -> None:
+        """Run the spec's shape assertions against this payload."""
+        if self.spec.check is not None:
+            self.spec.check(self.payload, self.params)
+
+    def equal(self, other: "ExperimentResult",
+              tolerance: float = 1e-9) -> bool:
+        """Same experiment, same parameters, equal payload."""
+        return (self.name == other.name and
+                artifacts.payload_equal(self.params, other.params, tolerance)
+                and artifacts.payload_equal(self.payload, other.payload,
+                                            tolerance))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (see :mod:`repro.experiments.artifacts`)."""
+        return {
+            "experiment": self.name,
+            "title": self.spec.title,
+            "tags": list(self.spec.tags),
+            "params": {name: artifacts.encode(value)
+                       for name, value in self.params.items()},
+            "payload": artifacts.encode(self.payload),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialized :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any],
+                  registry: Optional[ExperimentRegistry] = None
+                  ) -> "ExperimentResult":
+        """Rebuild a result; the spec is looked up in ``registry``."""
+        registry = registry if registry is not None else REGISTRY
+        spec = registry.get(data["experiment"])
+        params = {name: artifacts.decode(value)
+                  for name, value in data.get("params", {}).items()}
+        # Re-validate: a hand-edited file with unknown/ill-typed
+        # parameters fails here, not at the next run.
+        params = spec.resolve(params)
+        return cls(spec=spec, params=params,
+                   payload=artifacts.decode(data["payload"]))
+
+    @classmethod
+    def from_json(cls, text: str,
+                  registry: Optional[ExperimentRegistry] = None
+                  ) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text), registry=registry)
+
+
+class Runner:
+    """Executes registered experiments with overrides and caching."""
+
+    def __init__(self, registry: Optional[ExperimentRegistry] = None,
+                 cache: bool = True) -> None:
+        self.registry = registry if registry is not None else REGISTRY
+        self._cache_enabled = bool(cache)
+        self._cache: Dict[str, ExperimentResult] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def run(self, name: str, smoke: bool = False,
+            **overrides: Any) -> ExperimentResult:
+        """Run one experiment.
+
+        ``overrides`` are validated against the spec's parameter schema
+        (unknown names and ill-typed values raise
+        :class:`~repro.experiments.registry.ParameterError`).  With
+        ``smoke=True`` the spec's smoke profile is applied first, then
+        the overrides.  Identical ``(name, resolved params)`` runs are
+        served from the cache.
+        """
+        spec = self.registry.get(name)
+        params = spec.resolve(overrides, smoke=smoke)
+        key = _content_key(name, params)
+        if self._cache_enabled and key in self._cache:
+            self._hits += 1
+            return _isolated(self._cache[key])
+        result = ExperimentResult(spec=spec, params=params,
+                                  payload=spec.run(params))
+        if self._cache_enabled:
+            self._misses += 1
+            self._cache[key] = result
+            # Hand out a copy so a caller mutating a payload (dicts
+            # inside the frozen dataclasses are mutable) cannot poison
+            # the cached pristine result.
+            return _isolated(result)
+        return result
+
+    def run_many(self, names: Iterable[str], smoke: bool = False,
+                 **overrides: Any) -> List[ExperimentResult]:
+        """Run several experiments, sharing the cache (and, underneath,
+        the memoized scenario/surface construction) across them."""
+        return [self.run(name, smoke=smoke, **overrides) for name in names]
+
+    def run_all(self, tag: Optional[str] = None,
+                smoke: bool = False) -> List[ExperimentResult]:
+        """Run every registered experiment, optionally one tag's worth."""
+        return [self.run(spec.name, smoke=smoke)
+                for spec in self.registry.all(tag)]
+
+    @property
+    def cache_info(self) -> Tuple[int, int, int]:
+        """``(hits, misses, entries)`` of the content-keyed cache."""
+        return (self._hits, self._misses, len(self._cache))
+
+    def clear_cache(self) -> None:
+        """Drop every cached result."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+
+_DEFAULT_RUNNER: Optional[Runner] = None
+
+
+def default_runner() -> Runner:
+    """The process-wide :class:`Runner` the legacy shims delegate to."""
+    global _DEFAULT_RUNNER
+    if _DEFAULT_RUNNER is None:
+        _DEFAULT_RUNNER = Runner()
+    return _DEFAULT_RUNNER
+
+
+def run_experiment(name: str, smoke: bool = False,
+                   **overrides: Any) -> ExperimentResult:
+    """Run ``name`` on the default runner (cache shared process-wide)."""
+    return default_runner().run(name, smoke=smoke, **overrides)
+
+
+__all__ = [
+    "ExperimentResult",
+    "Runner",
+    "default_runner",
+    "run_experiment",
+]

@@ -20,6 +20,11 @@ Three execution paths exist:
   parameter.  The axis-named wrappers (:func:`frequency_sweep`,
   :func:`tx_power_sweep`, :func:`distance_sweep`) default to the
   vectorized engine and fall back to the loop on request.
+
+The figure-level consumers of these drivers are registered experiments
+(see :mod:`repro.experiments.registry`); run them by name through
+:class:`~repro.experiments.runner.Runner` or
+``python -m repro.experiments`` rather than hand-rolling sweeps.
 """
 
 from __future__ import annotations

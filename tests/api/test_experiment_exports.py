@@ -1,0 +1,47 @@
+"""repro.api's experiment-registry exports resolve lazily (PEP 562)."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import repro.api
+
+
+def test_exports_resolve_to_the_registry_types():
+    from repro.experiments.registry import REGISTRY, ExperimentSpec, Param
+    from repro.experiments.runner import ExperimentResult, Runner
+
+    assert repro.api.EXPERIMENT_REGISTRY is REGISTRY
+    assert repro.api.ExperimentSpec is ExperimentSpec
+    assert repro.api.Param is Param
+    assert repro.api.ExperimentResult is ExperimentResult
+    assert repro.api.Runner is Runner
+
+
+def test_unknown_attribute_still_raises():
+    try:
+        repro.api.NoSuchThing
+    except AttributeError as error:
+        assert "NoSuchThing" in str(error)
+    else:
+        raise AssertionError("expected AttributeError")
+
+
+def test_importing_api_does_not_load_the_catalogue():
+    """`import repro.api` must stay light: no figures.py, no cycle."""
+    script = (
+        "import sys\n"
+        "import repro.api\n"
+        "assert 'repro.experiments.figures' not in sys.modules, 'eager'\n"
+        "from repro.api import Runner\n"
+        "assert 'repro.experiments.figures' in sys.modules\n"
+        "assert len(Runner().registry) >= 18\n"
+    )
+    src_dir = str(pathlib.Path(repro.api.__file__).parents[2])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    completed = subprocess.run([sys.executable, "-c", script],
+                               capture_output=True, text=True, env=env)
+    assert completed.returncode == 0, completed.stderr

@@ -5,16 +5,19 @@ import pytest
 from repro.channel.link import DeploymentMode, WirelessLink
 from repro.experiments.baselines import baseline_power_dbm, improvement_over_baseline_db
 from repro.experiments.reporting import (
+    PLACEHOLDER_CELL,
     format_comparison,
     format_heatmap,
     format_series,
     format_table,
 )
 from repro.experiments.scenarios import (
+    IOT_SCENARIOS,
     ReflectiveScenario,
     TransmissiveScenario,
     iot_ble_scenario,
     iot_wifi_scenario,
+    iot_zigbee_scenario,
 )
 from repro.experiments.sweeps import (
     comparison_sweep,
@@ -106,6 +109,32 @@ class TestIoTScenarios:
         assert "MetaMotion" in wearable.name
         assert "Raspberry" in central.name
         assert config.bandwidth_hz == pytest.approx(2e6)
+
+    def test_zigbee_scenario_devices(self):
+        config, sensor, coordinator = iot_zigbee_scenario()
+        assert "Zigbee sensor" in sensor.name
+        assert "coordinator" in coordinator.name
+        assert config.tx_power_dbm == pytest.approx(sensor.tx_power_dbm)
+        assert config.bandwidth_hz == pytest.approx(2e6)
+        assert config.metasurface is None
+
+    def test_zigbee_scenario_with_surface(self):
+        config, _sensor, _coordinator = iot_zigbee_scenario(with_surface=True)
+        assert config.metasurface is not None
+        assert config.deployment is DeploymentMode.TRANSMISSIVE
+
+    def test_zigbee_mismatch_flag(self):
+        mismatched, _s, _c = iot_zigbee_scenario(mismatched=True)
+        matched, _s, _c = iot_zigbee_scenario(mismatched=False)
+        assert (WirelessLink(matched).received_power_dbm() >
+                WirelessLink(mismatched).received_power_dbm())
+
+    def test_iot_scenarios_mapping_names_all_families(self):
+        assert set(IOT_SCENARIOS) == {"iot_wifi", "iot_ble", "iot_zigbee"}
+        for factory in IOT_SCENARIOS.values():
+            configuration, transmitter, receiver = factory()
+            assert configuration.metasurface is None
+            assert transmitter.name != receiver.name
 
 
 class TestSweepDrivers:
@@ -204,6 +233,42 @@ class TestReporting:
         assert "heat" in text
         assert "Vx\\Vy" in text
 
-    def test_format_heatmap_empty_rejected(self):
-        with pytest.raises(ValueError):
-            format_heatmap({})
+    def test_format_heatmap_empty_renders_placeholder(self):
+        text = format_heatmap({}, title="empty heat")
+        lines = text.splitlines()
+        assert lines[0] == "empty heat"
+        assert "Vx\\Vy" in lines[1]
+        assert PLACEHOLDER_CELL in lines[-1]
+
+    def test_format_table_empty_rows_render_placeholder(self):
+        text = format_table(["a", "bb"], [])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[-1].split() == [PLACEHOLDER_CELL, PLACEHOLDER_CELL]
+
+    def test_format_series_empty_renders_placeholder(self):
+        text = format_series("empty series", [], [])
+        lines = text.splitlines()
+        assert lines[0] == "empty series"
+        assert PLACEHOLDER_CELL in lines[-1]
+
+    def test_format_comparison_empty_renders_placeholder(self):
+        text = format_comparison("empty cmp", [], [], [])
+        assert PLACEHOLDER_CELL in text.splitlines()[-1]
+
+    def test_nan_cells_render_placeholder_not_nan(self):
+        nan = float("nan")
+        text = format_series("missing-cell series", [1.0, 2.0], [3.0, nan])
+        assert PLACEHOLDER_CELL in text
+        assert "nan" not in text.replace(PLACEHOLDER_CELL, "")
+
+    def test_format_heatmap_ragged_grid_fills_nan_cells(self):
+        grid = {(0.0, 0.0): -30.0, (10.0, 10.0): -15.0}
+        text = format_heatmap(grid, title="ragged")
+        assert text.count(PLACEHOLDER_CELL) == 2
+
+    def test_format_comparison_with_nan_improvement(self):
+        nan = float("nan")
+        text = format_comparison("cmp", [1.0], [nan], [4.0])
+        # with-surface cell and the improvement column both placeholder
+        assert text.splitlines()[-1].count(PLACEHOLDER_CELL) == 2
