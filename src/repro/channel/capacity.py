@@ -14,6 +14,8 @@ from typing import Union
 
 import numpy as np
 
+from repro.units import db_to_linear
+
 ArrayLike = Union[float, np.ndarray]
 
 
@@ -40,8 +42,8 @@ def shannon_capacity_bps(snr_linear: ArrayLike,
 def spectral_efficiency_from_powers(received_power_dbm: ArrayLike,
                                     noise_power_dbm: float) -> ArrayLike:
     """Spectral efficiency directly from received and noise powers (dBm)."""
-    snr = np.power(10.0, (np.asarray(received_power_dbm, dtype=float) -
-                          noise_power_dbm) / 10.0)
+    snr = db_to_linear(np.asarray(received_power_dbm, dtype=float) -
+                       noise_power_dbm)
     value = np.log2(1.0 + snr)
     if np.isscalar(received_power_dbm):
         return float(value)

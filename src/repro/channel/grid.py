@@ -29,9 +29,15 @@ typo fails loudly at build time rather than deep inside the engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, List, Tuple, Union
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+FloatArray = NDArray[np.float64]
+
+#: Anything accepted as axis values: scalars, sequences, arrays.
+AxisValues = Union[float, int, ArrayLike]
 
 #: Link parameters the evaluation engine can vectorize over (in addition
 #: to the ``vx`` / ``vy`` bias-voltage axes).
@@ -65,8 +71,8 @@ class GridAxis:
     """
 
     name: str
-    values: np.ndarray
-    shaped: np.ndarray
+    values: FloatArray
+    shaped: FloatArray
 
     def __post_init__(self) -> None:
         if self.name not in GRID_AXES:
@@ -99,7 +105,7 @@ class ProbeGrid:
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def product(cls, **axes) -> "ProbeGrid":
+    def product(cls, **axes: AxisValues) -> "ProbeGrid":
         """Outer-product grid over named axis values.
 
         Each array-valued axis is flattened to 1-D and occupies its own
@@ -110,10 +116,11 @@ class ProbeGrid:
             ProbeGrid.product(frequency=freqs, distance=dists)  # 2-D
             ProbeGrid.product(frequency=2.45e9, vx=vs, vy=vs)   # 2-D
         """
-        specs = [(name, np.asarray(values, dtype=float))
-                 for name, values in axes.items()]
+        specs: List[Tuple[str, FloatArray]] = [
+            (name, np.asarray(values, dtype=np.float64))
+            for name, values in axes.items()]
         rank = sum(1 for _name, values in specs if values.ndim > 0)
-        built = []
+        built: List[GridAxis] = []
         position = 0
         for name, values in specs:
             if values.ndim == 0:
@@ -126,7 +133,7 @@ class ProbeGrid:
         return cls(axes=tuple(built))
 
     @classmethod
-    def aligned(cls, **axes) -> "ProbeGrid":
+    def aligned(cls, **axes: AxisValues) -> "ProbeGrid":
         """Grid of pre-shaped axis arrays that broadcast element-wise.
 
         Unlike :meth:`product`, values are used exactly as given; the
@@ -137,8 +144,8 @@ class ProbeGrid:
                               vy=grid_vy)
         """
         built = tuple(
-            GridAxis(name=name, values=np.asarray(values, dtype=float),
-                     shaped=np.asarray(values, dtype=float))
+            GridAxis(name=name, values=np.asarray(values, dtype=np.float64),
+                     shaped=np.asarray(values, dtype=np.float64))
             for name, values in axes.items())
         grid = cls(axes=built)
         grid.shape  # validate broadcastability eagerly
@@ -186,23 +193,24 @@ class ProbeGrid:
                 return axis
         raise KeyError(f"grid has no axis {name!r}; axes are {self.names}")
 
-    def values(self, name: str) -> np.ndarray:
+    def values(self, name: str) -> FloatArray:
         """The axis points of one axis, as given at construction."""
         return self.axis(name).values
 
-    def shaped(self, name: str) -> np.ndarray:
+    def shaped(self, name: str) -> FloatArray:
         """The broadcast-ready array of one axis."""
         return self.axis(name).shaped
 
-    def expand(self, name: str) -> np.ndarray:
+    def expand(self, name: str) -> FloatArray:
         """One axis's values broadcast to the full grid shape.
 
         Handy for labelling results: ``grid.expand("frequency")`` is the
         frequency of every cell of the evaluated power array.
         """
-        return np.broadcast_to(self.shaped(name), self.shape)
+        expanded: FloatArray = np.broadcast_to(self.shaped(name), self.shape)
+        return expanded
 
-    def point_values(self) -> Dict[str, np.ndarray]:
+    def point_values(self) -> Dict[str, FloatArray]:
         """Flattened per-point value arrays, one ``(size,)`` per axis."""
         return {axis.name: self.expand(axis.name).ravel()
                 for axis in self.axes}

@@ -8,7 +8,6 @@ figure.
 
 from __future__ import annotations
 
-import math
 from typing import Union
 
 import numpy as np
@@ -17,6 +16,7 @@ from repro.constants import (
     BOLTZMANN_CONSTANT,
     REFERENCE_TEMPERATURE_K,
 )
+from repro.units import db_to_linear, milliwatts_to_dbm
 
 ArrayLike = Union[float, np.ndarray]
 
@@ -34,8 +34,10 @@ def thermal_noise_dbm(bandwidth_hz: float,
         raise ValueError("temperature must be positive")
     if noise_figure_db < 0:
         raise ValueError("noise figure must be non-negative")
-    noise_watts = BOLTZMANN_CONSTANT * temperature_k * bandwidth_hz
-    return 10.0 * math.log10(noise_watts * 1e3) + noise_figure_db
+    # Convert to mW before taking the log: kTB in Watts sits below the
+    # watts_to_dbm clamp floor for sub-Hz..Hz bandwidths.
+    noise_mw = BOLTZMANN_CONSTANT * temperature_k * bandwidth_hz * 1e3
+    return float(milliwatts_to_dbm(noise_mw)) + noise_figure_db
 
 
 def snr_db(received_power_dbm: ArrayLike, noise_power_dbm: float) -> ArrayLike:
@@ -46,7 +48,7 @@ def snr_db(received_power_dbm: ArrayLike, noise_power_dbm: float) -> ArrayLike:
 def snr_linear(received_power_dbm: ArrayLike,
                noise_power_dbm: float) -> ArrayLike:
     """Signal-to-noise ratio as a linear power ratio."""
-    return np.power(10.0, snr_db(received_power_dbm, noise_power_dbm) / 10.0)
+    return db_to_linear(snr_db(received_power_dbm, noise_power_dbm))
 
 
 __all__ = ["thermal_noise_dbm", "snr_db", "snr_linear"]

@@ -17,7 +17,7 @@ from typing import Optional
 
 
 from repro.core.jones import JonesVector
-from repro.units import linear_to_db
+from repro.units import amplitude_to_db, db_to_linear, linear_to_db
 
 
 class PolarizationKind(Enum):
@@ -73,7 +73,7 @@ class PolarizationState:
         tan_chi = math.tan(chi)
         if tan_chi < 1e-12:
             return float("inf")
-        return float(20.0 * math.log10(1.0 / tan_chi))
+        return float(amplitude_to_db(1.0 / tan_chi))
 
     def rotated(self, angle_deg: float) -> "PolarizationState":
         """Return the state after a physical rotation of ``angle_deg``."""
@@ -156,7 +156,7 @@ def polarization_mismatch_loss_db(transmit: PolarizationState,
     if cross_pol_isolation_db < 0:
         raise ValueError("cross-pol isolation must be non-negative")
     plf = polarization_loss_factor(transmit, receive)
-    floor = 10.0 ** (-cross_pol_isolation_db / 10.0) if math.isfinite(
+    floor = float(db_to_linear(-cross_pol_isolation_db)) if math.isfinite(
         cross_pol_isolation_db) else 0.0
     effective = max(plf, floor)
     if effective <= 0.0:

@@ -26,7 +26,7 @@ import enum
 import importlib
 import json
 import math
-from typing import Any
+from typing import Any, Dict, Optional, Type
 
 import numpy as np
 
@@ -45,7 +45,7 @@ def _type_path(obj: Any) -> str:
     return f"{cls.__module__}:{cls.__qualname__}"
 
 
-def _resolve_type(path: str) -> type:
+def _resolve_type(path: str) -> Type[Any]:
     module_name, _, qualname = path.partition(":")
     root = module_name.split(".", 1)[0]
     if root != _TRUSTED_ROOT:
@@ -79,8 +79,8 @@ def encode(obj: Any) -> Any:
                 "shape": list(obj.shape),
                 "values": [encode(v) for v in obj.ravel().tolist()]}
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        fields = {f.name: encode(getattr(obj, f.name))
-                  for f in dataclasses.fields(obj) if f.init}
+        fields: Dict[str, Any] = {f.name: encode(getattr(obj, f.name))
+                                  for f in dataclasses.fields(obj) if f.init}
         return {_KIND: "dataclass", "type": _type_path(obj), "fields": fields}
     if isinstance(obj, tuple):
         return {_KIND: "tuple", "items": [encode(item) for item in obj]}
@@ -124,7 +124,7 @@ def decode(data: Any) -> Any:
     raise ArtifactError(f"unknown artifact node kind {kind!r}")
 
 
-def to_json(obj: Any, indent: int = None) -> str:
+def to_json(obj: Any, indent: Optional[int] = None) -> str:
     """``json.dumps(encode(obj))`` (NaN/inf kept as JSON literals)."""
     return json.dumps(encode(obj), indent=indent)
 
@@ -191,7 +191,7 @@ def payload_equal(a: Any, b: Any, tolerance: float = 1e-9) -> bool:
         if type(a) is not type(b) or len(a) != len(b):
             return False
         return all(payload_equal(x, y, tolerance) for x, y in zip(a, b))
-    return a == b
+    return bool(a == b)
 
 
 __all__ = [

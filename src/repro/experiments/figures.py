@@ -79,6 +79,7 @@ from repro.radio.measurement import distribution_overlap_fraction
 from repro.radio.transceiver import SimulatedReceiver
 from repro.sensing.detector import RespirationDetector, RespirationReading
 from repro.sensing.respiration import BreathingSubject, RespirationSensingLink
+from repro.units import db_to_amplitude, dbm_to_milliwatts, milliwatts_to_dbm
 
 #: Voltage grid used for the published Table 1.
 TABLE1_VOLTAGES_V = (2.0, 3.0, 4.0, 5.0, 6.0, 10.0, 15.0)
@@ -469,6 +470,7 @@ def _check_table1(payload, params) -> None:
             Param("frequency_hz", "float", DEFAULT_CENTER_FREQUENCY_HZ,
                   "evaluation frequency")),
     modules=("metasurface",),
+    smoke={"voltage_v": (2.0, 5.0, 15.0)},
     summarize=_summary_table1, check=_check_table1)
 def _run_table1(voltage_v: Tuple[float, ...],
                 frequency_hz: float) -> RotationTableResult:
@@ -539,6 +541,7 @@ def _check_fig12(payload, params) -> None:
     scenarios=("transmissive",),
     axes=("rx_orientation",),
     modules=("channel", "core", "metasurface"),
+    smoke={"distance_m": 0.42},
     summarize=_summary_fig12, check=_check_fig12)
 def _run_fig12(distance_m: float) -> RotationEstimationResult:
     scenario = TransmissiveScenario(tx_rx_distance_m=distance_m,
@@ -550,12 +553,9 @@ def _run_fig12(distance_m: float) -> RotationEstimationResult:
     # Fig. 12(a): received *linear* power falls as the orientation
     # difference grows; report the sign of that slope as a sanity check.
     orientations = np.arange(0.0, 91.0, 15.0)
-    powers = []
-    for angle in orientations:
-        rotated = scenario.configuration().without_surface()
-        rotated = replace(rotated,
-                          rx_antenna=rotated.rx_antenna.rotated(angle))
-        powers.append(10.0 ** (WirelessLink(rotated).received_power_dbm() / 10.0))
+    baseline = WirelessLink(scenario.configuration().without_surface())
+    powers = dbm_to_milliwatts(
+        baseline.received_power_dbm_sweep("rx_orientation", orientations))
     slope = np.polyfit(orientations, powers, 1)[0]
     return RotationEstimationResult(
         reference_orientation_deg=estimate.reference_orientation_deg,
@@ -707,7 +707,7 @@ class GainVsDistanceResult:
     @property
     def range_extension_factor(self) -> float:
         """Friis-implied range extension at the best improvement."""
-        return 10.0 ** (self.max_gain_db / 20.0)
+        return float(db_to_amplitude(self.max_gain_db))
 
 
 def _summary_fig16(payload, params) -> str:
@@ -741,6 +741,7 @@ def _check_fig16(payload, params) -> None:
     scenarios=("transmissive",),
     axes=("distance",),
     modules=("api", "channel", "core"),
+    smoke={"distance_cm": (24.0, 42.0, 60.0)},
     summarize=_summary_fig16, check=_check_fig16)
 def _run_fig16(distance_cm: Tuple[float, ...],
                exhaustive: bool) -> GainVsDistanceResult:
@@ -823,6 +824,7 @@ def _check_fig17(payload, params) -> None:
     scenarios=("transmissive",),
     axes=("frequency",),
     modules=("api", "channel", "core"),
+    smoke={"frequency_hz": (2.40e9, 2.45e9, 2.50e9)},
     summarize=_summary_fig17, check=_check_fig17)
 def _run_fig17(frequency_hz: Tuple[float, ...],
                distance_m: float) -> FrequencySweepResult:
@@ -910,8 +912,8 @@ def _capacity_vs_power(antenna_kind: str, absorber: bool,
                        seed: int = 5) -> CapacityVsPowerResult:
     floor_dbm = (CHAMBER_NOISE_FLOOR_DBM if absorber
                  else LAB_INTERFERENCE_FLOOR_DBM)
-    tx_powers_dbm = np.array([10.0 * math.log10(power_mw)
-                              for power_mw in tx_powers_mw])
+    tx_powers_dbm = np.asarray(milliwatts_to_dbm(np.asarray(tx_powers_mw,
+                                                             dtype=float)))
     scenario = TransmissiveScenario(tx_rx_distance_m=distance_m,
                                     tx_power_dbm=float(tx_powers_dbm[0]),
                                     antenna_kind=antenna_kind,
@@ -1011,6 +1013,7 @@ def _check_fig18_19(payload, params) -> None:
     scenarios=("transmissive",),
     axes=("tx_power",),
     modules=("api", "channel", "core", "radio"),
+    smoke={"tx_power_mw": (0.002, 2.0, 20.0, 1000.0)},
     summarize=_summary_fig18_19, check=_check_fig18_19)
 def _run_fig18_19(tx_power_mw: Tuple[float, ...],
                   distance_m: float) -> Dict[str, CapacityVsPowerResult]:
@@ -1337,6 +1340,7 @@ def _check_fig22(payload, params) -> None:
     scenarios=("reflective",),
     axes=("distance",),
     modules=("api", "channel", "core"),
+    smoke={"distance_cm": (24.0, 42.0, 66.0)},
     summarize=_summary_fig22, check=_check_fig22)
 def _run_fig22(distance_cm: Tuple[float, ...],
                exhaustive: bool) -> ReflectiveGainResult:
@@ -1694,11 +1698,12 @@ def _check_fig23(payload, params) -> None:
             Param("seed", "int", 11, "noise seed")),
     scenarios=("respiration",),
     modules=("channel", "metasurface", "sensing"),
+    smoke={"duration_s": 30.0},
     summarize=_summary_fig23, check=_check_fig23)
 def _run_fig23(tx_power_mw: float, duration_s: float,
                seed: int) -> RespirationSensingResult:
     subject = BreathingSubject()
-    tx_power_dbm = 10.0 * math.log10(tx_power_mw)
+    tx_power_dbm = float(milliwatts_to_dbm(tx_power_mw))
     surface = llama_design().build()
     with_link = RespirationSensingLink(subject=subject, metasurface=surface,
                                        tx_power_dbm=tx_power_dbm, seed=seed)
@@ -1956,6 +1961,7 @@ def _check_sec7_access(payload, params) -> None:
     scenarios=("fleet",),
     axes=("tx_orientation",),
     modules=("api", "channel", "network"),
+    smoke={"station_count": 3, "step_v": 7.5},
     summarize=_summary_sec7_access, check=_check_sec7_access)
 def _run_sec7_access(station_count: int, seed: int,
                      step_v: float) -> AccessIsolationResult:

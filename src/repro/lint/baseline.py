@@ -1,0 +1,189 @@
+"""Checked-in lint baseline: acknowledged findings with justifications.
+
+A baseline entry records one acknowledged violation — rule, path, exact
+message, an occurrence count, and a mandatory one-line justification —
+so the CLI can fail only on *new* findings while the acknowledged debt
+stays visible and reviewed.  Matching is by
+:meth:`~repro.lint.findings.Finding.fingerprint` (rule + path +
+message), deliberately line-independent so unrelated edits don't churn
+the file.  Entries that no longer match anything are reported as
+*expired*: the debt was paid and the entry should be deleted.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+#: Default baseline filename, resolved relative to the working directory.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+#: Justification written by ``--write-baseline`` for new entries; review
+#: is expected to replace it before merging.
+PLACEHOLDER_JUSTIFICATION = "TODO: justify this baseline entry"
+
+_FORMAT_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or missing a justification."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One acknowledged finding group (same rule, path and message)."""
+
+    rule: str
+    path: str
+    message: str
+    count: int
+    justification: str
+
+    def key(self) -> _Key:
+        return (self.rule, self.path, self.message)
+
+
+@dataclass(frozen=True)
+class FilterResult:
+    """Outcome of matching findings against a baseline."""
+
+    new_findings: List[Finding]
+    suppressed_count: int
+    expired: List[BaselineEntry]
+
+
+class Baseline:
+    """An ordered set of :class:`BaselineEntry` records."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+
+    # ------------------------------------------------------------- #
+    # Persistence
+    # ------------------------------------------------------------- #
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load and validate a baseline file.
+
+        Every entry must carry a non-empty justification: acknowledged
+        debt without a recorded reason defeats the point of the file.
+        """
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise BaselineError(
+                f"malformed baseline file {path}: {error}") from error
+        if not isinstance(data, dict) or "entries" not in data:
+            raise BaselineError(
+                f"malformed baseline file {path}: expected an object with "
+                "an 'entries' list")
+        entries: List[BaselineEntry] = []
+        raw_entries = data["entries"]
+        if not isinstance(raw_entries, list):
+            raise BaselineError(
+                f"malformed baseline file {path}: 'entries' must be a list")
+        for index, raw in enumerate(raw_entries):
+            if not isinstance(raw, dict):
+                raise BaselineError(
+                    f"baseline entry #{index} is not an object")
+            try:
+                entry = BaselineEntry(
+                    rule=str(raw["rule"]), path=str(raw["path"]),
+                    message=str(raw["message"]),
+                    count=int(raw.get("count", 1)),
+                    justification=str(raw.get("justification", "")).strip())
+            except KeyError as error:
+                raise BaselineError(
+                    f"baseline entry #{index} is missing key "
+                    f"{error.args[0]!r}") from error
+            if not entry.justification:
+                raise BaselineError(
+                    f"baseline entry #{index} ({entry.rule} at "
+                    f"{entry.path}) has no justification; every "
+                    "acknowledged finding must say why")
+            entries.append(entry)
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as stable, reviewable JSON."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {"rule": entry.rule, "path": entry.path,
+                 "message": entry.message, "count": entry.count,
+                 "justification": entry.justification}
+                for entry in sorted(self.entries,
+                                    key=BaselineEntry.key)
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+
+    # ------------------------------------------------------------- #
+    # Matching
+    # ------------------------------------------------------------- #
+    def filter(self, findings: Sequence[Finding]) -> FilterResult:
+        """Split findings into new vs baselined; report expired entries.
+
+        Each entry absorbs up to ``count`` findings with its
+        fingerprint; occurrences beyond the recorded count are new
+        findings (a regression, even if the message is known).
+        """
+        budget: Dict[_Key, int] = {}
+        for entry in self.entries:
+            budget[entry.key()] = budget.get(entry.key(), 0) + entry.count
+        matched: Counter[_Key] = Counter()
+        new_findings: List[Finding] = []
+        suppressed = 0
+        for finding in findings:
+            key = finding.fingerprint()
+            if matched[key] < budget.get(key, 0):
+                matched[key] += 1
+                suppressed += 1
+            else:
+                new_findings.append(finding)
+        expired = [entry for entry in self.entries
+                   if matched[entry.key()] == 0]
+        return FilterResult(new_findings=new_findings,
+                            suppressed_count=suppressed, expired=expired)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding],
+                      justification: str = PLACEHOLDER_JUSTIFICATION,
+                      previous: "Baseline | None" = None) -> "Baseline":
+        """Build a baseline covering ``findings``.
+
+        Justifications from ``previous`` are preserved for entries that
+        still match; new entries get the placeholder (to be replaced in
+        review).
+        """
+        carried: Dict[_Key, str] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                carried[entry.key()] = entry.justification
+        counts: Counter[_Key] = Counter(
+            finding.fingerprint() for finding in findings)
+        entries = [
+            BaselineEntry(rule=rule, path=path, message=message, count=count,
+                          justification=carried.get((rule, path, message),
+                                                    justification))
+            for (rule, path, message), count in sorted(counts.items())
+        ]
+        return cls(entries)
+
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "DEFAULT_BASELINE_NAME",
+    "FilterResult",
+    "PLACEHOLDER_JUSTIFICATION",
+]

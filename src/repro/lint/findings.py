@@ -1,0 +1,95 @@
+"""The :class:`Finding` record every lint rule emits.
+
+A finding pins one invariant violation to a source location: the rule
+that fired (``RPR001`` ...), a severity, ``path:line:col``, a
+human-readable message and — where the rule knows the idiomatic
+alternative — a suggested fix.  Findings are value objects: they sort
+by location, serialize to plain dicts for ``--json`` output, and carry
+a line-independent :meth:`fingerprint` so baseline entries survive
+unrelated edits that shift line numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+class Severity(enum.Enum):
+    """How hard a finding fails the build.
+
+    Both severities make the CLI exit non-zero (an invariant is an
+    invariant); the distinction is for readers and for ``--json``
+    consumers that want to ratchet warnings separately.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier (``RPR001`` ... ``RPR005``, or ``RPR000`` for
+        findings the framework itself emits — parse failures and
+        justification-less suppressions).
+    severity:
+        :class:`Severity` of the violation.
+    path:
+        Path of the offending file, as given to the linter.
+    line, col:
+        1-based line and 0-based column of the offending node.
+    message:
+        What invariant was violated, and how.
+    suggestion:
+        The idiomatic alternative, when the rule knows one.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    suggestion: str = ""
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` for terminal output (clickable in IDEs)."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable ordering: by file, then position, then rule."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for ``--json`` output."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suggestion": self.suggestion,
+        }
+
+    def render(self) -> str:
+        """One-line terminal rendering."""
+        text = (f"{self.location}: {self.rule} "
+                f"[{self.severity.value}] {self.message}")
+        if self.suggestion:
+            text += f"  (hint: {self.suggestion})"
+        return text
+
+
+__all__ = ["Finding", "Severity"]

@@ -1,0 +1,21 @@
+"""The domain rules (RPR001-RPR005).
+
+Importing this package registers every rule with
+:data:`repro.lint.base.RULES`.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.axes import AxisLiteralRule
+from repro.lint.rules.caching import CachingContractRule
+from repro.lint.rules.numpy_hygiene import NumpyHygieneRule
+from repro.lint.rules.registry_hygiene import RegistryHygieneRule
+from repro.lint.rules.units import UnitsDisciplineRule
+
+__all__ = [
+    "AxisLiteralRule",
+    "CachingContractRule",
+    "NumpyHygieneRule",
+    "RegistryHygieneRule",
+    "UnitsDisciplineRule",
+]

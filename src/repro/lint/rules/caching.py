@@ -1,0 +1,248 @@
+"""RPR002 — frozen-configuration / link-caching contract."""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import functools
+import importlib
+from typing import ClassVar, FrozenSet, List, Set
+
+from repro.lint.base import LintContext, Rule, dotted_name, register_rule
+from repro.lint.findings import Severity
+
+#: Classes whose construction is expensive enough that building them
+#: inside a loop body defeats the field caches (the exact bug PR 1
+#: fixed by hand in ``LlamaSystem.estimate_rotation``).
+HOT_LINK_CLASSES = frozenset({"WirelessLink", "LinkEnsemble"})
+
+#: Methods where mutating a frozen instance via ``object.__setattr__``
+#: is part of the dataclass protocol.
+_SETATTR_OK_METHODS = frozenset({"__post_init__", "__init__", "__new__"})
+
+#: Modules introspected for frozen dataclasses.  Importing these is
+#: cheap (no experiment execution) and keeps the known-frozen set
+#: current automatically as classes are added.
+_FROZEN_SOURCE_MODULES = (
+    "repro.channel.link",
+    "repro.channel.grid",
+    "repro.channel.antenna",
+    "repro.channel.geometry",
+    "repro.channel.multipath",
+    "repro.api.fleet",
+    "repro.core.jones",
+    "repro.core.polarization",
+    "repro.experiments.registry",
+    "repro.network.access_control",
+)
+
+
+@functools.lru_cache(maxsize=1)
+def known_frozen_classes() -> FrozenSet[str]:
+    """Names of frozen dataclasses across the core ``repro`` modules.
+
+    Resolved by importing the modules and introspecting
+    ``__dataclass_params__.frozen``, so the contract tracks the real
+    codebase rather than a hand-maintained list.
+    """
+    names: Set[str] = set()
+    for module_name in _FROZEN_SOURCE_MODULES:
+        try:
+            module = importlib.import_module(module_name)
+        except Exception:  # pragma: no cover - only without repro on path
+            continue
+        for value in vars(module).values():
+            if not (isinstance(value, type)
+                    and dataclasses.is_dataclass(value)):
+                continue
+            params = getattr(value, "__dataclass_params__", None)
+            if params is not None and params.frozen:
+                names.add(value.__name__)
+    return frozenset(names)
+
+
+def _local_frozen_classes(tree: ast.Module) -> FrozenSet[str]:
+    """Names of frozen dataclasses *defined* in the linted module."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for decorator in node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            if dotted_name(decorator.func).split(".")[-1] != "dataclass":
+                continue
+            for keyword in decorator.keywords:
+                if (keyword.arg == "frozen"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True):
+                    names.add(node.name)
+    return frozenset(names)
+
+
+@register_rule
+class CachingContractRule(Rule):
+    """Frozen configurations stay frozen; links are built once.
+
+    :class:`~repro.channel.link.WirelessLink` caches every
+    voltage-independent field under the contract that
+    ``LinkConfiguration`` (and every other frozen dataclass) is
+    immutable.  The rule flags (a) attribute assignment on instances of
+    known frozen dataclasses — including ``self.x = ...`` inside a
+    frozen class's own methods, (b) ``object.__setattr__`` anywhere but
+    ``__post_init__`` (the one sanctioned escape hatch), and (c)
+    ``WirelessLink`` / ``LinkEnsemble`` construction inside ``for`` /
+    ``while`` bodies or comprehensions, which silently rebuilds the
+    cached fields every iteration — vary parameters with
+    ``dataclasses.replace`` into a prebuilt link, a sweep axis, or a
+    :class:`~repro.channel.ensemble.LinkEnsemble` instead.  Check (c)
+    is skipped in ``test``-role files, where scalar reference loops are
+    how the parity suites pin the vectorized engine.
+    """
+
+    rule_id: ClassVar[str] = "RPR002"
+    title: ClassVar[str] = ("no frozen-instance mutation; no in-loop "
+                            "WirelessLink/LinkEnsemble construction")
+    default_severity: ClassVar[Severity] = Severity.ERROR
+
+    def __init__(self, context: LintContext) -> None:
+        super().__init__(context)
+        self._frozen_classes = known_frozen_classes() | _local_frozen_classes(
+            context.tree)
+        self._loop_depth = 0
+        self._function_stack: List[str] = []
+        self._class_stack: List[str] = []
+        #: Per-function names bound to freshly built frozen instances.
+        self._frozen_locals: List[Set[str]] = []
+        self._check_loops = not context.has_role("test")
+
+    # ------------------------------------------------------------- #
+    # Scope tracking
+    # ------------------------------------------------------------- #
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef
+                        ) -> None:
+        self._function_stack.append(node.name)
+        self._frozen_locals.append(set())
+        outer_depth = self._loop_depth
+        self._loop_depth = 0  # a nested def starts a fresh loop context
+        self.generic_visit(node)
+        self._loop_depth = outer_depth
+        self._frozen_locals.pop()
+        self._function_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_loop(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_loop(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_loop(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_loop(node)
+
+    # ------------------------------------------------------------- #
+    # Checks
+    # ------------------------------------------------------------- #
+    def _in_frozen_method(self) -> bool:
+        return bool(self._class_stack
+                    and self._class_stack[-1] in self._frozen_classes
+                    and self._function_stack)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Track `cfg = FrozenClass(...)` bindings for check (a).
+        if (self._frozen_locals
+                and isinstance(node.value, ast.Call)
+                and dotted_name(node.value.func).split(".")[-1]
+                in self._frozen_classes):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._frozen_locals[-1].add(target.id)
+        for target in node.targets:
+            self._check_attribute_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_attribute_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_attribute_target(node.target)
+        self.generic_visit(node)
+
+    def _check_attribute_target(self, target: ast.expr) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        base = target.value
+        if (isinstance(base, ast.Name) and base.id == "self"
+                and self._in_frozen_method()
+                and self._function_stack[-1] not in _SETATTR_OK_METHODS):
+            self.report(
+                target,
+                f"assigns self.{target.attr} inside frozen dataclass "
+                f"{self._class_stack[-1]!r} (raises FrozenInstanceError at "
+                "runtime)",
+                suggestion="use dataclasses.replace to derive a new "
+                           "instance, or object.__setattr__ in __post_init__")
+        elif (isinstance(base, ast.Name) and self._frozen_locals
+                and base.id in self._frozen_locals[-1]):
+            self.report(
+                target,
+                f"assigns attribute {target.attr!r} on frozen-dataclass "
+                f"instance {base.id!r}",
+                suggestion="build a new instance with dataclasses.replace")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name == "object.__setattr__":
+            enclosing = self._function_stack[-1] if self._function_stack \
+                else "<module>"
+            if enclosing not in _SETATTR_OK_METHODS:
+                self.report(
+                    node,
+                    "object.__setattr__ outside __post_init__ breaks the "
+                    "frozen-dataclass caching contract",
+                    suggestion="use dataclasses.replace, or move the "
+                               "mutation into __post_init__")
+        simple = name.split(".")[-1]
+        if (self._check_loops and self._loop_depth > 0
+                and simple in HOT_LINK_CLASSES):
+            self.report(
+                node,
+                f"constructs {simple} inside a loop/comprehension body, "
+                "rebuilding its cached static fields every iteration",
+                suggestion="build the link once and dataclasses.replace "
+                           "per variant, or vectorize with a sweep axis / "
+                           "ProbeGrid / LinkEnsemble")
+        self.generic_visit(node)
+
+
+__all__ = ["CachingContractRule", "HOT_LINK_CLASSES",
+           "known_frozen_classes"]

@@ -1,0 +1,135 @@
+"""RPR005 — NumPy hygiene in the vectorized hot paths."""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, List, Set
+
+from repro.lint.base import LintContext, Rule, dotted_name, register_rule
+from repro.lint.findings import Severity
+
+#: ``np.*`` constructors whose result is an ndarray worth tracking for
+#: the loop check.
+_ARRAY_CONSTRUCTORS = frozenset({
+    "array", "asarray", "arange", "linspace", "logspace", "zeros",
+    "ones", "full", "empty", "stack", "concatenate", "broadcast_to",
+    "meshgrid",
+})
+
+_NUMPY_MODULE_NAMES = frozenset({"np", "numpy"})
+
+
+def _is_numpy_call(node: ast.expr, names: frozenset[str]) -> bool:
+    """Whether ``node`` is ``np.<fn>(...)`` with ``fn`` in ``names``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    return (isinstance(func, ast.Attribute)
+            and func.attr in names
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _NUMPY_MODULE_NAMES)
+
+
+@register_rule
+class NumpyHygieneRule(Rule):
+    """Hot modules stay vectorized: no ``np.vectorize``, no row loops.
+
+    The budget engine's performance rests on every physics expression
+    evaluating as one NumPy pass.  ``np.vectorize`` is a Python-level
+    loop in disguise and is flagged everywhere.  In ``hot``-role
+    modules (``channel/``, ``metasurface/``, ``core/``) the rule also
+    flags (a) dtype-less ``np.array([...])`` over float literals —
+    spell the dtype so the engine's float64 contract is explicit — and
+    (b) Python ``for`` loops iterating over an ndarray, which should be
+    NumPy reductions or a :class:`~repro.channel.grid.ProbeGrid`
+    evaluation instead.
+    """
+
+    rule_id: ClassVar[str] = "RPR005"
+    title: ClassVar[str] = ("no np.vectorize; no dtype-less float "
+                            "np.array or ndarray row loops in hot modules")
+    default_severity: ClassVar[Severity] = Severity.WARNING
+
+    def __init__(self, context: LintContext) -> None:
+        super().__init__(context)
+        self._hot = context.has_role("hot")
+        #: Stack of per-function sets of names bound to ndarrays.
+        self._array_locals: List[Set[str]] = [set()]
+
+    # ------------------------------------------------------------- #
+    # Scope tracking
+    # ------------------------------------------------------------- #
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef
+                        ) -> None:
+        self._array_locals.append(set())
+        self.generic_visit(node)
+        self._array_locals.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_numpy_call(node.value, _ARRAY_CONSTRUCTORS):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._array_locals[-1].add(target.id)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------- #
+    # Checks
+    # ------------------------------------------------------------- #
+    def visit_Call(self, node: ast.Call) -> None:
+        if dotted_name(node.func) in {f"{mod}.vectorize"
+                                      for mod in _NUMPY_MODULE_NAMES}:
+            self.report(
+                node,
+                "np.vectorize is a Python-level loop in disguise",
+                suggestion="write the expression over arrays directly "
+                           "(broadcasting) or evaluate a ProbeGrid",
+                severity=Severity.ERROR)
+        if self._hot and _is_numpy_call(node, frozenset({"array"})):
+            self._check_dtypeless_array(node)
+        self.generic_visit(node)
+
+    def _check_dtypeless_array(self, node: ast.Call) -> None:
+        if any(keyword.arg == "dtype" for keyword in node.keywords):
+            return
+        if not node.args:
+            return
+        payload = node.args[0]
+        if not isinstance(payload, (ast.List, ast.Tuple)):
+            return
+        elements: List[ast.expr] = list(payload.elts)
+        for element in list(elements):
+            if isinstance(element, (ast.List, ast.Tuple)):
+                elements.extend(element.elts)
+        if any(isinstance(element, ast.Constant)
+               and isinstance(element.value, float)
+               for element in elements):
+            self.report(
+                node,
+                "dtype-less np.array over float literals in a hot module",
+                suggestion="spell np.array([...], dtype=float) so the "
+                           "engine's float64 contract is explicit")
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._hot:
+            iterable = node.iter
+            is_row_loop = (
+                _is_numpy_call(iterable, _ARRAY_CONSTRUCTORS)
+                or (isinstance(iterable, ast.Name)
+                    and iterable.id in self._array_locals[-1]))
+            if is_row_loop:
+                self.report(
+                    node,
+                    "Python-level for loop over an ndarray in a hot module",
+                    suggestion="replace with a NumPy reduction or a "
+                               "ProbeGrid evaluation (the grid engine "
+                               "vectorizes every axis)")
+        self.generic_visit(node)
+
+
+__all__ = ["NumpyHygieneRule"]

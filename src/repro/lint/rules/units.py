@@ -1,0 +1,176 @@
+"""RPR001 — units discipline for logarithmic vs linear quantities."""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Optional
+
+from repro.lint.base import (
+    LintContext,
+    Rule,
+    call_name,
+    dotted_name,
+    is_constant_number,
+    register_rule,
+)
+from repro.lint.findings import Severity
+
+#: Trailing name tokens that mark a quantity as logarithmic (dB-family).
+LOG_SUFFIXES = frozenset({"db", "dbm", "dbi"})
+
+#: Trailing name tokens that mark a quantity as linear / physical.
+LINEAR_SUFFIXES = frozenset({
+    "mw", "w", "watts", "hz", "khz", "mhz", "ghz",
+    "m", "cm", "mm", "km", "mbps", "bps",
+    "linear", "ratio", "fraction", "amplitude",
+    "v", "deg", "rad", "s", "ms",
+})
+
+_LOG10_NAMES = frozenset({"log10"})
+
+
+def unit_of_name(name: str) -> Optional[str]:
+    """``"log"`` / ``"linear"`` / ``None`` for an identifier.
+
+    The repo's naming grammar puts the unit in the last ``_``-separated
+    token: ``received_power_dbm`` is logarithmic, ``bandwidth_hz`` and
+    ``distance_m`` are linear, ``sample_count`` is untyped.
+    """
+    token = name.lower().rsplit("_", 1)[-1]
+    if token in LOG_SUFFIXES:
+        return "log"
+    if token in LINEAR_SUFFIXES:
+        return "linear"
+    return None
+
+
+@register_rule
+class UnitsDisciplineRule(Rule):
+    """dB-family and linear quantities must not be combined directly.
+
+    The naming grammar (``*_dbm`` / ``*_db`` / ``*_dbi`` logarithmic;
+    ``*_mw`` / ``*_hz`` / ``*_m`` / ... linear) gives every quantity an
+    inferable unit class.  Adding or subtracting a dB quantity and a
+    linear one is always a bug (the classic ``rssi_dbm + noise_mw``),
+    as is multiplying or dividing two dB quantities (log-domain gains
+    compose by addition).  Ad-hoc ``10 * log10(x)`` / ``10 ** (x / 10)``
+    conversion expressions outside :mod:`repro.units` are flagged too:
+    every conversion must go through the canonical helpers so clamping
+    and array semantics stay uniform.
+    """
+
+    rule_id: ClassVar[str] = "RPR001"
+    title: ClassVar[str] = ("no dB/linear mixing; unit conversions only "
+                            "via repro.units")
+    default_severity: ClassVar[Severity] = Severity.ERROR
+
+    @classmethod
+    def applies_to(cls, context: LintContext) -> bool:
+        # units.py *defines* the converters; the rule polices everyone
+        # else.
+        return not context.has_role("units")
+
+    # ------------------------------------------------------------- #
+    # Unit inference
+    # ------------------------------------------------------------- #
+    def classify(self, node: ast.expr) -> Optional[str]:
+        """Infer the unit class of an expression, or ``None``."""
+        if isinstance(node, ast.Name):
+            return unit_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return unit_of_name(node.attr)
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            return unit_of_name(name) if name else None
+        if isinstance(node, ast.Subscript):
+            return self.classify(node.value)
+        if isinstance(node, ast.UnaryOp):
+            return self.classify(node.operand)
+        if isinstance(node, ast.Starred):
+            return self.classify(node.value)
+        if isinstance(node, ast.BinOp) and isinstance(node.op,
+                                                      (ast.Add, ast.Sub)):
+            left = self.classify(node.left)
+            right = self.classify(node.right)
+            if left == right:
+                return left
+            return left if right is None else right if left is None else None
+        return None
+
+    # ------------------------------------------------------------- #
+    # Checks
+    # ------------------------------------------------------------- #
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            left = self.classify(node.left)
+            right = self.classify(node.right)
+            if {left, right} == {"log", "linear"}:
+                self.report(
+                    node,
+                    "adds/subtracts a dB-family quantity and a linear one; "
+                    "convert one side first",
+                    suggestion="use repro.units (db_to_linear / "
+                               "linear_to_db / dbm_to_milliwatts / ...)")
+        elif isinstance(node.op, (ast.Mult, ast.Div)):
+            if (self.classify(node.left) == "log"
+                    and self.classify(node.right) == "log"):
+                self.report(
+                    node,
+                    "multiplies/divides two dB-family quantities; "
+                    "log-domain gains compose by addition",
+                    suggestion="work in the linear domain "
+                               "(repro.units.db_to_linear) or add dB values")
+            self._check_log10_conversion(node)
+        elif isinstance(node.op, ast.Pow):
+            self._check_pow_conversion(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # np.power(10, x / 10) is db_to_linear in disguise.
+        if (dotted_name(node.func).split(".")[-1] == "power"
+                and len(node.args) >= 2
+                and is_constant_number(node.args[0], 10.0)
+                and self._is_db_exponent(node.args[1])):
+            self._report_conversion(node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------- #
+    # Inline-conversion detection
+    # ------------------------------------------------------------- #
+    def _check_log10_conversion(self, node: ast.BinOp) -> None:
+        """``10 * log10(x)`` / ``20 * log10(x)`` outside units.py."""
+        if not isinstance(node.op, ast.Mult):
+            return
+        for constant, other in ((node.left, node.right),
+                                (node.right, node.left)):
+            if (is_constant_number(constant, 10.0, 20.0)
+                    and isinstance(other, ast.Call)
+                    and call_name(other) in _LOG10_NAMES):
+                self._report_conversion(node)
+                return
+
+    def _check_pow_conversion(self, node: ast.BinOp) -> None:
+        """``10 ** (x / 10)`` / ``10 ** (x / 20)`` outside units.py."""
+        if (is_constant_number(node.left, 10.0)
+                and self._is_db_exponent(node.right)):
+            self._report_conversion(node)
+
+    @staticmethod
+    def _is_db_exponent(node: ast.expr) -> bool:
+        """Whether ``node`` is ``<expr> / 10`` or ``<expr> / 20``."""
+        return (isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Div)
+                and is_constant_number(node.right, 10.0, 20.0))
+
+    def _report_conversion(self, node: ast.AST) -> None:
+        self.report(
+            node,
+            "inline dB conversion expression outside repro.units",
+            suggestion="use repro.units (linear_to_db / db_to_linear / "
+                       "amplitude_to_db / db_to_amplitude / "
+                       "milliwatts_to_dbm / dbm_to_milliwatts)",
+            severity=Severity.WARNING)
+
+
+__all__ = ["LINEAR_SUFFIXES", "LOG_SUFFIXES", "UnitsDisciplineRule",
+           "unit_of_name"]

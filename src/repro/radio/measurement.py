@@ -15,6 +15,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro.radio.signal import BasebandSignal
+from repro.units import dbm_to_milliwatts, milliwatts_to_dbm
 
 
 @dataclass(frozen=True)
@@ -59,8 +60,8 @@ def average_power_dbm(readings_dbm: Sequence[float]) -> float:
     readings = np.asarray(readings_dbm, dtype=float)
     if readings.size == 0:
         raise ValueError("need at least one reading")
-    linear = np.power(10.0, readings / 10.0)
-    return float(10.0 * math.log10(max(np.mean(linear), 1e-20)))
+    linear = dbm_to_milliwatts(readings)
+    return float(milliwatts_to_dbm(np.mean(linear)))
 
 
 def power_trace_dbm(signal: BasebandSignal,
@@ -83,7 +84,7 @@ def power_trace_dbm(signal: BasebandSignal,
         chunk = signal.samples[index * window:(index + 1) * window]
         power_mw = float(np.mean(np.abs(chunk) ** 2))
         timestamps.append((index + 0.5) * window / signal.sample_rate_hz)
-        powers.append(10.0 * math.log10(max(power_mw, 1e-20)))
+        powers.append(float(milliwatts_to_dbm(power_mw)))
     return np.asarray(timestamps), np.asarray(powers)
 
 

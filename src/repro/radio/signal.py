@@ -15,6 +15,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.units import db_to_amplitude, dbm_to_milliwatts, milliwatts_to_dbm
+
 
 @dataclass(frozen=True)
 class BasebandSignal:
@@ -64,8 +66,7 @@ class BasebandSignal:
 
     def power_dbm(self) -> float:
         """Mean signal power in dBm."""
-        power = self.power_mw()
-        return 10.0 * math.log10(max(power, 1e-20))
+        return float(milliwatts_to_dbm(self.power_mw()))
 
     # ------------------------------------------------------------------ #
     # Transformations
@@ -75,20 +76,20 @@ class BasebandSignal:
         current = self.power_mw()
         if current <= 0:
             raise ValueError("cannot rescale a zero-power signal")
-        target_mw = 10.0 ** (target_power_dbm / 10.0)
+        target_mw = float(dbm_to_milliwatts(target_power_dbm))
         factor = math.sqrt(target_mw / current)
         return BasebandSignal(self.samples * factor, self.sample_rate_hz)
 
     def attenuated_db(self, loss_db: float) -> "BasebandSignal":
         """Return a copy attenuated by ``loss_db`` (negative values amplify)."""
-        factor = 10.0 ** (-loss_db / 20.0)
+        factor = float(db_to_amplitude(-loss_db))
         return BasebandSignal(self.samples * factor, self.sample_rate_hz)
 
     def with_noise(self, noise_power_dbm: float,
                    rng: Optional[np.random.Generator] = None) -> "BasebandSignal":
         """Return a copy with complex AWGN of the given power added."""
         rng = rng if rng is not None else np.random.default_rng(0)
-        noise_mw = 10.0 ** (noise_power_dbm / 10.0)
+        noise_mw = float(dbm_to_milliwatts(noise_power_dbm))
         scale = math.sqrt(noise_mw / 2.0)
         noise = (rng.normal(0.0, scale, self.samples.size) +
                  1j * rng.normal(0.0, scale, self.samples.size))
@@ -125,7 +126,7 @@ def cosine_tone(frequency_hz: float = 500e3,
         raise ValueError("tone frequency must respect the Nyquist limit")
     count = int(round(duration_s * sample_rate_hz))
     timestamps = np.arange(count) / sample_rate_hz
-    amplitude = math.sqrt(10.0 ** (power_dbm / 10.0))
+    amplitude = math.sqrt(float(dbm_to_milliwatts(power_dbm)))
     samples = amplitude * np.exp(
         1j * (2.0 * math.pi * frequency_hz * timestamps + phase_rad))
     return BasebandSignal(samples, sample_rate_hz)

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.channel.link import WirelessLink
 from repro.radio.signal import BasebandSignal, cosine_tone
+from repro.units import db_to_amplitude, dbm_to_milliwatts, milliwatts_to_dbm
 
 
 @dataclass(frozen=True)
@@ -147,9 +148,9 @@ class SimulatedReceiver:
         timestamps = np.arange(count) / self.sample_rate_hz
         tone = np.exp(1j * (2.0 * math.pi * tone_frequency_hz * timestamps))
         tone_power = np.mean(np.abs(tone) ** 2)
-        noise_mw = 10.0 ** (noise_power_dbm / 10.0)
+        noise_mw = float(dbm_to_milliwatts(noise_power_dbm))
         scale = math.sqrt(noise_mw / 2.0)
-        amplitudes = np.sqrt(10.0 ** (true_powers / 10.0))
+        amplitudes = db_to_amplitude(true_powers)
         powers_dbm = np.empty_like(true_powers)
         for column in range(true_powers.shape[1]):
             noise = (self._rng.normal(0.0, scale, count) +
@@ -158,8 +159,7 @@ class SimulatedReceiver:
             noise_power = np.mean(np.abs(noise) ** 2)
             mean_mw = (amplitudes[:, column] ** 2 * tone_power +
                        2.0 * amplitudes[:, column] * cross + noise_power)
-            powers_dbm[:, column] = 10.0 * np.log10(
-                np.maximum(mean_mw, 1e-20))
+            powers_dbm[:, column] = milliwatts_to_dbm(mean_mw)
         return powers_dbm.reshape(raw.shape)
 
     def measure_average_dbm(self, seconds: float, vx: float = 0.0,
@@ -181,8 +181,8 @@ class SimulatedReceiver:
         powers_mw = []
         for _ in range(chunk_count):
             capture = self.capture(duration_s=chunk_s, vx=vx, vy=vy)
-            powers_mw.append(10.0 ** (capture.mean_power_dbm / 10.0))
-        return 10.0 * math.log10(max(float(np.mean(powers_mw)), 1e-20))
+            powers_mw.append(float(dbm_to_milliwatts(capture.mean_power_dbm)))
+        return float(milliwatts_to_dbm(np.mean(powers_mw)))
 
 
 __all__ = ["SimulatedTransmitter", "SimulatedReceiver", "ReceivedCapture"]

@@ -20,6 +20,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.sensing.respiration import SensingTrace
+from repro.units import linear_to_db
 
 
 @dataclass(frozen=True)
@@ -93,8 +94,8 @@ class RespirationDetector:
         noise_floor = float(np.median(spectrum[out_band]))
         if noise_floor <= 0:
             noise_floor = 1e-20
-        peak_to_noise_db = 10.0 * math.log10(max(peak_power, 1e-20) /
-                                             noise_floor)
+        peak_to_noise_db = float(linear_to_db(max(peak_power, 1e-20) /
+                                              noise_floor))
         detected = peak_to_noise_db >= self.detection_threshold_db
         rate = float(frequencies[peak_index]) if detected else None
         return RespirationReading(estimated_rate_hz=rate,

@@ -32,6 +32,12 @@ from repro.channel.freespace import free_space_path_loss_db
 from repro.channel.noise import thermal_noise_dbm
 from repro.constants import DEFAULT_CENTER_FREQUENCY_HZ, SPEED_OF_LIGHT
 from repro.metasurface.surface import Metasurface
+from repro.units import (
+    db_to_amplitude,
+    dbm_to_milliwatts,
+    linear_to_db,
+    milliwatts_to_dbm,
+)
 
 
 @dataclass(frozen=True)
@@ -180,7 +186,7 @@ class RespirationSensingLink:
     # ------------------------------------------------------------------ #
     def _amplitude_for_budget_db(self, budget_db: float) -> float:
         """Field amplitude (sqrt of linear mW) for a link budget in dB."""
-        return 10.0 ** (budget_db / 20.0)
+        return float(db_to_amplitude(budget_db))
 
     def _static_path_budget_db(self) -> float:
         """Direct Tx->Rx path budget (does not involve the subject)."""
@@ -206,7 +212,7 @@ class RespirationSensingLink:
             surface_efficiency = self.metasurface.reflection_efficiency(
                 self.frequency_hz, vx, vy, "x")
             budget += (self.surface_illumination_gain_db +
-                       10.0 * math.log10(max(surface_efficiency, 1e-9)))
+                       float(linear_to_db(max(surface_efficiency, 1e-9))))
         return budget
 
     # ------------------------------------------------------------------ #
@@ -239,17 +245,17 @@ class RespirationSensingLink:
         # with the signal level in dB terms) is what buries the ripple.
         noise_dbm = thermal_noise_dbm(self.bandwidth_hz,
                                       noise_figure_db=self.noise_figure_db)
-        noise_mw = 10.0 ** (noise_dbm / 10.0)
+        noise_mw = float(dbm_to_milliwatts(noise_dbm))
         total_mw = np.maximum(signal_mw + noise_mw, 1e-20)
         # The estimation jitter grows as the signal approaches the floor:
         # scale it by the ratio of reference to actual transmit power so
         # that reducing the paper's 5 mW further degrades detectability.
-        jitter_scale = max(1.0, 10.0 ** (
-            (self.reference_tx_power_dbm - self.tx_power_dbm) / 20.0))
+        jitter_scale = max(1.0, float(db_to_amplitude(
+            self.reference_tx_power_dbm - self.tx_power_dbm)))
         jitter_db = self._rng.normal(
             0.0, self.power_estimation_jitter_db * jitter_scale,
             size=total_mw.size)
-        power_dbm = 10.0 * np.log10(total_mw) + jitter_db
+        power_dbm = milliwatts_to_dbm(total_mw) + jitter_db
         return SensingTrace(timestamps_s=timestamps, power_dbm=power_dbm,
                             with_metasurface=self.metasurface is not None)
 

@@ -124,7 +124,7 @@ class TestSweepAxisParity:
     def test_unknown_axis_rejected(self):
         link = TransmissiveScenario().link()
         with pytest.raises(ValueError, match="unknown sweep axis"):
-            link.received_power_dbm_sweep("bandwidth", [1.0])
+            link.received_power_dbm_sweep("bandwidth", [1.0])  # repro-lint: disable=RPR003 -- intentionally unknown axis exercising the rejection path
 
     def test_non_positive_frequency_rejected(self):
         link = TransmissiveScenario().link()
@@ -351,8 +351,8 @@ class TestMultiAxisSweepDriver:
         rows = sweep_capacity(points, noise_power_dbm=-90.0)
         assert len(rows) == len(points)
         for row, point in zip(rows, points):
-            snr_with = 10.0 ** ((point.power_with_dbm + 90.0) / 10.0)
-            snr_without = 10.0 ** ((point.power_without_dbm + 90.0) / 10.0)
+            snr_with = 10.0 ** ((point.power_with_dbm + 90.0) / 10.0)  # repro-lint: disable=RPR001 -- independent reference formula the parity assertion compares against
+            snr_without = 10.0 ** ((point.power_without_dbm + 90.0) / 10.0)  # repro-lint: disable=RPR001 -- independent reference formula the parity assertion compares against
             assert row[1] == pytest.approx(math.log2(1.0 + snr_with))
             assert row[2] == pytest.approx(math.log2(1.0 + snr_without))
         assert sweep_capacity([], noise_power_dbm=-90.0) == []

@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+from repro.units import db_to_linear, linear_to_db
 from repro.core.controller import VoltageSweepConfig
 from repro.core.rotation_estimation import (
     RotationAngleEstimator,
@@ -23,8 +24,9 @@ def synthetic_measure(rotation_for_voltages, floor_db=-35.0):
     def measure(orientation_deg, vx, vy):
         rotation = rotation_for_voltages(vx, vy)
         mismatch = math.radians(orientation_deg - rotation)
-        coupling = max(math.cos(mismatch) ** 2, 10.0 ** (floor_db / 10.0))
-        return 10.0 * math.log10(coupling)
+        coupling = max(math.cos(mismatch) ** 2,
+                       float(db_to_linear(floor_db)))
+        return float(linear_to_db(coupling))
     return measure
 
 

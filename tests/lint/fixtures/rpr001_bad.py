@@ -1,0 +1,24 @@
+# repro-lint: role=src
+"""RPR001 fixture: dB/linear mixing and inline conversion expressions.
+
+Expected findings: 2 mixing errors + 3 inline-conversion warnings.
+"""
+
+import math
+
+import numpy as np
+
+
+def mixes_db_and_linear(rssi_dbm, noise_mw):
+    return rssi_dbm + noise_mw
+
+
+def multiplies_two_db(gain_db, loss_db):
+    return gain_db * loss_db
+
+
+def inline_conversions(power_dbm):
+    linear = 10.0 ** (power_dbm / 10.0)
+    back = 10.0 * math.log10(linear)
+    amplitude = np.power(10.0, power_dbm / 20.0)
+    return linear, back, amplitude

@@ -1,0 +1,17 @@
+# repro-lint: role=src
+"""RPR001 fixture: disciplined units code (no findings)."""
+
+from repro.units import db_to_linear, linear_to_db
+
+
+def composes_gains(gain_db, path_loss_db):
+    return gain_db - path_loss_db
+
+
+def converts_via_units(power_dbm, noise_dbm):
+    margin_db = power_dbm - noise_dbm
+    return db_to_linear(margin_db)
+
+
+def linear_domain(power_mw, scale_ratio):
+    return linear_to_db(power_mw * scale_ratio)

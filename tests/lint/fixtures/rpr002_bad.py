@@ -1,0 +1,35 @@
+# repro-lint: role=src
+"""RPR002 fixture: frozen mutation and in-loop link construction.
+
+Expected findings: 2 frozen-attribute assignments, 1 object.__setattr__
+escape, 2 in-loop WirelessLink constructions.
+"""
+
+from dataclasses import dataclass
+
+from repro.channel.link import WirelessLink
+
+
+@dataclass(frozen=True)
+class LocalConfig:
+    power_dbm: float = 0.0
+
+    def rescale(self, delta_db):
+        self.power_dbm = self.power_dbm + delta_db
+
+
+def mutates_local():
+    cfg = LocalConfig()
+    cfg.power_dbm = 3.0
+    return cfg
+
+
+def escapes_the_hatch(cfg):
+    object.__setattr__(cfg, "power_dbm", 1.0)
+
+
+def builds_links_in_loop(configs):
+    links = []
+    for config in configs:
+        links.append(WirelessLink(config))
+    return [WirelessLink(c) for c in configs]

@@ -1,0 +1,23 @@
+# repro-lint: role=src
+"""RPR002 fixture: contract-respecting caching code (no findings)."""
+
+from dataclasses import dataclass, replace
+
+from repro.channel.link import WirelessLink
+
+
+@dataclass(frozen=True)
+class LocalConfig:
+    power_dbm: float = 0.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "power_dbm", float(self.power_dbm))
+
+    def rescaled(self, delta_db):
+        return replace(self, power_dbm=self.power_dbm + delta_db)
+
+
+def builds_once(config, deltas_db):
+    link = WirelessLink(config)
+    variants = [replace(config, power_dbm=float(d)) for d in deltas_db]
+    return link, variants

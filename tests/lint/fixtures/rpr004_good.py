@@ -1,0 +1,22 @@
+# repro-lint: role=figures
+"""RPR004 fixture: registered shims with coverage + smoke (no findings)."""
+
+from repro.experiments.registry import Param, experiment
+from repro.experiments.runner import run_experiment
+
+
+@experiment(
+    "covered",
+    title="covered experiment",
+    params=(Param("sample_count", "int", 100, "samples"),),
+    scenarios=("transmissive",),
+    axes=("frequency",),
+    modules=("channel",),
+    smoke={"sample_count": 5},
+)
+def _run_covered(sample_count):
+    return float(sample_count)
+
+
+def fig99_shim():
+    return run_experiment("covered").payload

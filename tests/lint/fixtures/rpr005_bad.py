@@ -1,0 +1,27 @@
+# repro-lint: role=hot
+"""RPR005 fixture: numpy-hygiene violations in a hot module.
+
+Expected findings: 1 np.vectorize error, 1 dtype-less float array,
+2 ndarray row loops.
+"""
+
+import numpy as np
+
+
+def vectorized_in_disguise(values):
+    helper = np.vectorize(lambda value: value * 2.0)
+    return helper(values)
+
+
+def dtypeless_array():
+    return np.array([1.0, 2.0, 3.0])
+
+
+def row_loops(samples):
+    totals = []
+    powers = np.asarray(samples)
+    for power in powers:
+        totals.append(power * 2.0)
+    for value in np.linspace(0.0, 1.0, 5):
+        totals.append(value)
+    return totals

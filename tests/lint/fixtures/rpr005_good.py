@@ -1,0 +1,17 @@
+# repro-lint: role=hot
+"""RPR005 fixture: vectorized numpy code (no findings)."""
+
+import numpy as np
+
+
+def typed_array():
+    return np.array([1.0, 2.0, 3.0], dtype=float)
+
+
+def reductions(samples):
+    powers = np.asarray(samples, dtype=float)
+    return float(np.sum(powers * 2.0))
+
+
+def integer_literals_need_no_dtype():
+    return np.array([1, 2, 3])

@@ -1,0 +1,52 @@
+"""The repo passes its own invariant checker.
+
+This is the self-hosting acceptance test: ``python -m repro.lint src
+tests`` (the exact CI invocation) must exit 0 against the checked-in
+``lint-baseline.json``, and every baseline entry must carry a real
+justification and still match at least one finding.
+"""
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, LintConfig, lint_paths, main
+from repro.lint.baseline import PLACEHOLDER_JUSTIFICATION
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def repo_cwd(monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+
+
+class TestSelfClean:
+    def test_cli_run_is_clean(self, repo_cwd):
+        out = io.StringIO()
+        code = main(["src", "tests"], stdout=out, stderr=io.StringIO())
+        assert code == 0, out.getvalue()
+
+    def test_strict_baseline_run_is_clean(self, repo_cwd):
+        # No expired entries either: the checked-in baseline matches
+        # the tree exactly.
+        out = io.StringIO()
+        code = main(["src", "tests", "--strict-baseline"],
+                    stdout=out, stderr=io.StringIO())
+        assert code == 0, out.getvalue()
+
+    def test_baseline_entries_are_justified_and_live(self, repo_cwd):
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        assert baseline.entries, "baseline unexpectedly empty"
+        for entry in baseline.entries:
+            assert entry.justification != PLACEHOLDER_JUSTIFICATION, entry
+        findings = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"],
+                              LintConfig())
+        fingerprints = {
+            (f.rule, Path(f.path).relative_to(REPO_ROOT).as_posix(),
+             f.message)
+            for f in findings}
+        for entry in baseline.entries:
+            assert entry.key() in fingerprints, \
+                f"expired baseline entry: {entry}"

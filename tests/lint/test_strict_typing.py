@@ -1,0 +1,43 @@
+"""The strict-typing allowlist stays ``mypy --strict`` clean.
+
+``pyproject.toml``'s ``[tool.mypy]`` section pins the allowlist (the
+units/constants/grid/artifacts contract surfaces plus all of
+``repro.lint``).  The CI ``lint-invariants`` job installs mypy and runs
+it; locally the check is skipped when mypy is not on PATH so the test
+suite carries no extra dependency.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+mypy_available = shutil.which("mypy") is not None
+
+
+@pytest.mark.skipif(not mypy_available, reason="mypy not installed")
+def test_mypy_strict_allowlist_is_clean():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT, capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, (
+        "mypy --strict reported errors on the allowlist:\n"
+        f"{result.stdout}\n{result.stderr}")
+
+
+def test_allowlist_files_exist():
+    # Guards the pyproject allowlist against renames going unnoticed in
+    # environments without mypy.
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python < 3.11
+        pytest.skip("tomllib unavailable")
+    config = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+    entries = config["tool"]["mypy"]["files"]
+    assert entries, "mypy allowlist must not be empty"
+    for entry in entries:
+        assert (REPO_ROOT / entry).exists(), f"allowlist entry missing: {entry}"

@@ -7,6 +7,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.jones import JonesVector
+from repro.units import linear_to_db
 from repro.metasurface.design import llama_design
 from repro.metasurface.surface import SurfaceMode
 
@@ -140,7 +141,7 @@ class TestReflectiveMode:
         reflective = [coupling(ideal_surface.reflection_jones_matrix(2.44e9, vx, vy))
                       for vx, vy in voltages]
         def spread(values):
-            return 10.0 * math.log10(max(values) / min(values))
+            return float(linear_to_db(max(values) / min(values)))
 
         assert spread(reflective) < spread(transmissive)
 

@@ -1,11 +1,11 @@
 """Tests for the respiration-sensing application (paper Sec. 5.2.2)."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.metasurface.design import llama_design
+from repro.units import milliwatts_to_dbm
 from repro.sensing.detector import RespirationDetector
 from repro.sensing.respiration import (
     BreathingSubject,
@@ -87,7 +87,7 @@ class TestDetector:
     def test_paper_headline_result(self, subject, surface):
         """Fig. 23: at 5 mW the breathing is only detectable with the
         metasurface deployed."""
-        tx_power_dbm = 10.0 * math.log10(5.0)
+        tx_power_dbm = float(milliwatts_to_dbm(5.0))
         detector = RespirationDetector()
         with_surface = RespirationSensingLink(
             subject, metasurface=surface, tx_power_dbm=tx_power_dbm,

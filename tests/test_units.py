@@ -1,6 +1,7 @@
 """Tests for unit conversions in :mod:`repro.units`."""
 
 
+import math
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
@@ -95,3 +96,96 @@ class TestFrequencyWavelength:
     def test_rejects_non_positive_wavelength(self):
         with pytest.raises(ValueError):
             units.wavelength_to_frequency(-1.0)
+
+
+class TestRoundTripProperties:
+    """Property-based round-trip and algebraic laws of the converters.
+
+    These are the contracts the RPR001 migrations lean on: every inline
+    ``10 ** (x / 10)`` expression replaced by a converter call must be
+    able to rely on exact (1e-9) round trips over the physical ranges
+    the reproduction uses.
+    """
+
+    @given(st.floats(min_value=-150.0, max_value=150.0))
+    def test_db_linear_round_trip(self, value_db):
+        assert units.linear_to_db(
+            units.db_to_linear(value_db)) == pytest.approx(value_db, abs=1e-9)
+
+    @given(st.floats(min_value=1e-15, max_value=1e15))
+    def test_linear_db_round_trip(self, ratio):
+        assert units.db_to_linear(
+            units.linear_to_db(ratio)) == pytest.approx(ratio, rel=1e-9)
+
+    @given(st.floats(min_value=-150.0, max_value=150.0))
+    def test_dbm_milliwatts_round_trip(self, power_dbm):
+        assert units.milliwatts_to_dbm(
+            units.dbm_to_milliwatts(power_dbm)) == pytest.approx(
+                power_dbm, abs=1e-9)
+
+    @given(st.floats(min_value=-130.0, max_value=150.0))
+    def test_watts_dbm_round_trip(self, power_dbm):
+        assert units.watts_to_dbm(
+            units.dbm_to_watts(power_dbm)) == pytest.approx(
+                power_dbm, abs=1e-9)
+
+    @given(st.floats(min_value=-150.0, max_value=150.0))
+    def test_amplitude_db_round_trip(self, value_db):
+        assert units.amplitude_to_db(
+            units.db_to_amplitude(value_db)) == pytest.approx(
+                value_db, abs=1e-9)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_dbm_watts_milliwatts_consistent(self, power_dbm):
+        # The Watts and milliwatts paths agree: 1 W == 1000 mW.
+        watts = units.dbm_to_watts(power_dbm)
+        milliwatts = units.dbm_to_milliwatts(power_dbm)
+        assert milliwatts == pytest.approx(watts * 1e3, rel=1e-12)
+
+    @given(st.floats(min_value=-50.0, max_value=50.0),
+           st.floats(min_value=-50.0, max_value=50.0))
+    def test_db_addition_is_linear_multiplication(self, a_db, b_db):
+        combined = units.db_to_linear(a_db + b_db)
+        product = units.db_to_linear(a_db) * units.db_to_linear(b_db)
+        assert combined == pytest.approx(product, rel=1e-9)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_amplitude_is_sqrt_of_power_ratio(self, value_db):
+        amplitude = units.db_to_amplitude(value_db)
+        power = units.db_to_linear(value_db)
+        assert amplitude**2 == pytest.approx(power, rel=1e-9)
+
+    @given(st.floats(min_value=-1080.0, max_value=1080.0))
+    def test_degrees_radians_round_trip(self, angle_deg):
+        assert units.radians_to_degrees(
+            units.degrees_to_radians(angle_deg)) == pytest.approx(
+                angle_deg, abs=1e-9)
+
+    @given(st.floats(min_value=-1080.0, max_value=1080.0))
+    def test_wrap_angle_degrees_range_and_identity(self, angle_deg):
+        wrapped = units.wrap_angle_degrees(angle_deg)
+        # np.mod rounds tiny negatives up to exactly 360.0, so the
+        # interval is closed at the top edge up to floating-point noise.
+        assert 0.0 <= wrapped <= 360.0
+        residual = math.remainder(float(angle_deg) - float(wrapped), 360.0)
+        assert residual == pytest.approx(0.0, abs=1e-6)
+
+    @given(st.floats(min_value=-1080.0, max_value=1080.0))
+    def test_wrap_angle_180_range(self, angle_deg):
+        wrapped = units.wrap_angle_180(angle_deg)
+        assert -180.0 <= wrapped < 180.0
+
+    @given(st.lists(st.floats(min_value=-100.0, max_value=100.0),
+                    min_size=1, max_size=8))
+    def test_array_round_trip_matches_scalars(self, values_db):
+        array = np.asarray(values_db, dtype=float)
+        round_tripped = units.linear_to_db(units.db_to_linear(array))
+        assert round_tripped.shape == array.shape
+        np.testing.assert_allclose(round_tripped, array, atol=1e-9)
+
+    @given(st.floats(min_value=-1e6, max_value=0.0))
+    def test_clamps_keep_logs_finite(self, bad_ratio):
+        assert np.isfinite(units.linear_to_db(bad_ratio))
+        assert np.isfinite(units.milliwatts_to_dbm(bad_ratio))
+        assert np.isfinite(units.watts_to_dbm(bad_ratio))
+        assert np.isfinite(units.amplitude_to_db(bad_ratio))
