@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Chaos engineering for the LLAMA fleet: faults in, resilience out.
+
+The fault plane makes "what if the hardware misbehaves?" a measured
+question.  This example drives the whole resilience stack end to end:
+
+1. a single link optimized under probe dropouts and impulse noise,
+   recovered by retries + median-of-3 re-voting (vs the clean optimum),
+2. the exact-replay contract: the same seed reproduces the same fault
+   trace, digest for digest,
+3. a fleet living through station churn — failed stations quarantined
+   with last-known-good bias, every epoch scheduled on the survivors,
+4. the health report that carries the evidence.
+
+Run with::
+
+    python examples/chaos_fleet.py
+"""
+
+from repro.api import FleetSession, FleetSpec, LinkSession
+from repro.core.controller import VoltageSweepConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import TransmissiveScenario
+from repro.faults import (
+    FaultSchedule,
+    FaultSpec,
+    ProbePolicy,
+    RetryPolicy,
+    StationChurn,
+)
+
+
+def faulted_session(schedule: FaultSchedule) -> LinkSession:
+    return LinkSession(
+        TransmissiveScenario().configuration(),
+        sweep_config=VoltageSweepConfig(iterations=2, switches_per_axis=5),
+        fault_schedule=schedule,
+        retry_policy=RetryPolicy(max_attempts=5),
+        probe_policy=ProbePolicy(repeats=3))
+
+
+def main() -> None:
+    # 1. One link, hostile conditions: 5% of probed cells drop out,
+    #    another 5% take a +/-6 dB impulse, and 5% of probe calls fail
+    #    outright at the I/O level.
+    spec = FaultSpec(probe_dropout_rate=0.05, noise_burst_rate=0.05,
+                     noise_burst_db=6.0, probe_error_rate=0.05)
+    clean = LinkSession(
+        TransmissiveScenario().configuration(),
+        sweep_config=VoltageSweepConfig(iterations=2,
+                                        switches_per_axis=5)).optimize()
+    session = faulted_session(FaultSchedule(spec, seed=2021))
+    result = session.optimize()
+    report = session.health
+    print("Single link under probe faults:")
+    print(f"  clean optimum   : {clean.best_power_dbm:7.2f} dBm at "
+          f"({clean.best_vx:.0f} V, {clean.best_vy:.0f} V)")
+    print(f"  faulted optimum : {result.best_power_dbm:7.2f} dBm at "
+          f"({result.best_vx:.0f} V, {result.best_vy:.0f} V)")
+    print(f"  regret          : "
+          f"{max(0.0, clean.best_power_dbm - result.best_power_dbm):7.2f} dB")
+    print(f"  probes/retries  : {report.probes} probes, "
+          f"{report.retries} retries")
+    print(f"  faults seen     : {dict(report.faults_seen)}")
+
+    # 2. Exact replay: a fresh schedule with the same (spec, seed)
+    #    reproduces every fault — mask for mask, digest for digest.
+    replayed_session = faulted_session(
+        session.fault_schedule.replay())
+    replayed = replayed_session.optimize()
+    first_digest = session.fault_schedule.trace.digest()
+    second_digest = replayed_session.fault_schedule.trace.digest()
+    assert replayed.best_power_dbm == result.best_power_dbm
+    assert first_digest == second_digest
+    print(f"\nReplay: identical optimum and fault-trace digest "
+          f"({first_digest:#010x})")
+
+    # 3. A fleet living through churn: MTBF 3 epochs, MTTR 2 epochs.
+    churn_spec = FaultSpec(station_mtbf_epochs=3.0, station_mttr_epochs=2.0)
+    schedule = FaultSchedule(churn_spec, seed=7)
+    fleet = FleetSession(FleetSpec.random_home(station_count=6, seed=7),
+                         fault_schedule=schedule)
+    churn = StationChurn(schedule, fleet.station_names)
+    rows = []
+    for epoch in range(8):
+        survivors = fleet.apply_churn(churn.advance())
+        epoch_result = fleet.schedule("polarization-reuse")
+        rows.append([
+            epoch + 1,
+            f"{len(survivors)}/{len(fleet.station_names)}",
+            ", ".join(fleet.quarantined_stations) or "-",
+            epoch_result.total_throughput_mbps,
+            epoch_result.retune_count,
+        ])
+    print()
+    print(format_table(
+        ["epoch", "up", "quarantined", "throughput (Mbit/s)", "retunes"],
+        rows, precision=1,
+        title="Fleet scheduling through station churn "
+              "(polarization-reuse on survivors)"))
+
+    # 4. Quarantined stations keep their last-known-good bias, ready
+    #    for re-biasing on recovery; the health report sums it all up.
+    for station in fleet.quarantined_stations:
+        bias = fleet.last_known_good_bias(station)
+        if bias is not None:
+            print(f"  {station}: last-known-good bias "
+                  f"Vx={bias[0]:.0f} V, Vy={bias[1]:.0f} V")
+    health = fleet.health
+    print(f"\nFleet health: {health.probes} probes, "
+          f"{health.retries} retries, {health.total_faults} faults, "
+          f"quarantined={list(health.stations_quarantined) or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,11 @@ receivers, recorded traces, hardware — are substitutable.
   deployment scenarios (``to_dict``/``from_dict`` JSON round-trip).
 * :class:`ScenarioBuilder` — fluent scenario construction
   (antennas → deployment → environment → device).
+* Fault plane re-exports — :class:`FaultSpec` / :class:`FaultSchedule`
+  (deterministic fault injection), :class:`RetryPolicy` /
+  :class:`ProbePolicy` (resilient probing) and :class:`HealthReport`,
+  the knobs both session facades accept; the full taxonomy lives in
+  :mod:`repro.faults`.
 """
 
 from repro.api.backend import (
@@ -55,6 +60,13 @@ from repro.api.fleet import (
 )
 from repro.api.session import LinkSession
 from repro.channel.grid import GRID_AXES, GridAxis, ProbeGrid, SWEEP_AXES
+from repro.faults import (
+    FaultSchedule,
+    FaultSpec,
+    HealthReport,
+    ProbePolicy,
+    RetryPolicy,
+)
 
 #: Experiment-registry exports, resolved lazily (PEP 562): importing
 #: ``repro.api`` for a single link must not pay for — or create an
@@ -107,6 +119,11 @@ __all__ = [
     "FleetSpec",
     "FleetBiasPlan",
     "FleetSession",
+    "FaultSpec",
+    "FaultSchedule",
+    "RetryPolicy",
+    "ProbePolicy",
+    "HealthReport",
     "EXPERIMENT_REGISTRY",
     "ExperimentRegistry",
     "ExperimentSpec",

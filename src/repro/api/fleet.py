@@ -56,6 +56,16 @@ from repro.core.controller import (
     GridSweepResult,
     VoltageSweepConfig,
 )
+from repro.faults import (
+    FaultSchedule,
+    FaultyBackend,
+    HealthMonitor,
+    HealthReport,
+    ProbePolicy,
+    RetryingBackend,
+    RetryPolicy,
+    StationChurn,
+)
 from repro.metasurface.design import (
     fr4_naive_design,
     llama_design,
@@ -345,12 +355,25 @@ class FleetSession:
     sweep_config:
         Controller search parameters for :meth:`optimize_grid`
         (Algorithm 1 defaults).
+    fault_schedule:
+        Optional :class:`~repro.faults.FaultSchedule`; when active, the
+        stacked probe backends of :meth:`optimize_grid` run through the
+        deterministic fault plane.
+    retry_policy:
+        Optional :class:`~repro.faults.RetryPolicy` wrapping those
+        probes in virtual-clock retries.
+    probe_policy:
+        Optional :class:`~repro.faults.ProbePolicy` for median-of-k
+        probe re-voting inside the stacked Algorithm 1 searches.
     """
 
     def __init__(self,
                  fleet: Union[FleetSpec, DenseDeployment,
                               Sequence[Union[StationSpec, StationPlacement]]],
-                 sweep_config: Optional[VoltageSweepConfig] = None):
+                 sweep_config: Optional[VoltageSweepConfig] = None,
+                 fault_schedule: Optional[FaultSchedule] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 probe_policy: Optional[ProbePolicy] = None):
         if isinstance(fleet, DenseDeployment):
             self.spec = FleetSpec.from_deployment(fleet)
             self.deployment = fleet
@@ -364,7 +387,13 @@ class FleetSession:
                 for station in fleet)
             self.spec = FleetSpec(stations=stations)
             self.deployment = self.spec.build()
-        self.controller = CentralizedController(sweep_config)
+        self.controller = CentralizedController(sweep_config,
+                                                probe_policy=probe_policy)
+        self.monitor = HealthMonitor()
+        self.fault_schedule = fault_schedule
+        self.retry_policy = retry_policy
+        self._quarantined: set = set()
+        self._last_known_good: Dict[str, Tuple[float, float]] = {}
         self._sessions: Dict[str, LinkSession] = {}
 
     # ------------------------------------------------------------------ #
@@ -393,6 +422,92 @@ class FleetSession:
     def station_index(self, name: str) -> int:
         """Position of a station on the stacked station axis."""
         return self.deployment.station_index(name)
+
+    # ------------------------------------------------------------------ #
+    # Resilience plane: quarantine, churn, health
+    # ------------------------------------------------------------------ #
+    @property
+    def active_stations(self) -> Tuple[str, ...]:
+        """Stations currently in service (fleet order, minus quarantine)."""
+        return tuple(name for name in self.station_names
+                     if name not in self._quarantined)
+
+    @property
+    def quarantined_stations(self) -> Tuple[str, ...]:
+        """Stations currently quarantined, in quarantine order."""
+        return self.monitor.quarantined
+
+    @property
+    def health(self) -> HealthReport:
+        """Probe / retry / fault / quarantine accounting for this fleet."""
+        return self.monitor.report()
+
+    def quarantine(self, *names: str) -> Tuple[str, ...]:
+        """Take stations out of service (idempotent); returns survivors.
+
+        Quarantined stations keep their last-known-good bias pair (see
+        :meth:`last_known_good_bias`) so a recovering station can be
+        re-biased without a fresh search; every scheduling and stacked
+        search entry point then runs on the survivor subset only.
+        """
+        for name in names:
+            self.deployment.station(name)  # KeyError for unknown names
+            if name not in self._quarantined:
+                self._quarantined.add(name)
+                self.monitor.record_quarantine(name)
+        return self.active_stations
+
+    def reinstate(self, *names: str) -> Tuple[str, ...]:
+        """Return stations to service (idempotent); returns survivors."""
+        for name in names:
+            self.deployment.station(name)
+            if name in self._quarantined:
+                self._quarantined.discard(name)
+                self.monitor.record_reinstate(name)
+        return self.active_stations
+
+    def apply_churn(self, churn: Union[StationChurn, Sequence[str]]
+                    ) -> Tuple[str, ...]:
+        """Synchronize quarantine with a churn process's up/down state.
+
+        ``churn`` is a :class:`~repro.faults.StationChurn` (its current
+        up-set is adopted) or an explicit sequence of up-station names;
+        every other fleet station is quarantined.  Returns the
+        surviving stations.
+        """
+        if isinstance(churn, StationChurn):
+            up = set(churn.up_stations)
+        else:
+            up = set(churn)
+        for name in self.station_names:
+            if name in up:
+                self.reinstate(name)
+            else:
+                self.quarantine(name)
+        return self.active_stations
+
+    def last_known_good_bias(self, station: str
+                             ) -> Optional[Tuple[float, float]]:
+        """The bias pair last scheduled for a station (None if never).
+
+        Updated by every surface-strategy :meth:`schedule` epoch and
+        kept through quarantine — the state a recovered station is
+        re-biased to before its next fresh search.
+        """
+        self.deployment.station(station)
+        return self._last_known_good.get(station)
+
+    def _resilient_backend(self, backend):
+        """Wrap a probe backend in the configured fault/retry planes."""
+        if (self.fault_schedule is not None
+                and self.fault_schedule.spec.active):
+            backend = FaultyBackend(backend, self.fault_schedule,
+                                    monitor=self.monitor)
+        if self.retry_policy is not None:
+            backend = RetryingBackend(backend, self.retry_policy,
+                                      monitor=self.monitor,
+                                      schedule=self.fault_schedule)
+        return backend
 
     # ------------------------------------------------------------------ #
     # Measurement plane (station-stacked)
@@ -465,15 +580,19 @@ class FleetSession:
 
     def optimize_grid(self, exhaustive: bool = False,
                       step_v: float = 1.0) -> GridSweepResult:
-        """Run Algorithm 1 for every station simultaneously.
+        """Run Algorithm 1 for every surviving station simultaneously.
 
         One batched probe per refinement iteration covers every
         station's voltage window; cell ``i`` of the result equals
         running :meth:`LinkSession.optimize` on station ``i`` alone
-        (same grids, same first-maximum and NaN semantics).
+        (same grids, same first-maximum and NaN semantics).  Quarantined
+        stations are excluded; probes run through the session's fault
+        and retry planes when configured.
         """
+        ensemble = self.deployment.ensemble_for(self.active_stations)
+        grid = ProbeGrid.aligned(**ensemble.station_grid(0))
         return self.controller.optimize_grid(
-            LinkBackend(self.ensemble.link), self.station_grid(),
+            self._resilient_backend(LinkBackend(ensemble.link)), grid,
             exhaustive=exhaustive, step_v=step_v)
 
     # ------------------------------------------------------------------ #
@@ -488,27 +607,37 @@ class FleetSession:
         ``strategy`` is one of :data:`SCHEDULE_STRATEGIES`; all
         strategies drive the fleet-stacked utility searches, so the
         whole epoch costs a handful of NumPy passes regardless of the
-        station count.
+        station count.  Quarantined stations are excluded from the
+        epoch — with every station quarantined the result is the
+        well-formed empty epoch (zero throughput, vacuous fairness) —
+        and each surface-strategy epoch refreshes the survivors'
+        last-known-good bias pairs.
         """
+        survivors = self.active_stations
         if strategy == "no-surface":
-            return baseline_without_surface(self.deployment)
+            return baseline_without_surface(self.deployment,
+                                            stations=survivors)
         if strategy == "fixed-bias":
             scheduler = FixedBiasScheduler(
                 self.deployment, epoch_duration_s=epoch_duration_s,
-                bias_search_step_v=bias_search_step_v)
+                bias_search_step_v=bias_search_step_v, stations=survivors)
         elif strategy == "per-station":
             scheduler = PerStationScheduler(
                 self.deployment, epoch_duration_s=epoch_duration_s,
-                bias_search_step_v=bias_search_step_v)
+                bias_search_step_v=bias_search_step_v, stations=survivors)
         elif strategy == "polarization-reuse":
             scheduler = PolarizationReuseScheduler(
                 self.deployment, epoch_duration_s=epoch_duration_s,
                 bias_search_step_v=bias_search_step_v,
-                orientation_tolerance_deg=orientation_tolerance_deg)
+                orientation_tolerance_deg=orientation_tolerance_deg,
+                stations=survivors)
         else:
             raise ValueError(f"unknown scheduling strategy {strategy!r}; "
                              f"expected one of {SCHEDULE_STRATEGIES}")
-        return scheduler.schedule()
+        result = scheduler.schedule()
+        for allocation in result.allocations:
+            self._last_known_good[allocation.station] = allocation.bias_pair
+        return result
 
     def schedule_all(self, epoch_duration_s: float = 60.0,
                      bias_search_step_v: float = 5.0,

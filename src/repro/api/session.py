@@ -44,6 +44,15 @@ from repro.core.rotation_estimation import (
     RotationEstimate,
 )
 from repro.core.rotator import ProgrammableRotator, RotatorConfig
+from repro.faults import (
+    FaultSchedule,
+    FaultyBackend,
+    HealthMonitor,
+    HealthReport,
+    ProbePolicy,
+    RetryingBackend,
+    RetryPolicy,
+)
 from repro.hardware.power_supply import ProgrammablePowerSupply
 from repro.metasurface.surface import SurfaceMode
 
@@ -64,20 +73,45 @@ class LinkSession:
     supply:
         Power-supply simulation; one is created when a surface is
         deployed and none is provided.
+    fault_schedule:
+        Optional :class:`~repro.faults.FaultSchedule`; when it is
+        active the session's backend is wrapped in a
+        :class:`~repro.faults.FaultyBackend`, so every probe runs
+        through the deterministic fault plane.
+    retry_policy:
+        Optional :class:`~repro.faults.RetryPolicy`; probes then run
+        under a :class:`~repro.faults.RetryingBackend` (virtual-clock
+        backoff, typed retryable classification).
+    probe_policy:
+        Optional :class:`~repro.faults.ProbePolicy` for the
+        controller's median-of-k probe re-voting.
     """
 
     def __init__(self,
                  configuration: Union[LinkConfiguration, WirelessLink],
                  sweep_config: Optional[VoltageSweepConfig] = None,
                  rotator_config: Optional[RotatorConfig] = None,
-                 supply: Optional[ProgrammablePowerSupply] = None):
+                 supply: Optional[ProgrammablePowerSupply] = None,
+                 fault_schedule: Optional[FaultSchedule] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 probe_policy: Optional[ProbePolicy] = None):
         if isinstance(configuration, WirelessLink):
             self.link = configuration
         else:
             self.link = WirelessLink(configuration)
         config = self.link.configuration
+        self.monitor = HealthMonitor()
+        self.fault_schedule = fault_schedule
         self.backend = LinkBackend(self.link)
-        self.controller = CentralizedController(sweep_config)
+        if fault_schedule is not None and fault_schedule.spec.active:
+            self.backend = FaultyBackend(self.backend, fault_schedule,
+                                         monitor=self.monitor)
+        if retry_policy is not None:
+            self.backend = RetryingBackend(self.backend, retry_policy,
+                                           monitor=self.monitor,
+                                           schedule=fault_schedule)
+        self.controller = CentralizedController(sweep_config,
+                                                probe_policy=probe_policy)
         self.rotator: Optional[ProgrammableRotator] = None
         self.supply: Optional[ProgrammablePowerSupply] = None
         if (config.metasurface is not None and
@@ -109,6 +143,16 @@ class LinkSession:
         config = self.link.configuration
         return (config.metasurface is not None and
                 config.deployment is not DeploymentMode.NONE)
+
+    @property
+    def health(self) -> HealthReport:
+        """Probe / retry / fault accounting for this session.
+
+        All zeros for a session with no fault plane wired in; derived
+        sessions (:meth:`baseline`, :meth:`with_rx_orientation`) are
+        always fault-free and keep their own clean report.
+        """
+        return self.monitor.report()
 
     # ------------------------------------------------------------------ #
     # Measurement plane

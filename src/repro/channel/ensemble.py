@@ -52,6 +52,11 @@ class LinkEnsemble:
         Optional per-station parameter arrays.  All given arrays must
         share one length (the station count); omitted parameters stay at
         the base configuration's scalar values for every station.
+
+    A zero-length parameter array is legal: the ensemble then has zero
+    stations and every stacked probe returns an empty leading axis —
+    the shape a fleet that has quarantined its whole roster still needs
+    to evaluate without raising.
     """
 
     def __init__(self, base, *,
@@ -75,8 +80,6 @@ class LinkEnsemble:
             if values is None:
                 continue
             array = np.asarray(values, dtype=float).ravel()
-            if array.size == 0:
-                raise ValueError("an ensemble needs at least one station")
             self._parameters[name] = array
             counts.add(array.size)
         if not self._parameters:

@@ -37,6 +37,7 @@ from repro.constants import (
     BIAS_VOLTAGE_MIN_V,
     SUPPLY_SWITCH_RATE_HZ,
 )
+from repro.faults.policy import ProbePolicy
 
 MeasureCallback = Callable[[float, float], float]
 
@@ -241,24 +242,37 @@ class SweepResult:
 
 
 class CentralizedController:
-    """Implements the paper's full and coarse-to-fine voltage sweeps."""
+    """Implements the paper's full and coarse-to-fine voltage sweeps.
 
-    def __init__(self, config: Optional[VoltageSweepConfig] = None):
+    ``probe_policy`` (median-of-k re-voting,
+    :class:`repro.faults.policy.ProbePolicy`) hardens every probe the
+    controller issues: each grid is probed ``repeats`` times and the
+    element-wise median is searched, so a single corrupted probe cannot
+    hijack the coarse-to-fine refinement.  The default (``repeats=1``)
+    is the exact historical single-probe behaviour.
+    """
+
+    def __init__(self, config: Optional[VoltageSweepConfig] = None,
+                 probe_policy: Optional[ProbePolicy] = None):
         self.config = config if config is not None else VoltageSweepConfig()
+        self.probe_policy = (probe_policy if probe_policy is not None
+                             else ProbePolicy())
 
     # ------------------------------------------------------------------ #
     # Exhaustive baseline sweep
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _probe_grid(backend, levels_x: np.ndarray, levels_y: np.ndarray,
+    def _probe_grid(self, backend, levels_x: np.ndarray,
+                    levels_y: np.ndarray,
                     iteration: int) -> Tuple[List[SweepSample], Tuple[float, float, float]]:
-        """Issue one batched probe over a voltage grid.
+        """Issue one (re-voted) batched probe over a voltage grid.
 
         Returns the samples (vx-major order, matching the historical
         scalar loop) and the first-maximum ``(power, vx, vy)`` triple.
         """
         vx_flat, vy_flat, powers, best_index = vectorized_grid_max(
-            levels_x, levels_y, backend.measure_batch)
+            levels_x, levels_y,
+            lambda vx, vy: self.probe_policy.measure(
+                backend.measure_batch, vx, vy))
         samples = [SweepSample(float(vx), float(vy), float(power), iteration)
                    for vx, vy, power in zip(vx_flat, vy_flat, powers)]
         best_power = powers[best_index]
@@ -340,10 +354,10 @@ class CentralizedController:
                     f"search grids must not carry a {name!r} axis: the "
                     "controller sweeps the bias voltages itself")
 
-    @staticmethod
-    def _probe_grid_points(backend, point_values: Dict[str, np.ndarray],
+    def _probe_grid_points(self, backend,
+                           point_values: Dict[str, np.ndarray],
                            grid_vx: np.ndarray, grid_vy: np.ndarray):
-        """Issue one batched probe of per-point voltage grids.
+        """Issue one (re-voted) batched probe of per-point voltage grids.
 
         ``point_values`` maps each link-parameter axis to its ``(n,)``
         flattened per-point values; ``grid_vx`` / ``grid_vy`` are
@@ -355,18 +369,19 @@ class CentralizedController:
         with NaN probes treated as ``-inf``, matching the scalar
         :meth:`_probe_grid` semantics row by row.
         """
+        policy = self.probe_policy
         if hasattr(backend, "measure_grid"):
             probe = ProbeGrid.aligned(
                 vx=grid_vx, vy=grid_vy,
                 **{name: values[:, None]
                    for name, values in point_values.items()})
-            powers = backend.measure_grid(probe)
+            powers = policy.measure(backend.measure_grid, probe)
         elif len(point_values) == 1 and hasattr(backend, "measure_sweep"):
             (axis, values), = point_values.items()
-            powers = backend.measure_sweep(axis, values.reshape(-1, 1),
-                                           grid_vx, grid_vy)
+            powers = policy.measure(backend.measure_sweep, axis,
+                                    values.reshape(-1, 1), grid_vx, grid_vy)
         elif not point_values and hasattr(backend, "measure_batch"):
-            powers = backend.measure_batch(grid_vx, grid_vy)
+            powers = policy.measure(backend.measure_batch, grid_vx, grid_vy)
         else:
             raise TypeError(
                 "backend cannot probe this grid: it must provide "

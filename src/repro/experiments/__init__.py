@@ -43,6 +43,7 @@ from repro.experiments.runner import (
     run_experiment,
 )
 from repro.experiments import figures
+from repro.experiments import robustness
 from repro.experiments.reporting import format_table, format_series
 
 __all__ = [
@@ -67,6 +68,7 @@ __all__ = [
     "default_runner",
     "run_experiment",
     "figures",
+    "robustness",
     "format_table",
     "format_series",
 ]

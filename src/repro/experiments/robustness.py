@@ -1,0 +1,341 @@
+"""Degradation-curve experiments for the fault/resilience plane.
+
+Two registered experiments close the loop on :mod:`repro.faults`:
+
+* ``fault_degradation`` — Algorithm 1 convergence error vs probe-fault
+  rate.  For each injected fault rate the controller (with retries and
+  median-of-k re-probing) searches the bias grid of the canonical
+  transmissive link; the *regret* is how far the found optimum falls
+  short of the fault-free search.  The check gates assert exact replay
+  determinism, zero regret at zero fault rate, and graceful — not
+  cliff — degradation up to a 20 % fault rate.
+* ``fleet_churn`` — scheduled fleet throughput vs station-churn rate.
+  A :class:`~repro.faults.StationChurn` process drives quarantine on a
+  :class:`~repro.api.fleet.FleetSession` epoch by epoch; delivered
+  throughput is normalized to the *full* roster (airtime a dead
+  station cannot use is lost, not re-counted), so more churn can only
+  cost throughput.  Gates mirror ``fault_degradation``: determinism,
+  zero-churn parity with the fault-free scheduling pipeline, and
+  bounded, monotone-with-slack degradation.
+
+Both experiments draw every fault from one named-seed
+:class:`~repro.faults.FaultSchedule` stream family, so identical
+parameters reproduce the exact fault trace (pinned via the trace
+digests carried in the payloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Mapping, Tuple
+
+import numpy as np
+
+from repro.api.fleet import FleetSession, FleetSpec
+from repro.api.session import LinkSession
+from repro.core.controller import VoltageSweepConfig
+from repro.experiments.artifacts import payload_equal
+from repro.experiments.registry import Param, experiment
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import TransmissiveScenario
+from repro.faults import (
+    FaultSchedule,
+    FaultSpec,
+    ProbePolicy,
+    RetryPolicy,
+    StationChurn,
+)
+
+#: Slack (dB / Mbps) the monotone-degradation gates allow between
+#: adjacent fault rates: resilience makes the curves noisy at the
+#: replicate counts a smoke run affords, but a *cliff* is far larger.
+MONOTONE_SLACK_DB = 1.5
+MONOTONE_SLACK_MBPS = 3.0
+
+
+# ---------------------------------------------------------------------- #
+# fault_degradation — convergence error vs probe-fault rate
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FaultDegradationResult:
+    """Degradation curve of Algorithm 1 under injected probe faults."""
+
+    fault_rates: Tuple[float, ...]
+    mean_regret_db: Tuple[float, ...]
+    mean_retries: Tuple[float, ...]
+    mean_faults: Tuple[float, ...]
+    clean_power_dbm: float
+    trace_digests: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def worst_regret_db(self) -> float:
+        """Largest mean regret anywhere on the curve."""
+        return max(self.mean_regret_db)
+
+
+def _degradation_spec(rate: float) -> FaultSpec:
+    """The fault mix one scalar ``rate`` parameterizes.
+
+    Dropouts dominate (the paper's probes are RSSI reads over a lossy
+    control channel); bursts, hard probe errors and stuck actuators
+    ride along at fixed fractions of the same rate so the whole mix
+    scales together and stays nested across rates.
+    """
+    return FaultSpec(
+        probe_dropout_rate=rate,
+        noise_burst_rate=0.5 * rate,
+        noise_burst_db=6.0,
+        probe_error_rate=0.25 * rate,
+        stuck_rate=0.1 * rate,
+    )
+
+
+def _summary_fault_degradation(payload: FaultDegradationResult,
+                               params: Mapping[str, Any]) -> str:
+    rows = [[rate, regret, retries, faults]
+            for rate, regret, retries, faults in zip(
+                payload.fault_rates, payload.mean_regret_db,
+                payload.mean_retries, payload.mean_faults)]
+    return format_table(
+        ["fault rate", "mean regret (dB)", "mean retries", "mean faults"],
+        rows, precision=3,
+        title="Fault degradation — Algorithm 1 convergence error vs "
+              "probe-fault rate (graceful, no cliff)")
+
+
+def _check_fault_degradation(payload: FaultDegradationResult,
+                             params: Mapping[str, Any]) -> None:
+    rates = payload.fault_rates
+    regrets = payload.mean_regret_db
+    assert rates == tuple(sorted(rates)), "rates must be ascending"
+    # Zero-fault configs match the fault-free pipeline exactly.
+    if rates[0] == 0.0:
+        assert regrets[0] == 0.0, "zero-fault regret must be exactly 0"
+        assert payload.mean_faults[0] == 0.0
+    # Graceful degradation: monotone up to slack, and no cliff — the
+    # resilient controller stays within a handful of dB of the clean
+    # optimum even at a 20 % probe-fault rate.
+    for previous, current in zip(regrets, regrets[1:]):
+        assert current >= previous - MONOTONE_SLACK_DB, (
+            f"regret curve not monotone within slack: {regrets}")
+    assert payload.worst_regret_db <= 10.0, (
+        f"degradation cliff: worst regret {payload.worst_regret_db:.2f} dB")
+    # Exact replay: identical seed -> identical fault trace and payload.
+    from repro.experiments.registry import REGISTRY
+    replay = REGISTRY.get("fault_degradation").run(dict(params))
+    assert replay.trace_digests == payload.trace_digests, (
+        "fault trace not reproducible under identical seed")
+    assert payload_equal(replay, payload, tolerance=0.0), (
+        "payload not bit-identical under identical seed")
+
+
+@experiment(
+    "fault_degradation",
+    title="Degradation curve — Algorithm 1 convergence vs probe-fault rate",
+    tags=("sweep", "robustness", "network"),
+    params=(
+        Param("fault_rates", "float_seq",
+              (0.0, 0.02, 0.05, 0.10, 0.20),
+              "injected probe-fault rates (ascending)"),
+        Param("replicates", "int", 5, "fault-seed replicates per rate"),
+        Param("repeats", "int", 3, "median-of-k probe re-voting factor"),
+        Param("iterations", "int", 2, "Algorithm 1 refinement iterations"),
+        Param("switches_per_axis", "int", 5, "voltage levels per axis"),
+        Param("seed", "int", 2021, "base fault-schedule seed"),
+    ),
+    scenarios=("transmissive",),
+    modules=("api", "core", "channel"),
+    smoke={"replicates": 2, "fault_rates": (0.0, 0.05, 0.20)},
+    summarize=_summary_fault_degradation,
+    check=_check_fault_degradation)
+def _run_fault_degradation(fault_rates: Tuple[float, ...], replicates: int,
+                           repeats: int, iterations: int,
+                           switches_per_axis: int,
+                           seed: int) -> FaultDegradationResult:
+    rates = tuple(sorted(float(rate) for rate in fault_rates))
+    configuration = TransmissiveScenario().configuration()
+    sweep = VoltageSweepConfig(iterations=iterations,
+                               switches_per_axis=switches_per_axis)
+    clean = LinkSession(configuration, sweep_config=sweep)
+    clean_power = float(clean.optimize().best_power_dbm)
+
+    mean_regret = []
+    mean_retries = []
+    mean_faults = []
+    digests = []
+    for rate in rates:
+        regrets = []
+        retries = []
+        faults = []
+        rate_digests = []
+        for replicate in range(replicates):
+            schedule = FaultSchedule(_degradation_spec(rate),
+                                     seed=seed + replicate)
+            session = LinkSession(
+                configuration, sweep_config=sweep,
+                fault_schedule=schedule,
+                retry_policy=RetryPolicy(max_attempts=4),
+                probe_policy=ProbePolicy(repeats=repeats))
+            result = session.optimize()
+            health = session.health
+            # A faulty search can only do as well as the clean one on
+            # this grid; clamp at zero so lucky noise never reports a
+            # negative "error".
+            regrets.append(max(0.0,
+                               clean_power - float(result.best_power_dbm)))
+            retries.append(float(health.retries))
+            faults.append(float(health.total_faults))
+            rate_digests.append(schedule.trace.digest())
+        mean_regret.append(float(np.mean(regrets)))
+        mean_retries.append(float(np.mean(retries)))
+        mean_faults.append(float(np.mean(faults)))
+        digests.append(tuple(rate_digests))
+    return FaultDegradationResult(
+        fault_rates=rates,
+        mean_regret_db=tuple(mean_regret),
+        mean_retries=tuple(mean_retries),
+        mean_faults=tuple(mean_faults),
+        clean_power_dbm=clean_power,
+        trace_digests=tuple(digests))
+
+
+# ---------------------------------------------------------------------- #
+# fleet_churn — scheduled throughput vs station-churn rate
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FleetChurnResult:
+    """Degradation curve of fleet scheduling under station churn."""
+
+    churn_rates: Tuple[float, ...]
+    mean_delivered_mbps: Tuple[float, ...]
+    mean_survivor_fraction: Tuple[float, ...]
+    fault_free_mbps: float
+    trace_digests: Tuple[int, ...]
+
+
+def _delivered_mbps(result, roster_size: int) -> float:
+    """Epoch throughput normalized to the full roster.
+
+    Airtime a quarantined station would have used is *lost* (its slot
+    goes idle, TDMA does not silently re-pack), so each surviving
+    allocation contributes ``rate / roster_size`` — a metric that can
+    only fall as churn removes stations.
+    """
+    raw = sum(allocation.rate_mbps for allocation in result.allocations)
+    return (raw / roster_size) * (1.0 - result.retune_overhead_fraction)
+
+
+def _summary_fleet_churn(payload: FleetChurnResult,
+                         params: Mapping[str, Any]) -> str:
+    rows = [[rate, delivered, fraction]
+            for rate, delivered, fraction in zip(
+                payload.churn_rates, payload.mean_delivered_mbps,
+                payload.mean_survivor_fraction)]
+    return format_table(
+        ["churn rate (1/MTBF)", "delivered (Mbps)", "survivor fraction"],
+        rows, precision=3,
+        title="Fleet churn — scheduled throughput vs station-churn rate "
+              f"(fault-free: {payload.fault_free_mbps:.1f} Mbps)")
+
+
+def _check_fleet_churn(payload: FleetChurnResult,
+                       params: Mapping[str, Any]) -> None:
+    rates = payload.churn_rates
+    delivered = payload.mean_delivered_mbps
+    assert rates == tuple(sorted(rates)), "rates must be ascending"
+    # Zero churn matches the fault-free scheduling pipeline (every
+    # epoch's delivered throughput is bit-identical; averaging the
+    # epochs costs one float rounding, hence the 1e-9).
+    if rates[0] == 0.0:
+        assert abs(delivered[0] - payload.fault_free_mbps) <= 1e-9, (
+            "zero-churn throughput must equal the fault-free pipeline")
+        assert payload.mean_survivor_fraction[0] == 1.0
+    # Graceful degradation: throughput falls monotonically with churn
+    # (no suspicious rebounds beyond slack), and no cliff — the
+    # quarantine/re-schedule path keeps delivering at least in
+    # proportion to the stations that actually survive (with margin).
+    for previous, current in zip(delivered, delivered[1:]):
+        assert current <= previous + MONOTONE_SLACK_MBPS, (
+            f"throughput curve not monotone within slack: {delivered}")
+    for rate, value, fraction in zip(rates, delivered,
+                                     payload.mean_survivor_fraction):
+        floor = 0.5 * payload.fault_free_mbps * fraction
+        assert value >= floor, (
+            f"throughput cliff at churn rate {rate}: {value:.2f} Mbps "
+            f"< proportional floor {floor:.2f} Mbps")
+    # Exact replay: identical seed -> identical churn trace and payload.
+    from repro.experiments.registry import REGISTRY
+    replay = REGISTRY.get("fleet_churn").run(dict(params))
+    assert replay.trace_digests == payload.trace_digests, (
+        "churn trace not reproducible under identical seed")
+    assert payload_equal(replay, payload, tolerance=0.0), (
+        "payload not bit-identical under identical seed")
+
+
+@experiment(
+    "fleet_churn",
+    title="Degradation curve — fleet throughput vs station-churn rate",
+    tags=("sweep", "robustness", "network"),
+    params=(
+        Param("churn_rates", "float_seq", (0.0, 0.05, 0.10, 0.20),
+              "per-epoch station failure probabilities (1/MTBF)"),
+        Param("epochs", "int", 12, "scheduling epochs per rate"),
+        Param("station_count", "int", 6, "fleet size"),
+        Param("mttr_epochs", "float", 2.0, "mean epochs to recover"),
+        Param("strategy", "str", "polarization-reuse",
+              "scheduling strategy under churn"),
+        Param("seed", "int", 2021, "churn-schedule seed"),
+    ),
+    scenarios=("fleet",),
+    modules=("api", "network", "channel"),
+    smoke={"epochs": 6, "station_count": 4,
+           "churn_rates": (0.0, 0.10, 0.20)},
+    summarize=_summary_fleet_churn,
+    check=_check_fleet_churn)
+def _run_fleet_churn(churn_rates: Tuple[float, ...], epochs: int,
+                     station_count: int, mttr_epochs: float, strategy: str,
+                     seed: int) -> FleetChurnResult:
+    rates = tuple(sorted(float(rate) for rate in churn_rates))
+    spec = FleetSpec.random_home(station_count=station_count)
+    fault_free = FleetSession(spec).schedule(strategy)
+    fault_free_mbps = _delivered_mbps(fault_free, station_count)
+
+    mean_delivered = []
+    mean_fraction = []
+    digests = []
+    for rate in rates:
+        fault_spec = (FaultSpec() if rate == 0.0 else
+                      FaultSpec(station_mtbf_epochs=1.0 / rate,
+                                station_mttr_epochs=max(1.0, mttr_epochs)))
+        schedule = FaultSchedule(fault_spec, seed=seed)
+        fleet = FleetSession(spec, fault_schedule=schedule)
+        churn = StationChurn(schedule, fleet.station_names)
+        # Epochs with the same survivor set re-use the same schedule
+        # (the searches are deterministic in the survivor subset).
+        memo: Dict[FrozenSet[str], Any] = {}
+        delivered = []
+        fractions = []
+        for _epoch in range(epochs):
+            survivors = fleet.apply_churn(churn.advance())
+            key = frozenset(survivors)
+            if key not in memo:
+                memo[key] = fleet.schedule(strategy)
+            delivered.append(_delivered_mbps(memo[key], station_count))
+            fractions.append(len(survivors) / station_count)
+        mean_delivered.append(float(np.mean(delivered)))
+        mean_fraction.append(float(np.mean(fractions)))
+        digests.append(schedule.trace.digest())
+    return FleetChurnResult(
+        churn_rates=rates,
+        mean_delivered_mbps=tuple(mean_delivered),
+        mean_survivor_fraction=tuple(mean_fraction),
+        fault_free_mbps=fault_free_mbps,
+        trace_digests=tuple(digests))
+
+
+__all__ = [
+    "FaultDegradationResult",
+    "FleetChurnResult",
+    "MONOTONE_SLACK_DB",
+    "MONOTONE_SLACK_MBPS",
+]

@@ -1,0 +1,98 @@
+"""Station churn: scheduled per-station failures and recoveries.
+
+A fleet of IoT stations is never all-up: devices reboot, move out of
+range, run out of battery.  :class:`StationChurn` models that as a
+per-station two-state Markov process in *epoch* time — each scheduling
+epoch, a healthy station fails with probability ``1 / MTBF`` and a
+failed one recovers with probability ``1 / MTTR`` (both in epochs,
+from the :class:`~repro.faults.spec.FaultSpec`).  Draws come from the
+schedule's ``"churn"`` stream in station order, so a fixed seed
+reproduces the exact up/down timeline, and because failures fire when
+a uniform falls below ``1 / MTBF``, the *set of failure events* at a
+higher churn rate contains the set at a lower rate (nested draws) —
+the property the ``fleet_churn`` degradation gate leans on.
+
+The adapter is deliberately stateful-but-replayable: drive it with
+:meth:`advance` once per epoch and feed the resulting up/down sets to
+:meth:`~repro.api.fleet.FleetSession.apply_churn`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.faults.spec import FaultSchedule
+
+
+class StationChurn:
+    """Epoch-stepped up/down process over a fixed station set."""
+
+    def __init__(self, schedule: FaultSchedule,
+                 station_names: Sequence[str]):
+        self.schedule = schedule
+        self.station_names: Tuple[str, ...] = tuple(station_names)
+        if not self.station_names:
+            raise ValueError("churn needs at least one station")
+        if len(set(self.station_names)) != len(self.station_names):
+            raise ValueError("station names must be unique")
+        self._up: Dict[str, bool] = {name: True
+                                     for name in self.station_names}
+        self.epoch = 0
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def up_stations(self) -> Tuple[str, ...]:
+        """Currently healthy stations, in fleet order."""
+        return tuple(name for name in self.station_names if self._up[name])
+
+    @property
+    def down_stations(self) -> Tuple[str, ...]:
+        """Currently failed stations, in fleet order."""
+        return tuple(name for name in self.station_names
+                     if not self._up[name])
+
+    def is_up(self, name: str) -> bool:
+        """Whether one station is currently healthy."""
+        return self._up[name]
+
+    # ------------------------------------------------------------------ #
+    # Evolution
+    # ------------------------------------------------------------------ #
+    def advance(self) -> Tuple[str, ...]:
+        """Advance one epoch; returns the stations up for the new epoch.
+
+        One uniform is drawn per station per epoch regardless of state
+        or rate, keeping the ``"churn"`` stream aligned across rate
+        sweeps (the nested-draw contract): a station's draw below
+        ``1 / MTBF`` fails it when healthy, and below ``1 / MTTR``
+        recovers it when failed.
+        """
+        spec = self.schedule.spec
+        fail_rate = (1.0 / spec.station_mtbf_epochs
+                     if spec.churns_stations else 0.0)
+        recover_rate = 1.0 / spec.station_mttr_epochs
+        self.epoch += 1
+        draws = self.schedule.stream("churn").random(
+            len(self.station_names))
+        failures = 0
+        recoveries = 0
+        for name, draw in zip(self.station_names, draws):
+            if self._up[name]:
+                if draw < fail_rate:
+                    self._up[name] = False
+                    failures += 1
+            elif draw < recover_rate:
+                self._up[name] = True
+                recoveries += 1
+        if failures:
+            self.schedule.record("churn", "churn.fail", failures,
+                                 draws=len(self.station_names))
+        if recoveries:
+            self.schedule.record("churn", "churn.recover", recoveries,
+                                 draws=len(self.station_names))
+        return self.up_stations
+
+
+__all__ = ["StationChurn"]

@@ -1,0 +1,41 @@
+"""Typed fault errors and the retryable-error classification.
+
+The resilience layer distinguishes *transient* faults — worth retrying
+with backoff — from programming errors, which must propagate.  All
+injected call-level faults derive from :class:`TransientFaultError`;
+the VISA transport's :class:`~repro.hardware.visa.VisaTimeoutError`
+(a timeout on an otherwise healthy session) is also classified as
+transient, while a plain :class:`~repro.hardware.visa.VisaError`
+(malformed SCPI, closed session) is not.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.visa import VisaTimeoutError
+
+
+class TransientFaultError(RuntimeError):
+    """A fault that may succeed on retry (the retryable base class)."""
+
+
+class ProbeFaultError(TransientFaultError):
+    """A measurement probe failed at the call level (I/O, not data)."""
+
+
+#: Exception types a :class:`~repro.faults.retry.RetryPolicy` retries by
+#: default.
+DEFAULT_RETRYABLE = (TransientFaultError, VisaTimeoutError)
+
+
+def is_retryable(error: BaseException,
+                 retryable=DEFAULT_RETRYABLE) -> bool:
+    """Whether an exception is worth retrying under a policy."""
+    return isinstance(error, tuple(retryable))
+
+
+__all__ = [
+    "DEFAULT_RETRYABLE",
+    "ProbeFaultError",
+    "TransientFaultError",
+    "is_retryable",
+]

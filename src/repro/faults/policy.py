@@ -1,0 +1,73 @@
+"""Probe re-voting: median-of-k with outlier rejection.
+
+A single corrupted probe must not hijack Algorithm 1's coarse-to-fine
+search: one +6 dB impulse at the wrong grid cell moves the refinement
+window for every later iteration.  :class:`ProbePolicy` makes the
+controller's probes *votes*: each grid is probed ``repeats`` times and
+the per-element median is used, with NaN dropouts excluded from the
+vote (an element is lost only when every repeat dropped).
+
+``repeats=1`` is the exact identity — one probe, returned untouched —
+so the default controller behaviour (and all parity suites) are
+bit-identical to the pre-resilience pipeline.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ProbePolicy:
+    """How the controller turns raw probes into trusted measurements.
+
+    Attributes
+    ----------
+    repeats:
+        Probes per grid (``k`` of median-of-k).  1 disables re-voting.
+    """
+
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError("need at least one probe repeat")
+
+    @property
+    def active(self) -> bool:
+        """Whether re-voting changes anything (``repeats > 1``)."""
+        return self.repeats > 1
+
+    def measure(self, probe, *args, **kwargs) -> np.ndarray:
+        """Issue ``repeats`` probes and aggregate element-wise.
+
+        ``probe`` is any batched measurement callable; repeats are
+        issued sequentially (preserving stateful backends' draw order)
+        and reduced with :meth:`aggregate`.
+        """
+        if not self.active:
+            return np.asarray(probe(*args, **kwargs), dtype=float)
+        samples = np.stack([np.asarray(probe(*args, **kwargs), dtype=float)
+                            for _ in range(self.repeats)])
+        return self.aggregate(samples)
+
+    def aggregate(self, samples: np.ndarray) -> np.ndarray:
+        """Element-wise median over the leading repeat axis.
+
+        NaN repeats (dropped probes) are excluded from each element's
+        vote; an element is NaN only when every repeat dropped.  The
+        median rejects any minority of corrupted repeats outright.
+        """
+        samples = np.asarray(samples, dtype=float)
+        if samples.shape[0] == 1:
+            return samples[0]
+        with warnings.catch_warnings():
+            # All-NaN columns legitimately reduce to NaN (total dropout).
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            return np.nanmedian(samples, axis=0)
+
+
+__all__ = ["ProbePolicy"]

@@ -1,0 +1,98 @@
+"""Faulty VISA transport: scheduled I/O errors and timeouts.
+
+:class:`FaultyVisaSession` wraps a
+:class:`~repro.hardware.visa.SimulatedVisaSession` (or any object with
+its ``write`` / ``query`` / ``close`` surface) and injects transport
+faults from the schedule's ``"visa.error"`` / ``"visa.timeout"``
+streams *before* delegating, mirroring a flaky USB/GPIB cable: the
+command never reaches the instrument, the session stays healthy, and a
+retry may succeed.  Timeouts raise the retryable
+:class:`~repro.hardware.visa.VisaTimeoutError`; hard I/O errors raise
+plain :class:`~repro.hardware.visa.VisaError` (not retryable — a real
+driver surfaces those for operator attention).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.health import HealthMonitor
+from repro.faults.spec import FaultSchedule
+from repro.hardware.visa import VisaError, VisaTimeoutError
+
+
+class FaultyVisaSession:
+    """A VISA session whose I/O fails on schedule.
+
+    Context management, ``close()`` idempotency and closed-session
+    semantics all delegate to the wrapped session, so the regression
+    guarantees of :class:`~repro.hardware.visa.SimulatedVisaSession`
+    hold here too.
+    """
+
+    def __init__(self, session, schedule: FaultSchedule,
+                 monitor: Optional[HealthMonitor] = None):
+        self.session = session
+        self.schedule = schedule
+        self.monitor = monitor
+        spec = schedule.spec
+        self._inactive = (spec.visa_error_rate <= 0
+                          and spec.visa_timeout_rate <= 0)
+
+    # ------------------------------------------------------------------ #
+    # Delegated surface
+    # ------------------------------------------------------------------ #
+    @property
+    def resource_name(self) -> str:
+        """The wrapped session's VISA resource string."""
+        return self.session.resource_name
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the wrapped session is open."""
+        return self.session.is_open
+
+    @property
+    def command_log(self):
+        """Commands the instrument actually received."""
+        return self.session.command_log
+
+    def _maybe_fail(self, operation: str) -> None:
+        if self._inactive:
+            return
+        spec = self.schedule.spec
+        if spec.visa_timeout_rate > 0 and self.schedule.fault_fires(
+                "visa.timeout", spec.visa_timeout_rate):
+            if self.monitor is not None:
+                self.monitor.record_fault("visa.timeout")
+            raise VisaTimeoutError(
+                f"injected timeout on {operation} to {self.resource_name}")
+        if spec.visa_error_rate > 0 and self.schedule.fault_fires(
+                "visa.error", spec.visa_error_rate):
+            if self.monitor is not None:
+                self.monitor.record_fault("visa.error")
+            raise VisaError(
+                f"injected I/O error on {operation} to {self.resource_name}")
+
+    def write(self, command: str) -> None:
+        """Send a SCPI command, possibly failing on schedule first."""
+        self._maybe_fail("write")
+        self.session.write(command)
+
+    def query(self, command: str) -> str:
+        """Send a SCPI query, possibly failing on schedule first."""
+        self._maybe_fail("query")
+        return self.session.query(command)
+
+    def close(self) -> None:
+        """Close the wrapped session (idempotent)."""
+        self.session.close()
+
+    def __enter__(self) -> "FaultyVisaSession":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.close()
+
+
+__all__ = ["FaultyVisaSession"]

@@ -22,6 +22,17 @@ class VisaError(RuntimeError):
     """Raised for malformed SCPI commands or closed sessions."""
 
 
+class VisaTimeoutError(VisaError):
+    """A VISA operation timed out (transient: the session stays open).
+
+    Unlike a plain :class:`VisaError`, a timeout does not mean the
+    command was malformed or the session closed — a retry may succeed,
+    which is why the resilience layer
+    (:data:`repro.faults.errors.DEFAULT_RETRYABLE`) classifies this
+    subclass, and only this subclass, as retryable.
+    """
+
+
 @dataclass
 class SimulatedVisaSession:
     """One open VISA session to a simulated instrument.
@@ -60,7 +71,12 @@ class SimulatedVisaSession:
         return self.handler(command)
 
     def close(self) -> None:
-        """Close the session; further I/O raises :class:`VisaError`."""
+        """Close the session; further I/O raises :class:`VisaError`.
+
+        Idempotent: closing an already-closed session is a no-op, so
+        explicit ``close()`` composes with the context manager's
+        ``__exit__`` (which always closes, success or exception).
+        """
         self.is_open = False
 
     def _check_open(self) -> None:
@@ -71,6 +87,8 @@ class SimulatedVisaSession:
         return self
 
     def __exit__(self, exc_type, exc, traceback) -> None:
+        # Close on both the clean and the exception path; never
+        # swallow the in-flight exception (the None return).
         self.close()
 
 
@@ -101,4 +119,5 @@ class VisaResourceManager:
                                     timeout_ms=timeout_ms)
 
 
-__all__ = ["VisaError", "SimulatedVisaSession", "VisaResourceManager"]
+__all__ = ["VisaError", "VisaTimeoutError", "SimulatedVisaSession",
+           "VisaResourceManager"]

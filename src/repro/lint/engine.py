@@ -70,6 +70,8 @@ def derive_roles(path: str) -> FrozenSet[str]:
         roles.add("units")
     if posix.endswith("experiments/figures.py"):
         roles.add("figures")
+    if "repro/faults/" in posix:
+        roles.add("faults")
     return frozenset(roles)
 
 

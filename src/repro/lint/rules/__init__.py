@@ -1,4 +1,4 @@
-"""The domain rules (RPR001-RPR005).
+"""The domain rules (RPR001-RPR006).
 
 Importing this package registers every rule with
 :data:`repro.lint.base.RULES`.
@@ -10,6 +10,7 @@ from repro.lint.rules.axes import AxisLiteralRule
 from repro.lint.rules.caching import CachingContractRule
 from repro.lint.rules.numpy_hygiene import NumpyHygieneRule
 from repro.lint.rules.registry_hygiene import RegistryHygieneRule
+from repro.lint.rules.sleeps import SleepRetryRule
 from repro.lint.rules.units import UnitsDisciplineRule
 
 __all__ = [
@@ -17,5 +18,6 @@ __all__ = [
     "CachingContractRule",
     "NumpyHygieneRule",
     "RegistryHygieneRule",
+    "SleepRetryRule",
     "UnitsDisciplineRule",
 ]

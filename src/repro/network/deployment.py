@@ -185,15 +185,19 @@ class DenseDeployment:
         ``names`` selects (and orders) the stations on the leading axis;
         ``None`` stacks the whole deployment.  The ensemble shares one
         base link, so its direct/clutter field caches are computed once
-        for the entire fleet.
+        for the entire fleet.  An explicit empty selection yields a
+        zero-station ensemble (every stacked probe returns an empty
+        leading axis) — the degenerate fleet a fully-quarantined
+        scheduler still has to evaluate.
         """
         key = (self._resolve_names(names), bool(with_surface))
-        if not key[0]:
-            raise ValueError("an ensemble needs at least one station")
         if key not in self._ensembles:
             stations = [self.station(name) for name in key[0]]
+            # A zero-station ensemble still needs a base link to carry
+            # the shared physics; any placement serves as the template.
+            template = stations[0] if stations else self.stations[0]
             base = replace(
-                self._configuration(stations[0], with_surface=with_surface),
+                self._configuration(template, with_surface=with_surface),
                 tx_antenna=dipole_antenna(name="station antenna"))
             self._ensembles[key] = LinkEnsemble(
                 base,

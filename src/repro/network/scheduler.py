@@ -20,7 +20,7 @@ transmits?  Three strategies bracket the design space:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -108,7 +108,8 @@ class _SchedulerBase:
 
     def __init__(self, deployment: DenseDeployment,
                  epoch_duration_s: float = 60.0,
-                 bias_search_step_v: float = 5.0):
+                 bias_search_step_v: float = 5.0,
+                 stations: Optional[Sequence[str]] = None):
         if epoch_duration_s <= 0:
             raise ValueError("epoch duration must be positive")
         if bias_search_step_v <= 0:
@@ -116,11 +117,31 @@ class _SchedulerBase:
         self.deployment = deployment
         self.epoch_duration_s = epoch_duration_s
         self.bias_search_step_v = bias_search_step_v
+        # The stations this epoch actually serves (the survivor subset
+        # after quarantine); ``None`` schedules the whole deployment.
+        # May be empty — the epoch then allocates nothing.
+        if stations is None:
+            self.stations = deployment.stations
+        else:
+            self.stations = tuple(deployment.station(name)
+                                  for name in stations)
+
+    @property
+    def station_names(self) -> Tuple[str, ...]:
+        """Names of the stations this epoch serves, in slot order."""
+        return tuple(station.name for station in self.stations)
 
     def _airtime_fractions(self) -> Dict[str, float]:
         """Equal airtime split across stations (TDMA round robin)."""
-        share = 1.0 / len(self.deployment.stations)
-        return {station.name: share for station in self.deployment.stations}
+        if not self.stations:
+            return {}
+        share = 1.0 / len(self.stations)
+        return {station.name: share for station in self.stations}
+
+    def _empty_result(self, name: str) -> ScheduleResult:
+        """The well-formed epoch that serves nobody (all quarantined)."""
+        return ScheduleResult(scheduler_name=name, allocations=(),
+                              retune_count=0, retune_overhead_fraction=0.0)
 
     def _best_compromise_bias(self,
                               station_names: Sequence[str]) -> Tuple[float, float]:
@@ -144,14 +165,14 @@ class _SchedulerBase:
                       bias_per_station: Dict[str, Tuple[float, float]],
                       retune_count: int) -> ScheduleResult:
         airtime = self._airtime_fractions()
-        stations = self.deployment.stations
+        stations = self.stations
         vx = np.array([bias_per_station[station.name][0]
                        for station in stations])
         vy = np.array([bias_per_station[station.name][1]
                        for station in stations])
         # One aligned fleet probe: every station's RSSI at the bias pair
         # programmed for *its* slot.
-        rssi = self.deployment.rssi_aligned(vx, vy)
+        rssi = self.deployment.rssi_aligned(vx, vy, self.station_names)
         rates = np.asarray(wifi_rate_for_rssi_mbps(rssi), dtype=float)
         allocations = []
         for index, station in enumerate(stations):
@@ -180,10 +201,11 @@ class FixedBiasScheduler(_SchedulerBase):
 
     def schedule(self) -> ScheduleResult:
         """Pick the best compromise bias pair and serve everyone with it."""
-        best_pair = self._best_compromise_bias(
-            [station.name for station in self.deployment.stations])
+        if not self.stations:
+            return self._empty_result("fixed-bias")
+        best_pair = self._best_compromise_bias(self.station_names)
         bias_per_station = {station.name: best_pair
-                            for station in self.deployment.stations}
+                            for station in self.stations}
         return self._build_result("fixed-bias", bias_per_station,
                                   retune_count=1)
 
@@ -197,13 +219,15 @@ class PerStationScheduler(_SchedulerBase):
         All stations' grid searches run as one stacked probe of the
         fleet ensemble (:meth:`DenseDeployment.best_bias_per_station`).
         """
+        if not self.stations:
+            return self._empty_result("per-station")
         vx, vy, _power = self.deployment.best_bias_per_station(
-            step_v=self.bias_search_step_v)
+            step_v=self.bias_search_step_v, names=self.station_names)
         bias_per_station = {
             station.name: (float(vx[index]), float(vy[index]))
-            for index, station in enumerate(self.deployment.stations)}
+            for index, station in enumerate(self.stations)}
         return self._build_result("per-station", bias_per_station,
-                                  retune_count=len(self.deployment.stations))
+                                  retune_count=len(self.stations))
 
 
 class PolarizationReuseScheduler(_SchedulerBase):
@@ -217,16 +241,25 @@ class PolarizationReuseScheduler(_SchedulerBase):
     def __init__(self, deployment: DenseDeployment,
                  epoch_duration_s: float = 60.0,
                  bias_search_step_v: float = 5.0,
-                 orientation_tolerance_deg: float = 20.0):
-        super().__init__(deployment, epoch_duration_s, bias_search_step_v)
+                 orientation_tolerance_deg: float = 20.0,
+                 stations: Optional[Sequence[str]] = None):
+        super().__init__(deployment, epoch_duration_s, bias_search_step_v,
+                         stations=stations)
         if orientation_tolerance_deg <= 0:
             raise ValueError("orientation tolerance must be positive")
         self.orientation_tolerance_deg = orientation_tolerance_deg
 
     def schedule(self) -> ScheduleResult:
         """Cluster stations by orientation and tune once per cluster."""
-        groups = self.deployment.orientation_groups(
-            self.orientation_tolerance_deg)
+        if not self.stations:
+            return self._empty_result("polarization-reuse")
+        # Cluster over the whole deployment (stable group anchors), then
+        # keep only the stations this epoch serves.
+        serving = set(self.station_names)
+        groups = [[name for name in group if name in serving]
+                  for group in self.deployment.orientation_groups(
+                      self.orientation_tolerance_deg)]
+        groups = [group for group in groups if group]
         bias_per_station: Dict[str, Tuple[float, float]] = {}
         for group in groups:
             best_pair = self._best_compromise_bias(group)
@@ -236,21 +269,29 @@ class PolarizationReuseScheduler(_SchedulerBase):
                                   retune_count=len(groups))
 
 
-def baseline_without_surface(deployment: DenseDeployment) -> ScheduleResult:
+def baseline_without_surface(
+        deployment: DenseDeployment,
+        stations: Optional[Sequence[str]] = None) -> ScheduleResult:
     """Round-robin TDMA with no metasurface deployed at all.
 
     All stations' baseline links evaluate as one stacked probe of the
-    no-surface fleet ensemble.
+    no-surface fleet ensemble.  ``stations`` restricts the epoch to a
+    survivor subset; an empty subset allocates nothing.
     """
-    share = 1.0 / len(deployment.stations)
-    rssi = deployment.baseline_rssi_vector()
+    names = (deployment.station_names if stations is None
+             else tuple(stations))
+    if not names:
+        return ScheduleResult(scheduler_name="no-surface", allocations=(),
+                              retune_count=0, retune_overhead_fraction=0.0)
+    share = 1.0 / len(names)
+    rssi = deployment.baseline_rssi_vector(names)
     rates = np.asarray(wifi_rate_for_rssi_mbps(rssi), dtype=float)
     allocations = [
         StationAllocation(
-            station=station.name, bias_pair=(0.0, 0.0),
+            station=name, bias_pair=(0.0, 0.0),
             rssi_dbm=float(rssi[index]), rate_mbps=float(rates[index]),
             airtime_fraction=share)
-        for index, station in enumerate(deployment.stations)
+        for index, name in enumerate(names)
     ]
     return ScheduleResult(scheduler_name="no-surface",
                           allocations=tuple(allocations),

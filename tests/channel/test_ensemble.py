@@ -112,8 +112,18 @@ class TestBookkeeping:
         scenario = TransmissiveScenario()
         with pytest.raises(ValueError, match="per-station parameter"):
             LinkEnsemble(scenario.configuration())
-        with pytest.raises(ValueError, match="at least one station"):
-            LinkEnsemble(scenario.configuration(), distance_m=[])
         with pytest.raises(ValueError, match="disagree"):
             LinkEnsemble(scenario.configuration(), distance_m=[1.0, 2.0],
                          tx_power_dbm=[0.0, 1.0, 2.0])
+
+    def test_zero_station_ensemble_is_legal(self):
+        # A fully-quarantined fleet still evaluates: every stacked probe
+        # returns an empty leading axis instead of raising.
+        ensemble = LinkEnsemble(TransmissiveScenario().configuration(),
+                                distance_m=[])
+        assert ensemble.station_count == 0
+        assert ensemble.measure_batch(VX_GRID, VY_GRID).shape == (
+            (0,) + VX_GRID.shape)
+        assert ensemble.measure_aligned(np.array([]), np.array([])).shape == (0,)
+        with pytest.raises(IndexError):
+            ensemble.measure(0)

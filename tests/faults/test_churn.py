@@ -1,0 +1,99 @@
+"""StationChurn: replayable up/down timelines and nested failure sets."""
+
+import pytest
+
+from repro.faults import FaultSchedule, FaultSpec, StationChurn
+
+STATIONS = ("station-0", "station-1", "station-2", "station-3",
+            "station-4", "station-5")
+
+
+def run_timeline(mtbf, seed, epochs=20, mttr=2.0, stations=STATIONS):
+    spec = FaultSpec(station_mtbf_epochs=mtbf, station_mttr_epochs=mttr)
+    churn = StationChurn(FaultSchedule(spec, seed=seed), stations)
+    return churn, [churn.advance() for _ in range(epochs)]
+
+
+class TestValidation:
+    def test_needs_stations(self):
+        with pytest.raises(ValueError, match="at least one"):
+            StationChurn(FaultSchedule(), ())
+
+    def test_names_must_be_unique(self):
+        with pytest.raises(ValueError, match="unique"):
+            StationChurn(FaultSchedule(), ("a", "a"))
+
+
+class TestState:
+    def test_starts_all_up(self):
+        churn = StationChurn(FaultSchedule(), STATIONS)
+        assert churn.up_stations == STATIONS
+        assert churn.down_stations == ()
+        assert churn.epoch == 0
+        assert all(churn.is_up(name) for name in STATIONS)
+
+    def test_churnless_spec_never_fails_anyone(self):
+        churn, timeline = run_timeline(float("inf"), seed=0)
+        assert all(up == STATIONS for up in timeline)
+        assert churn.epoch == len(timeline)
+        assert churn.schedule.trace.events == ()
+
+
+class TestDynamics:
+    def test_failures_and_recoveries_happen(self):
+        churn, timeline = run_timeline(mtbf=2.0, seed=1)
+        counts = churn.schedule.trace.counts()
+        assert counts.get("churn.fail", 0) > 0
+        assert counts.get("churn.recover", 0) > 0
+        assert any(len(up) < len(STATIONS) for up in timeline)
+
+    def test_up_and_down_partition_the_fleet(self):
+        churn, _ = run_timeline(mtbf=2.0, seed=1)
+        assert sorted(churn.up_stations + churn.down_stations) \
+            == sorted(STATIONS)
+
+    def test_timeline_is_deterministic(self):
+        _, first = run_timeline(mtbf=3.0, seed=7)
+        _, second = run_timeline(mtbf=3.0, seed=7)
+        assert first == second
+
+    def test_timelines_differ_across_seeds(self):
+        _, first = run_timeline(mtbf=2.0, seed=1)
+        _, second = run_timeline(mtbf=2.0, seed=2)
+        assert first != second
+
+    def test_failure_events_nest_across_rates(self):
+        """More churn strictly adds failures (fixed seed): every epoch's
+        failure count at a low rate is bounded by the high-rate one."""
+        low, low_timeline = run_timeline(mtbf=10.0, seed=4, mttr=1e9)
+        high, high_timeline = run_timeline(mtbf=2.0, seed=4, mttr=1e9)
+        for lows, highs in zip(low_timeline, high_timeline):
+            assert set(highs) <= set(lows)
+        assert low.schedule.trace.counts().get("churn.fail", 0) \
+            <= high.schedule.trace.counts().get("churn.fail", 0)
+
+    def test_one_draw_per_station_per_epoch(self):
+        """The churn stream advances identically whatever the rates, so
+        timelines at different mixes share the same draw sequence."""
+        churn, _ = run_timeline(mtbf=2.0, seed=3, epochs=5)
+        # Replaying the raw stream: 5 epochs x 6 stations of uniforms.
+        fresh = FaultSchedule(churn.schedule.spec, seed=3)
+        draws = fresh.stream("churn").random((5, len(STATIONS)))
+        assert draws.shape == (5, len(STATIONS))
+
+    def test_short_mttr_recovers_faster_than_long(self):
+        fast, _ = run_timeline(mtbf=2.0, seed=5, mttr=1.0, epochs=30)
+        slow, _ = run_timeline(mtbf=2.0, seed=5, mttr=50.0, epochs=30)
+        fast_recoveries = fast.schedule.trace.counts() \
+            .get("churn.recover", 0)
+        slow_recoveries = slow.schedule.trace.counts() \
+            .get("churn.recover", 0)
+        assert fast_recoveries > slow_recoveries
+
+    def test_mttr_one_recovers_next_epoch(self):
+        spec = FaultSpec(station_mtbf_epochs=1.0, station_mttr_epochs=1.0)
+        churn = StationChurn(FaultSchedule(spec, seed=0), STATIONS)
+        churn.advance()  # everything fails (rate 1)
+        assert churn.up_stations == ()
+        churn.advance()  # everything recovers (rate 1)
+        assert churn.up_stations == STATIONS

@@ -1,0 +1,183 @@
+"""Resilient control: probe re-voting, session-level recovery, fleet
+quarantine with last-known-good bias, and the empty-fleet edge."""
+
+import numpy as np
+import pytest
+
+from repro.api import FleetSession, FleetSpec, LinkSession
+from repro.core.controller import VoltageSweepConfig
+from repro.experiments.scenarios import TransmissiveScenario
+from repro.faults import (
+    FaultSchedule,
+    FaultSpec,
+    ProbePolicy,
+    RetryPolicy,
+    StationChurn,
+)
+
+SWEEP = VoltageSweepConfig(iterations=2, switches_per_axis=5)
+
+
+def clean_session():
+    return LinkSession(TransmissiveScenario().configuration(),
+                       sweep_config=SWEEP)
+
+
+class TestProbePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbePolicy(repeats=0)
+
+    def test_single_repeat_is_the_exact_identity(self):
+        policy = ProbePolicy(repeats=1)
+        assert not policy.active
+        calls = []
+
+        def probe(vx, vy):
+            calls.append((vx, vy))
+            return np.asarray([1.0, 2.0])
+
+        result = policy.measure(probe, 1.0, 2.0)
+        np.testing.assert_array_equal(result, [1.0, 2.0])
+        assert calls == [(1.0, 2.0)]
+
+    def test_median_rejects_a_minority_outlier(self):
+        samples = iter([np.asarray([10.0, 20.0]),
+                        np.asarray([10.0, 80.0]),   # one corrupted repeat
+                        np.asarray([10.0, 20.0])])
+        result = ProbePolicy(repeats=3).measure(
+            lambda: next(samples))
+        np.testing.assert_array_equal(result, [10.0, 20.0])
+
+    def test_nan_repeats_are_excluded_from_the_vote(self):
+        samples = np.asarray([[np.nan, 1.0],
+                              [3.0, np.nan],
+                              [5.0, 2.0]])
+        result = ProbePolicy(repeats=3).aggregate(samples)
+        np.testing.assert_array_equal(result, [4.0, 1.5])
+
+    def test_total_dropout_stays_nan(self):
+        samples = np.full((3, 2), np.nan)
+        result = ProbePolicy(repeats=3).aggregate(samples)
+        assert np.isnan(result).all()
+
+
+class TestResilientLinkSession:
+    def test_clean_session_reports_clean_health(self):
+        session = clean_session()
+        session.optimize()
+        report = session.health
+        assert not report.degraded
+        assert report.probes == 0 and report.retries == 0
+
+    def test_inert_fault_plane_is_bit_identical(self):
+        clean = clean_session().optimize()
+        hardened = LinkSession(
+            TransmissiveScenario().configuration(), sweep_config=SWEEP,
+            fault_schedule=FaultSchedule(seed=0),
+            retry_policy=RetryPolicy()).optimize()
+        assert hardened.best_vx == clean.best_vx
+        assert hardened.best_vy == clean.best_vy
+        assert hardened.best_power_dbm == clean.best_power_dbm
+
+    def test_retries_and_revoting_recover_the_clean_optimum(self):
+        clean = clean_session().optimize()
+        spec = FaultSpec(probe_dropout_rate=0.05, probe_error_rate=0.1)
+        session = LinkSession(
+            TransmissiveScenario().configuration(), sweep_config=SWEEP,
+            fault_schedule=FaultSchedule(spec, seed=7),
+            retry_policy=RetryPolicy(max_attempts=6),
+            probe_policy=ProbePolicy(repeats=3))
+        result = session.optimize()
+        assert result.best_power_dbm == pytest.approx(
+            clean.best_power_dbm, abs=1e-9)
+        assert session.health.degraded
+        assert session.health.probes > 0
+
+    def test_faulted_runs_replay_exactly(self):
+        spec = FaultSpec(probe_dropout_rate=0.1, noise_burst_rate=0.1)
+
+        def run():
+            session = LinkSession(
+                TransmissiveScenario().configuration(), sweep_config=SWEEP,
+                fault_schedule=FaultSchedule(spec, seed=3),
+                probe_policy=ProbePolicy(repeats=3))
+            result = session.optimize()
+            return result, session.fault_schedule.trace.digest()
+
+        (first, first_digest), (second, second_digest) = run(), run()
+        assert first.best_power_dbm == second.best_power_dbm
+        assert (first.best_vx, first.best_vy) \
+            == (second.best_vx, second.best_vy)
+        assert first_digest == second_digest
+
+
+@pytest.fixture()
+def fleet():
+    return FleetSession(FleetSpec.random_home(station_count=4),
+                        sweep_config=SWEEP)
+
+
+class TestFleetQuarantine:
+    def test_quarantine_and_reinstate_round_trip(self, fleet):
+        roster = fleet.station_names
+        survivors = fleet.quarantine(roster[0])
+        assert survivors == roster[1:]
+        assert fleet.quarantined_stations == (roster[0],)
+        assert fleet.health.stations_quarantined == (roster[0],)
+        # Idempotent both ways.
+        assert fleet.quarantine(roster[0]) == roster[1:]
+        assert fleet.reinstate(roster[0]) == roster
+        assert fleet.reinstate(roster[0]) == roster
+        assert not fleet.health.degraded
+
+    def test_unknown_station_rejected(self, fleet):
+        with pytest.raises(KeyError):
+            fleet.quarantine("nonexistent")
+
+    def test_schedule_runs_on_survivors_only(self, fleet):
+        roster = fleet.station_names
+        fleet.quarantine(roster[0])
+        result = fleet.schedule("per-station")
+        assert {a.station for a in result.allocations} == set(roster[1:])
+
+    def test_last_known_good_bias_survives_quarantine(self, fleet):
+        station = fleet.station_names[0]
+        assert fleet.last_known_good_bias(station) is None
+        fleet.schedule("per-station")
+        bias = fleet.last_known_good_bias(station)
+        assert bias is not None
+        fleet.quarantine(station)
+        assert fleet.last_known_good_bias(station) == bias
+
+    def test_all_quarantined_yields_wellformed_empty_epoch(self, fleet):
+        fleet.quarantine(*fleet.station_names)
+        assert fleet.active_stations == ()
+        for strategy in ("polarization-reuse", "per-station",
+                         "no-surface"):
+            result = fleet.schedule(strategy)
+            assert result.allocations == ()
+            assert result.total_throughput_mbps == 0.0
+
+    def test_apply_churn_tracks_the_up_set(self, fleet):
+        roster = fleet.station_names
+        spec = FaultSpec(station_mtbf_epochs=2.0, station_mttr_epochs=2.0)
+        churn = StationChurn(FaultSchedule(spec, seed=1), roster)
+        for _ in range(6):
+            survivors = fleet.apply_churn(churn.advance())
+            assert survivors == fleet.active_stations
+            assert set(survivors) == set(churn.up_stations)
+            assert set(fleet.quarantined_stations) \
+                == set(churn.down_stations)
+
+    def test_apply_churn_accepts_explicit_up_sets(self, fleet):
+        roster = fleet.station_names
+        assert fleet.apply_churn(roster[:2]) == roster[:2]
+        assert set(fleet.quarantined_stations) == set(roster[2:])
+        assert fleet.apply_churn(roster) == roster
+
+    def test_optimize_grid_excludes_quarantined(self, fleet):
+        fleet.quarantine(fleet.station_names[0])
+        result = fleet.optimize_grid()
+        assert np.shape(result.best_power_dbm)[0] \
+            == len(fleet.station_names) - 1

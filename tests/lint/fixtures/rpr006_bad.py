@@ -1,0 +1,35 @@
+# repro-lint: role=src
+"""RPR006 fixture: ad-hoc sleeping and hand-rolled retries.
+
+Expected findings: 3 sleep calls (module attribute, from-import alias,
+aliased module), 2 retry loops (while, for-over-range).
+"""
+
+import time
+import time as clock
+from time import sleep as snooze
+
+
+def waits_between_probes(probe):
+    result = probe()
+    time.sleep(0.02)
+    snooze(0.5)
+    clock.sleep(1.0)
+    return result
+
+
+def retries_until_it_works(probe):
+    while True:
+        try:
+            return probe()
+        except RuntimeError:
+            continue
+
+
+def retries_three_times(probe):
+    for _attempt in range(3):
+        try:
+            return probe()
+        except ValueError:
+            continue
+    return None

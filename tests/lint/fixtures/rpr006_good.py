@@ -1,0 +1,42 @@
+# repro-lint: role=src
+"""RPR006 fixture: time/retry discipline that should not fire.
+
+Virtual-clock accounting, skip-on-error collection loops and
+``time.monotonic`` reads are all fine; only stalling and hand-rolled
+attempt loops are the rule's business.
+"""
+
+import time
+
+
+def virtual_clock_accounting(policy, call):
+    # The sanctioned path: the fault plane's executor does the waiting
+    # (on a virtual clock), the caller just invokes it.
+    return policy.execute(call)
+
+
+def reads_the_clock():
+    return time.monotonic()
+
+
+def skip_on_error_collection(modules, load):
+    # A for-loop over a real collection whose handler continues is the
+    # skip-bad-items idiom, not a retry of the same operation.
+    loaded = []
+    for name in modules:
+        try:
+            loaded.append(load(name))
+        except ImportError:
+            continue
+    return loaded
+
+
+def attempt_loop_without_retry(probe):
+    # Attempt-shaped loop, but the handler re-raises instead of
+    # silently continuing: not a hand-rolled retry.
+    for attempt in range(3):
+        try:
+            return probe()
+        except RuntimeError:
+            raise
+    return None

@@ -24,6 +24,7 @@ BAD_FIXTURES = [
     ("rpr003_bad.py", "RPR003", 5),
     ("rpr004_bad.py", "RPR004", 3),
     ("rpr005_bad.py", "RPR005", 4),
+    ("rpr006_bad.py", "RPR006", 5),
 ]
 
 GOOD_FIXTURES = [
@@ -32,6 +33,7 @@ GOOD_FIXTURES = [
     "rpr003_good.py",
     "rpr004_good.py",
     "rpr005_good.py",
+    "rpr006_good.py",
 ]
 
 
