@@ -4,19 +4,17 @@ The fault plane promises a pure-delegation fast path: an inactive
 ``FaultySchedule`` draws from no stream and a ``RetryingBackend`` adds
 one guarded call per probe, so wrapping the whole resilience stack
 around the measurement backend must cost <5% on amortized batched
-probes — and stay bit-identical.  The timed rows are written to
-``BENCH_7.json`` at the repo root so the gate's evidence ships with the
-tree.
+probes — and stay bit-identical.  The timed rows land in the current
+PR's ``BENCH_<n>.json`` archive (``trajectory.write_bench_rows``) so
+the gate's evidence ships with the tree; ``BENCH_7.json`` remains the
+PR 7 measurement.
 """
 
-import json
-import statistics
 import time
-from pathlib import Path
 
 import numpy as np
 
-from bench_utils import run_once
+from bench_utils import run_once, write_bench_rows
 from repro.api.backend import LinkBackend
 from repro.api.session import LinkSession
 from repro.channel.grid import ProbeGrid
@@ -28,8 +26,6 @@ from repro.faults import (
     RetryingBackend,
     RetryPolicy,
 )
-
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_7.json"
 
 #: Acceptance bar from the issue: disabled-injection overhead <5%.
 MAX_OVERHEAD_FRACTION = 0.05
@@ -49,19 +45,28 @@ def wrap_resilience(backend):
                            RetryPolicy(), schedule=schedule)
 
 
-def median_seconds(workload):
-    """Median wall-clock of ``REPEATS`` runs of one workload."""
-    samples = []
+def best_seconds_interleaved(bare_fn, wrapped_fn):
+    """Minimum wall-clock of ``REPEATS`` interleaved runs of each path.
+
+    The two workloads alternate within every repetition so slow
+    machine-load drift hits both equally, and the minimum is the
+    sample least perturbed by scheduler noise — the overhead fraction
+    compares the paths' intrinsic costs rather than whichever block a
+    busy CI box happened to interrupt.
+    """
+    bare_samples, wrapped_samples = [], []
     for _ in range(REPEATS):
         start = time.perf_counter()
-        workload()
-        samples.append(time.perf_counter() - start)
-    return statistics.median(samples)
+        bare_fn()
+        bare_samples.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        wrapped_fn()
+        wrapped_samples.append(time.perf_counter() - start)
+    return min(bare_samples), min(wrapped_samples)
 
 
 def overhead_row(label, probes, bare_fn, wrapped_fn, parity_db):
-    bare_s = median_seconds(bare_fn)
-    wrapped_s = median_seconds(wrapped_fn)
+    bare_s, wrapped_s = best_seconds_interleaved(bare_fn, wrapped_fn)
     return {
         "plane": label,
         "probes": probes,
@@ -117,11 +122,9 @@ def test_bench_disabled_injection_overhead(benchmark):
         precision=4,
         title="Resilience stack overhead with injection disabled"))
 
-    BENCH_PATH.write_text(json.dumps({
-        "benchmark": "disabled-injection resilience overhead",
-        "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
-        "rows": rows,
-    }, indent=2) + "\n", encoding="utf-8")
+    write_bench_rows(
+        "disabled-injection resilience overhead", rows,
+        meta={"max_overhead_fraction": MAX_OVERHEAD_FRACTION})
 
     for row in rows:
         assert row["max_error_db"] <= PARITY_DB, row

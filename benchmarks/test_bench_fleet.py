@@ -17,7 +17,9 @@ from bench_utils import (
     print_speedup_table,
     run_once,
     speedup_row,
+    speedup_rows_as_records,
     timed,
+    write_bench_rows,
 )
 from repro.api import FleetSession, FleetSpec, LinkSession
 from repro.devices.wifi import wifi_rate_for_rssi_mbps
@@ -113,6 +115,13 @@ def test_bench_fleet_stacking(benchmark):
         "Fleet-stacked scheduling planes vs per-station LinkSession loops",
         rows, row_label="plane", count_label="probes",
         slow_label="session loop", fast_label="fleet-stacked")
+
+    write_bench_rows(
+        "fleet stacking vs session loops",
+        speedup_rows_as_records(rows, row_label="plane",
+                                count_label="probes"),
+        meta={"min_speedup_x": 3.0, "stations": STATION_COUNT,
+              "grid_shape": [int(LEVELS.size), int(LEVELS.size)]})
 
     # Acceptance bar for the fleet API: >= 3x per scheduling plane.
     assert_speedup(rows, min_speedup=3.0)

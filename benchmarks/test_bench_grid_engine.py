@@ -16,7 +16,9 @@ from bench_utils import (
     print_speedup_table,
     run_once,
     speedup_row,
+    speedup_rows_as_records,
     timed,
+    write_bench_rows,
 )
 from repro.channel.geometry import LinkGeometry
 from repro.channel.grid import ProbeGrid
@@ -77,6 +79,13 @@ def test_bench_grid_engine(benchmark):
         "N-D grid engine vs looping received_power_dbm_sweep over the "
         "second axis", rows, row_label="grid", count_label="points",
         slow_label="looped sweep", fast_label="grid engine")
+
+    write_bench_rows(
+        "grid engine vs looped sweep",
+        speedup_rows_as_records(rows, row_label="grid"),
+        meta={"min_speedup_x": 3.0,
+              "grid_shape": [int(FREQUENCIES.size), int(TX_POWERS_DBM.size),
+                             int(VOLTAGE_PAIRS[0].size)]})
 
     # Acceptance bar for the grid engine: >= 3x per joint grid.
     assert_speedup(rows, min_speedup=3.0)

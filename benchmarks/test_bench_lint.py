@@ -9,7 +9,7 @@ the current tree lints in well under one second.
 from dataclasses import replace
 from pathlib import Path
 
-from bench_utils import run_once, timed
+from bench_utils import run_once, timed, write_bench_rows
 from repro.experiments.reporting import format_table
 from repro.lint import Baseline, LintConfig, lint_paths
 
@@ -44,6 +44,16 @@ def test_bench_lint_full_repo(benchmark):
             ["new findings", len(result.new_findings)],
         ],
         precision=3, title="repro.lint - full-repo invariant pass"))
+
+    write_bench_rows(
+        "full-repo lint pass", [{
+            "scope": "src + tests",
+            "wall_s": elapsed,
+            "total_findings": len(findings),
+            "baselined": result.suppressed_count,
+            "new_findings": len(result.new_findings),
+        }],
+        meta={"budget_s": LINT_BUDGET_S})
 
     assert elapsed < LINT_BUDGET_S, \
         f"full-repo lint took {elapsed:.2f}s (budget {LINT_BUDGET_S}s)"

@@ -1,0 +1,129 @@
+"""Sharded ``run_all`` executor and persistent result store gates.
+
+Two acceptance bars from the issue, both archived in the perf
+trajectory (``BENCH_<pr>.json``):
+
+* ``run_all`` of the figure tag with 4 workers beats serial by >= 2x
+  against a cold store.  The registered experiments are fast at their
+  paper defaults (the whole tag runs in ~1.5 s), so the comparison
+  scales the compute-heavy knobs up via per-experiment ``overrides`` —
+  the parity requirement is unchanged: every sharded result must be
+  ``equal`` (<= 1e-9 dB) to its serial twin.  The speedup gate only
+  applies on >= 4-core machines; the measurement itself always runs
+  and is always archived (with the core count in the row) so the
+  trajectory records what this machine actually did.
+* A second ``run_all`` against the warm store — fresh runner, empty
+  memory tier, every result re-hydrated from disk — is >= 10x faster
+  than the cold computing pass.
+"""
+
+import os
+import tempfile
+
+from bench_utils import run_once, timed, write_bench_rows
+from repro.experiments import REGISTRY
+from repro.experiments.parallel import default_mp_context
+from repro.experiments.runner import Runner
+
+TAG = "figure"
+WORKERS = 4
+MIN_PARALLEL_SPEEDUP = 2.0
+MIN_WARM_SPEEDUP = 10.0
+PARITY_DB = 1e-9
+
+#: Scale the compute-heavy knobs so each experiment carries enough
+#: work to amortize worker dispatch; payload shapes stay modest.
+SCALE_OVERRIDES = {
+    "fig02": {"sample_count": 1500},
+    "fig08_10": {"frequency_count": 241},
+    "fig11": {"frequency_count": 161},
+    "fig15": {"voltage_step_v": 1.0},
+    "fig16": {"exhaustive": True},
+    "fig20": {"sample_count": 800},
+    "fig21": {"voltage_step_v": 1.0},
+    "fig22": {"exhaustive": True},
+    "iot_families": {"sample_count": 1200},
+    "fig23": {"duration_s": 180.0},
+}
+
+
+def run_parallel_comparison():
+    """Serial vs 4-worker ``run_all`` of the scaled figure tag."""
+    serial_runner = Runner(REGISTRY)
+    serial, serial_s = timed(serial_runner.run_all, tag=TAG,
+                             overrides=SCALE_OVERRIDES)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        parallel_runner = Runner(REGISTRY, store=tmp)  # cold store
+        sharded, parallel_s = timed(parallel_runner.run_all, tag=TAG,
+                                    workers=WORKERS,
+                                    overrides=SCALE_OVERRIDES)
+    mismatched = [ours.name for ours, theirs in zip(serial, sharded)
+                  if not ours.equal(theirs, tolerance=PARITY_DB)]
+    return {
+        "label": f"{TAG} tag, {WORKERS} workers vs serial (cold store)",
+        "experiments": len(serial),
+        "slow_ms": serial_s * 1e3,
+        "fast_ms": parallel_s * 1e3,
+        "speedup_x": serial_s / parallel_s,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "mp_context": default_mp_context(),
+        "mismatched": mismatched,
+    }
+
+
+def run_store_comparison():
+    """Cold computing ``run_all`` vs warm store re-hydration."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        cold_runner = Runner(REGISTRY, store=tmp)
+        cold, cold_s = timed(cold_runner.run_all, tag=TAG)
+        # A fresh runner on the same store: empty memory tier, so every
+        # result must come back through the disk tier.
+        warm_runner = Runner(REGISTRY, store=tmp)
+        warm, warm_s = timed(warm_runner.run_all, tag=TAG)
+        stats = warm_runner.store.stats
+    mismatched = [ours.name for ours, theirs in zip(cold, warm)
+                  if not ours.equal(theirs, tolerance=PARITY_DB)]
+    return {
+        "label": f"{TAG} tag, warm store vs cold compute",
+        "experiments": len(cold),
+        "slow_ms": cold_s * 1e3,
+        "fast_ms": warm_s * 1e3,
+        "speedup_x": cold_s / warm_s,
+        "store_hits": stats.hits,
+        "store_misses": stats.misses,
+        "mismatched": mismatched,
+    }
+
+
+def test_bench_parallel_run_all(benchmark):
+    row = run_once(benchmark, run_parallel_comparison)
+    write_bench_rows(
+        "parallel run-all (sharded executor)", [row],
+        meta={"min_speedup_x": MIN_PARALLEL_SPEEDUP,
+              "gated_when": f"os.cpu_count() >= {WORKERS}",
+              "overrides": SCALE_OVERRIDES})
+
+    print(f"\nparallel run-all: {row['slow_ms']:.0f} ms serial vs "
+          f"{row['fast_ms']:.0f} ms with {WORKERS} workers "
+          f"({row['speedup_x']:.2f}x on {row['cpu_count']} cores)")
+
+    # Parity is unconditional: sharded results are bit-identical.
+    assert row["mismatched"] == [], row
+    # The wall-clock bar needs real cores to be meaningful.
+    if (os.cpu_count() or 1) >= WORKERS:
+        assert row["speedup_x"] >= MIN_PARALLEL_SPEEDUP, row
+
+
+def test_bench_warm_store_run_all(benchmark):
+    row = run_once(benchmark, run_store_comparison)
+    write_bench_rows(
+        "warm result store vs cold compute", [row],
+        meta={"min_speedup_x": MIN_WARM_SPEEDUP})
+
+    print(f"\nwarm store run-all: {row['slow_ms']:.0f} ms cold vs "
+          f"{row['fast_ms']:.1f} ms warm ({row['speedup_x']:.0f}x)")
+
+    assert row["mismatched"] == [], row
+    assert row["store_hits"] >= row["experiments"], row
+    assert row["speedup_x"] >= MIN_WARM_SPEEDUP, row

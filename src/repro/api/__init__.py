@@ -80,6 +80,10 @@ _EXPERIMENT_EXPORTS = {
     "Param": ("repro.experiments.registry", "Param"),
     "ExperimentResult": ("repro.experiments.runner", "ExperimentResult"),
     "Runner": ("repro.experiments.runner", "Runner"),
+    "ResultStore": ("repro.experiments.store", "ResultStore"),
+    "ProgressReporter": ("repro.experiments.parallel", "ProgressReporter"),
+    "evaluate_grid_sharded": ("repro.experiments.parallel",
+                              "evaluate_grid_sharded"),
 }
 
 
@@ -130,4 +134,7 @@ __all__ = [
     "ExperimentResult",
     "Param",
     "Runner",
+    "ResultStore",
+    "ProgressReporter",
+    "evaluate_grid_sharded",
 ]

@@ -29,7 +29,7 @@ typo fails loudly at build time rather than deep inside the engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
@@ -214,6 +214,89 @@ class ProbeGrid:
         """Flattened per-point value arrays, one ``(size,)`` per axis."""
         return {axis.name: self.expand(axis.name).ravel()
                 for axis in self.axes}
+
+    # ------------------------------------------------------------------ #
+    # Sharding (the parallel executor's slice plan)
+    # ------------------------------------------------------------------ #
+    def split_dim(self) -> Optional[int]:
+        """The result dimension :meth:`split` shards along.
+
+        The first dimension of :attr:`shape` with the largest extent, or
+        ``None`` when the grid has no dimension longer than one point
+        (0-d grids, all-singleton shapes) — such grids cannot be split.
+        """
+        shape = self.shape
+        if not shape or max(shape) <= 1:
+            return None
+        return int(np.argmax(shape))
+
+    def largest_axis(self) -> Optional[str]:
+        """Name of the first axis spanning the longest grid dimension.
+
+        This is the axis the parallel executor shards along: slicing its
+        points slices the evaluation result along :meth:`split_dim`.
+        ``None`` when the grid is unsplittable (see :meth:`split_dim`).
+        """
+        dim = self.split_dim()
+        if dim is None:
+            return None
+        for axis in self.axes:
+            if self._extent_at(axis, dim) > 1:
+                return axis.name
+        return None
+
+    def _extent_at(self, axis: GridAxis, dim: int) -> int:
+        """``axis``'s extent along result dimension ``dim`` (broadcast
+        semantics: missing leading dimensions count as one)."""
+        offset = dim - (self.ndim - axis.shaped.ndim)
+        if offset < 0:
+            return 1
+        return int(axis.shaped.shape[offset])
+
+    def _sliced(self, axis: GridAxis, dim: int, lo: int, hi: int) -> GridAxis:
+        """``axis`` restricted to ``[lo, hi)`` along result dim ``dim``
+        (axes broadcasting over that dimension are returned unchanged)."""
+        offset = dim - (self.ndim - axis.shaped.ndim)
+        if offset < 0 or axis.shaped.shape[offset] == 1:
+            return axis
+        index = (slice(None),) * offset + (slice(lo, hi),)
+        shaped = axis.shaped[index]
+        if axis.values.shape == axis.shaped.shape:
+            values = axis.values[index]
+        elif (axis.values.ndim == 1 and
+              axis.values.size == axis.shaped.shape[offset]):
+            # Product-style axis: the flat points own this dimension.
+            values = axis.values[lo:hi]
+        else:
+            values = shaped
+        return GridAxis(name=axis.name, values=values, shaped=shaped)
+
+    def split(self, parts: int) -> Tuple["ProbeGrid", ...]:
+        """Shard the grid into at most ``parts`` contiguous slices.
+
+        The grid is cut along :meth:`split_dim` (the longest dimension,
+        owned by :meth:`largest_axis`) into near-equal contiguous
+        chunks; each shard is a valid :class:`ProbeGrid` over the same
+        axes.  Concatenating the shards' evaluation results along
+        ``split_dim()`` — in order — reproduces the full grid's result
+        bit-for-bit, which is the reassembly contract of
+        :func:`repro.experiments.parallel.evaluate_grid_sharded`.
+        Unsplittable grids and ``parts <= 1`` return ``(self,)``.
+        """
+        if parts <= 1:
+            return (self,)
+        dim = self.split_dim()
+        if dim is None:
+            return (self,)
+        extent = self.shape[dim]
+        chunks = min(parts, extent)
+        bounds = np.linspace(0, extent, chunks + 1).astype(int)
+        shards: List[ProbeGrid] = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            shards.append(ProbeGrid(axes=tuple(
+                self._sliced(axis, dim, int(lo), int(hi))
+                for axis in self.axes)))
+        return tuple(shards)
 
 
 __all__ = ["GRID_AXES", "GridAxis", "ProbeGrid", "SWEEP_AXES",

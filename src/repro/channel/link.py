@@ -55,6 +55,23 @@ from repro.constants import DEFAULT_CENTER_FREQUENCY_HZ, SPEED_OF_LIGHT
 from repro.core.jones import JonesVector
 from repro.metasurface.surface import Metasurface
 
+#: Process-local count of link-budget engine passes (see
+#: :func:`probe_evaluations`).
+_BUDGET_EVALUATIONS = 0
+
+
+def probe_evaluations() -> int:
+    """How many times this process ran the link-budget engine.
+
+    Every probe in the reproduction — scalar, batch, sweep, grid, fleet
+    — funnels through :meth:`WirelessLink._budget_power_dbm`, so this
+    counter is the backend instrumentation the result-store tests use
+    to prove a warm :class:`~repro.experiments.store.ResultStore` run
+    performs **zero** probe evaluations.  Compare deltas rather than
+    absolute values; the counter is never reset.
+    """
+    return _BUDGET_EVALUATIONS
+
 
 class DeploymentMode(Enum):
     """How (and whether) the metasurface participates in the link."""
@@ -522,6 +539,8 @@ class WirelessLink:
         the link's caches whenever no axis overrides a parameter they
         depend on.
         """
+        global _BUDGET_EVALUATIONS
+        _BUDGET_EVALUATIONS += 1
         vx = np.asarray(vx, dtype=float)
         vy = np.asarray(vy, dtype=float)
         frequency = params.get("frequency_hz")
@@ -716,4 +735,4 @@ class WirelessLink:
 
 
 __all__ = ["DeploymentMode", "LinkConfiguration", "LinkReport", "ProbeGrid",
-           "SWEEP_AXES", "WirelessLink"]
+           "SWEEP_AXES", "WirelessLink", "probe_evaluations"]

@@ -42,6 +42,11 @@ from repro.experiments.runner import (
     default_runner,
     run_experiment,
 )
+from repro.experiments.store import ResultStore, code_fingerprint
+from repro.experiments.parallel import (
+    ProgressReporter,
+    evaluate_grid_sharded,
+)
 from repro.experiments import figures
 from repro.experiments import robustness
 from repro.experiments.reporting import format_table, format_series
@@ -65,6 +70,10 @@ __all__ = [
     "experiment",
     "ExperimentResult",
     "Runner",
+    "ResultStore",
+    "ProgressReporter",
+    "code_fingerprint",
+    "evaluate_grid_sharded",
     "default_runner",
     "run_experiment",
     "figures",

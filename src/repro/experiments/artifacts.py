@@ -134,6 +134,18 @@ def from_json(text: str) -> Any:
     return decode(json.loads(text))
 
 
+def canonical_json(obj: Any) -> str:
+    """Deterministic serialization for content keys.
+
+    ``json.dumps(encode(obj), sort_keys=True)`` with compact separators:
+    two payloads that :func:`payload_equal` exactly (tolerance 0) encode
+    to the same string, so both the runner's in-memory cache and the
+    on-disk :class:`~repro.experiments.store.ResultStore` key entries by
+    this form.
+    """
+    return json.dumps(encode(obj), sort_keys=True, separators=(",", ":"))
+
+
 def _numbers_equal(a: float, b: float, tolerance: float) -> bool:
     if math.isnan(a) or math.isnan(b):
         return math.isnan(a) and math.isnan(b)
@@ -196,6 +208,7 @@ def payload_equal(a: Any, b: Any, tolerance: float = 1e-9) -> bool:
 
 __all__ = [
     "ArtifactError",
+    "canonical_json",
     "decode",
     "encode",
     "from_json",

@@ -7,11 +7,18 @@
 * ``run NAME [--set k=v] [--smoke] [--json PATH] [--check]`` — run one
   experiment, print its summary, optionally archive the serialized
   :class:`~repro.experiments.runner.ExperimentResult`.
-* ``run-all [--tag TAG] [--smoke] [--json-dir DIR] [--check]`` — run a
-  tag's worth (or everything), one status line per experiment.
+* ``run-all [--tag TAG] [--smoke] [--workers N] [--store DIR]
+  [--json-dir DIR] [--check]`` — run a tag's worth (or everything)
+  with a live claimed/done/ETA progress line; ``--workers`` shards the
+  suite across a multiprocess pool, ``--store`` attaches the
+  persistent result store so warm re-runs skip anything already
+  computed.
 * ``coverage [--json PATH]``      — which scenarios,
   :data:`~repro.channel.grid.SWEEP_AXES` and ``repro`` modules the
   registered suite exercises, and what remains uncovered.
+* ``bench-report [--dir DIR] [--json PATH]`` — render the per-PR
+  ``BENCH_<n>.json`` benchmark archives as the perf trajectory across
+  PRs.
 """
 
 from __future__ import annotations
@@ -21,9 +28,10 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.channel.grid import SWEEP_AXES
+from repro.experiments.parallel import ProgressReporter
 from repro.experiments.registry import (
     MODULE_NAMES,
     REGISTRY,
@@ -86,8 +94,9 @@ def _cmd_run(registry: ExperimentRegistry, name: str,
 
 
 def _cmd_run_all(registry: ExperimentRegistry, tag: Optional[str],
-                 smoke: bool, json_dir: Optional[str], check: bool) -> int:
-    runner = Runner(registry)
+                 smoke: bool, json_dir: Optional[str], check: bool,
+                 workers: int, store_dir: Optional[str]) -> int:
+    runner = Runner(registry, store=store_dir)
     specs = registry.all(tag)
     if not specs:
         print(f"no experiments tagged {tag!r}")
@@ -95,25 +104,34 @@ def _cmd_run_all(registry: ExperimentRegistry, tag: Optional[str],
     directory = Path(json_dir) if json_dir else None
     if directory is not None:
         directory.mkdir(parents=True, exist_ok=True)
+    progress = ProgressReporter(total=len(specs), label="run-all")
+    start = time.perf_counter()
+    results = runner.run_all(tag=tag, smoke=smoke, workers=workers,
+                             progress=progress)
+    elapsed = time.perf_counter() - start
     failures: List[str] = []
-    for spec in specs:
-        start = time.perf_counter()
-        result = runner.run(spec.name, smoke=smoke)
-        status = "ok"
+    for result in results:
         if check:
             try:
                 result.check()
             except AssertionError as error:
-                failures.append(spec.name)
-                status = f"CHECK FAILED ({error})"
+                failures.append(result.name)
+                detail = f" ({error})" if str(error) else ""
+                print(f"CHECK FAILED: {result.name}{detail}")
         if directory is not None:
-            (directory / f"{spec.name}.json").write_text(
+            (directory / f"{result.name}.json").write_text(
                 result.to_json(indent=2))
-        elapsed = time.perf_counter() - start
-        print(f"{spec.name:20s} {elapsed:7.2f}s  {status}")
     mode = "smoke" if smoke else "full"
-    print(f"\nran {len(specs)} experiments ({mode} parameters)"
+    pool = f", {workers} workers" if workers and workers > 1 else ""
+    print(f"\nran {len(specs)} experiments ({mode} parameters{pool}) "
+          f"in {elapsed:.2f}s: {progress.computed} computed, "
+          f"{progress.cached} cached"
           + (f"; archived to {directory}" if directory else ""))
+    if runner.store is not None:
+        stats = runner.store.stats
+        print(f"store {runner.store.directory}: {stats.entries} entries, "
+              f"{stats.hits} hits, {stats.writes} writes, "
+              f"{stats.corrupt} corrupt")
     if failures:
         print(f"failed checks: {', '.join(failures)}")
         return 1
@@ -165,6 +183,83 @@ def format_coverage(report: Dict[str, object]) -> str:
     return "\n\n".join(blocks)
 
 
+def load_bench_archives(directory: Path) -> List[Dict[str, Any]]:
+    """Parse every ``BENCH_<n>.json`` in ``directory``.
+
+    Returns one record per benchmark block:
+    ``{"pr", "file", "benchmark", "meta", "rows"}``, sorted by PR
+    number.  Both archive shapes are understood — the
+    ``benchmarks/trajectory.py`` format (``{"pr": n, "benchmarks":
+    [...]}``) and the earlier single-benchmark files (``{"benchmark":
+    ..., "rows": [...]}``, e.g. ``BENCH_7.json``).  Unparseable files
+    are reported as a block with an ``"error"`` key rather than raised.
+    """
+    records: List[Dict[str, Any]] = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        stem_tag = path.stem.split("_", 1)[-1]
+        pr = int(stem_tag) if stem_tag.isdigit() else -1
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            records.append({"pr": pr, "file": path.name, "benchmark": "?",
+                            "meta": {}, "rows": [], "error": str(error)})
+            continue
+        pr = int(data.get("pr", pr))
+        if isinstance(data.get("benchmarks"), list):
+            blocks = data["benchmarks"]
+        else:
+            blocks = [{"benchmark": data.get("benchmark", path.stem),
+                       "meta": {key: value for key, value in data.items()
+                                if key not in ("benchmark", "rows")},
+                       "rows": data.get("rows", [])}]
+        for block in blocks:
+            records.append({
+                "pr": pr, "file": path.name,
+                "benchmark": str(block.get("benchmark", "?")),
+                "meta": dict(block.get("meta", {})),
+                "rows": list(block.get("rows", [])),
+            })
+    records.sort(key=lambda record: (record["pr"], record["benchmark"]))
+    return records
+
+
+def format_bench_report(records: List[Dict[str, Any]]) -> str:
+    """Render :func:`load_bench_archives` as the perf-trajectory tables."""
+    if not records:
+        return ("no BENCH_*.json archives found — run the benchmark "
+                "suite (pytest benchmarks/) to populate the trajectory")
+    overview = [[record["pr"], record["file"], record["benchmark"],
+                 len(record["rows"])] for record in records]
+    blocks = [format_table(["PR", "file", "benchmark", "rows"], overview,
+                           title=f"perf trajectory — {len(records)} "
+                                 "benchmark series across PRs")]
+    for record in records:
+        title = f"PR {record['pr']} — {record['benchmark']}"
+        if record.get("error"):
+            blocks.append(f"{title}\n  unreadable: {record['error']}")
+            continue
+        if not record["rows"]:
+            blocks.append(f"{title}\n  (no rows)")
+            continue
+        headers: List[str] = []
+        for row in record["rows"]:
+            headers.extend(key for key in row if key not in headers)
+        table_rows = [[row.get(header, "") for header in headers]
+                      for row in record["rows"]]
+        blocks.append(format_table(headers, table_rows, precision=3,
+                                   title=title))
+    return "\n\n".join(blocks)
+
+
+def _cmd_bench_report(directory: str, json_path: Optional[str]) -> int:
+    records = load_bench_archives(Path(directory))
+    print(format_bench_report(records))
+    if json_path:
+        Path(json_path).write_text(json.dumps(records, indent=2))
+        print(f"\nwrote {json_path}")
+    return 0
+
+
 def _cmd_coverage(registry: ExperimentRegistry,
                   json_path: Optional[str]) -> int:
     report = coverage_report(registry)
@@ -214,11 +309,25 @@ def build_parser() -> argparse.ArgumentParser:
                              help="archive one JSON result per experiment")
     run_all_cmd.add_argument("--check", action="store_true",
                              help="run every spec's shape assertions")
+    run_all_cmd.add_argument("--workers", type=int, default=0,
+                             help="shard across N worker processes "
+                                  "(0/1 = serial)")
+    run_all_cmd.add_argument("--store", dest="store_dir", default=None,
+                             help="persistent result-store directory; "
+                                  "already-computed runs are skipped")
 
     coverage_cmd = commands.add_parser(
         "coverage", help="scenario/axis/module coverage of the suite")
     coverage_cmd.add_argument("--json", dest="json_path", default=None,
                               help="write the machine-readable report here")
+
+    bench_cmd = commands.add_parser(
+        "bench-report",
+        help="render the BENCH_<n>.json perf trajectory across PRs")
+    bench_cmd.add_argument("--dir", dest="directory", default=".",
+                           help="where the BENCH_*.json archives live")
+    bench_cmd.add_argument("--json", dest="json_path", default=None,
+                           help="write the parsed trajectory here")
     return parser
 
 
@@ -238,11 +347,16 @@ def main(argv: Optional[Sequence[str]] = None,
                             arguments.check, arguments.quiet)
         if arguments.command == "run-all":
             return _cmd_run_all(registry, arguments.tag, arguments.smoke,
-                                arguments.json_dir, arguments.check)
+                                arguments.json_dir, arguments.check,
+                                arguments.workers, arguments.store_dir)
+        if arguments.command == "bench-report":
+            return _cmd_bench_report(arguments.directory,
+                                     arguments.json_path)
         return _cmd_coverage(registry, arguments.json_path)
     except (ParameterError, UnknownExperimentError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
 
-__all__ = ["build_parser", "coverage_report", "format_coverage", "main"]
+__all__ = ["build_parser", "coverage_report", "format_bench_report",
+           "format_coverage", "load_bench_archives", "main"]
