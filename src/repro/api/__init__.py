@@ -31,6 +31,10 @@ receivers, recorded traces, hardware — are substitutable.
   :class:`ProbePolicy` (resilient probing) and :class:`HealthReport`,
   the knobs both session facades accept; the full taxonomy lives in
   :mod:`repro.faults`.
+* Serving-layer re-exports (lazy) — :class:`SurfaceService` /
+  :class:`ServiceConfig` / :func:`serve_trace` plus the
+  :class:`LoadProfile` open-loop generator and :class:`VirtualClock`;
+  the full serving plane lives in :mod:`repro.serve`.
 """
 
 from repro.api.backend import (
@@ -86,13 +90,29 @@ _EXPERIMENT_EXPORTS = {
                               "evaluate_grid_sharded"),
 }
 
+#: Serving-layer exports, also lazy: the service facade sits *above*
+#: the session facades (it consumes :class:`FleetSession`), so eager
+#: imports here would cycle through :mod:`repro.serve` back into this
+#: package.
+_SERVE_EXPORTS = {
+    "LoadProfile": ("repro.serve.loadgen", "LoadProfile"),
+    "RequestMix": ("repro.serve.loadgen", "RequestMix"),
+    "generate_trace": ("repro.serve.loadgen", "generate_trace"),
+    "RequestTrace": ("repro.serve.requests", "RequestTrace"),
+    "ServiceMetrics": ("repro.serve.metrics", "ServiceMetrics"),
+    "ServiceConfig": ("repro.serve.service", "ServiceConfig"),
+    "SurfaceService": ("repro.serve.service", "SurfaceService"),
+    "serve_trace": ("repro.serve.service", "serve_trace"),
+    "VirtualClock": ("repro.serve.clock", "VirtualClock"),
+}
+
 
 def __getattr__(name):
-    try:
-        module_name, attribute = _EXPERIMENT_EXPORTS[name]
-    except KeyError:
+    entry = _EXPERIMENT_EXPORTS.get(name) or _SERVE_EXPORTS.get(name)
+    if entry is None:
         raise AttributeError(
-            f"module {__name__!r} has no attribute {name!r}") from None
+            f"module {__name__!r} has no attribute {name!r}")
+    module_name, attribute = entry
     import importlib
     return getattr(importlib.import_module(module_name), attribute)
 
@@ -137,4 +157,13 @@ __all__ = [
     "ResultStore",
     "ProgressReporter",
     "evaluate_grid_sharded",
+    "LoadProfile",
+    "RequestMix",
+    "RequestTrace",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "SurfaceService",
+    "VirtualClock",
+    "generate_trace",
+    "serve_trace",
 ]

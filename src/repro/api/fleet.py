@@ -538,6 +538,27 @@ class FleetSession:
         """Per-station power at *per-station* bias pairs (one TDMA epoch)."""
         return self.deployment.rssi_aligned(vx, vy, stations)
 
+    def probe_aligned(self, vx, vy,
+                      stations: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Per-station power at per-station biases, resiliently probed.
+
+        The serving plane's coalesced-probe entry point: one TDMA-epoch
+        shaped aligned grid (``stations`` may repeat — each occurrence
+        is its own stacked row, so a window's worth of measure requests
+        for the same station coalesces into one pass), evaluated
+        through the session's fault and retry planes when configured.
+        With neither configured this is exactly
+        :meth:`measure_aligned`'s probe — the zero-fault service parity
+        the serve experiments pin to <= 1e-9 dB.
+        """
+        names = self.station_names if stations is None else tuple(stations)
+        ensemble = self.deployment.ensemble_for(names)
+        vx = np.asarray(vx, dtype=float)
+        vy = np.asarray(vy, dtype=float)
+        grid = ProbeGrid.aligned(**ensemble.station_grid(0), vx=vx, vy=vy)
+        backend = self._resilient_backend(LinkBackend(ensemble.link))
+        return np.asarray(backend.measure_grid(grid), dtype=float)
+
     def baseline_rssi_dbm(
             self, stations: Optional[Sequence[str]] = None) -> np.ndarray:
         """No-surface received power of every station, one pass."""

@@ -49,6 +49,7 @@ from repro.experiments.parallel import (
 )
 from repro.experiments import figures
 from repro.experiments import robustness
+from repro.experiments import serving
 from repro.experiments.reporting import format_table, format_series
 
 __all__ = [
@@ -78,6 +79,7 @@ __all__ = [
     "run_experiment",
     "figures",
     "robustness",
+    "serving",
     "format_table",
     "format_series",
 ]

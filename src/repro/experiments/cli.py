@@ -19,6 +19,12 @@
 * ``bench-report [--dir DIR] [--json PATH]`` — render the per-PR
   ``BENCH_<n>.json`` benchmark archives as the perf trajectory across
   PRs.
+* ``serve [--stations N] [--rate RPS] [--duration S] [--window S]
+  [--arrival KIND] [--seed N] [--json PATH]`` — one ad-hoc
+  :class:`~repro.serve.service.SurfaceService` run: generate an
+  open-loop trace, serve it on the virtual clock, print the service
+  metrics (throughput, latency percentiles, batch occupancy, queue
+  depth, shed counts).
 """
 
 from __future__ import annotations
@@ -260,6 +266,44 @@ def _cmd_bench_report(directory: str, json_path: Optional[str]) -> int:
     return 0
 
 
+def _cmd_serve(stations: int, rate_rps: float, duration_s: float,
+               window_s: float, arrival: str, seed: int,
+               queue_capacity: int, max_batch: int,
+               json_path: Optional[str]) -> int:
+    from repro.api.fleet import FleetSession, FleetSpec
+    from repro.serve import LoadProfile, ServiceConfig, generate_trace
+    from repro.serve import serve_trace
+
+    spec = FleetSpec.office(station_count=stations)
+    profile = LoadProfile(rate_rps=rate_rps, duration_s=duration_s,
+                          arrival=arrival, seed=seed)
+    trace = generate_trace(profile, spec.station_names)
+    config = ServiceConfig(batch_window_s=window_s,
+                           queue_capacity=queue_capacity,
+                           max_batch=max_batch)
+    result = serve_trace(FleetSession(spec), trace, config)
+    metrics = result.metrics
+    row = metrics.row()
+    print(format_table(
+        ["metric", "value"], sorted(row.items()), precision=4,
+        title=f"serve — {len(trace)} requests, {stations} stations, "
+              f"{window_s * 1e3:g} ms window ({arrival} arrivals at "
+              f"{rate_rps:g} rps for {duration_s:g} s)"))
+    if json_path:
+        Path(json_path).write_text(json.dumps({
+            "profile": {"stations": stations, "rate_rps": rate_rps,
+                        "duration_s": duration_s, "arrival": arrival,
+                        "seed": seed},
+            "config": {"batch_window_s": window_s,
+                       "queue_capacity": queue_capacity,
+                       "max_batch": max_batch},
+            "trace_digest": result.trace_digest,
+            "metrics": row,
+        }, indent=2))
+        print(f"\nwrote {json_path}")
+    return 0
+
+
 def _cmd_coverage(registry: ExperimentRegistry,
                   json_path: Optional[str]) -> int:
     report = coverage_report(registry)
@@ -328,6 +372,28 @@ def build_parser() -> argparse.ArgumentParser:
                            help="where the BENCH_*.json archives live")
     bench_cmd.add_argument("--json", dest="json_path", default=None,
                            help="write the parsed trajectory here")
+
+    serve_cmd = commands.add_parser(
+        "serve", help="one ad-hoc surface-service run under open-loop load")
+    serve_cmd.add_argument("--stations", type=int, default=8,
+                           help="fleet size (office deployment)")
+    serve_cmd.add_argument("--rate", dest="rate_rps", type=float,
+                           default=300.0, help="aggregate arrival rate (rps)")
+    serve_cmd.add_argument("--duration", dest="duration_s", type=float,
+                           default=1.0, help="trace duration (virtual s)")
+    serve_cmd.add_argument("--window", dest="window_s", type=float,
+                           default=0.01, help="coalescing window (s)")
+    serve_cmd.add_argument("--arrival", default="poisson",
+                           choices=("poisson", "uniform", "burst"),
+                           help="arrival process")
+    serve_cmd.add_argument("--seed", type=int, default=2021,
+                           help="load-generator seed")
+    serve_cmd.add_argument("--capacity", dest="queue_capacity", type=int,
+                           default=64, help="admission-control queue bound")
+    serve_cmd.add_argument("--max-batch", dest="max_batch", type=int,
+                           default=32, help="most requests per window")
+    serve_cmd.add_argument("--json", dest="json_path", default=None,
+                           help="write the metrics record here")
     return parser
 
 
@@ -352,6 +418,12 @@ def main(argv: Optional[Sequence[str]] = None,
         if arguments.command == "bench-report":
             return _cmd_bench_report(arguments.directory,
                                      arguments.json_path)
+        if arguments.command == "serve":
+            return _cmd_serve(arguments.stations, arguments.rate_rps,
+                              arguments.duration_s, arguments.window_s,
+                              arguments.arrival, arguments.seed,
+                              arguments.queue_capacity, arguments.max_batch,
+                              arguments.json_path)
         return _cmd_coverage(registry, arguments.json_path)
     except (ParameterError, UnknownExperimentError) as error:
         print(f"error: {error}", file=sys.stderr)

@@ -90,8 +90,11 @@ class ProgressReporter:
 
     def __init__(self, total: int, label: str = "run-all",
                  stream: Optional[TextIO] = None,
-                 enabled: bool = True) -> None:
-        self.total = int(total)
+                 enabled: bool = True,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        # A negative total is a caller bug, but the reporter is pure
+        # accounting — clamp rather than poison every later division.
+        self.total = max(0, int(total))
         self.label = label
         self.stream = stream if stream is not None else sys.stdout
         self.enabled = bool(enabled)
@@ -100,7 +103,8 @@ class ProgressReporter:
         self.computed = 0
         self.cached = 0
         self.failed = 0
-        self._started = time.perf_counter()
+        self._clock = clock if clock is not None else time.perf_counter
+        self._started = self._clock()
         self._live_line = False
 
     # -------------------------------------------------------------- #
@@ -129,20 +133,26 @@ class ProgressReporter:
     @contextmanager
     def timed(self, name: str, status: str = "ok") -> Iterator[None]:
         """Time one serial slice and emit its completion line."""
-        start = time.perf_counter()
+        start = self._clock()
         yield
         self.finish(name, status=status,
-                    elapsed=time.perf_counter() - start)
+                    elapsed=max(0.0, self._clock() - start))
 
     # -------------------------------------------------------------- #
     # Rendering
     # -------------------------------------------------------------- #
     def eta_seconds(self) -> Optional[float]:
-        """Estimated seconds to completion (``None`` before any data)."""
+        """Estimated seconds to completion (``None`` before any data).
+
+        Never negative: a clock stepping backwards (NTP slew, frozen
+        test clocks) clamps elapsed time to zero, and completions past
+        ``total`` (double-counted slices) clamp the remainder.
+        """
         if self.done == 0 or self.total == 0:
             return None
-        elapsed = time.perf_counter() - self._started
-        return elapsed / self.done * (self.total - self.done)
+        elapsed = max(0.0, self._clock() - self._started)
+        remaining = max(0, self.total - self.done)
+        return elapsed / self.done * remaining
 
     def line(self, suffix: str = "") -> str:
         """The live progress line."""
@@ -154,7 +164,7 @@ class ProgressReporter:
 
     def summary(self) -> str:
         """Post-run accounting (the CLI's closing line)."""
-        elapsed = time.perf_counter() - self._started
+        elapsed = max(0.0, self._clock() - self._started)
         return (f"{self.done}/{self.total} slices in {elapsed:.2f}s "
                 f"({self.computed} computed, {self.cached} cached)")
 

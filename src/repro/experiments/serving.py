@@ -1,0 +1,383 @@
+"""Service-level experiments: capacity curves and degradation under load.
+
+Two registered experiments close the loop on :mod:`repro.serve`:
+
+* ``serve_capacity`` — delivered throughput vs batching window at a
+  fixed open-loop load.  One deterministic request trace is served
+  repeatedly by fresh fault-free services whose only difference is the
+  coalescing window; throughput is ``ok`` responses over the virtual
+  makespan.  The check gates a monotone-with-slack capacity curve
+  (wider windows amortize the fixed probe-epoch cost, so throughput
+  must not fall beyond slack), and pins zero-fault exactness: every
+  ``ok`` measure value equals the direct
+  :meth:`~repro.api.fleet.FleetSession.measure_aligned` probe for the
+  same trace to <= 1e-9 dB.
+* ``serve_degradation`` — the same service under a scaled fault mix.
+  As the intensity knob rises, dropouts and probe errors turn requests
+  into ``failed`` responses; the check gates graceful degradation
+  (failure rate non-decreasing, throughput non-increasing, both within
+  slack), zero-fault parity at intensity 0, and exact replay of both
+  the fault traces and the payload.
+
+Both experiments serve the *same* digest-pinned request trace at every
+point of their sweep, so the curves compare service configurations,
+never workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.api.fleet import FleetSession, FleetSpec
+from repro.experiments.artifacts import payload_equal
+from repro.experiments.registry import Param, experiment
+from repro.experiments.reporting import format_table
+from repro.faults import FaultSchedule, FaultSpec, RetryPolicy
+from repro.serve.loadgen import MEASURE_ONLY, LoadProfile, RequestMix
+from repro.serve.loadgen import generate_trace
+from repro.serve.requests import RequestTrace
+from repro.serve.service import ServiceConfig, ServiceRunResult, serve_trace
+
+#: Tolerance (dB) between served measure values and the direct fleet
+#: probe for the same trace — the repo-wide parity discipline.
+PARITY_TOLERANCE_DB = 1e-9
+
+#: Fractional slack the monotone capacity/degradation gates allow
+#: between adjacent sweep points (queueing makes the curves noisy at
+#: smoke-scale traces; a capacity *cliff* is far larger).
+MONOTONE_SLACK_FRACTION = 0.05
+
+
+def _measure_parity_error_db(fleet: FleetSession, trace: RequestTrace,
+                             result: ServiceRunResult) -> float:
+    """Largest |served - direct| over the run's ok measure responses.
+
+    The direct reference is one vectorized
+    :meth:`~repro.api.fleet.FleetSession.measure_aligned` pass over the
+    same (station, vx, vy) rows the service coalesced — the "what if a
+    client had called the fleet API directly" baseline.
+    """
+    by_id = {request.request_id: request for request in trace.requests}
+    served = [(by_id[response.request_id], response.value)
+              for response in result.responses
+              if response.kind == "measure" and response.ok]
+    if not served:
+        return 0.0
+    names = [request.station for request, _value in served]
+    vx = np.asarray([request.vx for request, _value in served], dtype=float)
+    vy = np.asarray([request.vy for request, _value in served], dtype=float)
+    direct = fleet.measure_aligned(vx, vy, stations=names)
+    values = np.asarray([value for _request, value in served], dtype=float)
+    return float(np.max(np.abs(values - direct)))
+
+
+# ---------------------------------------------------------------------- #
+# serve_capacity — throughput vs batching window at fixed load
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ServeCapacityResult:
+    """Capacity curve of the service across coalescing windows."""
+
+    windows_s: Tuple[float, ...]
+    throughput_rps: Tuple[float, ...]
+    avg_latency_s: Tuple[float, ...]
+    p95_latency_s: Tuple[float, ...]
+    p99_latency_s: Tuple[float, ...]
+    failure_rate: Tuple[float, ...]
+    mean_batch_size: Tuple[float, ...]
+    shed_counts: Tuple[int, ...]
+    request_count: int
+    station_count: int
+    trace_digest: int
+    max_parity_error_db: float
+
+    @property
+    def best_throughput_rps(self) -> float:
+        """Highest delivered throughput anywhere on the curve."""
+        return max(self.throughput_rps)
+
+
+def _summary_serve_capacity(payload: ServeCapacityResult,
+                            params: Mapping[str, Any]) -> str:
+    rows = [[window * 1e3, rps, avg * 1e3, p95 * 1e3, p99 * 1e3, failure,
+             batch, shed]
+            for window, rps, avg, p95, p99, failure, batch, shed in zip(
+                payload.windows_s, payload.throughput_rps,
+                payload.avg_latency_s, payload.p95_latency_s,
+                payload.p99_latency_s, payload.failure_rate,
+                payload.mean_batch_size, payload.shed_counts)]
+    return format_table(
+        ["window (ms)", "throughput (rps)", "avg (ms)", "p95 (ms)",
+         "p99 (ms)", "failure rate", "mean batch", "shed"],
+        rows, precision=3,
+        title=f"Serve capacity — {payload.request_count} requests over "
+              f"{payload.station_count} stations "
+              f"(max parity err {payload.max_parity_error_db:.1e} dB)")
+
+
+def _check_serve_capacity(payload: ServeCapacityResult,
+                          params: Mapping[str, Any]) -> None:
+    windows = payload.windows_s
+    throughput = payload.throughput_rps
+    assert windows == tuple(sorted(windows)), "windows must be ascending"
+    assert len(set(windows)) == len(windows), "windows must be distinct"
+    # Monotone-with-slack capacity curve *until saturation*: widening
+    # the window amortizes the fixed probe-epoch cost, so throughput
+    # must not fall beyond slack anywhere on the rising edge up to the
+    # peak.  Past the peak a window wider than its own fill time only
+    # adds idle wait (and tail latency), so the decay side is shaped by
+    # design, not gated.
+    peak = throughput.index(max(throughput))
+    slack = MONOTONE_SLACK_FRACTION * max(throughput) + 1.0
+    for index in range(peak):
+        assert throughput[index + 1] >= throughput[index] - slack, (
+            f"capacity curve not monotone within slack up to its peak: "
+            f"{throughput}")
+    # Batching relieves admission-control pressure: wider windows may
+    # not shed (noticeably) more than narrower ones.
+    shed_slack = max(2, payload.request_count // 50)
+    for previous, current in zip(payload.shed_counts,
+                                 payload.shed_counts[1:]):
+        assert current <= previous + shed_slack, (
+            f"shed counts grew with the window: {payload.shed_counts}")
+    # Zero-fault service == direct fleet probes for the same trace.
+    assert payload.max_parity_error_db <= PARITY_TOLERANCE_DB, (
+        f"served measure values drifted {payload.max_parity_error_db:.3e} "
+        "dB from the direct fleet probe")
+    # Exact replay: identical parameters -> identical trace and payload.
+    from repro.experiments.registry import REGISTRY
+    replay = REGISTRY.get("serve_capacity").run(dict(params))
+    assert replay.trace_digest == payload.trace_digest, (
+        "request trace not reproducible under identical seed")
+    assert payload_equal(replay, payload, tolerance=0.0), (
+        "payload not bit-identical under identical seed")
+
+
+@experiment(
+    "serve_capacity",
+    title="Serving capacity — throughput vs batching window at fixed load",
+    tags=("sweep", "serving", "network"),
+    params=(
+        Param("stations", "int", 8, "fleet size (office deployment)"),
+        Param("rate_rps", "float", 300.0, "aggregate open-loop arrival rate"),
+        Param("duration_s", "float", 1.5, "trace duration (virtual seconds)"),
+        Param("windows_s", "float_seq", (0.0, 0.005, 0.01, 0.02, 0.05),
+              "coalescing windows to sweep (ascending; 0 = unbatched)"),
+        Param("queue_capacity", "int", 64, "admission-control queue bound"),
+        Param("max_batch", "int", 32, "most requests one window coalesces"),
+        Param("arrival", "str", "poisson", "arrival process"),
+        Param("seed", "int", 2021, "load-generator seed"),
+    ),
+    scenarios=("fleet",),
+    modules=("api", "channel", "network", "serve"),
+    smoke={"stations": 4, "rate_rps": 300.0, "duration_s": 0.4,
+           "windows_s": (0.0, 0.01, 0.05)},
+    summarize=_summary_serve_capacity,
+    check=_check_serve_capacity)
+def _run_serve_capacity(stations: int, rate_rps: float, duration_s: float,
+                        windows_s: Tuple[float, ...], queue_capacity: int,
+                        max_batch: int, arrival: str,
+                        seed: int) -> ServeCapacityResult:
+    windows = tuple(sorted(float(window) for window in windows_s))
+    spec = FleetSpec.office(station_count=stations)
+    profile = LoadProfile(rate_rps=rate_rps, duration_s=duration_s,
+                          arrival=arrival, mix=MEASURE_ONLY, seed=seed)
+    trace = generate_trace(profile, spec.station_names)
+
+    throughput: List[float] = []
+    avg_latency: List[float] = []
+    p95_latency: List[float] = []
+    p99_latency: List[float] = []
+    failure: List[float] = []
+    batch_sizes: List[float] = []
+    shed: List[int] = []
+    parity = 0.0
+    for window in windows:
+        fleet = FleetSession(spec)
+        result = serve_trace(fleet, trace, ServiceConfig(
+            batch_window_s=window, queue_capacity=queue_capacity,
+            max_batch=max_batch))
+        metrics = result.metrics
+        throughput.append(metrics.throughput_rps)
+        avg_latency.append(metrics.latency.avg_s)
+        p95_latency.append(metrics.latency.p95_s)
+        p99_latency.append(metrics.latency.p99_s)
+        failure.append(metrics.failure_rate)
+        batch_sizes.append(metrics.mean_batch_size)
+        shed.append(metrics.rejected_count)
+        parity = max(parity,
+                     _measure_parity_error_db(fleet, trace, result))
+    return ServeCapacityResult(
+        windows_s=windows,
+        throughput_rps=tuple(throughput),
+        avg_latency_s=tuple(avg_latency),
+        p95_latency_s=tuple(p95_latency),
+        p99_latency_s=tuple(p99_latency),
+        failure_rate=tuple(failure),
+        mean_batch_size=tuple(batch_sizes),
+        shed_counts=tuple(shed),
+        request_count=len(trace),
+        station_count=stations,
+        trace_digest=trace.digest(),
+        max_parity_error_db=parity)
+
+
+# ---------------------------------------------------------------------- #
+# serve_degradation — capacity under a scaled fault mix
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ServeDegradationResult:
+    """Degradation curve of the service under injected faults."""
+
+    intensities: Tuple[float, ...]
+    failure_rate: Tuple[float, ...]
+    throughput_rps: Tuple[float, ...]
+    p95_latency_s: Tuple[float, ...]
+    mean_retries: Tuple[float, ...]
+    total_faults: Tuple[int, ...]
+    fault_digests: Tuple[int, ...]
+    request_count: int
+    trace_digest: int
+    zero_fault_parity_db: float
+
+
+def _serve_fault_spec(intensity: float) -> FaultSpec:
+    """The serving fault mix one scalar intensity parameterizes.
+
+    Dropouts dominate (lossy RSSI reads), with call-level probe errors
+    and noise bursts riding along at fixed fractions so the whole mix
+    scales together.
+    """
+    return FaultSpec(probe_dropout_rate=0.02,
+                     noise_burst_rate=0.01,
+                     noise_burst_db=6.0,
+                     probe_error_rate=0.01).scaled(intensity)
+
+
+def _summary_serve_degradation(payload: ServeDegradationResult,
+                               params: Mapping[str, Any]) -> str:
+    rows = [[intensity, failure, rps, p95 * 1e3, retries, faults]
+            for intensity, failure, rps, p95, retries, faults in zip(
+                payload.intensities, payload.failure_rate,
+                payload.throughput_rps, payload.p95_latency_s,
+                payload.mean_retries, payload.total_faults)]
+    return format_table(
+        ["fault intensity", "failure rate", "throughput (rps)",
+         "p95 (ms)", "retries", "faults"],
+        rows, precision=3,
+        title="Serve degradation — service capacity vs fault intensity "
+              f"({payload.request_count} requests; zero-fault parity "
+              f"{payload.zero_fault_parity_db:.1e} dB)")
+
+
+def _check_serve_degradation(payload: ServeDegradationResult,
+                             params: Mapping[str, Any]) -> None:
+    intensities = payload.intensities
+    failure = payload.failure_rate
+    throughput = payload.throughput_rps
+    assert intensities == tuple(sorted(intensities)), (
+        "intensities must be ascending")
+    # The fault-free service is exact: no failures, no faults, and
+    # measure responses match the direct fleet probe bit-for-bit.
+    if intensities[0] == 0.0:
+        assert failure[0] == 0.0, "zero-fault service must not fail"
+        assert payload.total_faults[0] == 0, "zero-fault run saw faults"
+        assert payload.zero_fault_parity_db <= PARITY_TOLERANCE_DB, (
+            f"zero-fault parity {payload.zero_fault_parity_db:.3e} dB")
+    # Graceful degradation: more injected faults can only push the
+    # failure rate up and the delivered throughput down (within slack).
+    for previous, current in zip(failure, failure[1:]):
+        assert current >= previous - MONOTONE_SLACK_FRACTION, (
+            f"failure-rate curve not monotone within slack: {failure}")
+    slack = MONOTONE_SLACK_FRACTION * max(throughput) + 1.0
+    for previous, current in zip(throughput, throughput[1:]):
+        assert current <= previous + slack, (
+            f"throughput curve not monotone within slack: {throughput}")
+    # No cliff: even at the top intensity the service keeps answering.
+    assert failure[-1] <= 0.5, (
+        f"degradation cliff: failure rate {failure[-1]:.2f}")
+    # Exact replay: identical seed -> identical fault traces + payload.
+    from repro.experiments.registry import REGISTRY
+    replay = REGISTRY.get("serve_degradation").run(dict(params))
+    assert replay.fault_digests == payload.fault_digests, (
+        "fault traces not reproducible under identical seed")
+    assert payload_equal(replay, payload, tolerance=0.0), (
+        "payload not bit-identical under identical seed")
+
+
+@experiment(
+    "serve_degradation",
+    title="Serving degradation — capacity under a scaled fault mix",
+    tags=("sweep", "serving", "robustness", "network"),
+    params=(
+        Param("intensities", "float_seq", (0.0, 0.5, 1.0, 2.0),
+              "fault-mix scale factors (ascending)"),
+        Param("stations", "int", 6, "fleet size (office deployment)"),
+        Param("rate_rps", "float", 200.0, "aggregate open-loop arrival rate"),
+        Param("duration_s", "float", 1.0, "trace duration (virtual seconds)"),
+        Param("window_s", "float", 0.02, "coalescing window"),
+        Param("seed", "int", 2021, "load + fault schedule seed"),
+    ),
+    scenarios=("fleet",),
+    modules=("api", "channel", "network", "serve"),
+    smoke={"stations": 4, "rate_rps": 150.0, "duration_s": 0.4,
+           "intensities": (0.0, 1.0, 2.0)},
+    summarize=_summary_serve_degradation,
+    check=_check_serve_degradation)
+def _run_serve_degradation(intensities: Tuple[float, ...], stations: int,
+                           rate_rps: float, duration_s: float,
+                           window_s: float,
+                           seed: int) -> ServeDegradationResult:
+    levels = tuple(sorted(float(intensity) for intensity in intensities))
+    spec = FleetSpec.office(station_count=stations)
+    mix = RequestMix(measure=0.90, optimize=0.03, schedule=0.02,
+                     health=0.05)
+    profile = LoadProfile(rate_rps=rate_rps, duration_s=duration_s,
+                          mix=mix, seed=seed)
+    trace = generate_trace(profile, spec.station_names)
+    config = ServiceConfig(batch_window_s=window_s)
+
+    failure: List[float] = []
+    throughput: List[float] = []
+    p95_latency: List[float] = []
+    retries: List[float] = []
+    faults: List[int] = []
+    digests: List[int] = []
+    parity = 0.0
+    for intensity in levels:
+        schedule = FaultSchedule(_serve_fault_spec(intensity), seed=seed)
+        fleet = FleetSession(spec, fault_schedule=schedule,
+                             retry_policy=RetryPolicy(max_attempts=3))
+        result = serve_trace(fleet, trace, config)
+        metrics = result.metrics
+        failure.append(metrics.failure_rate)
+        throughput.append(metrics.throughput_rps)
+        p95_latency.append(metrics.latency.p95_s)
+        retries.append(float(fleet.health.retries))
+        faults.append(int(fleet.health.total_faults))
+        digests.append(schedule.trace.digest())
+        if intensity == 0.0:
+            parity = _measure_parity_error_db(FleetSession(spec), trace,
+                                              result)
+    return ServeDegradationResult(
+        intensities=levels,
+        failure_rate=tuple(failure),
+        throughput_rps=tuple(throughput),
+        p95_latency_s=tuple(p95_latency),
+        mean_retries=tuple(retries),
+        total_faults=tuple(faults),
+        fault_digests=tuple(digests),
+        request_count=len(trace),
+        trace_digest=trace.digest(),
+        zero_fault_parity_db=parity)
+
+
+__all__ = [
+    "MONOTONE_SLACK_FRACTION",
+    "PARITY_TOLERANCE_DB",
+    "ServeCapacityResult",
+    "ServeDegradationResult",
+]

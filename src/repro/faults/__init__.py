@@ -47,6 +47,7 @@ from repro.faults.spec import (
     FaultSchedule,
     FaultSpec,
     FaultTrace,
+    stream_seed,
 )
 from repro.faults.visa import FaultyVisaSession
 
@@ -67,4 +68,5 @@ __all__ = [
     "RetryingBackend",
     "StationChurn",
     "TransientFaultError",
+    "stream_seed",
 ]

@@ -206,9 +206,20 @@ class FaultTrace:
         return zlib.crc32(text.encode("utf-8"))
 
 
-def _stream_seed(seed: int, name: str) -> Tuple[int, int]:
-    """Deterministic per-stream seed material: ``(seed, crc32(name))``."""
+def stream_seed(seed: int, name: str) -> Tuple[int, int]:
+    """Deterministic per-stream seed material: ``(seed, crc32(name))``.
+
+    The one seed-derivation rule of the whole randomness plane: fault
+    streams, churn processes and the load generator's per-station
+    arrival streams all derive their RNG state this way, so streams
+    are independent by name and adding a new named consumer never
+    perturbs an existing one.
+    """
     return (seed, zlib.crc32(name.encode("utf-8")))
+
+
+#: Backwards-compatible private alias (pre-serving-layer name).
+_stream_seed = stream_seed
 
 
 class FaultSchedule:
@@ -234,7 +245,7 @@ class FaultSchedule:
         """The named RNG stream (created on first use, then stateful)."""
         if name not in self._streams:
             self._streams[name] = np.random.default_rng(
-                _stream_seed(self.seed, name))
+                stream_seed(self.seed, name))
             self._sequences[name] = 0
         return self._streams[name]
 
@@ -305,4 +316,5 @@ __all__ = [
     "FaultSchedule",
     "FaultSpec",
     "FaultTrace",
+    "stream_seed",
 ]

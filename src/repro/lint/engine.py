@@ -72,6 +72,8 @@ def derive_roles(path: str) -> FrozenSet[str]:
         roles.add("figures")
     if "repro/faults/" in posix:
         roles.add("faults")
+    if "repro/serve/" in posix:
+        roles.add("serve")
     return frozenset(roles)
 
 

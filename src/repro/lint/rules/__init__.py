@@ -1,4 +1,4 @@
-"""The domain rules (RPR001-RPR006).
+"""The domain rules (RPR001-RPR007).
 
 Importing this package registers every rule with
 :data:`repro.lint.base.RULES`.
@@ -7,6 +7,7 @@ Importing this package registers every rule with
 from __future__ import annotations
 
 from repro.lint.rules.axes import AxisLiteralRule
+from repro.lint.rules.blocking import AsyncBlockingRule
 from repro.lint.rules.caching import CachingContractRule
 from repro.lint.rules.numpy_hygiene import NumpyHygieneRule
 from repro.lint.rules.registry_hygiene import RegistryHygieneRule
@@ -14,6 +15,7 @@ from repro.lint.rules.sleeps import SleepRetryRule
 from repro.lint.rules.units import UnitsDisciplineRule
 
 __all__ = [
+    "AsyncBlockingRule",
     "AxisLiteralRule",
     "CachingContractRule",
     "NumpyHygieneRule",

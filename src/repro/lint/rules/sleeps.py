@@ -66,7 +66,10 @@ class SleepRetryRule(Rule):
 
     @classmethod
     def applies_to(cls, context: LintContext) -> bool:
-        return not context.has_role("faults")
+        # repro/faults/ owns the sleep/retry machinery; repro/serve/
+        # answers to the stricter async-discipline rule (RPR007), which
+        # also covers bare sleeps.
+        return not (context.has_role("faults") or context.has_role("serve"))
 
     # ------------------------------------------------------------- #
     # Import tracking (``from time import sleep [as s]``, ``import

@@ -1,0 +1,150 @@
+"""Service metrics: latency summaries, throughput and queue accounting.
+
+The serving layer reports exactly the quantities the mubench-style
+``run_table.csv`` discipline asks for — ``throughput_rps``, average /
+p50 / p95 / p99 latency, ``failure_rate`` — plus the two internals
+that explain them: batch occupancy (how well the coalescing window
+amortized probe overhead) and a queue-depth time series (whether the
+bounded queue saturated).  Everything is a frozen dataclass built from
+the response list, so metrics serialize through the experiment codec
+and two identical runs produce ``payload_equal`` metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.requests import Response
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``samples``, NaN-aware.
+
+    NaN entries are ignored; with no finite samples the result is NaN
+    (never an exception), and a single sample is every percentile of
+    itself.  ``q`` is in ``[0, 100]``; linear interpolation between
+    order statistics (the NumPy default) keeps p50 of two samples at
+    their midpoint.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    values = np.asarray(list(samples), dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        return math.nan
+    return float(np.percentile(values, q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Order statistics of one latency sample set (seconds)."""
+
+    count: int
+    avg_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
+        """Summarize a latency sample set (NaN/empty-safe)."""
+        values = np.asarray(list(samples), dtype=float)
+        values = values[np.isfinite(values)]
+        if values.size == 0:
+            nan = math.nan
+            return cls(count=0, avg_s=nan, p50_s=nan, p95_s=nan,
+                       p99_s=nan, max_s=nan)
+        return cls(
+            count=int(values.size),
+            avg_s=float(np.mean(values)),
+            p50_s=percentile(values, 50.0),
+            p95_s=percentile(values, 95.0),
+            p99_s=percentile(values, 99.0),
+            max_s=float(np.max(values)))
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """One service run's scoreboard.
+
+    ``makespan_s`` is the virtual time from trace start to the last
+    completion; ``throughput_rps`` counts only ``ok`` responses against
+    it, so shedding or failing requests never inflates throughput.
+    ``failure_rate`` counts both typed rejections and executed-but-
+    failed requests against everything submitted.
+    """
+
+    request_count: int
+    ok_count: int
+    rejected_count: int
+    failed_count: int
+    makespan_s: float
+    throughput_rps: float
+    failure_rate: float
+    latency: LatencySummary
+    mean_batch_size: float
+    max_batch_size: int
+    queue_depth_times_s: Tuple[float, ...] = ()
+    queue_depths: Tuple[int, ...] = ()
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Deepest the bounded queue ever got."""
+        return max(self.queue_depths) if self.queue_depths else 0
+
+    @classmethod
+    def from_responses(cls, responses: Sequence[Response],
+                       queue_samples: Sequence[Tuple[float, int]] = ()
+                       ) -> "ServiceMetrics":
+        """Aggregate one run's responses (and queue-depth samples)."""
+        responses = list(responses)
+        ok = [r for r in responses if r.status == "ok"]
+        rejected = sum(1 for r in responses if r.status == "rejected")
+        failed = sum(1 for r in responses if r.status == "failed")
+        makespan = max((r.completed_s for r in responses), default=0.0)
+        executed = [r for r in responses if r.status != "rejected"]
+        batch_sizes = [r.batch_size for r in executed]
+        samples = [(float(at), int(depth)) for at, depth in queue_samples]
+        return cls(
+            request_count=len(responses),
+            ok_count=len(ok),
+            rejected_count=rejected,
+            failed_count=failed,
+            makespan_s=makespan,
+            throughput_rps=(len(ok) / makespan if makespan > 0 else 0.0),
+            failure_rate=((rejected + failed) / len(responses)
+                          if responses else 0.0),
+            latency=LatencySummary.from_samples(
+                [r.latency_s for r in ok]),
+            mean_batch_size=(float(np.mean(batch_sizes))
+                             if batch_sizes else 0.0),
+            max_batch_size=max(batch_sizes, default=0),
+            queue_depth_times_s=tuple(at for at, _ in samples),
+            queue_depths=tuple(depth for _, depth in samples))
+
+    def row(self) -> Dict[str, float]:
+        """The run-table record (CLI / benchmark-archive shape)."""
+        return {
+            "request_count": float(self.request_count),
+            "ok_count": float(self.ok_count),
+            "rejected_count": float(self.rejected_count),
+            "failed_count": float(self.failed_count),
+            "makespan_s": self.makespan_s,
+            "throughput_rps": self.throughput_rps,
+            "failure_rate": self.failure_rate,
+            "avg_latency_s": self.latency.avg_s,
+            "p50_latency_s": self.latency.p50_s,
+            "p95_latency_s": self.latency.p95_s,
+            "p99_latency_s": self.latency.p99_s,
+            "mean_batch_size": self.mean_batch_size,
+            "max_batch_size": float(self.max_batch_size),
+            "max_queue_depth": float(self.max_queue_depth),
+        }
+
+
+__all__ = ["LatencySummary", "ServiceMetrics", "percentile"]

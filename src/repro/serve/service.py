@@ -1,0 +1,359 @@
+"""The asyncio surface-controller service with batched probe coalescing.
+
+:class:`SurfaceService` wraps one :class:`~repro.api.fleet.FleetSession`
+in a long-running service loop on the virtual clock: stations submit
+typed :class:`~repro.serve.requests.Request`\\ s into a bounded queue,
+and a single worker drains it in *coalescing windows* — every
+``measure`` request captured by one window becomes a row of one
+stacked aligned :class:`~repro.channel.grid.ProbeGrid` probe (one
+budget-engine pass for the whole batch, exactly a TDMA probe epoch),
+``optimize`` requests share one stacked Algorithm 1 pass, and
+``schedule`` requests dedupe to one TDMA epoch per strategy.
+
+Three properties the experiments gate:
+
+* **Admission control** — a queue at ``queue_capacity`` sheds new
+  arrivals with a typed ``rejected``/``queue-full`` response instead
+  of growing without bound; quarantined stations are refused with
+  ``rejected``/``quarantined``.
+* **Degradation, not crashes** — probes run through the fleet's fault
+  and retry planes (:meth:`~repro.api.fleet.FleetSession.probe_aligned`);
+  a retry-exhausted probe or a dropout-NaN turns into ``failed``
+  responses for the affected requests while the loop keeps serving.
+* **Exactness** — with no fault plane configured, every ``ok``
+  measure value equals the direct
+  :meth:`~repro.api.fleet.FleetSession.measure_aligned` call for the
+  same trace to <= 1e-9 dB (the serve experiments pin this).
+
+Service time is modeled, not slept: each coalesced probe epoch costs a
+fixed ``probe_epoch_cost_s`` (control-channel round trip, surface
+settling) plus ``point_cost_s`` per stacked point, which is what makes
+batching pay — ``k`` requests in one window cost one epoch overhead
+instead of ``k``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.fleet import FleetSession
+from repro.faults.errors import ProbeFaultError, TransientFaultError
+from repro.serve.clock import VirtualClock, run
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.requests import Request, RequestTrace, Response
+
+#: Queue close marker (follows the last dispatched arrival).
+_SENTINEL = None
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one service instance.
+
+    ``batch_window_s = 0`` disables coalescing entirely — every request
+    is served by its own probe epoch (the unbatched baseline the
+    capacity benchmark compares against).
+    """
+
+    batch_window_s: float = 0.01
+    queue_capacity: int = 64
+    max_batch: int = 32
+    probe_epoch_cost_s: float = 0.004
+    point_cost_s: float = 0.0005
+    optimize_cost_s: float = 0.02
+    schedule_cost_s: float = 0.01
+    health_cost_s: float = 0.0002
+    optimize_step_v: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.batch_window_s < 0.0:
+            raise ValueError("batch window must be non-negative")
+        if self.queue_capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max batch must be >= 1")
+        for name in ("probe_epoch_cost_s", "point_cost_s",
+                     "optimize_cost_s", "schedule_cost_s", "health_cost_s"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.optimize_step_v <= 0.0:
+            raise ValueError("optimize step must be positive")
+
+
+@dataclass(frozen=True)
+class ServiceRunResult:
+    """Everything one trace's service run produced."""
+
+    responses: Tuple[Response, ...]
+    metrics: ServiceMetrics
+    trace_digest: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "responses", tuple(self.responses))
+
+    def response_for(self, request_id: int) -> Response:
+        """The response to one request (responses are id-ordered)."""
+        response = self.responses[request_id]
+        if response.request_id != request_id:  # defensive: never re-sorted
+            for candidate in self.responses:
+                if candidate.request_id == request_id:
+                    return candidate
+            raise KeyError(f"no response for request {request_id}")
+        return response
+
+
+class SurfaceService:
+    """One fleet, one bounded queue, one coalescing service worker."""
+
+    def __init__(self, fleet: FleetSession,
+                 config: Optional[ServiceConfig] = None,
+                 clock: Optional[VirtualClock] = None) -> None:
+        self.fleet = fleet
+        self.config = config if config is not None else ServiceConfig()
+        self.clock = clock if clock is not None else VirtualClock()
+        self._queue: "asyncio.Queue" = asyncio.Queue()
+        self._responses: List[Response] = []
+        self._queue_samples: List[Tuple[float, int]] = []
+        self.shed_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Client plane
+    # ------------------------------------------------------------------ #
+    def submit(self, request: Request) -> bool:
+        """Admit one request (True) or shed it with a typed rejection.
+
+        Admission is depth-based: a queue already holding
+        ``queue_capacity`` requests refuses the arrival immediately —
+        the station gets its ``rejected``/``queue-full`` response at
+        submit time rather than a silently growing backlog.
+        """
+        if self._queue.qsize() >= self.config.queue_capacity:
+            self.shed_count += 1
+            self._respond(request, status="rejected", value=math.nan,
+                          batch_size=0, detail="queue-full")
+            return False
+        self._queue.put_nowait(request)
+        self._sample_queue()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Service plane
+    # ------------------------------------------------------------------ #
+    def serve_trace(self, trace: RequestTrace) -> ServiceRunResult:
+        """Serve one full workload to completion (the sync facade).
+
+        Dispatches every arrival at its virtual time, runs the service
+        worker until the queue closes, and returns the id-ordered
+        responses with their aggregated metrics.
+        """
+        self._responses = []
+        self._queue_samples = []
+        self.shed_count = 0
+        self._queue = asyncio.Queue()
+        run(lambda: self._run(trace), self.clock)
+        responses = tuple(sorted(self._responses,
+                                 key=lambda response: response.request_id))
+        if len(responses) != len(trace):
+            raise RuntimeError(
+                f"service answered {len(responses)} of {len(trace)} "
+                "requests — every submitted request must get a response")
+        return ServiceRunResult(
+            responses=responses,
+            metrics=ServiceMetrics.from_responses(
+                responses, self._queue_samples),
+            trace_digest=trace.digest())
+
+    async def _run(self, trace: RequestTrace) -> None:
+        dispatcher = asyncio.ensure_future(self._dispatch(trace))
+        await self._serve_loop()
+        await dispatcher
+
+    async def _dispatch(self, trace: RequestTrace) -> None:
+        """Open-loop arrivals: submit each request at its own instant."""
+        for request in trace.requests:
+            delay = request.arrival_s - self.clock.now
+            if delay > 0.0:
+                await self.clock.sleep(delay)
+            self.submit(request)
+        await self._queue.put(_SENTINEL)
+
+    async def _serve_loop(self) -> None:
+        """Drain the queue in coalescing windows until it closes."""
+        config = self.config
+        while True:
+            first = await self._queue.get()
+            if first is _SENTINEL:
+                return
+            batch = [first]
+            if config.batch_window_s > 0.0:
+                await self.clock.sleep(config.batch_window_s)
+                while (len(batch) < config.max_batch
+                       and not self._queue.empty()):
+                    item = self._queue.get_nowait()
+                    if item is _SENTINEL:
+                        # Keep the close marker for the next iteration.
+                        self._queue.put_nowait(item)
+                        break
+                    batch.append(item)
+            await self._serve_batch(batch)
+            self._sample_queue()
+
+    async def _serve_batch(self, batch: List[Request]) -> None:
+        """Serve one coalesced batch: model its cost, then execute it."""
+        groups: Dict[str, List[Request]] = {}
+        for request in batch:
+            groups.setdefault(request.kind, []).append(request)
+        await self.clock.sleep(self._service_time(groups))
+        if "measure" in groups:
+            self._serve_measure(groups["measure"])
+        if "optimize" in groups:
+            self._serve_optimize(groups["optimize"])
+        if "schedule" in groups:
+            self._serve_schedule(groups["schedule"])
+        if "health" in groups:
+            self._serve_health(groups["health"])
+
+    def _service_time(self, groups: Dict[str, List[Request]]) -> float:
+        """The modeled virtual cost of one coalesced batch."""
+        config = self.config
+        cost = 0.0
+        if "measure" in groups:
+            cost += (config.probe_epoch_cost_s
+                     + len(groups["measure"]) * config.point_cost_s)
+        if "optimize" in groups:
+            cost += (config.optimize_cost_s
+                     + len(groups["optimize"]) * config.point_cost_s)
+        if "schedule" in groups:
+            strategies = {request.strategy
+                          for request in groups["schedule"]}
+            cost += len(strategies) * config.schedule_cost_s
+        if "health" in groups:
+            cost += len(groups["health"]) * config.health_cost_s
+        return cost
+
+    # ------------------------------------------------------------------ #
+    # Kind handlers
+    # ------------------------------------------------------------------ #
+    def _serve_measure(self, requests: List[Request]) -> None:
+        """One stacked aligned probe answers every live measure request."""
+        live = self._admit_live(requests)
+        if not live:
+            return
+        names = [request.station for request in live]
+        vx = np.asarray([request.vx for request in live], dtype=float)
+        vy = np.asarray([request.vy for request in live], dtype=float)
+        try:
+            powers = self.fleet.probe_aligned(vx, vy, stations=names)
+        except (ProbeFaultError, TransientFaultError) as error:
+            for request in live:
+                self._respond(request, status="failed", value=math.nan,
+                              batch_size=len(live),
+                              detail=type(error).__name__)
+            return
+        for request, power in zip(live, np.asarray(powers, dtype=float)):
+            if math.isnan(float(power)):
+                self._respond(request, status="failed", value=math.nan,
+                              batch_size=len(live), detail="probe-dropout")
+            else:
+                self._respond(request, status="ok", value=float(power),
+                              batch_size=len(live))
+
+    def _serve_optimize(self, requests: List[Request]) -> None:
+        """One stacked Algorithm 1 pass answers the batch's optimizers."""
+        live = self._admit_live(requests)
+        if not live:
+            return
+        try:
+            result = self.fleet.optimize_grid(
+                step_v=self.config.optimize_step_v)
+        except (ProbeFaultError, TransientFaultError) as error:
+            for request in live:
+                self._respond(request, status="failed", value=math.nan,
+                              batch_size=len(live),
+                              detail=type(error).__name__)
+            return
+        survivors = self.fleet.active_stations
+        best = np.asarray(result.best_power_dbm, dtype=float).ravel()
+        for request in live:
+            power = float(best[survivors.index(request.station)])
+            if math.isnan(power):
+                self._respond(request, status="failed", value=math.nan,
+                              batch_size=len(live), detail="probe-dropout")
+            else:
+                self._respond(request, status="ok", value=power,
+                              batch_size=len(live))
+
+    def _serve_schedule(self, requests: List[Request]) -> None:
+        """One TDMA epoch per distinct strategy in the batch."""
+        epochs: Dict[str, float] = {}
+        failures: Dict[str, str] = {}
+        for request in requests:
+            strategy = request.strategy
+            if strategy not in epochs and strategy not in failures:
+                try:
+                    result = self.fleet.schedule(strategy)
+                except ValueError:
+                    failures[strategy] = "unknown-strategy"
+                except (ProbeFaultError, TransientFaultError) as error:
+                    failures[strategy] = type(error).__name__
+                else:
+                    epochs[strategy] = float(result.total_throughput_mbps)
+            if strategy in epochs:
+                self._respond(request, status="ok", value=epochs[strategy],
+                              batch_size=len(requests))
+            else:
+                self._respond(request, status="failed", value=math.nan,
+                              batch_size=len(requests),
+                              detail=failures[strategy])
+
+    def _serve_health(self, requests: List[Request]) -> None:
+        """Answer health probes from the fleet's resilience accounting."""
+        total_faults = float(self.fleet.health.total_faults)
+        for request in requests:
+            self._respond(request, status="ok", value=total_faults,
+                          batch_size=len(requests))
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _admit_live(self, requests: List[Request]) -> List[Request]:
+        """Reject quarantined stations; return the live remainder."""
+        active = set(self.fleet.active_stations)
+        live: List[Request] = []
+        for request in requests:
+            if request.station in active:
+                live.append(request)
+            else:
+                self._respond(request, status="rejected", value=math.nan,
+                              batch_size=0, detail="quarantined")
+        return live
+
+    def _respond(self, request: Request, status: str, value: float,
+                 batch_size: int, detail: str = "") -> None:
+        self._responses.append(Response(
+            request_id=request.request_id, kind=request.kind,
+            station=request.station, status=status, value=value,
+            arrival_s=request.arrival_s, completed_s=self.clock.now,
+            batch_size=batch_size, detail=detail))
+
+    def _sample_queue(self) -> None:
+        self._queue_samples.append((self.clock.now, self._queue.qsize()))
+
+
+def serve_trace(fleet: FleetSession, trace: RequestTrace,
+                config: Optional[ServiceConfig] = None) -> ServiceRunResult:
+    """Serve one workload on a fresh service instance (the one-liner)."""
+    return SurfaceService(fleet, config=config).serve_trace(trace)
+
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceRunResult",
+    "SurfaceService",
+    "serve_trace",
+]

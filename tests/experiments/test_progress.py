@@ -1,0 +1,105 @@
+"""Regression tests: ProgressReporter under hostile clocks and totals.
+
+The reporter feeds a live ETA line; a zero/negative total or a clock
+stepping backwards (NTP slew, frozen test clocks) must degrade to
+clamped numbers, never to a ZeroDivisionError or a negative ETA.
+"""
+
+import io
+
+from repro.experiments.parallel import ProgressReporter
+
+
+class FakeClock:
+    """A manually-stepped clock that can move backwards."""
+
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_reporter(total, clock=None):
+    return ProgressReporter(total=total, stream=io.StringIO(),
+                            clock=clock)
+
+
+class TestZeroAndNegativeTotals:
+    def test_zero_total_eta_is_none_and_line_renders(self):
+        reporter = make_reporter(0)
+        assert reporter.eta_seconds() is None
+        assert "0/0" in reporter.line()
+
+    def test_zero_total_survives_finishes(self):
+        # More completions than slices (total underestimated): every
+        # accessor still answers.
+        reporter = make_reporter(0)
+        reporter.claim("extra")
+        reporter.finish("extra")
+        assert reporter.eta_seconds() is None
+        assert "1/0" in reporter.summary()
+
+    def test_negative_total_clamps_to_zero(self):
+        reporter = make_reporter(-3)
+        assert reporter.total == 0
+        assert reporter.eta_seconds() is None
+
+    def test_done_beyond_total_clamps_eta_to_zero(self):
+        clock = FakeClock()
+        reporter = make_reporter(2, clock=clock)
+        for name in ("a", "b", "c"):
+            reporter.finish(name)
+        clock.now += 5.0
+        assert reporter.eta_seconds() == 0.0
+
+
+class TestNonMonotonicClocks:
+    def test_backwards_clock_clamps_eta_to_zero(self):
+        clock = FakeClock(now=100.0)
+        reporter = make_reporter(4, clock=clock)
+        reporter.finish("first")
+        clock.now = 42.0  # the clock steps backwards mid-run
+        eta = reporter.eta_seconds()
+        assert eta is not None and eta == 0.0
+
+    def test_backwards_clock_clamps_summary_elapsed(self):
+        clock = FakeClock(now=100.0)
+        reporter = make_reporter(1, clock=clock)
+        clock.now = 0.0
+        assert "in 0.00s" in reporter.summary()
+
+    def test_backwards_clock_clamps_timed_elapsed(self):
+        clock = FakeClock(now=100.0)
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=1, stream=stream, clock=clock)
+        with reporter.timed("slice"):
+            clock.now = 10.0
+        assert "-" not in stream.getvalue().split("slice", 1)[1].split("s")[0]
+        assert reporter.done == 1
+
+    def test_frozen_clock_reports_zero_eta_progressing(self):
+        clock = FakeClock()
+        reporter = make_reporter(2, clock=clock)
+        reporter.finish("a")
+        assert reporter.eta_seconds() == 0.0
+
+
+class TestExistingContractPreserved:
+    def test_eta_none_before_any_completion(self):
+        reporter = make_reporter(5)
+        assert reporter.eta_seconds() is None
+
+    def test_eta_zero_when_complete(self):
+        clock = FakeClock()
+        reporter = make_reporter(2, clock=clock)
+        reporter.finish("a")
+        clock.now += 1.0
+        reporter.finish("b")
+        assert reporter.eta_seconds() == 0.0
+
+    def test_real_clock_default_still_works(self):
+        reporter = make_reporter(2)
+        reporter.finish("a")
+        eta = reporter.eta_seconds()
+        assert eta is not None and eta >= 0.0

@@ -1,0 +1,25 @@
+# repro-lint: role=serve
+"""RPR007 clean fixture: the coalescing shapes the rule asks for.
+
+Delays go through the virtual clock, file I/O happens in the sync
+caller after the service run, and a window's worth of requests becomes
+one stacked probe pass.
+"""
+
+from pathlib import Path
+
+
+async def waits_on_the_virtual_clock(clock, window_s):
+    await clock.sleep(window_s)
+
+
+async def serves_one_coalesced_batch(fleet, batch):
+    names = [request.station for request in batch]
+    vx = [request.vx for request in batch]
+    vy = [request.vy for request in batch]
+    return fleet.probe_aligned(vx, vy, stations=names)
+
+
+def archives_after_the_run(result, path):
+    Path(path).write_text(repr(result.metrics))
+    return result.trace_digest

@@ -66,6 +66,11 @@ class TestRoles:
         assert "figures" in derive_roles("src/repro/experiments/figures.py")
         assert "hot" not in derive_roles("src/repro/api/session.py")
 
+    def test_derive_roles_for_faults_and_serve(self):
+        assert "faults" in derive_roles("src/repro/faults/retry.py")
+        assert "serve" in derive_roles("src/repro/serve/service.py")
+        assert "serve" not in derive_roles("src/repro/api/fleet.py")
+
     def test_role_pragma_replaces_derived_roles(self):
         # A units-role file is exempt from RPR001 even when its path
         # says otherwise.

@@ -25,6 +25,7 @@ BAD_FIXTURES = [
     ("rpr004_bad.py", "RPR004", 3),
     ("rpr005_bad.py", "RPR005", 4),
     ("rpr006_bad.py", "RPR006", 5),
+    ("rpr007_bad.py", "RPR007", 6),
 ]
 
 GOOD_FIXTURES = [
@@ -34,6 +35,7 @@ GOOD_FIXTURES = [
     "rpr004_good.py",
     "rpr005_good.py",
     "rpr006_good.py",
+    "rpr007_good.py",
 ]
 
 

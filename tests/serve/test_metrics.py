@@ -1,0 +1,134 @@
+"""Metrics-plane tests, property-based where it counts.
+
+The percentile helper feeds the latency gates of the serve
+experiments, so its order statistics must be correct for *any* sample
+set — hypothesis drives the p50 <= p95 <= p99 invariant, NaN handling
+and degenerate inputs.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.metrics import LatencySummary, ServiceMetrics, percentile
+from repro.serve.requests import Response
+
+finite_floats = st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestPercentileProperties:
+    @given(samples=st.lists(finite_floats, min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_percentiles_are_ordered(self, samples):
+        p50 = percentile(samples, 50.0)
+        p95 = percentile(samples, 95.0)
+        p99 = percentile(samples, 99.0)
+        assert p50 <= p95 <= p99
+
+    @given(samples=st.lists(finite_floats, min_size=1, max_size=50),
+           q=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_percentile_bounded_by_extremes(self, samples, q):
+        value = percentile(samples, q)
+        assert min(samples) <= value <= max(samples)
+
+    @given(samples=st.lists(finite_floats, min_size=1, max_size=30),
+           nan_count=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_nans_are_ignored(self, samples, nan_count):
+        polluted = list(samples) + [math.nan] * nan_count
+        assert percentile(polluted, 95.0) == percentile(samples, 95.0)
+
+    @given(value=finite_floats,
+           q=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_single_sample_is_every_percentile(self, value, q):
+        assert percentile([value], q) == value
+
+
+class TestPercentileEdges:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50.0))
+
+    def test_all_nan_is_nan(self):
+        assert math.isnan(percentile([math.nan, math.nan], 99.0))
+
+    def test_infinities_are_filtered(self):
+        assert percentile([math.inf, 1.0, -math.inf], 50.0) == 1.0
+
+    @pytest.mark.parametrize("q", [-0.1, 100.1])
+    def test_out_of_range_percentile_raises(self, q):
+        with pytest.raises(ValueError, match="0, 100"):
+            percentile([1.0], q)
+
+    def test_two_samples_interpolate(self):
+        assert percentile([0.0, 1.0], 50.0) == pytest.approx(0.5)
+
+
+class TestLatencySummary:
+    def test_empty_summary_is_nan_everywhere(self):
+        summary = LatencySummary.from_samples([])
+        assert summary.count == 0
+        for value in (summary.avg_s, summary.p50_s, summary.p95_s,
+                      summary.p99_s, summary.max_s):
+            assert math.isnan(value)
+
+    def test_summary_orders_its_percentiles(self):
+        summary = LatencySummary.from_samples([0.4, 0.1, 0.9, 0.2, 0.3])
+        assert summary.count == 5
+        assert summary.p50_s <= summary.p95_s <= summary.p99_s \
+            <= summary.max_s
+        assert summary.avg_s == pytest.approx(0.38)
+
+
+def _response(request_id, status, *, arrival=0.0, completed=0.1,
+              batch_size=1):
+    return Response(request_id=request_id, kind="measure", station="sta-000",
+                    status=status, value=-40.0 if status == "ok" else math.nan,
+                    arrival_s=arrival, completed_s=completed,
+                    batch_size=batch_size)
+
+
+class TestServiceMetrics:
+    def test_counts_throughput_and_failure_rate(self):
+        responses = [
+            _response(0, "ok", completed=0.5, batch_size=2),
+            _response(1, "ok", completed=1.0, batch_size=2),
+            _response(2, "failed", completed=1.0),
+            _response(3, "rejected", completed=0.2, batch_size=0),
+        ]
+        metrics = ServiceMetrics.from_responses(responses)
+        assert metrics.request_count == 4
+        assert metrics.ok_count == 2
+        assert metrics.failed_count == 1
+        assert metrics.rejected_count == 1
+        assert metrics.makespan_s == 1.0
+        assert metrics.throughput_rps == pytest.approx(2.0)
+        assert metrics.failure_rate == pytest.approx(0.5)
+        # Rejections never touched a probe: batch stats cover executed
+        # responses only.
+        assert metrics.mean_batch_size == pytest.approx((2 + 2 + 1) / 3)
+        assert metrics.max_batch_size == 2
+
+    def test_empty_run_degrades_gracefully(self):
+        metrics = ServiceMetrics.from_responses([])
+        assert metrics.request_count == 0
+        assert metrics.throughput_rps == 0.0
+        assert metrics.failure_rate == 0.0
+        assert metrics.max_queue_depth == 0
+
+    def test_queue_depth_series(self):
+        metrics = ServiceMetrics.from_responses(
+            [_response(0, "ok")],
+            queue_samples=[(0.0, 1), (0.1, 3), (0.2, 0)])
+        assert metrics.queue_depths == (1, 3, 0)
+        assert metrics.queue_depth_times_s == (0.0, 0.1, 0.2)
+        assert metrics.max_queue_depth == 3
+
+    def test_row_is_json_ready(self):
+        row = ServiceMetrics.from_responses([_response(0, "ok")]).row()
+        assert row["ok_count"] == 1.0
+        assert set(row) >= {"throughput_rps", "failure_rate",
+                            "p95_latency_s", "mean_batch_size"}
