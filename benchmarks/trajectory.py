@@ -30,7 +30,7 @@ import tempfile
 from pathlib import Path
 
 #: The PR this working tree is building; names the archive file.
-CURRENT_PR = 9
+CURRENT_PR = 10
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 

@@ -61,6 +61,7 @@ from repro.api.fleet import (
     FleetSession,
     FleetSpec,
     StationSpec,
+    TopologySpec,
 )
 from repro.api.session import LinkSession
 from repro.channel.grid import GRID_AXES, GridAxis, ProbeGrid, SWEEP_AXES
@@ -140,6 +141,7 @@ __all__ = [
     "SCHEDULE_STRATEGIES",
     "SURFACE_DESIGNS",
     "StationSpec",
+    "TopologySpec",
     "FleetSpec",
     "FleetBiasPlan",
     "FleetSession",

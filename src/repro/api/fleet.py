@@ -141,15 +141,67 @@ class StationSpec:
 
 
 @dataclass(frozen=True)
+class TopologySpec:
+    """Provenance of a generated fleet: which family, which knobs.
+
+    Attached to a :class:`FleetSpec` by the deployment-topology
+    generators (:mod:`repro.world.topology`) so a generated scenario
+    file is self-describing — the family name plus the exact generator
+    parameters survive the ``to_dict``/``from_json`` round-trip.
+    ``params`` is stored as a sorted tuple of ``(name, value)`` pairs
+    (scalar values only) so the spec stays frozen and hashable.
+    """
+
+    family: str
+    params: Tuple[Tuple[str, Union[str, int, float, bool]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.family:
+            raise ValueError("topology family must be non-empty")
+        pairs = []
+        for name, value in self.params:
+            if not isinstance(name, str) or not name:
+                raise ValueError("topology parameter names must be strings")
+            if not isinstance(value, (str, int, float, bool)):
+                raise ValueError(
+                    f"topology parameter {name!r} must be a scalar, "
+                    f"got {value!r}")
+            pairs.append((name, value))
+        object.__setattr__(self, "params", tuple(sorted(pairs)))
+
+    @classmethod
+    def of(cls, family: str, **params: Union[str, int, float, bool]
+           ) -> "TopologySpec":
+        """Build from keyword generator parameters."""
+        return cls(family=family, params=tuple(params.items()))
+
+    def as_mapping(self) -> Dict[str, Union[str, int, float, bool]]:
+        """The generator parameters as a plain dict."""
+        return dict(self.params)
+
+    def to_dict(self) -> Dict:
+        """Plain-data form (JSON-ready)."""
+        return {"family": self.family, "params": self.as_mapping()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TopologySpec":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(family=data["family"],
+                   params=tuple(dict(data.get("params", {})).items()))
+
+
+@dataclass(frozen=True)
 class FleetSpec:
     """Declarative description of a whole deployment.
 
     Everything a :class:`FleetSession` needs, as plain data: the
     stations, the shared surface (by design name, so it serializes),
     the access point's polarization orientation, the carrier and the
-    multipath seed.  ``spec -> to_dict -> from_dict`` round-trips to an
-    equal spec, and two sessions built from equal specs produce
-    identical :class:`~repro.network.scheduler.ScheduleResult`\\ s.
+    multipath seed — plus, for generated deployments, the
+    :class:`TopologySpec` provenance.  ``spec -> to_dict -> from_dict``
+    round-trips to an equal spec, and two sessions built from equal
+    specs produce identical
+    :class:`~repro.network.scheduler.ScheduleResult`\\ s.
     """
 
     stations: Tuple[StationSpec, ...]
@@ -157,6 +209,7 @@ class FleetSpec:
     ap_orientation_deg: float = 0.0
     frequency_hz: float = DEFAULT_CENTER_FREQUENCY_HZ
     environment_seed: int = 2021
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "stations", tuple(self.stations))
@@ -190,13 +243,16 @@ class FleetSpec:
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict:
         """Plain-data form (JSON-ready)."""
-        return {
+        data = {
             "stations": [station.to_dict() for station in self.stations],
             "surface": self.surface,
             "ap_orientation_deg": self.ap_orientation_deg,
             "frequency_hz": self.frequency_hz,
             "environment_seed": self.environment_seed,
         }
+        if self.topology is not None:
+            data["topology"] = self.topology.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "FleetSpec":
@@ -204,7 +260,10 @@ class FleetSpec:
         payload = dict(data)
         stations = tuple(StationSpec.from_dict(station)
                          for station in payload.pop("stations"))
-        return cls(stations=stations, **payload)
+        topology = payload.pop("topology", None)
+        if topology is not None and not isinstance(topology, TopologySpec):
+            topology = TopologySpec.from_dict(topology)
+        return cls(stations=stations, topology=topology, **payload)
 
     def to_json(self, **dumps_kwargs) -> str:
         """Serialize to a JSON scenario document."""
@@ -220,7 +279,9 @@ class FleetSpec:
     # ------------------------------------------------------------------ #
     @classmethod
     def from_deployment(cls, deployment: DenseDeployment,
-                        surface: Optional[str] = None) -> "FleetSpec":
+                        surface: Optional[str] = None,
+                        topology: Optional[TopologySpec] = None
+                        ) -> "FleetSpec":
         """Best-effort spec of an existing deployment.
 
         The shared surface object itself does not serialize: ``surface``
@@ -229,7 +290,10 @@ class FleetSpec:
         :data:`SURFACE_DESIGNS`.  A surface no named design reproduces
         falls back to ``"llama"`` with a ``UserWarning`` — round-tripping
         such a spec changes the physics, so callers holding a custom
-        surface should keep the deployment object itself.
+        surface should keep the deployment object itself.  ``topology``
+        records the generator provenance (family + parameters) for
+        deployments built by :mod:`repro.world.topology`; it rides
+        through the dict/JSON round-trip untouched.
         """
         if surface is None:
             surface_name = deployment.metasurface.name
@@ -250,7 +314,8 @@ class FleetSpec:
             surface=surface,
             ap_orientation_deg=deployment.ap_orientation_deg,
             frequency_hz=deployment.frequency_hz,
-            environment_seed=deployment.environment_seed)
+            environment_seed=deployment.environment_seed,
+            topology=topology)
 
     @classmethod
     def random_home(cls, station_count: int = 6, seed: int = 7,
@@ -708,6 +773,7 @@ __all__ = [
     "SURFACE_DESIGNS",
     "SCHEDULE_STRATEGIES",
     "StationSpec",
+    "TopologySpec",
     "FleetSpec",
     "FleetBiasPlan",
     "FleetSession",

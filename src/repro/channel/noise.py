@@ -16,7 +16,7 @@ from repro.constants import (
     BOLTZMANN_CONSTANT,
     REFERENCE_TEMPERATURE_K,
 )
-from repro.units import db_to_linear, milliwatts_to_dbm
+from repro.units import db_to_linear, dbm_to_milliwatts, milliwatts_to_dbm
 
 ArrayLike = Union[float, np.ndarray]
 
@@ -40,6 +40,26 @@ def thermal_noise_dbm(bandwidth_hz: float,
     return float(milliwatts_to_dbm(noise_mw)) + noise_figure_db
 
 
+def power_sum_dbm(*levels_dbm: ArrayLike) -> ArrayLike:
+    """Sum of incoherent power levels, each in dBm.
+
+    The interference-folding primitive: co-channel transmitters and the
+    thermal floor add as powers (milliwatts), not decibels, so the
+    effective noise-plus-interference floor of a receiver is
+    ``power_sum_dbm(thermal, interferer_1, interferer_2, ...)``.
+    Arrays broadcast element-wise; ``-inf`` entries (a silent
+    interferer, e.g. zero duty cycle) contribute nothing, and an
+    all-silent sum lands on the units clamp floor.
+    """
+    if not levels_dbm:
+        raise ValueError("need at least one power level")
+    total_mw = sum(dbm_to_milliwatts(level) for level in levels_dbm)
+    total = milliwatts_to_dbm(total_mw)
+    if np.ndim(total) == 0:
+        return float(total)
+    return np.asarray(total)
+
+
 def snr_db(received_power_dbm: ArrayLike, noise_power_dbm: float) -> ArrayLike:
     """Signal-to-noise ratio in dB."""
     return np.asarray(received_power_dbm, dtype=float) - noise_power_dbm
@@ -51,4 +71,4 @@ def snr_linear(received_power_dbm: ArrayLike,
     return db_to_linear(snr_db(received_power_dbm, noise_power_dbm))
 
 
-__all__ = ["thermal_noise_dbm", "snr_db", "snr_linear"]
+__all__ = ["power_sum_dbm", "thermal_noise_dbm", "snr_db", "snr_linear"]

@@ -27,6 +27,45 @@ from repro.channel.link import LinkConfiguration, WirelessLink
 from repro.core.controller import CentralizedController, VoltageSweepConfig
 
 
+class TraceTimestampError(ValueError):
+    """A trace-driven run was handed a malformed time axis.
+
+    Raised for empty, non-finite, duplicate or out-of-order timestamps.
+    Interpolating against such an axis would not crash — NumPy happily
+    mis-samples across a fold in time — so the tracking loop refuses it
+    up front instead of producing silently wrong power traces.
+    """
+
+
+def validate_timestamps(times_s) -> np.ndarray:
+    """Validate a trace time axis: finite and strictly increasing.
+
+    Returns the timestamps as a float array.  Raises
+    :class:`TraceTimestampError` on an empty axis, non-finite entries,
+    duplicates or out-of-order entries — the malformed inputs a
+    recorded mobility/rotation trace can carry.
+    """
+    times = np.atleast_1d(np.asarray(times_s, dtype=float))
+    if times.ndim != 1:
+        raise TraceTimestampError(
+            f"timestamps must be one-dimensional, got shape {times.shape}")
+    if times.size == 0:
+        raise TraceTimestampError("timestamps must be non-empty")
+    if not np.all(np.isfinite(times)):
+        raise TraceTimestampError("timestamps must be finite")
+    steps = np.diff(times)
+    if np.any(steps == 0.0):
+        at = float(times[int(np.argmin(steps != 0.0))]) if steps.size else 0.0
+        raise TraceTimestampError(
+            f"duplicate timestamp at t={at:g}s; trace samples must be "
+            "strictly increasing")
+    if np.any(steps < 0.0):
+        raise TraceTimestampError(
+            "timestamps are out of order; trace samples must be strictly "
+            "increasing")
+    return times
+
+
 @dataclass(frozen=True)
 class OrientationTrajectory:
     """Receiver antenna orientation as a function of time.
@@ -206,6 +245,37 @@ class TrackingController:
         times = np.arange(0.0, duration_s, time_step_s)
         orientations = np.array([self.trajectory.orientation_at(float(t))
                                  for t in times])
+        return self._run_on(times, orientations)
+
+    def run_trace(self, times_s, orientations_deg=None) -> TrackingReport:
+        """Run the tracking loop over an explicit (recorded) time axis.
+
+        The trace-driven entry point: ``times_s`` is validated by
+        :func:`validate_timestamps` — out-of-order or duplicate
+        timestamps raise :class:`TraceTimestampError` instead of
+        silently mis-sampling — and ``orientations_deg`` gives the
+        receiver orientation at each timestamp.  When omitted, the
+        controller's own trajectory is sampled at those times, and an
+        object with a ``sample(times)`` method (a rotation trace from
+        :mod:`repro.world.traces`) is sampled likewise.
+        """
+        times = validate_timestamps(times_s)
+        if orientations_deg is None:
+            orientations = np.array([self.trajectory.orientation_at(float(t))
+                                     for t in times])
+        elif hasattr(orientations_deg, "sample"):
+            orientations = np.asarray(orientations_deg.sample(times),
+                                      dtype=float)
+        else:
+            orientations = np.asarray(orientations_deg, dtype=float)
+        if orientations.shape != times.shape:
+            raise ValueError(
+                f"orientations shape {orientations.shape} does not match "
+                f"{times.size} timestamps")
+        return self._run_on(times, orientations)
+
+    def _run_on(self, times: np.ndarray,
+                orientations: np.ndarray) -> TrackingReport:
         bias_pair = (0.0, 0.0)
         next_reoptimize_s = 0.0
         retune_count = 0
@@ -266,7 +336,9 @@ class TrackingController:
 
 __all__ = [
     "OrientationTrajectory",
+    "TraceTimestampError",
     "TrackingSample",
     "TrackingReport",
     "TrackingController",
+    "validate_timestamps",
 ]

@@ -50,6 +50,7 @@ from repro.experiments.parallel import (
 from repro.experiments import figures
 from repro.experiments import robustness
 from repro.experiments import serving
+from repro.experiments import worlds
 from repro.experiments.reporting import format_table, format_series
 
 __all__ = [
@@ -80,6 +81,7 @@ __all__ = [
     "figures",
     "robustness",
     "serving",
+    "worlds",
     "format_table",
     "format_series",
 ]

@@ -304,6 +304,46 @@ def _cmd_serve(stations: int, rate_rps: float, duration_s: float,
     return 0
 
 
+def _cmd_world(stations: int, moving: int, rotating: int,
+               duration_s: float, time_step_s: float, seed: int,
+               json_path: Optional[str]) -> int:
+    from repro.api.fleet import FleetSpec
+    from repro.world import MobilityTrace, RotationTrace, WorldTimeline
+
+    spec = FleetSpec.office(station_count=stations)
+    names = spec.station_names
+    mobility = {name: MobilityTrace.random_waypoint(
+        seed, name, duration_s=duration_s) for name in names[:moving]}
+    rotation = {name: RotationTrace.random_walk(
+        seed, name, duration_s=duration_s)
+        for name in (names[-rotating:] if rotating else ())}
+    timeline = WorldTimeline(spec, mobility=mobility, rotation=rotation,
+                             duration_s=duration_s,
+                             time_step_s=time_step_s)
+    report = timeline.run()
+    rows = [[time_s, float(power)] for time_s, power in zip(
+        report.times_s, report.epoch_mean_power_dbm)]
+    print(format_table(
+        ["time (s)", "fleet mean power (dBm)"], rows, precision=3,
+        title=f"world — {stations} stations over {timeline.epoch_count} "
+              f"epochs ({moving} moving, {rotating} rotating); mean gain "
+              f"{report.mean_gain_db:.2f} dB, worst "
+              f"{report.worst_gain_db:.2f} dB"))
+    if json_path:
+        Path(json_path).write_text(json.dumps({
+            "spec": {"stations": stations, "moving": moving,
+                     "rotating": rotating, "duration_s": duration_s,
+                     "time_step_s": time_step_s, "seed": seed},
+            "mean_gain_db": report.mean_gain_db,
+            "worst_gain_db": report.worst_gain_db,
+            "epoch_mean_power_dbm":
+                [float(p) for p in report.epoch_mean_power_dbm],
+            "trace_digests": [list(pair) for pair in report.trace_digests],
+        }, indent=2))
+        print(f"\nwrote {json_path}")
+    return 0
+
+
 def _cmd_coverage(registry: ExperimentRegistry,
                   json_path: Optional[str]) -> int:
     report = coverage_report(registry)
@@ -394,6 +434,23 @@ def build_parser() -> argparse.ArgumentParser:
                            default=32, help="most requests per window")
     serve_cmd.add_argument("--json", dest="json_path", default=None,
                            help="write the metrics record here")
+
+    world_cmd = commands.add_parser(
+        "world", help="one ad-hoc trace-driven dynamic-world fleet run")
+    world_cmd.add_argument("--stations", type=int, default=6,
+                           help="fleet size (office deployment)")
+    world_cmd.add_argument("--moving", type=int, default=3,
+                           help="stations given a mobility trace")
+    world_cmd.add_argument("--rotating", type=int, default=2,
+                           help="stations given a rotation trace")
+    world_cmd.add_argument("--duration", dest="duration_s", type=float,
+                           default=10.0, help="timeline span (s)")
+    world_cmd.add_argument("--step", dest="time_step_s", type=float,
+                           default=0.5, help="epoch spacing (s)")
+    world_cmd.add_argument("--seed", type=int, default=2021,
+                           help="trace-stream seed")
+    world_cmd.add_argument("--json", dest="json_path", default=None,
+                           help="write the timeline record here")
     return parser
 
 
@@ -423,6 +480,11 @@ def main(argv: Optional[Sequence[str]] = None,
                               arguments.duration_s, arguments.window_s,
                               arguments.arrival, arguments.seed,
                               arguments.queue_capacity, arguments.max_batch,
+                              arguments.json_path)
+        if arguments.command == "world":
+            return _cmd_world(arguments.stations, arguments.moving,
+                              arguments.rotating, arguments.duration_s,
+                              arguments.time_step_s, arguments.seed,
                               arguments.json_path)
         return _cmd_coverage(registry, arguments.json_path)
     except (ParameterError, UnknownExperimentError) as error:

@@ -42,7 +42,7 @@ SCENARIO_NAMES = ("transmissive", "reflective", "iot_wifi", "iot_ble",
 
 #: ``repro`` subsystems an experiment can exercise.
 MODULE_NAMES = ("api", "channel", "core", "devices", "metasurface",
-                "network", "radio", "sensing", "serve")
+                "network", "radio", "sensing", "serve", "world")
 
 
 class ParameterError(ValueError):

@@ -1,0 +1,412 @@
+"""Dynamic-world experiments: time, topology and coexistence axes.
+
+Three registered experiments close the loop on :mod:`repro.world`:
+
+* ``world_mobility_tracking`` — a fleet advancing through random-
+  waypoint mobility and rotation random walks on one epoch grid, with
+  the single-link tracking loop riding a rotating station.  The check
+  gates the subsystem's parity anchors: a traceless timeline equals the
+  static :meth:`~repro.api.fleet.FleetSession.measure_aligned` snapshot
+  to <= 1e-9 dB, the batched ``(T, N)`` probe equals the scalar
+  per-cell reference to <= 1e-9 dB, and trace digests + the payload
+  replay bit-exact from the seed.
+* ``world_topology_sweep`` — every placement family crossed with a
+  station-count ladder, scheduled per deployment.  The check gates
+  monotone-with-slack aggregate throughput in deployment density per
+  family, topology round-trips through ``to_json``/``from_json``, and
+  bit-exact placement digests on replay.
+* ``world_coexistence`` — duty-cycled Wi-Fi/BLE/Zigbee interference
+  folded into the victim's noise floor.  The check gates exact
+  thermal-floor parity at zero duty, a non-increasing capacity curve
+  in duty cycle, and bit-exact replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.api.fleet import FleetSession, FleetSpec
+from repro.experiments.artifacts import payload_equal
+from repro.experiments.registry import Param, experiment
+from repro.experiments.reporting import format_table
+from repro.experiments.serving import (
+    MONOTONE_SLACK_FRACTION,
+    PARITY_TOLERANCE_DB,
+)
+from repro.world.coexistence import COEXISTENCE_FAMILIES, CoexistenceModel
+from repro.world.dynamics import WorldTimeline
+from repro.world.topology import TOPOLOGY_FAMILIES, generate_fleet, \
+    topology_digest
+from repro.world.traces import MobilityTrace, RotationTrace
+
+
+# ---------------------------------------------------------------------- #
+# world_mobility_tracking — trace-driven fleet + tracking loop
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WorldMobilityResult:
+    """One trace-driven fleet run plus its parity anchors."""
+
+    station_count: int
+    epoch_count: int
+    moving_stations: Tuple[str, ...]
+    rotating_stations: Tuple[str, ...]
+    mean_gain_db: float
+    worst_gain_db: float
+    epoch_mean_power_dbm: Tuple[float, ...]
+    trace_digests: Tuple[Tuple[str, int], ...]
+    static_parity_db: float
+    reference_parity_db: float
+    tracking_station: str
+    tracking_mean_gain_db: float
+    tracking_retune_count: int
+
+
+def _summary_world_mobility(payload: WorldMobilityResult,
+                            params: Mapping[str, Any]) -> str:
+    rows = [["stations", payload.station_count],
+            ["epochs", payload.epoch_count],
+            ["moving / rotating", f"{len(payload.moving_stations)} / "
+                                  f"{len(payload.rotating_stations)}"],
+            ["mean gain (dB)", payload.mean_gain_db],
+            ["worst gain (dB)", payload.worst_gain_db],
+            ["static parity (dB)", payload.static_parity_db],
+            ["batched-vs-scalar parity (dB)", payload.reference_parity_db],
+            [f"tracking gain @ {payload.tracking_station} (dB)",
+             payload.tracking_mean_gain_db],
+            ["tracking retunes", payload.tracking_retune_count]]
+    return format_table(
+        ["metric", "value"], rows, precision=4,
+        title="Dynamic world — trace-driven fleet over "
+              f"{payload.epoch_count} epochs")
+
+
+def _check_world_mobility(payload: WorldMobilityResult,
+                          params: Mapping[str, Any]) -> None:
+    # The zero-motion anchor: a traceless timeline is the static
+    # snapshot, epoch for epoch.
+    assert payload.static_parity_db <= PARITY_TOLERANCE_DB, (
+        f"static-world timeline drifted {payload.static_parity_db:.3e} dB "
+        "from the static fleet snapshot")
+    # The batched (T, N) probe and the scalar per-cell loop are the same
+    # physics; any drift is a broadcasting bug.
+    assert payload.reference_parity_db <= PARITY_TOLERANCE_DB, (
+        f"batched timeline drifted {payload.reference_parity_db:.3e} dB "
+        "from the scalar reference")
+    # The tuned surface must help a moving fleet on average.
+    assert payload.mean_gain_db > 0.0, (
+        f"surface gain not positive under motion: "
+        f"{payload.mean_gain_db:.3f} dB")
+    assert payload.epoch_count == len(payload.epoch_mean_power_dbm)
+    assert payload.tracking_retune_count >= 1, "tracking loop never retuned"
+    # Exact replay: identical seed -> identical traces and payload.
+    from repro.experiments.registry import REGISTRY
+    replay = REGISTRY.get("world_mobility_tracking").run(dict(params))
+    assert replay.trace_digests == payload.trace_digests, (
+        "mobility/rotation traces not reproducible under identical seed")
+    assert payload_equal(replay, payload, tolerance=0.0), (
+        "payload not bit-identical under identical seed")
+
+
+@experiment(
+    "world_mobility_tracking",
+    title="Dynamic world — trace-driven fleet mobility with tracking",
+    tags=("sweep", "world", "network"),
+    params=(
+        Param("stations", "int", 6, "fleet size (office deployment)"),
+        Param("moving", "int", 3, "stations given a mobility trace"),
+        Param("rotating", "int", 2, "stations given a rotation trace"),
+        Param("duration_s", "float", 10.0, "timeline span (seconds)"),
+        Param("time_step_s", "float", 0.5, "epoch spacing (seconds)"),
+        Param("bias_step_v", "float", 10.0, "bias grid-search step (V)"),
+        Param("seed", "int", 2021, "trace-stream seed"),
+    ),
+    scenarios=("fleet",),
+    modules=("api", "channel", "core", "network", "world"),
+    smoke={"stations": 4, "moving": 2, "rotating": 1, "duration_s": 2.0,
+           "time_step_s": 0.5, "bias_step_v": 15.0},
+    summarize=_summary_world_mobility,
+    check=_check_world_mobility)
+def _run_world_mobility(stations: int, moving: int, rotating: int,
+                        duration_s: float, time_step_s: float,
+                        bias_step_v: float, seed: int) -> WorldMobilityResult:
+    if not 0 < moving <= stations or not 0 < rotating <= stations:
+        raise ValueError("moving and rotating must be in [1, stations]")
+    spec = FleetSpec.office(station_count=stations)
+    names = spec.station_names
+    # The first `moving` stations walk, the last `rotating` rotate (the
+    # sets may overlap — a station can do both).
+    mobility = {
+        name: MobilityTrace.random_waypoint(seed, name,
+                                            duration_s=duration_s)
+        for name in names[:moving]}
+    rotation = {
+        name: RotationTrace.random_walk(seed, name, duration_s=duration_s)
+        for name in names[-rotating:]}
+    timeline = WorldTimeline(spec, mobility=mobility, rotation=rotation,
+                             duration_s=duration_s,
+                             time_step_s=time_step_s)
+    report = timeline.run(bias_search_step_v=bias_step_v)
+
+    # Parity anchor 1: a traceless timeline reproduces the static
+    # snapshot at the static plan's biases, every epoch.
+    fleet = FleetSession(spec)
+    plan = fleet.best_bias_plan(step_v=bias_step_v)
+    static_timeline = WorldTimeline(spec, duration_s=duration_s,
+                                    time_step_s=time_step_s)
+    static_plane = static_timeline.evaluate(vx=plan.best_vx,
+                                            vy=plan.best_vy)
+    snapshot = fleet.measure_aligned(plan.best_vx, plan.best_vy)
+    static_parity = float(np.max(np.abs(static_plane - snapshot[None, :])))
+
+    # Parity anchor 2: the batched (T, N) pass equals the scalar loop
+    # at the retuned bias planes.
+    reference = timeline.evaluate_reference(vx=report.bias_vx,
+                                            vy=report.bias_vy)
+    reference_parity = float(
+        np.max(np.abs(report.powers_with_dbm - reference)))
+
+    tracking_station = names[-1]
+    tracking = timeline.run_tracking(tracking_station)
+    return WorldMobilityResult(
+        station_count=stations,
+        epoch_count=timeline.epoch_count,
+        moving_stations=tuple(sorted(mobility)),
+        rotating_stations=tuple(sorted(rotation)),
+        mean_gain_db=report.mean_gain_db,
+        worst_gain_db=report.worst_gain_db,
+        epoch_mean_power_dbm=tuple(
+            float(p) for p in report.epoch_mean_power_dbm),
+        trace_digests=report.trace_digests,
+        static_parity_db=static_parity,
+        reference_parity_db=reference_parity,
+        tracking_station=tracking_station,
+        tracking_mean_gain_db=tracking.mean_gain_db,
+        tracking_retune_count=tracking.retune_count)
+
+
+# ---------------------------------------------------------------------- #
+# world_topology_sweep — placement family x station count
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WorldTopologyResult:
+    """Scheduled throughput across placement families and densities."""
+
+    families: Tuple[str, ...]
+    station_counts: Tuple[int, ...]
+    throughput_mbps: Tuple[Tuple[float, ...], ...]
+    fairness: Tuple[Tuple[float, ...], ...]
+    worst_rate_mbps: Tuple[Tuple[float, ...], ...]
+    placement_digests: Tuple[Tuple[int, ...], ...]
+    round_trips_ok: bool
+    strategy: str
+
+
+def _summary_world_topology(payload: WorldTopologyResult,
+                            params: Mapping[str, Any]) -> str:
+    rows = []
+    for row, family in enumerate(payload.families):
+        for col, count in enumerate(payload.station_counts):
+            rows.append([family, count,
+                         payload.throughput_mbps[row][col],
+                         payload.fairness[row][col],
+                         payload.worst_rate_mbps[row][col]])
+    return format_table(
+        ["family", "stations", "throughput (Mbps)", "fairness",
+         "worst rate (Mbps)"],
+        rows, precision=3,
+        title=f"Topology sweep — {payload.strategy} scheduling "
+              f"(round-trips {'ok' if payload.round_trips_ok else 'BAD'})")
+
+
+def _check_world_topology(payload: WorldTopologyResult,
+                          params: Mapping[str, Any]) -> None:
+    counts = payload.station_counts
+    assert counts == tuple(sorted(counts)), "station counts must ascend"
+    assert len(set(counts)) == len(counts), "station counts must be distinct"
+    assert payload.round_trips_ok, (
+        "a generated FleetSpec did not survive to_json/from_json")
+    # Denser deployments offer more aggregate demand, so the scheduled
+    # throughput may not fall beyond slack as the count rises.
+    for family, curve in zip(payload.families, payload.throughput_mbps):
+        assert all(rate > 0.0 for rate in curve), (
+            f"{family}: zero-throughput deployment: {curve}")
+        slack = MONOTONE_SLACK_FRACTION * max(curve)
+        for previous, current in zip(curve, curve[1:]):
+            assert current >= previous - slack, (
+                f"{family}: throughput not monotone within slack in "
+                f"density: {curve}")
+    # Fairness is a Jain index: always in (0, 1].
+    for curve in payload.fairness:
+        assert all(0.0 < value <= 1.0 + 1e-12 for value in curve), (
+            f"fairness outside (0, 1]: {curve}")
+    # Exact replay: identical seed -> identical placements and payload.
+    from repro.experiments.registry import REGISTRY
+    replay = REGISTRY.get("world_topology_sweep").run(dict(params))
+    assert replay.placement_digests == payload.placement_digests, (
+        "topology placements not reproducible under identical seed")
+    assert payload_equal(replay, payload, tolerance=0.0), (
+        "payload not bit-identical under identical seed")
+
+
+@experiment(
+    "world_topology_sweep",
+    title="Topology sweep — placement families x deployment density",
+    tags=("sweep", "world", "network"),
+    params=(
+        Param("station_counts", "float_seq", (2.0, 4.0, 8.0),
+              "deployment sizes to sweep (ascending integers)"),
+        Param("strategy", "str", "polarization-reuse",
+              "TDMA scheduling strategy"),
+        Param("bias_step_v", "float", 10.0, "bias grid-search step (V)"),
+        Param("seed", "int", 2021, "placement-stream seed"),
+    ),
+    scenarios=("fleet",),
+    modules=("api", "channel", "network", "world"),
+    smoke={"station_counts": (2.0, 4.0), "bias_step_v": 15.0},
+    summarize=_summary_world_topology,
+    check=_check_world_topology)
+def _run_world_topology(station_counts: Tuple[float, ...], strategy: str,
+                        bias_step_v: float, seed: int) -> WorldTopologyResult:
+    counts = tuple(sorted(int(count) for count in station_counts))
+    throughput: List[Tuple[float, ...]] = []
+    fairness: List[Tuple[float, ...]] = []
+    worst: List[Tuple[float, ...]] = []
+    digests: List[Tuple[int, ...]] = []
+    round_trips_ok = True
+    for family in TOPOLOGY_FAMILIES:
+        family_throughput: List[float] = []
+        family_fairness: List[float] = []
+        family_worst: List[float] = []
+        family_digests: List[int] = []
+        for count in counts:
+            spec = generate_fleet(family, count, seed=seed)
+            family_digests.append(topology_digest(spec))
+            round_trips_ok &= FleetSpec.from_json(spec.to_json()) == spec
+            result = FleetSession(spec).schedule(
+                strategy, bias_search_step_v=bias_step_v)
+            family_throughput.append(float(result.total_throughput_mbps))
+            family_fairness.append(float(result.fairness))
+            family_worst.append(float(result.worst_station_rate_mbps))
+        throughput.append(tuple(family_throughput))
+        fairness.append(tuple(family_fairness))
+        worst.append(tuple(family_worst))
+        digests.append(tuple(family_digests))
+    return WorldTopologyResult(
+        families=TOPOLOGY_FAMILIES,
+        station_counts=counts,
+        throughput_mbps=tuple(throughput),
+        fairness=tuple(fairness),
+        worst_rate_mbps=tuple(worst),
+        placement_digests=tuple(digests),
+        round_trips_ok=round_trips_ok,
+        strategy=strategy)
+
+
+# ---------------------------------------------------------------------- #
+# world_coexistence — duty-cycled cross-family interference
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WorldCoexistenceResult:
+    """Capacity of a victim link vs interferer duty cycle."""
+
+    victim: str
+    duties: Tuple[float, ...]
+    floors_dbm: Tuple[float, ...]
+    efficiencies: Tuple[float, ...]
+    interferer_powers_dbm: Tuple[Tuple[str, float], ...]
+    thermal_floor_dbm: float
+    victim_power_dbm: float
+    zero_duty_parity_db: float
+
+
+def _summary_world_coexistence(payload: WorldCoexistenceResult,
+                               params: Mapping[str, Any]) -> str:
+    rows = [[duty, floor, floor - payload.thermal_floor_dbm, efficiency]
+            for duty, floor, efficiency in zip(
+                payload.duties, payload.floors_dbm, payload.efficiencies)]
+    return format_table(
+        ["duty cycle", "floor (dBm)", "floor rise (dB)",
+         "efficiency (b/s/Hz)"],
+        rows, precision=3,
+        title=f"Coexistence — victim {payload.victim} at "
+              f"{payload.victim_power_dbm:.1f} dBm, thermal floor "
+              f"{payload.thermal_floor_dbm:.1f} dBm")
+
+
+def _check_world_coexistence(payload: WorldCoexistenceResult,
+                             params: Mapping[str, Any]) -> None:
+    duties = payload.duties
+    assert duties == tuple(sorted(duties)), "duty cycles must ascend"
+    # Zero duty everywhere is exactly the thermal floor — no epsilon.
+    assert payload.zero_duty_parity_db == 0.0, (
+        f"zero-duty floor drifted {payload.zero_duty_parity_db:.3e} dB "
+        "from thermal")
+    # More interference can only raise the floor and shrink capacity.
+    for previous, current in zip(payload.floors_dbm,
+                                 payload.floors_dbm[1:]):
+        assert current >= previous - 1e-12, (
+            f"noise floor fell as duty rose: {payload.floors_dbm}")
+    for previous, current in zip(payload.efficiencies,
+                                 payload.efficiencies[1:]):
+        assert current <= previous + 1e-12, (
+            f"capacity rose as duty rose: {payload.efficiencies}")
+    assert all(efficiency > 0.0 for efficiency in payload.efficiencies), (
+        "spectral efficiency must stay positive")
+    # Exact replay: the model is draw-free given the seed.
+    from repro.experiments.registry import REGISTRY
+    replay = REGISTRY.get("world_coexistence").run(dict(params))
+    assert payload_equal(replay, payload, tolerance=0.0), (
+        "payload not bit-identical under identical seed")
+
+
+@experiment(
+    "world_coexistence",
+    title="Coexistence — victim capacity vs interferer duty cycle",
+    tags=("sweep", "world", "iot"),
+    params=(
+        Param("victim", "str", "iot_wifi", "victim device family"),
+        Param("duties", "float_seq",
+              (0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0),
+              "shared interferer duty cycles (ascending, in [0, 1])"),
+        Param("noise_figure_db", "float", 6.0, "victim receiver NF (dB)"),
+        Param("seed", "int", 2021, "scenario multipath seed"),
+    ),
+    scenarios=("iot_wifi", "iot_ble", "iot_zigbee"),
+    modules=("channel", "devices", "world"),
+    smoke={"duties": (0.0, 0.1, 1.0)},
+    summarize=_summary_world_coexistence,
+    check=_check_world_coexistence)
+def _run_world_coexistence(victim: str, duties: Tuple[float, ...],
+                           noise_figure_db: float,
+                           seed: int) -> WorldCoexistenceResult:
+    levels = tuple(sorted(float(duty) for duty in duties))
+    model = CoexistenceModel(victim=victim,
+                             noise_figure_db=noise_figure_db, seed=seed)
+    floors, efficiencies = model.capacity_curve(levels)
+    interferers = tuple(
+        (family, float(model.interferer_power_dbm(family)))
+        for family in COEXISTENCE_FAMILIES if family != victim)
+    zero_parity = abs(
+        model.effective_floor_dbm({family: 0.0 for family, _power
+                                   in interferers}) -
+        model.thermal_floor_dbm)
+    return WorldCoexistenceResult(
+        victim=victim,
+        duties=levels,
+        floors_dbm=tuple(float(floor) for floor in floors),
+        efficiencies=tuple(float(eff) for eff in efficiencies),
+        interferer_powers_dbm=interferers,
+        thermal_floor_dbm=model.thermal_floor_dbm,
+        victim_power_dbm=model.victim_power_dbm,
+        zero_duty_parity_db=float(zero_parity))
+
+
+__all__ = [
+    "WorldCoexistenceResult",
+    "WorldMobilityResult",
+    "WorldTopologyResult",
+]

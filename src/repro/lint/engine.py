@@ -74,6 +74,8 @@ def derive_roles(path: str) -> FrozenSet[str]:
         roles.add("faults")
     if "repro/serve/" in posix:
         roles.add("serve")
+    if "repro/world/" in posix:
+        roles.add("world")
     return frozenset(roles)
 
 

@@ -1,4 +1,4 @@
-"""The domain rules (RPR001-RPR007).
+"""The domain rules (RPR001-RPR008).
 
 Importing this package registers every rule with
 :data:`repro.lint.base.RULES`.
@@ -10,6 +10,7 @@ from repro.lint.rules.axes import AxisLiteralRule
 from repro.lint.rules.blocking import AsyncBlockingRule
 from repro.lint.rules.caching import CachingContractRule
 from repro.lint.rules.numpy_hygiene import NumpyHygieneRule
+from repro.lint.rules.randomness import RandomnessRule
 from repro.lint.rules.registry_hygiene import RegistryHygieneRule
 from repro.lint.rules.sleeps import SleepRetryRule
 from repro.lint.rules.units import UnitsDisciplineRule
@@ -19,6 +20,7 @@ __all__ = [
     "AxisLiteralRule",
     "CachingContractRule",
     "NumpyHygieneRule",
+    "RandomnessRule",
     "RegistryHygieneRule",
     "SleepRetryRule",
     "UnitsDisciplineRule",

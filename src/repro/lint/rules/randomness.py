@@ -1,0 +1,132 @@
+"""RPR008 — randomness flows through named, seeded streams."""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Set
+
+from repro.lint.base import LintContext, Rule, dotted_name, register_rule
+from repro.lint.findings import Severity
+
+
+def _is_unseeded(node: ast.Call) -> bool:
+    """Whether a ``default_rng`` call carries no real seed.
+
+    Zero arguments — or an explicit ``None`` — makes NumPy pull entropy
+    from the OS, which is exactly the non-replayable draw the stream
+    discipline exists to prevent.
+    """
+    if node.keywords:
+        return False
+    if not node.args:
+        return True
+    return (len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value is None)
+
+
+@register_rule
+class RandomnessRule(Rule):
+    """Random draws belong to named, seeded RNG streams.
+
+    The whole reproduction replays bit-exact from ``(seed, stream
+    name)`` pairs (:func:`repro.faults.stream_seed`); the world and
+    fault planes own the streams, everything else receives a seeded
+    generator.  Two shapes break that contract: the legacy global-state
+    API (``np.random.uniform`` and friends — one hidden process-wide
+    stream any import can perturb) and an unseeded
+    ``default_rng()``/``default_rng(None)`` (fresh OS entropy every
+    run, so nothing downstream can ever replay).  Flags both, through
+    ``import numpy [as np]``, ``import numpy.random``, ``from numpy
+    import random [as r]`` and ``from numpy.random import ...``
+    aliases.  Capitalized constructors (``Generator``,
+    ``SeedSequence``, ``PCG64``) take explicit state and stay legal;
+    files under ``repro/faults/`` and ``repro/world/`` — the layers
+    that own stream derivation — are exempt.
+    """
+
+    rule_id: ClassVar[str] = "RPR008"
+    title: ClassVar[str] = ("no global-state np.random draws or unseeded "
+                            "default_rng outside repro/faults|world/")
+    default_severity: ClassVar[Severity] = Severity.ERROR
+
+    def __init__(self, context: LintContext) -> None:
+        super().__init__(context)
+        self._numpy_aliases: Set[str] = set()
+        self._random_aliases: Set[str] = set()
+        self._default_rng_aliases: Set[str] = set()
+        self._legacy_from_imports: Set[str] = set()
+
+    @classmethod
+    def applies_to(cls, context: LintContext) -> bool:
+        # faults/ derives the named streams, world/ builds traces and
+        # topologies on them — the two layers allowed to mint RNGs.
+        return not (context.has_role("faults") or context.has_role("world"))
+
+    # ------------------------------------------------------------- #
+    # Import tracking
+    # ------------------------------------------------------------- #
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "numpy":
+                self._numpy_aliases.add(alias.asname or "numpy")
+            elif alias.name == "numpy.random" and alias.asname:
+                self._random_aliases.add(alias.asname)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._random_aliases.add(alias.asname or "random")
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                name = alias.asname or alias.name
+                if alias.name == "default_rng":
+                    self._default_rng_aliases.add(name)
+                elif not alias.name[:1].isupper():
+                    self._legacy_from_imports.add(name)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------- #
+    # Checks
+    # ------------------------------------------------------------- #
+    def _random_module_attr(self, name: str) -> str:
+        """The attribute called on the numpy.random module, or ``""``."""
+        module, _, attribute = name.rpartition(".")
+        if module in self._random_aliases:
+            return attribute
+        np_module, _, random_part = module.rpartition(".")
+        if random_part == "random" and np_module in self._numpy_aliases:
+            return attribute
+        return ""
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        attribute = self._random_module_attr(name)
+        if not attribute:
+            if name in self._default_rng_aliases:
+                attribute = "default_rng"
+            elif name in self._legacy_from_imports:
+                attribute = name
+        if attribute == "default_rng":
+            if _is_unseeded(node):
+                self.report(
+                    node,
+                    "unseeded default_rng() draws fresh OS entropy — "
+                    "nothing downstream can replay",
+                    suggestion="seed it from a named stream: "
+                               "default_rng(stream_seed(seed, name)) "
+                               "(repro.faults.stream_seed)")
+        elif attribute and not attribute[:1].isupper():
+            self.report(
+                node,
+                f"np.random.{attribute} draws from the hidden global "
+                "stream any import can perturb",
+                suggestion="draw from a seeded generator instead: "
+                           "default_rng(stream_seed(seed, name))."
+                           f"{attribute}(...)")
+        self.generic_visit(node)
+
+
+__all__ = ["RandomnessRule"]

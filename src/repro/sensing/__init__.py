@@ -10,6 +10,7 @@ from repro.sensing.respiration import (
     BreathingSubject,
     RespirationSensingLink,
     SensingTrace,
+    TracedBreathingSubject,
 )
 from repro.sensing.detector import RespirationDetector, RespirationReading
 
@@ -17,6 +18,7 @@ __all__ = [
     "BreathingSubject",
     "RespirationSensingLink",
     "SensingTrace",
+    "TracedBreathingSubject",
     "RespirationDetector",
     "RespirationReading",
 ]

@@ -79,6 +79,36 @@ class BreathingSubject:
 
 
 @dataclass(frozen=True)
+class TracedBreathingSubject:
+    """A breathing target driven by a displacement trace.
+
+    The trace-driven twin of :class:`BreathingSubject`: instead of a
+    built-in sinusoid, chest displacement comes from any object with a
+    ``sample(times)`` method returning metres — typically a
+    :class:`repro.world.traces.RespirationTrace` (irregular breathing,
+    recorded curves).  Duck-types into
+    :class:`RespirationSensingLink` via ``chest_offset_m`` and
+    ``radar_cross_section_db``.
+    """
+
+    trace: object
+    radar_cross_section_db: float = -12.0
+    distance_from_tx_m: float = 1.0
+    distance_from_rx_m: float = 1.2
+
+    def __post_init__(self) -> None:
+        if not hasattr(self.trace, "sample"):
+            raise TypeError("trace must expose a sample(times) method")
+        if self.distance_from_tx_m <= 0 or self.distance_from_rx_m <= 0:
+            raise ValueError("subject distances must be positive")
+
+    def chest_offset_m(self, time_s: np.ndarray) -> np.ndarray:
+        """Chest-wall displacement sampled from the trace."""
+        return np.asarray(self.trace.sample(np.asarray(time_s, dtype=float)),
+                          dtype=float)
+
+
+@dataclass(frozen=True)
 class SensingTrace:
     """A received-power trace from a sensing capture."""
 
@@ -260,4 +290,5 @@ class RespirationSensingLink:
                             with_metasurface=self.metasurface is not None)
 
 
-__all__ = ["BreathingSubject", "RespirationSensingLink", "SensingTrace"]
+__all__ = ["BreathingSubject", "RespirationSensingLink", "SensingTrace",
+           "TracedBreathingSubject"]

@@ -150,12 +150,19 @@ def _arrival_times(profile: LoadProfile, rate: float,
 
 
 def generate_trace(profile: LoadProfile,
-                   stations: Sequence[str]) -> RequestTrace:
+                   stations: Sequence[str],
+                   stream_prefix: str = "loadgen") -> RequestTrace:
     """Generate the full arrival-ordered workload for ``stations``.
 
     Each station's arrivals, request kinds and probe voltages come
     from its own named seed stream, merged by ``(arrival time, station,
     per-station index)`` and numbered in that global order.
+
+    ``stream_prefix`` names the stream family (default ``"loadgen"``,
+    the historical streams — existing trace digests are unchanged).
+    The dynamic-world timeline passes ``world.epoch<k>`` so each
+    epoch's load is its own replayable stream and epochs never share
+    draws with each other or with the steady-state generator.
     """
     names = tuple(stations)
     if not names:
@@ -169,7 +176,7 @@ def generate_trace(profile: LoadProfile,
     drafts: List[Tuple[float, str, int, str, float, float]] = []
     for station in names:
         rng = np.random.default_rng(
-            stream_seed(profile.seed, f"loadgen.{station}"))
+            stream_seed(profile.seed, f"{stream_prefix}.{station}"))
         for index, at in enumerate(_arrival_times(profile, rate, rng)):
             kind = REQUEST_KINDS[int(rng.choice(len(REQUEST_KINDS),
                                                 p=probabilities))]

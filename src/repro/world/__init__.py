@@ -1,0 +1,59 @@
+"""repro.world — the dynamic-world subsystem.
+
+Everything the static experiments hold fixed, made a first-class axis:
+
+* :mod:`repro.world.traces` — typed, replayable mobility / rotation /
+  respiration traces on the fault plane's named-RNG-stream contract;
+* :mod:`repro.world.topology` — deployment-placement generators
+  (dense grid, centralized, structured rooms, spatial Poisson) emitting
+  self-describing :class:`~repro.api.fleet.FleetSpec`\\ s;
+* :mod:`repro.world.coexistence` — Wi-Fi / BLE / Zigbee duty-cycled
+  interference folded into the victim's noise floor;
+* :mod:`repro.world.dynamics` — :class:`WorldTimeline`, which advances
+  a whole fleet through its traces with one batched probe per run and
+  composes with :mod:`repro.faults` churn and :mod:`repro.serve` load.
+
+The ``world_*`` experiments (:mod:`repro.experiments.worlds`) gate the
+subsystem: zero-motion worlds match the static snapshot to <= 1e-9 dB,
+trace and topology digests replay bit-exact, and topology sweeps stay
+monotone-with-slack in deployment density.
+"""
+
+from repro.world.coexistence import (
+    COEXISTENCE_FAMILIES,
+    CoexistenceModel,
+    InterferenceReport,
+)
+from repro.world.dynamics import WorldTimeline, WorldTimelineReport
+from repro.world.topology import (
+    DEFAULT_DISTANCE_RANGE_M,
+    TOPOLOGY_FAMILIES,
+    generate_fleet,
+    topology_digest,
+)
+from repro.world.traces import (
+    INTERPOLATIONS,
+    MobilityTrace,
+    RespirationTrace,
+    RotationTrace,
+    Trace,
+    TraceTimestampError,
+)
+
+__all__ = [
+    "COEXISTENCE_FAMILIES",
+    "CoexistenceModel",
+    "DEFAULT_DISTANCE_RANGE_M",
+    "INTERPOLATIONS",
+    "InterferenceReport",
+    "MobilityTrace",
+    "RespirationTrace",
+    "RotationTrace",
+    "TOPOLOGY_FAMILIES",
+    "Trace",
+    "TraceTimestampError",
+    "WorldTimeline",
+    "WorldTimelineReport",
+    "generate_fleet",
+    "topology_digest",
+]

@@ -1,0 +1,207 @@
+"""Cross-family coexistence: Wi-Fi / BLE / Zigbee sharing 2.4 GHz.
+
+The paper's three commodity device families
+(:data:`repro.experiments.scenarios.IOT_SCENARIOS`) all live in the
+2.4 GHz ISM band.  This module models what that costs: each interfering
+family contributes its received power at the victim's antenna, scaled
+by its transmit duty cycle, and the contributions fold into the
+victim's noise floor as an effective interference power
+(:func:`repro.channel.noise.power_sum_dbm` — powers add in milliwatts,
+not decibels).
+
+The model is deliberately duty-cycle granular rather than
+packet-granular: the capacity claims of Figs. 18/19 are long-term
+averages, and a duty cycle *is* the long-term average of a packet
+process.  Zero duty cycles reproduce the thermal-only floor exactly —
+the parity anchor the ``world_coexistence`` experiment gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.channel.capacity import shannon_spectral_efficiency
+from repro.channel.link import WirelessLink
+from repro.channel.noise import power_sum_dbm, snr_linear, thermal_noise_dbm
+
+__all__ = [
+    "COEXISTENCE_FAMILIES",
+    "CoexistenceModel",
+    "InterferenceReport",
+]
+
+#: Interferer families the model understands, in scenario-factory order.
+COEXISTENCE_FAMILIES = ("iot_wifi", "iot_ble", "iot_zigbee")
+
+
+def _scenario_factory(family: str):
+    """The family's scenario factory, imported lazily.
+
+    :mod:`repro.experiments` imports the world experiments at package
+    init; importing :data:`~repro.experiments.scenarios.IOT_SCENARIOS`
+    at module level here would close that loop into a cycle, so the
+    lookup is deferred to first use.
+    """
+    from repro.experiments.scenarios import IOT_SCENARIOS
+    return IOT_SCENARIOS[family]
+
+
+@dataclass(frozen=True)
+class InterferenceReport:
+    """The noise-path outcome of one coexistence evaluation."""
+
+    thermal_floor_dbm: float
+    interference_dbm: Dict[str, float]
+    effective_floor_dbm: float
+    victim_power_dbm: float
+    snr_db: float
+    spectral_efficiency: float
+
+    @property
+    def floor_rise_db(self) -> float:
+        """How far interference lifted the floor above thermal."""
+        return self.effective_floor_dbm - self.thermal_floor_dbm
+
+
+class CoexistenceModel:
+    """Per-family duty-cycled interference into one victim link.
+
+    Parameters
+    ----------
+    victim:
+        Which family is the victim (one of
+        :data:`COEXISTENCE_FAMILIES`); its scenario link supplies the
+        received signal power and the bandwidth of the noise floor.
+    distances_m:
+        Optional per-family interferer distance overrides (metres);
+        families absent here use their scenario default.
+    seed:
+        Scenario multipath seed, shared by victim and interferers.
+
+    Each interferer's in-band power at the victim receiver is its own
+    scenario link evaluated at the overridden distance (the full
+    Jones/Friis/multipath budget — polarization mismatch between
+    interferer and victim antennas is modeled for free), plus
+    ``10 log10(duty)`` for its transmit duty cycle.
+    """
+
+    def __init__(self, victim: str = "iot_wifi",
+                 distances_m: Mapping[str, float] = (),
+                 noise_figure_db: float = 6.0,
+                 seed: int = 2021):
+        if victim not in COEXISTENCE_FAMILIES:
+            raise ValueError(f"unknown victim family {victim!r}; expected "
+                             f"one of {COEXISTENCE_FAMILIES}")
+        if noise_figure_db < 0:
+            raise ValueError("noise figure must be non-negative")
+        self.victim = victim
+        self.noise_figure_db = noise_figure_db
+        self.seed = seed
+        self._distances = dict(distances_m)
+        for family in self._distances:
+            if family not in COEXISTENCE_FAMILIES:
+                raise ValueError(f"unknown interferer family {family!r}")
+        victim_config, _tx, _rx = _scenario_factory(victim)(seed=seed)
+        self._victim_link = WirelessLink(victim_config)
+        self._bandwidth_hz = victim_config.bandwidth_hz
+        # One link per potential interferer, built lazily and cached —
+        # the per-family budget is voltage-independent, so each family
+        # costs one scalar evaluation for the whole model lifetime.
+        self._interferer_power_dbm: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Per-family budgets
+    # ------------------------------------------------------------------ #
+    @property
+    def thermal_floor_dbm(self) -> float:
+        """The interference-free noise floor of the victim receiver."""
+        return thermal_noise_dbm(self._bandwidth_hz,
+                                 noise_figure_db=self.noise_figure_db)
+
+    @property
+    def victim_power_dbm(self) -> float:
+        """Received signal power of the victim link (no surface)."""
+        return self._victim_link.received_power_dbm()
+
+    def interferer_power_dbm(self, family: str) -> float:
+        """Full-duty received power of one interfering family (cached)."""
+        if family not in COEXISTENCE_FAMILIES:
+            raise ValueError(f"unknown interferer family {family!r}; "
+                             f"expected one of {COEXISTENCE_FAMILIES}")
+        if family not in self._interferer_power_dbm:
+            kwargs = {"seed": self.seed}
+            if family in self._distances:
+                kwargs["distance_m"] = float(self._distances[family])
+            config, _tx, _rx = _scenario_factory(family)(**kwargs)
+            self._interferer_power_dbm[family] = (
+                WirelessLink(config).received_power_dbm())
+        return self._interferer_power_dbm[family]
+
+    # ------------------------------------------------------------------ #
+    # The noise-path fold
+    # ------------------------------------------------------------------ #
+    def effective_floor_dbm(self, duty_cycles: Mapping[str, float]) -> float:
+        """Noise-plus-interference floor for the given duty cycles.
+
+        ``duty_cycles`` maps interferer families to their transmit duty
+        in ``[0, 1]``; the victim family and absent families contribute
+        nothing.  Zero duty everywhere reproduces
+        :attr:`thermal_floor_dbm` exactly.
+        """
+        levels = [self.thermal_floor_dbm]
+        for family, duty in duty_cycles.items():
+            if family not in COEXISTENCE_FAMILIES:
+                raise ValueError(f"unknown interferer family {family!r}")
+            if not 0.0 <= duty <= 1.0:
+                raise ValueError(
+                    f"duty cycle for {family} must be in [0, 1], got {duty}")
+            if family == self.victim or duty == 0.0:
+                continue
+            levels.append(self.interferer_power_dbm(family) +
+                          10.0 * float(np.log10(duty)))
+        if len(levels) == 1:
+            return levels[0]
+        return float(power_sum_dbm(*levels))
+
+    def evaluate(self, duty_cycles: Mapping[str, float]
+                 ) -> InterferenceReport:
+        """Full noise-path report for one duty-cycle operating point."""
+        floor = self.effective_floor_dbm(duty_cycles)
+        signal = self.victim_power_dbm
+        interference = {
+            family: self.interferer_power_dbm(family) +
+            10.0 * float(np.log10(duty))
+            for family, duty in duty_cycles.items()
+            if family != self.victim and duty > 0.0}
+        snr = signal - floor
+        efficiency = float(shannon_spectral_efficiency(
+            snr_linear(signal, floor)))
+        return InterferenceReport(
+            thermal_floor_dbm=self.thermal_floor_dbm,
+            interference_dbm=interference,
+            effective_floor_dbm=floor,
+            victim_power_dbm=signal,
+            snr_db=float(snr),
+            spectral_efficiency=efficiency)
+
+    def capacity_curve(self, duties: Tuple[float, ...],
+                       interferers: Tuple[str, ...] = ()
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """Spectral efficiency vs a shared duty cycle, one pass.
+
+        ``interferers`` defaults to every non-victim family; the
+        returned ``(floors_dbm, efficiencies)`` arrays align with
+        ``duties``.
+        """
+        families = tuple(interferers) if interferers else tuple(
+            family for family in COEXISTENCE_FAMILIES
+            if family != self.victim)
+        floors = np.asarray([
+            self.effective_floor_dbm({family: duty for family in families})
+            for duty in duties])
+        efficiencies = np.asarray(shannon_spectral_efficiency(
+            snr_linear(self.victim_power_dbm, floors)))
+        return floors, efficiencies

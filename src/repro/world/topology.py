@@ -1,0 +1,176 @@
+"""Deployment-topology generators: the world's topology axis.
+
+Every Sec. 7 experiment so far ran against one hand-picked office
+layout.  This module turns the layout into a swept parameter: four
+placement families, each a deterministic generator from a
+``(seed, family)`` named RNG stream to a
+:class:`~repro.api.fleet.FleetSpec`, so topology x station-count sweeps
+enumerate deployments instead of replaying one.
+
+* ``dense-grid`` — stations on a regular distance/orientation lattice
+  (the dense-deployment stress case: every distance ring occupied,
+  orientations evenly spread over the polarization axis);
+* ``centralized`` — stations clustered near the access point with a
+  folded-normal spread (hub-and-spoke smart-home shape);
+* ``structured-room`` — a few rooms at distinct distances, stations
+  assigned round-robin, orientations aligned per room with jitter
+  (the structure polarization-reuse scheduling exploits);
+* ``poisson`` — a spatial Poisson process: uniform placement density
+  over the annulus between the distance bounds (area-uniform radii),
+  orientations uniform.
+
+Each generated spec carries a :class:`~repro.api.fleet.TopologySpec`
+(family name + generator parameters), so scenario files are
+self-describing and round-trip through ``to_json``/``from_json``.
+Generation is bit-exact replayable: the same ``(seed, family)`` pair
+always yields the identical spec, and no family's draws perturb
+another's.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.api.fleet import FleetSpec, StationSpec, TopologySpec
+from repro.faults import stream_seed
+
+__all__ = [
+    "DEFAULT_DISTANCE_RANGE_M",
+    "TOPOLOGY_FAMILIES",
+    "generate_fleet",
+    "topology_digest",
+]
+
+#: Placement families :func:`generate_fleet` understands.
+TOPOLOGY_FAMILIES = ("dense-grid", "centralized", "structured-room",
+                     "poisson")
+
+#: Station-to-AP distance bounds every family respects (metres).
+DEFAULT_DISTANCE_RANGE_M = (2.0, 15.0)
+
+
+def _rng(seed: int, family: str) -> np.random.Generator:
+    """The family's named RNG stream (``world.topology.<family>``)."""
+    return np.random.default_rng(stream_seed(seed, f"world.topology.{family}"))
+
+
+def _dense_grid(station_count: int, seed: int, low: float, high: float
+                ) -> Tuple[np.ndarray, np.ndarray]:
+    # A deterministic lattice: distance rings crossed with evenly spread
+    # orientations, row-major, truncated to the requested count.  No
+    # randomness — the grid is the reproducible worst case by design.
+    rings = max(1, int(np.ceil(np.sqrt(station_count))))
+    per_ring = int(np.ceil(station_count / rings))
+    ring_distances = np.linspace(low, high, rings)
+    slot_orientations = np.linspace(0.0, 180.0, per_ring, endpoint=False)
+    distances = np.repeat(ring_distances, per_ring)[:station_count]
+    orientations = np.tile(slot_orientations, rings)[:station_count]
+    return distances, orientations
+
+
+def _centralized(station_count: int, seed: int, low: float, high: float
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    rng = _rng(seed, "centralized")
+    # Folded normal around the inner bound: most stations hug the AP,
+    # a tail reaches outward; clipped to the legal annulus.
+    spread = 0.25 * (high - low)
+    distances = np.clip(low + np.abs(rng.normal(0.0, spread,
+                                                size=station_count)),
+                        low, high)
+    orientations = rng.uniform(0.0, 180.0, size=station_count)
+    return distances, orientations
+
+
+def _structured_room(station_count: int, seed: int, low: float, high: float
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    rng = _rng(seed, "structured-room")
+    rooms = max(1, min(4, station_count))
+    room_distances = np.linspace(low, high, rooms + 2)[1:-1]
+    room_orientations = rng.uniform(0.0, 180.0, size=rooms)
+    assignment = np.arange(station_count) % rooms
+    distances = np.clip(
+        room_distances[assignment] +
+        rng.uniform(-0.5, 0.5, size=station_count),
+        low, high)
+    # Devices in one room share a mounting orientation, +/- jitter —
+    # the clustered structure polarization reuse groups by.
+    orientations = np.mod(
+        room_orientations[assignment] +
+        rng.uniform(-10.0, 10.0, size=station_count), 180.0)
+    return distances, orientations
+
+
+def _poisson(station_count: int, seed: int, low: float, high: float
+             ) -> Tuple[np.ndarray, np.ndarray]:
+    rng = _rng(seed, "poisson")
+    # Uniform spatial density over the annulus: radii via the inverse
+    # CDF of the area measure (sqrt sampling), orientations uniform.
+    u = rng.uniform(0.0, 1.0, size=station_count)
+    distances = np.sqrt(low ** 2 + u * (high ** 2 - low ** 2))
+    orientations = rng.uniform(0.0, 180.0, size=station_count)
+    return distances, orientations
+
+
+_GENERATORS: Dict[str, Callable] = {
+    "dense-grid": _dense_grid,
+    "centralized": _centralized,
+    "structured-room": _structured_room,
+    "poisson": _poisson,
+}
+
+
+def generate_fleet(family: str, station_count: int, seed: int = 2021,
+                   surface: str = "llama",
+                   distance_range_m: Tuple[float, float] =
+                   DEFAULT_DISTANCE_RANGE_M,
+                   tx_power_dbm: float = 0.0,
+                   traffic_demand_mbps: float = 4.0) -> FleetSpec:
+    """Generate one deployment of a placement family.
+
+    Returns a :class:`~repro.api.fleet.FleetSpec` with exactly
+    ``station_count`` stations, every distance inside
+    ``distance_range_m``, every orientation in ``[0, 180)``, and a
+    :class:`~repro.api.fleet.TopologySpec` recording the family and
+    parameters.  Identical arguments replay the identical spec.
+    """
+    if family not in TOPOLOGY_FAMILIES:
+        raise ValueError(f"unknown topology family {family!r}; expected one "
+                         f"of {TOPOLOGY_FAMILIES}")
+    if station_count < 1:
+        raise ValueError("need at least one station")
+    low, high = (float(bound) for bound in distance_range_m)
+    if not 0.0 < low < high:
+        raise ValueError("distance range must be positive and ordered")
+    distances, orientations = _GENERATORS[family](station_count, seed,
+                                                  low, high)
+    stations = tuple(
+        StationSpec(
+            name=f"{family}-{index}",
+            distance_m=float(distance),
+            orientation_deg=float(orientation) % 180.0,
+            tx_power_dbm=tx_power_dbm,
+            traffic_demand_mbps=traffic_demand_mbps,
+        )
+        for index, (distance, orientation)
+        in enumerate(zip(distances, orientations)))
+    topology = TopologySpec.of(
+        family, station_count=station_count, seed=seed,
+        min_distance_m=low, max_distance_m=high,
+        tx_power_dbm=tx_power_dbm,
+        traffic_demand_mbps=traffic_demand_mbps)
+    return FleetSpec(stations=stations, surface=surface,
+                     environment_seed=seed, topology=topology)
+
+
+def topology_digest(spec: FleetSpec) -> int:
+    """crc32 over a generated fleet's placements — the replay pin."""
+    text = "|".join(
+        [spec.surface, repr(spec.topology.to_dict() if spec.topology else
+                            None)] +
+        [f"{s.name}:{s.distance_m!r}:{s.orientation_deg!r}:"
+         f"{s.tx_power_dbm!r}:{s.traffic_demand_mbps!r}"
+         for s in spec.stations])
+    return zlib.crc32(text.encode("utf-8"))

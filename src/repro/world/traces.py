@@ -1,0 +1,306 @@
+"""Typed, replayable trace primitives: the world's time axis.
+
+A :class:`Trace` is a frozen sequence of ``(time, value)`` waypoints
+with a named interpolation rule — the common currency every dynamic
+scenario speaks.  Three flavors cover the paper's moving parts:
+
+* :class:`MobilityTrace` — station-to-AP distance over time (waypoint
+  mobility paths, metres);
+* :class:`RotationTrace` — antenna orientation over time (degrees, the
+  polarization axis the paper's Fig. 1 motivates);
+* :class:`RespirationTrace` — chest-wall displacement over time
+  (metres, the Sec. 5.2.2 sensing subject).
+
+Determinism follows the fault plane's named-RNG-stream contract: every
+random factory draws from ``default_rng(stream_seed(seed, name))`` with
+a trace-specific stream name, so two traces never share draws and
+adding one never perturbs another.  :meth:`Trace.digest` (crc32 over
+the waypoints, mirroring :meth:`repro.faults.FaultTrace.digest`) is the
+replay pin the world experiments gate on.
+
+``sample(times)`` evaluates the trace at arbitrary timestamps in one
+NumPy pass; ``resample(times)`` re-anchors the waypoints at those
+timestamps, and — for piecewise-linear traces — sampling the resampled
+trace at its own anchor times reproduces the direct samples exactly
+(the property the hypothesis suite pins).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.tracking import TraceTimestampError, validate_timestamps
+from repro.faults import stream_seed
+
+__all__ = [
+    "INTERPOLATIONS",
+    "MobilityTrace",
+    "RespirationTrace",
+    "RotationTrace",
+    "Trace",
+    "TraceTimestampError",
+]
+
+#: Interpolation rules a trace may declare.  ``piecewise`` is linear
+#: between waypoints; ``smooth`` eases each segment with the smoothstep
+#: polynomial (continuous first derivative at the waypoints).
+INTERPOLATIONS = ("piecewise", "smooth")
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A frozen, replayable value-vs-time curve.
+
+    Attributes
+    ----------
+    times_s:
+        Strictly increasing waypoint timestamps (validated by
+        :func:`repro.core.tracking.validate_timestamps` — duplicates or
+        out-of-order entries raise :class:`TraceTimestampError`).
+    values:
+        Waypoint values, one per timestamp.
+    interpolation:
+        One of :data:`INTERPOLATIONS`.  Outside the waypoint span the
+        trace holds its end values (the stationary-endpoint convention
+        recorded traces need).
+    """
+
+    times_s: Tuple[float, ...]
+    values: Tuple[float, ...]
+    interpolation: str = "piecewise"
+
+    def __post_init__(self) -> None:
+        times = validate_timestamps(self.times_s)
+        values = np.asarray(self.values, dtype=float).ravel()
+        if values.size != times.size:
+            raise ValueError(
+                f"trace has {times.size} timestamps but {values.size} values")
+        if not np.all(np.isfinite(values)):
+            raise ValueError("trace values must be finite")
+        if self.interpolation not in INTERPOLATIONS:
+            raise ValueError(
+                f"unknown interpolation {self.interpolation!r}; expected "
+                f"one of {INTERPOLATIONS}")
+        object.__setattr__(self, "times_s", tuple(float(t) for t in times))
+        object.__setattr__(self, "values", tuple(float(v) for v in values))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def duration_s(self) -> float:
+        """Span between the first and last waypoint."""
+        return self.times_s[-1] - self.times_s[0]
+
+    def __len__(self) -> int:
+        return len(self.times_s)
+
+    def digest(self) -> int:
+        """crc32 over the waypoints — the bit-exact replay pin.
+
+        Mirrors :meth:`repro.faults.FaultTrace.digest`: two traces built
+        from the same ``(seed, name)`` stream digest identically; any
+        drift in a draw, a waypoint or the interpolation rule changes
+        the digest.
+        """
+        text = "|".join(
+            [type(self).__name__, self.interpolation] +
+            [f"{t!r}:{v!r}" for t, v in zip(self.times_s, self.values)])
+        return zlib.crc32(text.encode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def sample(self, times_s) -> np.ndarray:
+        """Trace values at arbitrary timestamps, one vectorized pass.
+
+        ``times_s`` is any array shape; the result matches it.  Outside
+        the waypoint span the end values hold.
+        """
+        query = np.asarray(times_s, dtype=float)
+        anchors = np.asarray(self.times_s)
+        values = np.asarray(self.values)
+        if self.interpolation == "piecewise" or len(anchors) < 2:
+            return np.interp(query, anchors, values)
+        # Smoothstep easing: warp each query's position within its
+        # segment, then interpolate linearly against the warped offset.
+        index = np.clip(np.searchsorted(anchors, query, side="right") - 1,
+                        0, len(anchors) - 2)
+        left_t = anchors[index]
+        span = anchors[index + 1] - left_t
+        fraction = np.clip((query - left_t) / span, 0.0, 1.0)
+        eased = fraction * fraction * (3.0 - 2.0 * fraction)
+        left_v = values[index]
+        return np.asarray(left_v + eased * (values[index + 1] - left_v))
+
+    def resample(self, times_s) -> "Trace":
+        """A new trace of the same kind anchored at ``times_s``.
+
+        The new waypoints are this trace's samples at those timestamps
+        (validated strictly increasing), so for piecewise-linear traces
+        ``trace.resample(ts).sample(ts)`` equals ``trace.sample(ts)``
+        exactly — the refinement property downstream consumers rely on
+        when aligning traces onto a common epoch grid.
+        """
+        times = validate_timestamps(times_s)
+        return replace(self, times_s=tuple(float(t) for t in times),
+                       values=tuple(float(v) for v in self.sample(times)))
+
+
+def _stream(seed: int, name: str) -> np.random.Generator:
+    """The named RNG stream a random trace factory draws from."""
+    return np.random.default_rng(stream_seed(seed, name))
+
+
+@dataclass(frozen=True)
+class MobilityTrace(Trace):
+    """Station-to-AP distance over time (metres, always positive)."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if min(self.values) <= 0.0:
+            raise ValueError("mobility distances must be positive")
+
+    @classmethod
+    def static(cls, distance_m: float,
+               duration_s: float = 1.0) -> "MobilityTrace":
+        """A station that never moves (the zero-motion parity anchor)."""
+        return cls(times_s=(0.0, float(duration_s)),
+                   values=(float(distance_m), float(distance_m)))
+
+    @classmethod
+    def linear(cls, start_m: float, stop_m: float,
+               duration_s: float) -> "MobilityTrace":
+        """Constant-velocity motion from ``start_m`` to ``stop_m``."""
+        return cls(times_s=(0.0, float(duration_s)),
+                   values=(float(start_m), float(stop_m)))
+
+    @classmethod
+    def random_waypoint(cls, seed: int, name: str,
+                        duration_s: float = 20.0,
+                        waypoint_count: int = 6,
+                        distance_range_m: Tuple[float, float] = (2.0, 15.0),
+                        smooth: bool = True) -> "MobilityTrace":
+        """A random-waypoint walk on the ``world.mobility.<name>`` stream.
+
+        Waypoint distances are uniform in ``distance_range_m`` and the
+        dwell epochs divide ``duration_s`` evenly; the same
+        ``(seed, name)`` always replays the identical path.
+        """
+        if waypoint_count < 2:
+            raise ValueError("need at least two waypoints")
+        low, high = distance_range_m
+        if not 0.0 < low < high:
+            raise ValueError("distance range must be positive and ordered")
+        rng = _stream(seed, f"world.mobility.{name}")
+        distances = rng.uniform(low, high, size=waypoint_count)
+        times = np.linspace(0.0, float(duration_s), waypoint_count)
+        return cls(times_s=tuple(times), values=tuple(distances),
+                   interpolation="smooth" if smooth else "piecewise")
+
+
+@dataclass(frozen=True)
+class RotationTrace(Trace):
+    """Antenna orientation over time (degrees on the 0-180 axis).
+
+    Waypoints are stored unwrapped so interpolation never folds across
+    the polarization axis; consumers feed the samples straight into the
+    ``tx_orientation``/``rx_orientation`` grid axes, which accept any
+    real angle.
+    """
+
+    @classmethod
+    def static(cls, orientation_deg: float,
+               duration_s: float = 1.0) -> "RotationTrace":
+        """A station that never rotates."""
+        return cls(times_s=(0.0, float(duration_s)),
+                   values=(float(orientation_deg), float(orientation_deg)))
+
+    @classmethod
+    def swing(cls, base_deg: float = 45.0, amplitude_deg: float = 45.0,
+              period_s: float = 4.0, duration_s: float = 20.0,
+              samples_per_period: int = 16) -> "RotationTrace":
+        """The Fig. 1 arm swing, tabulated as a dense waypoint trace."""
+        if period_s <= 0 or duration_s <= 0:
+            raise ValueError("period and duration must be positive")
+        count = max(2, int(np.ceil(samples_per_period *
+                                   duration_s / period_s)) + 1)
+        times = np.linspace(0.0, float(duration_s), count)
+        values = base_deg + amplitude_deg * np.sin(
+            2.0 * np.pi * times / period_s)
+        return cls(times_s=tuple(times), values=tuple(values),
+                   interpolation="smooth")
+
+    @classmethod
+    def random_walk(cls, seed: int, name: str,
+                    duration_s: float = 20.0,
+                    step_count: int = 20,
+                    step_deg: float = 15.0,
+                    base_deg: float = 45.0) -> "RotationTrace":
+        """A bounded orientation random walk on the
+        ``world.rotation.<name>`` stream."""
+        if step_count < 1:
+            raise ValueError("need at least one step")
+        if step_deg < 0:
+            raise ValueError("step size must be non-negative")
+        rng = _stream(seed, f"world.rotation.{name}")
+        steps = rng.uniform(-step_deg, step_deg, size=step_count)
+        values = base_deg + np.concatenate([[0.0], np.cumsum(steps)])
+        times = np.linspace(0.0, float(duration_s), step_count + 1)
+        return cls(times_s=tuple(times), values=tuple(values))
+
+
+@dataclass(frozen=True)
+class RespirationTrace(Trace):
+    """Chest-wall displacement over time (metres around the rest point).
+
+    The trace-driven twin of
+    :meth:`repro.sensing.BreathingSubject.chest_offset_m`: feed it to
+    :class:`repro.sensing.TracedBreathingSubject` to drive the sensing
+    link from a recorded or generated displacement curve.
+    """
+
+    @classmethod
+    def breathing(cls, rate_hz: float = 0.25,
+                  displacement_m: float = 0.005,
+                  duration_s: float = 30.0,
+                  samples_per_cycle: int = 24) -> "RespirationTrace":
+        """A clean sinusoidal breathing pattern, tabulated densely."""
+        if rate_hz <= 0 or displacement_m <= 0 or duration_s <= 0:
+            raise ValueError("rate, displacement and duration must be "
+                             "positive")
+        count = max(2, int(np.ceil(samples_per_cycle * rate_hz *
+                                   duration_s)) + 1)
+        times = np.linspace(0.0, float(duration_s), count)
+        values = 0.5 * displacement_m * np.sin(2.0 * np.pi * rate_hz * times)
+        return cls(times_s=tuple(times), values=tuple(values),
+                   interpolation="smooth")
+
+    @classmethod
+    def irregular(cls, seed: int, name: str,
+                  rate_hz: float = 0.25,
+                  displacement_m: float = 0.005,
+                  duration_s: float = 30.0,
+                  rate_jitter: float = 0.15,
+                  samples_per_cycle: int = 24) -> "RespirationTrace":
+        """Breathing with per-cycle rate jitter on the
+        ``world.respiration.<name>`` stream."""
+        if not 0.0 <= rate_jitter < 1.0:
+            raise ValueError("rate jitter must be in [0, 1)")
+        rng = _stream(seed, f"world.respiration.{name}")
+        count = max(2, int(np.ceil(samples_per_cycle * rate_hz *
+                                   duration_s)) + 1)
+        times = np.linspace(0.0, float(duration_s), count)
+        # Jitter the instantaneous rate per sample and integrate it into
+        # a phase, so cycles stretch and squeeze without phase jumps.
+        rates = rate_hz * (1.0 + rng.uniform(-rate_jitter, rate_jitter,
+                                             size=count))
+        phase = 2.0 * np.pi * np.concatenate(
+            [[0.0], np.cumsum(rates[:-1] * np.diff(times))])
+        values = 0.5 * displacement_m * np.sin(phase)
+        return cls(times_s=tuple(times), values=tuple(values),
+                   interpolation="smooth")

@@ -1,0 +1,86 @@
+"""Trace-driven tracking entry: timestamp validation and run_trace."""
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import (
+    OrientationTrajectory,
+    TraceTimestampError,
+    TrackingController,
+    validate_timestamps,
+)
+from repro.experiments.scenarios import ReflectiveScenario
+
+
+@pytest.fixture(scope="module")
+def controller():
+    configuration = ReflectiveScenario().configuration()
+    return TrackingController(
+        configuration=configuration,
+        trajectory=OrientationTrajectory.arm_swing())
+
+
+class TestValidateTimestamps:
+    def test_accepts_strictly_increasing(self):
+        times = validate_timestamps([0.0, 0.5, 1.25])
+        np.testing.assert_array_equal(times, [0.0, 0.5, 1.25])
+
+    def test_rejects_duplicates_with_location(self):
+        with pytest.raises(TraceTimestampError, match="t=0.5s"):
+            validate_timestamps([0.0, 0.5, 0.5, 1.0])
+
+    def test_rejects_out_of_order(self):
+        with pytest.raises(TraceTimestampError, match="out of order"):
+            validate_timestamps([0.0, 1.0, 0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceTimestampError, match="non-empty"):
+            validate_timestamps([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(TraceTimestampError, match="finite"):
+            validate_timestamps([0.0, np.nan])
+
+    def test_rejects_multidimensional(self):
+        with pytest.raises(TraceTimestampError, match="one-dimensional"):
+            validate_timestamps([[0.0, 1.0], [2.0, 3.0]])
+
+    def test_error_is_a_value_error(self):
+        assert issubclass(TraceTimestampError, ValueError)
+
+
+class TestRunTrace:
+    def test_duplicate_timestamps_raise_typed_error(self, controller):
+        with pytest.raises(TraceTimestampError, match="duplicate"):
+            controller.run_trace([0.0, 0.25, 0.25, 0.5])
+
+    def test_out_of_order_timestamps_raise_typed_error(self, controller):
+        with pytest.raises(TraceTimestampError, match="out of order"):
+            controller.run_trace([0.5, 0.0, 1.0])
+
+    def test_matches_run_on_the_same_grid(self, controller):
+        duration, step = 2.0, 0.5
+        via_run = controller.run(duration_s=duration, time_step_s=step)
+        via_trace = controller.run_trace(np.arange(0.0, duration, step))
+        assert [s.power_with_dbm for s in via_trace.samples] == \
+            [s.power_with_dbm for s in via_run.samples]
+        assert via_trace.retune_count == via_run.retune_count
+
+    def test_explicit_orientations_override_trajectory(self, controller):
+        times = np.array([0.0, 0.5, 1.0])
+        report = controller.run_trace(times, [10.0, 20.0, 30.0])
+        assert [s.orientation_deg for s in report.samples] == \
+            [10.0, 20.0, 30.0]
+
+    def test_orientation_shape_mismatch_raises(self, controller):
+        with pytest.raises(ValueError, match="does not match"):
+            controller.run_trace([0.0, 0.5, 1.0], [10.0, 20.0])
+
+    def test_sampleable_orientations_are_sampled(self, controller):
+        from repro.world import RotationTrace
+        trace = RotationTrace.swing(duration_s=1.0)
+        times = np.array([0.0, 0.5, 1.0])
+        report = controller.run_trace(times, trace)
+        expected = trace.sample(times)
+        np.testing.assert_allclose(
+            [s.orientation_deg for s in report.samples], expected)

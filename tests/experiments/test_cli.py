@@ -180,7 +180,8 @@ class TestCoverage:
         assert "scenario coverage" in out
         assert "full coverage" in out
         report = json.loads(out_path.read_text())
-        assert report["scenarios"]["iot_zigbee"] == ["iot_families"]
+        assert report["scenarios"]["iot_zigbee"] == [
+            "iot_families", "world_coexistence"]
 
     def test_format_coverage_reports_gaps(self):
         report = coverage_report(REGISTRY)

@@ -1,0 +1,153 @@
+"""Tests for the three dynamic-world experiments.
+
+The registry-wide runner suite already smoke-runs every experiment
+with its check hook; these tests pin the world-specific contracts —
+the parity anchors, the sweep-table shapes, replay determinism and
+the ``world`` CLI entry.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.artifacts import payload_equal
+from repro.experiments.cli import main
+from repro.experiments.registry import REGISTRY
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.world import TOPOLOGY_FAMILIES
+
+
+@pytest.fixture(scope="module")
+def mobility():
+    return run_experiment("world_mobility_tracking", smoke=True)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return run_experiment("world_topology_sweep", smoke=True)
+
+
+@pytest.fixture(scope="module")
+def coexistence():
+    return run_experiment("world_coexistence", smoke=True)
+
+
+class TestRegistration:
+    @pytest.mark.parametrize("name", ["world_mobility_tracking",
+                                      "world_topology_sweep",
+                                      "world_coexistence"])
+    def test_registered_with_world_module(self, name):
+        spec = REGISTRY.get(name)
+        assert "world" in spec.modules
+        assert "world" in spec.tags
+
+
+class TestWorldMobility:
+    def test_parity_anchors_hold(self, mobility):
+        payload = mobility.payload
+        assert payload.static_parity_db <= 1e-9
+        assert payload.reference_parity_db <= 1e-9
+
+    def test_surface_helps_a_moving_fleet(self, mobility):
+        payload = mobility.payload
+        assert payload.mean_gain_db > 0.0
+        assert payload.mean_gain_db >= payload.worst_gain_db
+
+    def test_epoch_series_matches_grid(self, mobility):
+        payload = mobility.payload
+        assert len(payload.epoch_mean_power_dbm) == payload.epoch_count
+        assert len(payload.moving_stations) == 2
+        assert len(payload.rotating_stations) == 1
+
+    def test_tracking_rode_along(self, mobility):
+        payload = mobility.payload
+        assert payload.tracking_station not in payload.moving_stations
+        assert payload.tracking_retune_count >= 1
+
+    def test_rejects_out_of_range_trace_counts(self):
+        with pytest.raises(ValueError, match="must be in"):
+            run_experiment("world_mobility_tracking", stations=2,
+                           moving=3, rotating=1, duration_s=1.0)
+
+    def test_check_passes(self, mobility):
+        mobility.check()
+
+    def test_replay_is_bit_identical(self, mobility):
+        replay = run_experiment("world_mobility_tracking", smoke=True)
+        assert payload_equal(replay.payload, mobility.payload,
+                             tolerance=0.0)
+        assert replay.payload.trace_digests \
+            == mobility.payload.trace_digests
+
+
+class TestWorldTopology:
+    def test_sweep_covers_every_family(self, topology):
+        payload = topology.payload
+        assert payload.families == TOPOLOGY_FAMILIES
+        columns = len(payload.station_counts)
+        for table in (payload.throughput_mbps, payload.fairness,
+                      payload.worst_rate_mbps, payload.placement_digests):
+            assert len(table) == len(TOPOLOGY_FAMILIES)
+            assert all(len(row) == columns for row in table)
+
+    def test_specs_round_trip(self, topology):
+        assert topology.payload.round_trips_ok
+
+    def test_throughput_positive_everywhere(self, topology):
+        for curve in topology.payload.throughput_mbps:
+            assert all(rate > 0.0 for rate in curve)
+
+    def test_check_passes(self, topology):
+        topology.check()
+
+    def test_json_round_trip(self, topology):
+        restored = ExperimentResult.from_json(topology.to_json())
+        assert payload_equal(restored.payload, topology.payload,
+                             tolerance=0.0)
+
+
+class TestWorldCoexistence:
+    def test_zero_duty_is_exactly_thermal(self, coexistence):
+        payload = coexistence.payload
+        assert payload.duties[0] == 0.0
+        assert payload.zero_duty_parity_db == 0.0
+        assert payload.floors_dbm[0] == payload.thermal_floor_dbm
+
+    def test_floor_and_capacity_are_monotone(self, coexistence):
+        payload = coexistence.payload
+        assert list(payload.floors_dbm) == sorted(payload.floors_dbm)
+        assert list(payload.efficiencies) == sorted(payload.efficiencies,
+                                                    reverse=True)
+
+    def test_victim_excluded_from_interferers(self, coexistence):
+        payload = coexistence.payload
+        families = [family for family, _power
+                    in payload.interferer_powers_dbm]
+        assert payload.victim not in families
+        assert len(families) == 2
+
+    def test_check_passes(self, coexistence):
+        coexistence.check()
+
+    def test_replay_is_bit_identical(self, coexistence):
+        replay = run_experiment("world_coexistence", smoke=True)
+        assert payload_equal(replay.payload, coexistence.payload,
+                             tolerance=0.0)
+
+
+class TestWorldCli:
+    def test_world_subcommand_prints_epochs(self, capsys, tmp_path):
+        out_path = tmp_path / "world.json"
+        assert main(["world", "--stations", "4", "--moving", "2",
+                     "--rotating", "1", "--duration", "1.0",
+                     "--step", "0.5", "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "epoch" in out
+        record = json.loads(out_path.read_text())
+        assert record["spec"]["stations"] == 4
+        assert len(record["epoch_mean_power_dbm"]) == 2
+
+    def test_world_experiments_run_via_cli(self, capsys):
+        assert main(["run", "world_coexistence", "--smoke", "--check",
+                     "--quiet"]) == 0
+        assert "check passed" in capsys.readouterr().out

@@ -1,0 +1,25 @@
+# repro-lint: role=src
+"""RPR008 fixture: global-stream draws and unseeded generators.
+
+Expected findings: 3 legacy global-state draws (module attribute,
+from-import module alias, direct from-import), 3 unseeded generators
+(zero-arg via np.random, explicit None, zero-arg from-import alias).
+"""
+
+import numpy as np
+from numpy import random as npr
+from numpy.random import default_rng, shuffle
+
+
+def draws_from_the_global_stream(count):
+    values = np.random.uniform(0.0, 1.0, size=count)
+    noise = npr.normal(0.0, 1.0, size=count)
+    shuffle(values)
+    return values + noise
+
+
+def mints_unseeded_generators():
+    first = np.random.default_rng()
+    second = np.random.default_rng(None)
+    third = default_rng()
+    return first, second, third

@@ -1,0 +1,32 @@
+# repro-lint: role=src
+"""RPR008 fixture: stream-disciplined randomness that should not fire.
+
+Seeded generators (literal or stream-derived seeds), draws on a
+generator object, capitalized constructors with explicit state and
+type annotations are all fine; only global-stream draws and unseeded
+generators are the rule's business.
+"""
+
+import numpy as np
+from numpy.random import PCG64, default_rng
+
+
+def seeded_literal():
+    return np.random.default_rng(7)
+
+
+def seeded_from_stream(seed, stream_seed):
+    # The sanctioned path: a named stream derives the seed, the
+    # generator owns the draws.
+    rng = default_rng(stream_seed(seed, "world.mobility.sta-0"))
+    return rng.uniform(0.0, 1.0, size=8)
+
+
+def explicit_state_constructor(seed):
+    return np.random.Generator(PCG64(seed))
+
+
+def typed_pass_through(rng: np.random.Generator) -> float:
+    # Draws on a received generator are the consumer side of the
+    # contract — the stream was minted (and seeded) elsewhere.
+    return float(rng.normal())

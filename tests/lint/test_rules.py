@@ -26,6 +26,7 @@ BAD_FIXTURES = [
     ("rpr005_bad.py", "RPR005", 4),
     ("rpr006_bad.py", "RPR006", 5),
     ("rpr007_bad.py", "RPR007", 6),
+    ("rpr008_bad.py", "RPR008", 6),
 ]
 
 GOOD_FIXTURES = [
@@ -36,6 +37,7 @@ GOOD_FIXTURES = [
     "rpr005_good.py",
     "rpr006_good.py",
     "rpr007_good.py",
+    "rpr008_good.py",
 ]
 
 

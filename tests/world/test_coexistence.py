@@ -1,0 +1,93 @@
+"""Coexistence model: floor folding, parity anchors, monotonicity."""
+
+import numpy as np
+import pytest
+
+from repro.channel.noise import power_sum_dbm
+from repro.world import COEXISTENCE_FAMILIES, CoexistenceModel
+
+
+class TestPowerSum:
+    def test_equal_levels_add_three_db(self):
+        assert power_sum_dbm(-90.0, -90.0) == pytest.approx(-87.0, abs=0.02)
+
+    def test_dominant_level_wins(self):
+        assert power_sum_dbm(-50.0, -120.0) == pytest.approx(-50.0, abs=0.01)
+
+    def test_silent_entry_contributes_nothing(self):
+        assert power_sum_dbm(-70.0, -np.inf) == pytest.approx(-70.0)
+
+    def test_broadcasts_arrays(self):
+        result = power_sum_dbm(np.array([-90.0, -80.0]), -90.0)
+        assert result.shape == (2,)
+        assert result[0] == pytest.approx(-87.0, abs=0.02)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            power_sum_dbm()
+
+
+class TestCoexistenceModel:
+    def test_rejects_unknown_victim(self):
+        with pytest.raises(ValueError, match="unknown victim"):
+            CoexistenceModel(victim="lora")
+
+    def test_rejects_unknown_interferer_distance(self):
+        with pytest.raises(ValueError, match="unknown interferer"):
+            CoexistenceModel(distances_m={"lora": 3.0})
+
+    def test_rejects_out_of_range_duty(self):
+        model = CoexistenceModel()
+        with pytest.raises(ValueError, match="must be in"):
+            model.effective_floor_dbm({"iot_ble": 1.5})
+
+    def test_zero_duty_reproduces_thermal_floor_exactly(self):
+        model = CoexistenceModel()
+        duties = {family: 0.0 for family in COEXISTENCE_FAMILIES}
+        assert model.effective_floor_dbm(duties) == model.thermal_floor_dbm
+
+    def test_victim_family_never_interferes_with_itself(self):
+        model = CoexistenceModel(victim="iot_ble")
+        assert (model.effective_floor_dbm({"iot_ble": 1.0})
+                == model.thermal_floor_dbm)
+
+    def test_floor_rises_with_duty(self):
+        model = CoexistenceModel()
+        floors = [model.effective_floor_dbm({"iot_ble": duty})
+                  for duty in (0.0, 0.1, 0.5, 1.0)]
+        assert floors == sorted(floors)
+
+    def test_full_duty_folds_the_interferer_power(self):
+        model = CoexistenceModel()
+        expected = power_sum_dbm(model.thermal_floor_dbm,
+                                 model.interferer_power_dbm("iot_ble"))
+        assert (model.effective_floor_dbm({"iot_ble": 1.0})
+                == pytest.approx(float(expected)))
+
+    def test_evaluate_report_is_consistent(self):
+        model = CoexistenceModel()
+        report = model.evaluate({"iot_ble": 0.5, "iot_zigbee": 0.25})
+        assert set(report.interference_dbm) == {"iot_ble", "iot_zigbee"}
+        assert report.floor_rise_db > 0.0
+        assert report.snr_db == pytest.approx(
+            report.victim_power_dbm - report.effective_floor_dbm)
+        assert report.spectral_efficiency > 0.0
+
+    def test_capacity_curve_is_monotone(self):
+        model = CoexistenceModel()
+        duties = (0.0, 0.05, 0.2, 1.0)
+        floors, efficiencies = model.capacity_curve(duties)
+        assert np.all(np.diff(floors) >= 0.0)
+        assert np.all(np.diff(efficiencies) <= 0.0)
+
+    def test_distance_override_changes_interferer_power(self):
+        near = CoexistenceModel(distances_m={"iot_ble": 1.0})
+        far = CoexistenceModel(distances_m={"iot_ble": 10.0})
+        assert (near.interferer_power_dbm("iot_ble")
+                > far.interferer_power_dbm("iot_ble"))
+
+    def test_model_is_deterministic_per_seed(self):
+        duties = {"iot_ble": 0.3}
+        first = CoexistenceModel(seed=5).evaluate(duties)
+        again = CoexistenceModel(seed=5).evaluate(duties)
+        assert first == again

@@ -1,0 +1,175 @@
+"""WorldTimeline: batched evaluation parity, plans, composition."""
+
+import numpy as np
+import pytest
+
+from repro.api.fleet import FleetSession, FleetSpec
+from repro.faults import FaultSchedule, FaultSpec, StationChurn
+from repro.sensing import RespirationSensingLink, TracedBreathingSubject
+from repro.serve.loadgen import LoadProfile, generate_trace
+from repro.world import (
+    MobilityTrace,
+    RespirationTrace,
+    RotationTrace,
+    WorldTimeline,
+)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return FleetSpec.office(station_count=4, seed=42)
+
+
+@pytest.fixture(scope="module")
+def moving_timeline(spec):
+    names = spec.station_names
+    mobility = {names[0]: MobilityTrace.random_waypoint(
+        7, names[0], duration_s=2.0)}
+    rotation = {names[1]: RotationTrace.swing(duration_s=2.0)}
+    return WorldTimeline(spec, mobility=mobility, rotation=rotation,
+                         duration_s=2.0, time_step_s=0.5)
+
+
+class TestConstruction:
+    def test_rejects_unknown_trace_stations(self, spec):
+        with pytest.raises(KeyError, match="unknown stations"):
+            WorldTimeline(spec, mobility={
+                "ghost": MobilityTrace.static(3.0)})
+
+    def test_rejects_non_positive_grid(self, spec):
+        with pytest.raises(ValueError, match="positive"):
+            WorldTimeline(spec, duration_s=0.0)
+
+    def test_epoch_grid_shape(self, spec):
+        timeline = WorldTimeline(spec, duration_s=2.0, time_step_s=0.5)
+        assert timeline.epoch_count == 4
+        assert timeline.distance_plane().shape == (4, 4)
+        assert timeline.orientation_plane().shape == (4, 4)
+
+
+class TestBatchedParity:
+    def test_static_world_equals_static_snapshot(self, spec):
+        timeline = WorldTimeline(spec, duration_s=2.0, time_step_s=0.5)
+        plane = timeline.evaluate(vx=12.0, vy=18.0)
+        snapshot = FleetSession(spec).measure_aligned(12.0, 18.0)
+        assert float(np.max(np.abs(plane - snapshot[None, :]))) <= 1e-9
+
+    def test_batched_equals_scalar_reference(self, moving_timeline):
+        batched = moving_timeline.evaluate(vx=6.0, vy=24.0)
+        reference = moving_timeline.evaluate_reference(vx=6.0, vy=24.0)
+        assert float(np.max(np.abs(batched - reference))) <= 1e-9
+
+    def test_per_station_bias_arrays_broadcast(self, moving_timeline):
+        count = len(moving_timeline.station_names)
+        vx = np.linspace(0.0, 30.0, count)
+        vy = np.linspace(30.0, 0.0, count)
+        batched = moving_timeline.evaluate(vx=vx, vy=vy)
+        reference = moving_timeline.evaluate_reference(vx=vx, vy=vy)
+        assert float(np.max(np.abs(batched - reference))) <= 1e-9
+
+    def test_motion_actually_changes_the_plane(self, spec, moving_timeline):
+        static = WorldTimeline(spec, duration_s=2.0, time_step_s=0.5)
+        assert not np.allclose(moving_timeline.evaluate(),
+                               static.evaluate())
+
+
+class TestPlansAndRuns:
+    def test_retuned_static_world_matches_static_plan(self, spec):
+        timeline = WorldTimeline(spec, duration_s=1.0, time_step_s=0.5)
+        vx, vy, power = timeline.best_bias_planes(step_v=15.0)
+        plan = FleetSession(spec).best_bias_plan(step_v=15.0)
+        np.testing.assert_array_equal(vx, np.broadcast_to(
+            plan.best_vx, vx.shape))
+        np.testing.assert_array_equal(vy, np.broadcast_to(
+            plan.best_vy, vy.shape))
+        np.testing.assert_allclose(power, np.broadcast_to(
+            plan.best_power_dbm, power.shape), atol=1e-9)
+
+    def test_run_report_shapes_and_replay(self, moving_timeline):
+        report = moving_timeline.run(bias_search_step_v=15.0)
+        epochs = moving_timeline.epoch_count
+        stations = len(moving_timeline.station_names)
+        assert report.powers_with_dbm.shape == (epochs, stations)
+        assert report.bias_vx.shape == (epochs, stations)
+        assert report.gains_db.shape == (epochs, stations)
+        assert len(report.epoch_mean_power_dbm) == epochs
+        again = moving_timeline.run(bias_search_step_v=15.0)
+        np.testing.assert_array_equal(report.powers_with_dbm,
+                                      again.powers_with_dbm)
+        assert report.trace_digests == again.trace_digests
+
+    def test_retuned_beats_stale_plan(self, moving_timeline):
+        retuned = moving_timeline.run(bias_search_step_v=15.0)
+        stale = moving_timeline.run(bias_search_step_v=15.0, retune=False)
+        assert retuned.mean_gain_db >= stale.mean_gain_db - 1e-9
+
+    def test_tracking_requires_a_rotation_trace(self, moving_timeline):
+        with pytest.raises(KeyError, match="no rotation trace"):
+            moving_timeline.run_tracking(
+                moving_timeline.station_names[0])
+
+    def test_tracking_runs_on_the_epoch_grid(self, moving_timeline):
+        station = moving_timeline.station_names[1]
+        report = moving_timeline.run_tracking(station)
+        assert len(report.samples) == moving_timeline.epoch_count
+        assert report.retune_count >= 1
+
+
+class TestComposition:
+    def test_churn_station_sets_cover_every_epoch(self, spec,
+                                                  moving_timeline):
+        schedule = FaultSchedule(
+            FaultSpec(station_mtbf_epochs=2.0, station_mttr_epochs=2.0),
+            seed=5)
+        churn = StationChurn(schedule, spec.station_names)
+        sets = moving_timeline.active_station_sets(churn)
+        assert len(sets) == moving_timeline.epoch_count
+        for names in sets:
+            assert set(names) <= set(spec.station_names)
+
+    def test_epoch_request_traces_use_per_epoch_streams(self, spec,
+                                                        moving_timeline):
+        profile = LoadProfile(rate_rps=40.0, duration_s=0.5, seed=3)
+        names = spec.station_names
+        sets = tuple([names] * moving_timeline.epoch_count)
+        traces = moving_timeline.epoch_request_traces(profile, sets)
+        digests = [trace.digest() for trace in traces]
+        # Same stations, different streams per epoch -> distinct loads.
+        assert len(set(digests)) == len(digests)
+        # And none of them equals the steady-state loadgen stream.
+        steady = generate_trace(profile, names)
+        assert steady.digest() not in digests
+
+    def test_empty_epoch_yields_none(self, moving_timeline):
+        profile = LoadProfile(rate_rps=40.0, duration_s=0.5, seed=3)
+        sets = ((), ("desk-0",), (), ("desk-1",))
+        traces = moving_timeline.epoch_request_traces(profile, sets)
+        assert traces[0] is None and traces[2] is None
+        assert traces[1] is not None and traces[3] is not None
+
+
+class TestTracedBreathing:
+    def test_traced_subject_drives_the_sensing_link(self):
+        trace = RespirationTrace.breathing(rate_hz=0.25, duration_s=20.0)
+        subject = TracedBreathingSubject(trace=trace)
+        link = RespirationSensingLink(subject=subject)
+        capture = link.capture(duration_s=20.0, sample_rate_hz=10.0)
+        assert capture.power_dbm.shape == capture.timestamps_s.shape
+        assert capture.peak_to_peak_db > 0.0
+
+    def test_traced_subject_matches_builtin_sinusoid(self):
+        from repro.sensing import BreathingSubject
+        builtin = BreathingSubject(respiration_rate_hz=0.25,
+                                   chest_displacement_m=0.005)
+        traced = TracedBreathingSubject(
+            trace=RespirationTrace.breathing(
+                rate_hz=0.25, displacement_m=0.005, duration_s=30.0,
+                samples_per_cycle=200))
+        times = np.linspace(0.0, 8.0, 50)
+        np.testing.assert_allclose(traced.chest_offset_m(times),
+                                   builtin.chest_offset_m(times),
+                                   atol=5e-5)
+
+    def test_traced_subject_rejects_non_trace(self):
+        with pytest.raises(TypeError, match="sample"):
+            TracedBreathingSubject(trace=object())

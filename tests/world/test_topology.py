@@ -1,0 +1,100 @@
+"""Topology generators: counts, bounds, metadata, bit-exact replay."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api.fleet import FleetSpec, TopologySpec
+from repro.world import (
+    DEFAULT_DISTANCE_RANGE_M,
+    TOPOLOGY_FAMILIES,
+    generate_fleet,
+    topology_digest,
+)
+
+
+class TestValidation:
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown topology family"):
+            generate_fleet("ring", 4)
+
+    def test_rejects_zero_stations(self):
+        with pytest.raises(ValueError, match="at least one"):
+            generate_fleet("poisson", 0)
+
+    def test_rejects_bad_distance_range(self):
+        with pytest.raises(ValueError, match="positive and ordered"):
+            generate_fleet("poisson", 4, distance_range_m=(5.0, 2.0))
+
+
+class TestGeneratedFleets:
+    @pytest.mark.parametrize("family", TOPOLOGY_FAMILIES)
+    @given(count=st.integers(min_value=1, max_value=24),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_count_exact_and_bounds_respected(self, family, count, seed):
+        spec = generate_fleet(family, count, seed=seed)
+        assert len(spec.stations) == count
+        low, high = DEFAULT_DISTANCE_RANGE_M
+        for station in spec.stations:
+            assert low <= station.distance_m <= high
+            assert 0.0 <= station.orientation_deg < 180.0
+
+    @pytest.mark.parametrize("family", TOPOLOGY_FAMILIES)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_replay_is_bit_exact(self, family, seed):
+        first = generate_fleet(family, 6, seed=seed)
+        again = generate_fleet(family, 6, seed=seed)
+        assert first == again
+        assert topology_digest(first) == topology_digest(again)
+
+    @pytest.mark.parametrize("family", TOPOLOGY_FAMILIES)
+    def test_station_names_are_unique_and_family_tagged(self, family):
+        spec = generate_fleet(family, 5)
+        names = spec.station_names
+        assert len(set(names)) == 5
+        assert all(name.startswith(family) for name in names)
+
+    def test_custom_distance_range_is_respected(self):
+        spec = generate_fleet("poisson", 12, distance_range_m=(3.0, 6.0))
+        for station in spec.stations:
+            assert 3.0 <= station.distance_m <= 6.0
+
+    def test_families_draw_from_independent_streams(self):
+        digests = {family: topology_digest(generate_fleet(family, 6))
+                   for family in TOPOLOGY_FAMILIES}
+        assert len(set(digests.values())) == len(TOPOLOGY_FAMILIES)
+
+    def test_dense_grid_is_deterministic_lattice(self):
+        spec = generate_fleet("dense-grid", 9)
+        distances = sorted({s.distance_m for s in spec.stations})
+        # 9 stations -> 3 rings of 3, distances on a 3-point linspace.
+        np.testing.assert_allclose(distances, [2.0, 8.5, 15.0])
+
+
+class TestTopologyMetadata:
+    @pytest.mark.parametrize("family", TOPOLOGY_FAMILIES)
+    def test_spec_carries_topology(self, family):
+        spec = generate_fleet(family, 4, seed=11)
+        assert spec.topology is not None
+        assert spec.topology.family == family
+        params = spec.topology.as_mapping()
+        assert params["station_count"] == 4
+        assert params["seed"] == 11
+
+    @pytest.mark.parametrize("family", TOPOLOGY_FAMILIES)
+    def test_round_trips_through_json(self, family):
+        spec = generate_fleet(family, 4, seed=11)
+        restored = FleetSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.topology == spec.topology
+        assert topology_digest(restored) == topology_digest(spec)
+
+    def test_digest_covers_topology_metadata(self):
+        spec = generate_fleet("poisson", 4, seed=1)
+        retagged = FleetSpec(
+            stations=spec.stations, surface=spec.surface,
+            environment_seed=spec.environment_seed,
+            topology=TopologySpec.of("poisson", station_count=4, seed=2))
+        assert topology_digest(retagged) != topology_digest(spec)

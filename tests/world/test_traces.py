@@ -1,0 +1,192 @@
+"""Trace primitives: validation, interpolation, resampling, replay."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.world import (
+    INTERPOLATIONS,
+    MobilityTrace,
+    RespirationTrace,
+    RotationTrace,
+    Trace,
+    TraceTimestampError,
+)
+
+
+def monotone_times(min_size=2, max_size=12):
+    """Strictly increasing timestamp tuples via positive steps."""
+    return st.lists(
+        st.floats(min_value=1e-3, max_value=5.0),
+        min_size=min_size, max_size=max_size,
+    ).map(lambda steps: tuple(np.cumsum(steps)))
+
+
+class TestTraceValidation:
+    def test_rejects_duplicate_timestamps(self):
+        with pytest.raises(TraceTimestampError, match="duplicate"):
+            Trace(times_s=(0.0, 1.0, 1.0, 2.0), values=(1.0,) * 4)
+
+    def test_rejects_out_of_order_timestamps(self):
+        with pytest.raises(TraceTimestampError, match="out of order"):
+            Trace(times_s=(0.0, 2.0, 1.0), values=(1.0,) * 3)
+
+    def test_rejects_non_finite_timestamps(self):
+        with pytest.raises(TraceTimestampError, match="finite"):
+            Trace(times_s=(0.0, np.nan), values=(1.0, 1.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceTimestampError, match="non-empty"):
+            Trace(times_s=(), values=())
+
+    def test_rejects_value_count_mismatch(self):
+        with pytest.raises(ValueError, match="timestamps but"):
+            Trace(times_s=(0.0, 1.0), values=(1.0,))
+
+    def test_rejects_non_finite_values(self):
+        with pytest.raises(ValueError, match="finite"):
+            Trace(times_s=(0.0, 1.0), values=(1.0, np.inf))
+
+    def test_rejects_unknown_interpolation(self):
+        with pytest.raises(ValueError, match="interpolation"):
+            Trace(times_s=(0.0, 1.0), values=(1.0, 2.0),
+                  interpolation="cubic")
+
+    def test_mobility_rejects_non_positive_distance(self):
+        with pytest.raises(ValueError, match="positive"):
+            MobilityTrace(times_s=(0.0, 1.0), values=(2.0, 0.0))
+
+
+class TestInterpolation:
+    @pytest.mark.parametrize("interpolation", INTERPOLATIONS)
+    def test_hits_waypoints_exactly(self, interpolation):
+        trace = Trace(times_s=(0.0, 1.0, 3.0), values=(1.0, 5.0, 2.0),
+                      interpolation=interpolation)
+        np.testing.assert_allclose(trace.sample(np.array(trace.times_s)),
+                                   trace.values, atol=1e-12)
+
+    @pytest.mark.parametrize("interpolation", INTERPOLATIONS)
+    def test_holds_end_values_outside_span(self, interpolation):
+        trace = Trace(times_s=(1.0, 2.0), values=(3.0, 7.0),
+                      interpolation=interpolation)
+        assert trace.sample(-5.0) == 3.0
+        assert trace.sample(99.0) == 7.0
+
+    def test_piecewise_is_linear_between_waypoints(self):
+        trace = Trace(times_s=(0.0, 2.0), values=(0.0, 10.0))
+        assert trace.sample(1.0) == pytest.approx(5.0)
+
+    def test_smooth_eases_the_midpoint_like_smoothstep(self):
+        trace = Trace(times_s=(0.0, 2.0), values=(0.0, 10.0),
+                      interpolation="smooth")
+        # smoothstep(0.5) = 0.5, smoothstep(0.25) = 0.15625
+        assert trace.sample(1.0) == pytest.approx(5.0)
+        assert trace.sample(0.5) == pytest.approx(1.5625)
+
+    def test_sample_preserves_query_shape(self):
+        trace = Trace(times_s=(0.0, 1.0), values=(0.0, 1.0))
+        assert trace.sample(np.zeros((3, 4))).shape == (3, 4)
+
+    @given(times=monotone_times(), queries=st.lists(
+        st.floats(min_value=-1.0, max_value=40.0), min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_time_never_yields_nan(self, times, queries):
+        for interpolation in INTERPOLATIONS:
+            trace = Trace(times_s=times,
+                          values=tuple(float(i) for i in range(len(times))),
+                          interpolation=interpolation)
+            assert np.all(np.isfinite(trace.sample(np.asarray(queries))))
+
+
+class TestResampling:
+    @given(times=monotone_times(min_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_piecewise_resample_then_sample_is_sample(self, times):
+        trace = Trace(times_s=times,
+                      values=tuple(float(np.sin(t)) for t in times))
+        # Queries interleaved between the anchors (midpoints + anchors).
+        anchors = np.asarray(times)
+        queries = np.unique(np.concatenate(
+            [anchors, (anchors[:-1] + anchors[1:]) / 2.0]))
+        resampled = trace.resample(queries)
+        np.testing.assert_array_equal(resampled.sample(queries),
+                                      trace.sample(queries))
+
+    def test_resample_preserves_kind_and_interpolation(self):
+        trace = RotationTrace.swing(duration_s=4.0)
+        resampled = trace.resample(np.linspace(0.0, 4.0, 9))
+        assert isinstance(resampled, RotationTrace)
+        assert resampled.interpolation == trace.interpolation
+        assert len(resampled) == 9
+
+    def test_resample_rejects_malformed_times(self):
+        trace = Trace(times_s=(0.0, 1.0), values=(0.0, 1.0))
+        with pytest.raises(TraceTimestampError):
+            trace.resample([0.5, 0.5])
+
+
+class TestReplay:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_mobility_digest_replays_from_seed(self, seed):
+        first = MobilityTrace.random_waypoint(seed, "sta-0")
+        again = MobilityTrace.random_waypoint(seed, "sta-0")
+        assert first == again
+        assert first.digest() == again.digest()
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_rotation_digest_replays_from_seed(self, seed):
+        assert (RotationTrace.random_walk(seed, "sta-1").digest()
+                == RotationTrace.random_walk(seed, "sta-1").digest())
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_respiration_digest_replays_from_seed(self, seed):
+        assert (RespirationTrace.irregular(seed, "subject").digest()
+                == RespirationTrace.irregular(seed, "subject").digest())
+
+    def test_streams_are_independent_per_name(self):
+        a = MobilityTrace.random_waypoint(7, "sta-a")
+        b = MobilityTrace.random_waypoint(7, "sta-b")
+        assert a.digest() != b.digest()
+
+    def test_digest_depends_on_interpolation(self):
+        piecewise = Trace(times_s=(0.0, 1.0), values=(0.0, 1.0))
+        smooth = Trace(times_s=(0.0, 1.0), values=(0.0, 1.0),
+                       interpolation="smooth")
+        assert piecewise.digest() != smooth.digest()
+
+    def test_digest_differs_across_trace_kinds(self):
+        plain = Trace(times_s=(0.0, 1.0), values=(2.0, 3.0))
+        mobility = MobilityTrace(times_s=(0.0, 1.0), values=(2.0, 3.0))
+        assert plain.digest() != mobility.digest()
+
+
+class TestFactories:
+    def test_static_mobility_is_flat(self):
+        trace = MobilityTrace.static(4.0, duration_s=10.0)
+        np.testing.assert_array_equal(
+            trace.sample(np.linspace(0.0, 10.0, 7)), np.full(7, 4.0))
+
+    def test_linear_mobility_interpolates_endpoints(self):
+        trace = MobilityTrace.linear(2.0, 6.0, duration_s=4.0)
+        assert trace.sample(2.0) == pytest.approx(4.0)
+
+    def test_random_waypoint_respects_bounds(self):
+        trace = MobilityTrace.random_waypoint(
+            3, "sta", distance_range_m=(2.0, 5.0), waypoint_count=8)
+        samples = trace.sample(np.linspace(0.0, trace.duration_s, 101))
+        assert np.all(samples >= 2.0) and np.all(samples <= 5.0)
+
+    def test_swing_oscillates_about_base(self):
+        trace = RotationTrace.swing(base_deg=45.0, amplitude_deg=30.0,
+                                    period_s=4.0, duration_s=8.0)
+        samples = trace.sample(np.linspace(0.0, 8.0, 200))
+        assert samples.min() == pytest.approx(15.0, abs=1.0)
+        assert samples.max() == pytest.approx(75.0, abs=1.0)
+
+    def test_breathing_amplitude_is_half_displacement(self):
+        trace = RespirationTrace.breathing(displacement_m=0.006)
+        samples = trace.sample(np.linspace(0.0, trace.duration_s, 500))
+        assert np.abs(samples).max() == pytest.approx(0.003, rel=0.05)
